@@ -1,0 +1,181 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the DLHT
+// paper's evaluation. Each benchmark runs the corresponding experiment at a
+// benchmark-friendly scale and reports the headline figure metric through
+// b.ReportMetric, printing the full table with -v. Absolute numbers depend
+// on the host; the shapes (who wins, by what factor, where crossovers fall)
+// are the reproduction target — see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem            # everything
+//	go test -bench=BenchmarkFig03 -v      # one figure with its table
+package dlht
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// benchScale sizes experiments for testing.B runs: a memory-resident index
+// (beyond cache) but bounded per-iteration cost.
+func benchScale(b *testing.B) bench.Scale {
+	b.Helper()
+	s := bench.DefaultScale()
+	s.Keys = 1 << 18
+	s.PopKeys = 1 << 20
+	s.Dur = 150 * time.Millisecond
+	s.Batch = 16
+	return s
+}
+
+// runExperiment executes the registered experiment once per b.N batch and
+// reports its first DLHT column as the metric.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchScale(b)
+	var last bench.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = e.Run(s)
+	}
+	b.StopTimer()
+	if len(last.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	if v, err := strconv.ParseFloat(firstNumeric(last), 64); err == nil {
+		b.ReportMetric(v, "Mreqs/s")
+	}
+	if testing.Verbose() {
+		b.Log("\n" + last.String())
+	}
+}
+
+// firstNumeric extracts the first parsable cell after the row label from
+// the final row (typically the highest-thread-count DLHT figure).
+func firstNumeric(r bench.Result) string {
+	row := r.Rows[len(r.Rows)-1]
+	for _, c := range row[1:] {
+		if _, err := strconv.ParseFloat(c, 64); err == nil {
+			return c
+		}
+	}
+	return "0"
+}
+
+func BenchmarkFig01_Headline(b *testing.B)         { runExperiment(b, "fig1") }
+func BenchmarkTable01_Features(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkFig03_GetThroughput(b *testing.B)    { runExperiment(b, "fig3") }
+func BenchmarkFig04_PowerEfficiency(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFig05_InsDel(b *testing.B)           { runExperiment(b, "fig5") }
+func BenchmarkFig06_PutHeavy(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkFig07_Population(b *testing.B)       { runExperiment(b, "fig7") }
+func BenchmarkFig08_ResizeTimeline(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkOccupancy(b *testing.B)              { runExperiment(b, "occupancy") }
+func BenchmarkFig09_ValueSize(b *testing.B)        { runExperiment(b, "fig9") }
+func BenchmarkFig10_KeySize(b *testing.B)          { runExperiment(b, "fig10") }
+func BenchmarkFig11_IndexSize(b *testing.B)        { runExperiment(b, "fig11") }
+func BenchmarkFig12_BatchSize(b *testing.B)        { runExperiment(b, "fig12") }
+func BenchmarkFig13_Skew(b *testing.B)             { runExperiment(b, "fig13") }
+func BenchmarkFig14_Features(b *testing.B)         { runExperiment(b, "fig14") }
+func BenchmarkFig15_Latency(b *testing.B)          { runExperiment(b, "fig15") }
+func BenchmarkFig16_SingleThread(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkCXLEmulation(b *testing.B)           { runExperiment(b, "cxl") }
+func BenchmarkFig17_LockManager(b *testing.B)      { runExperiment(b, "fig17") }
+func BenchmarkFig18_YCSB(b *testing.B)             { runExperiment(b, "fig18") }
+func BenchmarkFig19_OLTP(b *testing.B)             { runExperiment(b, "fig19") }
+func BenchmarkFig20_HashJoin(b *testing.B)         { runExperiment(b, "fig20") }
+func BenchmarkTable04_OLTPCharacter(b *testing.B)  { runExperiment(b, "table4") }
+func BenchmarkTable05_ComparisonSumm(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkAblations(b *testing.B)              { runExperiment(b, "ablations") }
+
+// Micro-benchmarks of the public API hot paths, complementing the
+// figure-level harnesses above.
+
+func BenchmarkOpGet(b *testing.B) {
+	t := MustNew(Config{Bins: 1 << 18, MaxThreads: 64})
+	h := t.MustHandle()
+	const keys = 1 << 17
+	for k := uint64(0); k < keys; k++ {
+		h.Insert(k, k)
+	}
+	b.ResetTimer()
+	x := uint64(1)
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		h.Get(x % keys)
+	}
+}
+
+func BenchmarkOpGetBatched(b *testing.B) {
+	t := MustNew(Config{Bins: 1 << 18, MaxThreads: 64})
+	h := t.MustHandle()
+	const keys = 1 << 17
+	for k := uint64(0); k < keys; k++ {
+		h.Insert(k, k)
+	}
+	ops := make([]Op, 16)
+	b.ResetTimer()
+	x := uint64(1)
+	for i := 0; i < b.N; i += len(ops) {
+		for j := range ops {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			ops[j] = Op{Kind: OpGet, Key: x % keys}
+		}
+		h.Exec(ops, false)
+	}
+}
+
+func BenchmarkOpInsertDelete(b *testing.B) {
+	t := MustNew(Config{Bins: 1 << 16, MaxThreads: 64})
+	h := t.MustHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		h.Insert(k, k)
+		h.Delete(k)
+	}
+}
+
+func BenchmarkOpPut(b *testing.B) {
+	t := MustNew(Config{Bins: 1 << 16, MaxThreads: 64})
+	h := t.MustHandle()
+	const keys = 1 << 14
+	for k := uint64(0); k < keys; k++ {
+		h.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Put(uint64(i)%keys, uint64(i))
+	}
+}
+
+func BenchmarkOpGetParallel(b *testing.B) {
+	t := MustNew(Config{Bins: 1 << 18, MaxThreads: 4096})
+	h := t.MustHandle()
+	const keys = 1 << 17
+	for k := uint64(0); k < keys; k++ {
+		h.Insert(k, k)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		hw := t.MustHandle()
+		x := uint64(1)
+		for pb.Next() {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			hw.Get(x % keys)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+// Package dlht is a Go implementation of the Dandelion Hashtable from
+// "DLHT: A Non-blocking Resizable Hashtable with Fast Deletes and
+// Memory-awareness" (Katsarakis, Gavrielatos, Ntarmos — HPDC 2024).
+//
+// DLHT is a concurrent, in-memory, closed-addressing hashtable built on
+// bounded cache-line chaining. Its headline properties:
+//
+//   - Lock-free Gets, Inserts and Deletes; Deletes reclaim index slots
+//     instantly (no tombstones).
+//   - Most requests complete with a single memory access: small keys and
+//     values are inlined in 64-byte cache-line buckets.
+//   - A batching API overlaps the DRAM latency of many requests with
+//     software prefetching while preserving request order.
+//   - Resizes are parallel and practically non-blocking: concurrent
+//     operations only wait while their own bin (≤15 slots) is migrated.
+//   - Three modes: Inlined (8 B keys/values), Allocator (out-of-line
+//     variable-size pairs with a pointer API, namespaces, epoch GC), and
+//     HashSet (keys only).
+//
+// # Quick start
+//
+//	t := dlht.MustNew(dlht.Config{Resizable: true})
+//	h := t.MustHandle() // one Handle per goroutine
+//	h.Insert(42, 1000)
+//	v, ok := h.Get(42)
+//	h.Put(42, 2000)
+//	h.Delete(42)
+//
+// # Batching
+//
+//	ops := []dlht.Op{
+//		{Kind: dlht.OpInsert, Key: 1, Value: 10},
+//		{Kind: dlht.OpGet, Key: 1},
+//	}
+//	h.Exec(ops, false)
+//
+// The implementation lives in repro/internal/core; this package re-exports
+// it as the stable public surface.
+package dlht
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/hashfn"
+)
+
+// Core types, re-exported.
+type (
+	// Table is a DLHT instance; construct with New.
+	Table = core.Table
+	// Config configures a Table; the zero value is a usable Inlined table.
+	Config = core.Config
+	// Handle is the per-goroutine access object.
+	Handle = core.Handle
+	// Mode selects Inlined, Allocator or HashSet operation.
+	Mode = core.Mode
+	// Op is one request in a batch.
+	Op = core.Op
+	// OpKind tags an Op.
+	OpKind = core.OpKind
+	// Entry is an iterator item.
+	Entry = core.Entry
+	// Stats is the table counter snapshot.
+	Stats = core.Stats
+)
+
+// Modes.
+const (
+	Inlined   = core.Inlined
+	Allocator = core.Allocator
+	HashSet   = core.HashSet
+)
+
+// Batch operation kinds.
+const (
+	OpGet          = core.OpGet
+	OpPut          = core.OpPut
+	OpInsert       = core.OpInsert
+	OpInsertShadow = core.OpInsertShadow
+	OpDelete       = core.OpDelete
+	OpCommitShadow = core.OpCommitShadow
+)
+
+// Hash function kinds (Config.Hash).
+const (
+	// HashModulo is the paper's default bin mapping: key % bins.
+	HashModulo = hashfn.Modulo
+	// HashWy selects wyhash (§3.4.3).
+	HashWy = hashfn.WyHash
+	// HashXX selects xxHash64.
+	HashXX = hashfn.XXHash64
+	// HashMurmur3 selects MurmurHash3.
+	HashMurmur3 = hashfn.Murmur3
+	// HashFNV1a selects 64-bit FNV-1a.
+	HashFNV1a = hashfn.FNV1a
+)
+
+// Errors, re-exported.
+var (
+	ErrExists         = core.ErrExists
+	ErrShadow         = core.ErrShadow
+	ErrFull           = core.ErrFull
+	ErrReservedKey    = core.ErrReservedKey
+	ErrWrongMode      = core.ErrWrongMode
+	ErrValueSize      = core.ErrValueSize
+	ErrNamespace      = core.ErrNamespace
+	ErrTooManyHandles = core.ErrTooManyHandles
+)
+
+// MaxNamespace is the largest namespace id (4Ki namespaces, §3.4.2).
+const MaxNamespace = core.MaxNamespace
+
+// New creates a Table from cfg.
+func New(cfg Config) (*Table, error) { return core.New(cfg) }
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Table { return core.MustNew(cfg) }
+
+// NewArena returns the slab allocator used by Allocator-mode tables; pass a
+// shared instance via Config.Alloc to pool memory across tables.
+func NewArena() alloc.Allocator { return alloc.NewArena() }
+
+// NewNaiveAllocator returns the mutex-guarded baseline allocator (the
+// "No mimalloc" configuration of the paper's Fig 14 ablation).
+func NewNaiveAllocator() alloc.Allocator { return alloc.NewNaive() }

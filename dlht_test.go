@@ -1,0 +1,178 @@
+package dlht_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	dlht "repro"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would; the deep algorithmic suites live in internal/core.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tbl, err := dlht.New(dlht.Config{Bins: 1 << 10, Resizable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tbl.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert(42, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.Get(42); !ok || v != 1000 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if old, ok := h.Put(42, 2000); !ok || old != 1000 {
+		t.Fatalf("Put = (%d,%v)", old, ok)
+	}
+	if v, ok := h.Delete(42); !ok || v != 2000 {
+		t.Fatalf("Delete = (%d,%v)", v, ok)
+	}
+}
+
+func TestPublicErrorsExported(t *testing.T) {
+	tbl := dlht.MustNew(dlht.Config{Bins: 4})
+	h := tbl.MustHandle()
+	h.Insert(1, 1)
+	if _, err := h.Insert(1, 2); !errors.Is(err, dlht.ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	var full bool
+	for k := uint64(0); k < 1000; k++ {
+		if _, err := h.Insert(k, k); errors.Is(err, dlht.ErrFull) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("ErrFull never surfaced on a non-resizable table")
+	}
+}
+
+func TestPublicModes(t *testing.T) {
+	set := dlht.MustNew(dlht.Config{Mode: dlht.HashSet, Bins: 64})
+	hs := set.MustHandle()
+	hs.Insert(7, 0)
+	if !hs.Contains(7) {
+		t.Fatal("hashset lost a key")
+	}
+
+	kv := dlht.MustNew(dlht.Config{
+		Mode: dlht.Allocator, Bins: 64, VariableKV: true, Namespaces: true,
+	})
+	hk := kv.MustHandle()
+	if err := hk.InsertKV(3, []byte("key"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := hk.GetKV(3, []byte("key")); !ok || string(v) != "value" {
+		t.Fatalf("GetKV = (%q,%v)", v, ok)
+	}
+	if _, ok := hk.GetKV(4, []byte("key")); ok {
+		t.Fatal("namespace isolation broken")
+	}
+}
+
+func TestPublicBatch(t *testing.T) {
+	tbl := dlht.MustNew(dlht.Config{Bins: 256})
+	h := tbl.MustHandle()
+	ops := []dlht.Op{
+		{Kind: dlht.OpInsert, Key: 1, Value: 10},
+		{Kind: dlht.OpGet, Key: 1},
+		{Kind: dlht.OpDelete, Key: 1},
+	}
+	if n := h.Exec(ops, true); n != 3 {
+		t.Fatalf("executed %d", n)
+	}
+	if ops[1].Result != 10 {
+		t.Fatalf("batch get = %d", ops[1].Result)
+	}
+}
+
+func TestPublicHashKinds(t *testing.T) {
+	for _, kind := range []struct {
+		name string
+		k    dlht.Config
+	}{
+		{"modulo", dlht.Config{Bins: 256, Hash: dlht.HashModulo}},
+		{"wyhash", dlht.Config{Bins: 256, Hash: dlht.HashWy}},
+		{"xxhash", dlht.Config{Bins: 256, Hash: dlht.HashXX}},
+		{"murmur3", dlht.Config{Bins: 256, Hash: dlht.HashMurmur3}},
+		{"fnv1a", dlht.Config{Bins: 256, Hash: dlht.HashFNV1a}},
+	} {
+		t.Run(kind.name, func(t *testing.T) {
+			h := dlht.MustNew(kind.k).MustHandle()
+			for i := uint64(0); i < 300; i++ {
+				if _, err := h.Insert(i, i*2); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < 300; i++ {
+				if v, ok := h.Get(i); !ok || v != i*2 {
+					t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestPublicConcurrentUse(t *testing.T) {
+	tbl := dlht.MustNew(dlht.Config{Bins: 1 << 8, Resizable: true, MaxThreads: 16})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tbl.MustHandle()
+			base := uint64(w) << 32
+			for i := uint64(0); i < 5000; i++ {
+				h.Insert(base+i, i)
+			}
+			for i := uint64(0); i < 5000; i++ {
+				if v, ok := h.Get(base + i); !ok || v != i {
+					t.Errorf("worker %d lost key %d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPublicAllocators(t *testing.T) {
+	for _, a := range []struct {
+		name string
+		cfg  dlht.Config
+	}{
+		{"arena", dlht.Config{Mode: dlht.Allocator, Bins: 64, ValueSize: 16, Alloc: dlht.NewArena()}},
+		{"naive", dlht.Config{Mode: dlht.Allocator, Bins: 64, ValueSize: 16, Alloc: dlht.NewNaiveAllocator()}},
+	} {
+		t.Run(a.name, func(t *testing.T) {
+			h := dlht.MustNew(a.cfg).MustHandle()
+			if err := h.InsertKV(0, []byte("k"), make([]byte, 16)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := h.GetKV(0, []byte("k")); !ok {
+				t.Fatal("lost key")
+			}
+		})
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	tbl := dlht.MustNew(dlht.Config{Bins: 128})
+	h := tbl.MustHandle()
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(i, i)
+	}
+	st := tbl.Stats()
+	if st.Occupied != 100 || st.Bins != 128 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if tbl.Mode() != dlht.Inlined || tbl.Resizable() {
+		t.Fatal("mode/resizable accessors wrong")
+	}
+}

@@ -1,0 +1,102 @@
+package dlht_test
+
+import (
+	"fmt"
+
+	dlht "repro"
+)
+
+// The core lifecycle: Insert, Get, Put, Delete.
+func Example() {
+	table := dlht.MustNew(dlht.Config{Resizable: true})
+	h := table.MustHandle()
+
+	h.Insert(42, 1000)
+	v, _ := h.Get(42)
+	fmt.Println("get:", v)
+
+	old, _ := h.Put(42, 2000)
+	fmt.Println("put replaced:", old)
+
+	gone, _ := h.Delete(42)
+	fmt.Println("delete returned:", gone)
+	// Output:
+	// get: 1000
+	// put replaced: 1000
+	// delete returned: 2000
+}
+
+// Batches prefetch every request's bin up front and execute strictly in
+// order (§3.3).
+func ExampleHandle_Exec() {
+	h := dlht.MustNew(dlht.Config{}).MustHandle()
+	ops := []dlht.Op{
+		{Kind: dlht.OpInsert, Key: 7, Value: 70},
+		{Kind: dlht.OpGet, Key: 7},
+		{Kind: dlht.OpDelete, Key: 7},
+		{Kind: dlht.OpGet, Key: 7},
+	}
+	h.Exec(ops, false)
+	fmt.Println(ops[1].Result, ops[1].OK)
+	fmt.Println(ops[3].Result, ops[3].OK)
+	// Output:
+	// 70 true
+	// 0 false
+}
+
+// Shadow inserts lock a key for a transaction: hidden from readers until
+// committed, conflicting with other inserts (§3.2.2).
+func ExampleHandle_InsertShadow() {
+	h := dlht.MustNew(dlht.Config{}).MustHandle()
+	h.InsertShadow(5, 50)
+
+	_, visible := h.Get(5)
+	fmt.Println("visible before commit:", visible)
+
+	h.CommitShadow(5, true)
+	v, _ := h.Get(5)
+	fmt.Println("after commit:", v)
+	// Output:
+	// visible before commit: false
+	// after commit: 50
+}
+
+// Allocator mode stores variable-size pairs out of line and returns
+// mutable views — the pointer API of §3.2.1.
+func ExampleHandle_GetKV() {
+	table := dlht.MustNew(dlht.Config{
+		Mode:       dlht.Allocator,
+		VariableKV: true,
+	})
+	h := table.MustHandle()
+
+	h.InsertKV(0, []byte("greeting"), []byte("hello, dlht"))
+	v, _ := h.GetKV(0, []byte("greeting"))
+	fmt.Printf("%s\n", v)
+
+	// Mutate in place through the view.
+	h.UpdateKV(0, []byte("greeting"), func(val []byte) {
+		copy(val, "HELLO")
+	})
+	v, _ = h.GetKV(0, []byte("greeting"))
+	fmt.Printf("%s\n", v)
+	// Output:
+	// hello, dlht
+	// HELLO, dlht
+}
+
+// HashSet mode plus shadow ops make a record lock manager (§5.3.3).
+func ExampleHandle_Contains() {
+	locks := dlht.MustNew(dlht.Config{Mode: dlht.HashSet}).MustHandle()
+
+	_, err := locks.Insert(99, 0) // lock record 99
+	fmt.Println("locked:", err == nil)
+	_, err = locks.Insert(99, 0) // second locker fails
+	fmt.Println("relock fails:", err != nil)
+	locks.Delete(99) // unlock
+	fmt.Println("still held:", locks.Contains(99))
+	// Output:
+	// locked: true
+	// relock fails: true
+	// still held: false
+}

@@ -1,0 +1,73 @@
+// Quickstart: the core DLHT API — Insert/Get/Put/Delete, batching, the
+// iterator and table statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dlht "repro"
+)
+
+func main() {
+	// A resizable table with paper-default geometry.
+	table, err := dlht.New(dlht.Config{
+		Bins:      1 << 16,
+		Resizable: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every goroutine gets its own Handle.
+	h := table.MustHandle()
+
+	// Inserts reject duplicates and return the existing value.
+	if _, err := h.Insert(42, 1000); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := h.Insert(42, 2000); err != nil {
+		fmt.Println("duplicate insert rejected:", err)
+	}
+
+	// Gets are lock-free and usually one memory access.
+	if v, ok := h.Get(42); ok {
+		fmt.Println("Get(42) =", v)
+	}
+
+	// Puts overwrite with a double-word CAS; the old value comes back.
+	old, _ := h.Put(42, 4242)
+	fmt.Println("Put(42) replaced", old)
+
+	// Deletes reclaim the slot instantly.
+	if v, ok := h.Delete(42); ok {
+		fmt.Println("Delete(42) returned", v)
+	}
+
+	// Batching (§3.3): one prefetch pass, then in-order execution.
+	ops := []dlht.Op{
+		{Kind: dlht.OpInsert, Key: 1, Value: 10},
+		{Kind: dlht.OpInsert, Key: 2, Value: 20},
+		{Kind: dlht.OpGet, Key: 1},
+		{Kind: dlht.OpPut, Key: 2, Value: 21},
+		{Kind: dlht.OpDelete, Key: 1},
+	}
+	h.Exec(ops, false)
+	fmt.Printf("batch: Get(1)=%d, Put(2) replaced %d\n", ops[2].Result, ops[3].Result)
+
+	// Weakly consistent iteration.
+	h.Range(func(k, v uint64) bool {
+		fmt.Printf("entry %d -> %d\n", k, v)
+		return true
+	})
+
+	// Grow the table across a few resizes and inspect the counters.
+	for k := uint64(100); k < 300000; k++ {
+		if _, err := h.Insert(k, k); err != nil {
+			log.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	st := table.Stats()
+	fmt.Printf("stats: bins=%d occupancy=%.1f%% resizes=%d keysMoved=%d\n",
+		st.Bins, st.Occupancy*100, st.Resizes, st.KeysMoved)
+}

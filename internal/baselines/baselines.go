@@ -1,0 +1,50 @@
+// Package baselines defines the common interface for the eight
+// state-of-the-art concurrent hashtables the DLHT paper evaluates against
+// (Table 3): CLHT, MICA, GrowT, Folly, DRAMHiT, Cuckoo, Leapfrog and TBB.
+//
+// Each baseline is re-implemented from its published algorithm as a
+// faithful skeleton: same addressing scheme, same delete policy (tombstones
+// vs reclamation), same resize discipline (blocking / parallel / absent),
+// same locking structure. The goal is that comparative results are
+// attributable to the algorithm class, exactly as in the paper's §5.1.
+package baselines
+
+// Map is the uniform benchmark surface. Implementations whose original
+// design lacks an operation return false / no-op and say so in Features.
+type Map interface {
+	// Name is the display name used in figures ("GrowT", "CLHT", ...).
+	Name() string
+	// Get returns the value for key.
+	Get(key uint64) (uint64, bool)
+	// Insert adds key→val; false when the key exists or the table is full.
+	Insert(key, val uint64) bool
+	// Put overwrites an existing key (or upserts, per design); false when
+	// unsupported or the key is missing.
+	Put(key, val uint64) bool
+	// Delete removes key; false when missing or unsupported.
+	Delete(key uint64) bool
+	// Features describes the design for the paper's Table 1.
+	Features() Features
+}
+
+// Batcher is implemented by designs with a batched/prefetched path (MICA,
+// DRAMHiT). GetBatch performs the lookups — possibly out of order for
+// DRAMHiT — writing results positionally.
+type Batcher interface {
+	GetBatch(keys []uint64, vals []uint64, oks []bool)
+}
+
+// Features is the paper's Table 1 row for a design.
+type Features struct {
+	Addressing        string // "open" or "closed"
+	LockFreeGets      bool
+	Puts              string // "lock-free", "blocking", "upsert-only", "none"
+	Inserts           string // "lock-free", "blocking", "upsert-only"
+	DeletesReclaim    bool   // deletes free index slots
+	DeletesSupported  bool
+	Resizable         bool
+	NonBlockingResize bool // safe Get/../Del during resize
+	ParallelResize    bool
+	Prefetching       bool // overlaps memory accesses
+	Inlined           bool // minimizes memory traffic via index inlining
+}

@@ -1,0 +1,273 @@
+package baselines_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/clht"
+	"repro/internal/baselines/cuckoo"
+	"repro/internal/baselines/dramhit"
+	"repro/internal/baselines/folly"
+	"repro/internal/baselines/growt"
+	"repro/internal/baselines/leapfrog"
+	"repro/internal/baselines/mica"
+	"repro/internal/baselines/tbb"
+	"repro/internal/hashfn"
+)
+
+// all returns a fresh instance of every baseline, sized for the tests.
+func all() []baselines.Map {
+	const n = 1 << 14
+	return []baselines.Map{
+		clht.New(n, hashfn.WyHash),
+		growt.New(n, hashfn.WyHash),
+		folly.New(n, hashfn.WyHash),
+		mica.New(n, hashfn.WyHash, 8),
+		dramhit.New(n, hashfn.WyHash),
+		cuckoo.New(n/4, hashfn.WyHash),
+		leapfrog.New(n, hashfn.WyHash),
+		tbb.New(n, hashfn.WyHash),
+	}
+}
+
+func TestConformanceBasic(t *testing.T) {
+	for _, m := range all() {
+		t.Run(m.Name(), func(t *testing.T) {
+			if _, ok := m.Get(1); ok {
+				t.Fatal("empty map returned a value")
+			}
+			if !m.Insert(1, 100) {
+				t.Fatal("insert failed")
+			}
+			if v, ok := m.Get(1); !ok || v != 100 {
+				t.Fatalf("Get = (%d,%v), want (100,true)", v, ok)
+			}
+			f := m.Features()
+			// Insert of an existing key must fail — except for upsert-only
+			// designs (DRAMHiT), where it silently updates.
+			again := m.Insert(1, 101)
+			if f.Inserts == "upsert-only" {
+				if !again {
+					t.Fatal("upsert-only insert refused an update")
+				}
+				if v, _ := m.Get(1); v != 101 {
+					t.Fatal("upsert did not update")
+				}
+			} else if again {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if f.Puts != "none" {
+				if !m.Put(1, 102) {
+					t.Fatal("put on existing key failed")
+				}
+				if v, _ := m.Get(1); v != 102 {
+					t.Fatal("put did not take effect")
+				}
+			} else if m.Put(1, 102) {
+				t.Fatal("design without Puts accepted one")
+			}
+			if f.DeletesSupported || f.Addressing == "open" {
+				if !m.Delete(1) {
+					t.Fatal("delete failed")
+				}
+				if _, ok := m.Get(1); ok {
+					t.Fatal("deleted key visible")
+				}
+				if m.Delete(1) {
+					t.Fatal("double delete succeeded")
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceBulk(t *testing.T) {
+	const n = 4000
+	for _, m := range all() {
+		t.Run(m.Name(), func(t *testing.T) {
+			for i := uint64(1); i <= n; i++ {
+				if !m.Insert(i, i*2) {
+					t.Fatalf("insert %d failed", i)
+				}
+			}
+			for i := uint64(1); i <= n; i++ {
+				if v, ok := m.Get(i); !ok || v != i*2 {
+					t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceDeleteThenReuse(t *testing.T) {
+	// Designs whose deletes reclaim slots must absorb delete/insert cycles
+	// in place; tombstone designs must still answer correctly (though they
+	// burn space).
+	for _, m := range all() {
+		f := m.Features()
+		if !f.DeletesSupported && f.Inserts == "upsert-only" {
+			continue // DRAMHiT: deletes are not part of its contract
+		}
+		t.Run(m.Name(), func(t *testing.T) {
+			for round := uint64(0); round < 200; round++ {
+				k := 1 + round%10
+				if !m.Insert(k, round) {
+					t.Fatalf("round %d: insert %d failed", round, k)
+				}
+				if v, ok := m.Get(k); !ok || v != round {
+					t.Fatalf("round %d: get = (%d,%v)", round, v, ok)
+				}
+				if !m.Delete(k) {
+					t.Fatalf("round %d: delete %d failed", round, k)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceConcurrent(t *testing.T) {
+	for _, m := range all() {
+		t.Run(m.Name(), func(t *testing.T) {
+			const workers = 4
+			const per = 2000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base uint64) {
+					defer wg.Done()
+					for i := uint64(1); i <= per; i++ {
+						k := base*1000000 + i
+						if !m.Insert(k, k) {
+							t.Errorf("insert %d failed", k)
+							return
+						}
+					}
+					for i := uint64(1); i <= per; i++ {
+						k := base*1000000 + i
+						if v, ok := m.Get(k); !ok || v != k {
+							t.Errorf("Get(%d) = (%d,%v)", k, v, ok)
+							return
+						}
+					}
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestGrowTResizeReclaimsTombstones(t *testing.T) {
+	m := growt.New(64, hashfn.WyHash)
+	// Insert/delete cycles accumulate tombstones until the 30 % trigger
+	// forces a migration that reclaims them — the paper's Figure 5 cost.
+	for i := uint64(1); i <= 100000; i++ {
+		if !m.Insert(i, i) {
+			t.Fatalf("insert %d failed", i)
+		}
+		if !m.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if m.Resizes() == 0 {
+		t.Fatal("tombstone pressure never triggered a migration")
+	}
+}
+
+func TestCLHTSerialBlockingResize(t *testing.T) {
+	m := clht.New(16, hashfn.WyHash)
+	for i := uint64(1); i <= 5000; i++ {
+		if !m.Insert(i, i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if m.Resizes() == 0 {
+		t.Fatal("CLHT never resized while overflowing buckets")
+	}
+	for i := uint64(1); i <= 5000; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = (%d,%v) after resize", i, v, ok)
+		}
+	}
+}
+
+func TestFollyFixedSizeFillsUp(t *testing.T) {
+	m := folly.New(16, hashfn.WyHash) // rounds to 16 cells
+	failed := false
+	for i := uint64(1); i <= 64; i++ {
+		if !m.Insert(i, i) {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("non-resizable map absorbed 4x its capacity")
+	}
+}
+
+func TestDRAMHiTBatchReordersButAnswersCorrectly(t *testing.T) {
+	m := dramhit.New(1<<12, hashfn.WyHash)
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		m.Insert(keys[i], uint64(i+1)*10)
+	}
+	vals := make([]uint64, len(keys))
+	oks := make([]bool, len(keys))
+	m.GetBatch(keys, vals, oks)
+	for i := range keys {
+		if !oks[i] || vals[i] != keys[i]*10 {
+			t.Fatalf("batch result %d = (%d,%v)", i, vals[i], oks[i])
+		}
+	}
+}
+
+func TestMICABatch(t *testing.T) {
+	m := mica.New(1<<10, hashfn.WyHash, 8)
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if !m.Insert(keys[i], uint64(i)+7) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	vals := make([]uint64, len(keys))
+	oks := make([]bool, len(keys))
+	m.GetBatch(keys, vals, oks)
+	for i := range keys {
+		if !oks[i] || vals[i] != uint64(i)+7 {
+			t.Fatalf("batch %d = (%d,%v)", i, vals[i], oks[i])
+		}
+	}
+}
+
+func TestFeatureMatrixMatchesPaperTable1(t *testing.T) {
+	// Spot-check the feature rows the paper's Table 1 asserts.
+	want := map[string]struct {
+		addressing     string
+		deletesReclaim bool
+		resizable      bool
+	}{
+		"CLHT":     {"closed", true, true},
+		"GrowT":    {"open", false, true},
+		"Folly":    {"open", false, false},
+		"MICA":     {"closed", true, false},
+		"DRAMHiT":  {"open", false, false},
+		"Cuckoo":   {"open", true, false},
+		"Leapfrog": {"open", false, false},
+		"TBB":      {"closed", true, true},
+	}
+	for _, m := range all() {
+		w, ok := want[m.Name()]
+		if !ok {
+			t.Fatalf("unknown baseline %q", m.Name())
+		}
+		f := m.Features()
+		got := fmt.Sprintf("%s/%v/%v", f.Addressing, f.DeletesReclaim, f.Resizable)
+		exp := fmt.Sprintf("%s/%v/%v", w.addressing, w.deletesReclaim, w.resizable)
+		if got != exp {
+			t.Errorf("%s: features %s, want %s", m.Name(), got, exp)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package clht reproduces the lock-free variant of CLHT (Cache-Line Hash
+// Table, David/Guerraoui/Trigonakis, ASPLOS'15) as evaluated by the DLHT
+// paper: closed addressing with exactly one 64-byte bucket per bin, three
+// in-line key-value slots, no chaining, no Puts, and a serial *blocking*
+// resize triggered as soon as any bucket overflows. The paper's Table 1
+// attributes CLHT's 1–5 % occupancy-at-resize to the missing chaining, and
+// Figure 7's population collapse to the single-threaded blocking resize —
+// both behaviours this skeleton preserves.
+package clht
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/baselines"
+	"repro/internal/cpuops"
+	"repro/internal/hashfn"
+)
+
+const slotsPerBucket = 3
+
+// Bucket word layout (8 words = 64 B):
+//
+//	word 0: header — 32-bit version | 3×2-bit slot states
+//	words 1..6: three (key, value) slots
+//	word 7: padding
+const wordsPerBucket = 8
+
+const (
+	stateEmpty uint64 = 0
+	stateValid uint64 = 2
+)
+
+// Table is a lock-free CLHT instance.
+type Table struct {
+	hash hashfn.Func64
+
+	// cur points at the active bucket array; swapped on resize.
+	cur atomic.Pointer[generation]
+
+	// resizeMu serializes the (blocking, single-threaded) resize, and the
+	// resizing flag stalls every operation while a resize runs, matching
+	// the paper's "Serial, Blocking" classification. The striped active
+	// counters let the resizer wait out in-flight operations before it
+	// copies (stop-the-world quiescence).
+	resizeMu sync.Mutex
+	resizing atomic.Bool
+	resizes  atomic.Uint64
+	active   [64]paddedCounter
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type generation struct {
+	words []uint64
+	mask  uint64 // power-of-two buckets
+}
+
+func newGeneration(buckets uint64) *generation {
+	return &generation{
+		words: cpuops.AlignedUint64s(int(buckets)*wordsPerBucket, 64),
+		mask:  buckets - 1,
+	}
+}
+
+// New creates a CLHT with at least the given number of buckets (rounded up
+// to a power of two).
+func New(buckets uint64, hash hashfn.Kind) *Table {
+	n := uint64(1)
+	for n < buckets {
+		n <<= 1
+	}
+	t := &Table{hash: hashfn.For64(hash)}
+	t.cur.Store(newGeneration(n))
+	return t
+}
+
+// Name implements baselines.Map.
+func (t *Table) Name() string { return "CLHT" }
+
+// Features implements baselines.Map.
+func (t *Table) Features() baselines.Features {
+	return baselines.Features{
+		Addressing:       "closed",
+		LockFreeGets:     true,
+		Puts:             "none",
+		Inserts:          "lock-free",
+		DeletesReclaim:   true,
+		DeletesSupported: true,
+		Resizable:        true,
+		Inlined:          true,
+	}
+}
+
+// Resizes reports completed resizes (for the population experiment).
+func (t *Table) Resizes() uint64 { return t.resizes.Load() }
+
+func slotState(hdr uint64, i int) uint64 { return (hdr >> (2 * uint(i))) & 3 }
+
+func withSlotState(hdr uint64, i int, s uint64) uint64 {
+	sh := 2 * uint(i)
+	return (hdr &^ (uint64(3) << sh)) | s<<sh
+}
+
+func bumpVersion(hdr uint64) uint64 {
+	return hdr&0xffffffff | uint64(uint32(hdr>>32)+1)<<32
+}
+
+// enter registers an in-flight operation (striped by key to limit
+// contention) and returns the active generation. exit must follow.
+func (t *Table) enter(key uint64) (*generation, *atomic.Int64) {
+	s := &t.active[key&63].v
+	for {
+		for t.resizing.Load() {
+			runtime.Gosched()
+		}
+		s.Add(1)
+		if !t.resizing.Load() {
+			return t.cur.Load(), s
+		}
+		s.Add(-1)
+	}
+}
+
+// Get implements baselines.Map: version-validated lock-free read.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	g, s := t.enter(key)
+	defer s.Add(-1)
+	for {
+		b := (t.hash(key) & g.mask) * wordsPerBucket
+		hdr := atomic.LoadUint64(&g.words[b])
+		found := false
+		var val uint64
+		for i := 0; i < slotsPerBucket; i++ {
+			if slotState(hdr, i) != stateValid {
+				continue
+			}
+			k := atomic.LoadUint64(&g.words[b+1+uint64(i)*2])
+			if k != key {
+				continue
+			}
+			val = atomic.LoadUint64(&g.words[b+2+uint64(i)*2])
+			found = true
+			break
+		}
+		if atomic.LoadUint64(&g.words[b]) == hdr {
+			return val, found
+		}
+	}
+}
+
+// Insert implements baselines.Map. Two-step header-CAS insert as in CLHT.
+func (t *Table) Insert(key, val uint64) bool {
+	for {
+		g, s := t.enter(key)
+		ok, done := t.insertOnce(g, key, val)
+		s.Add(-1)
+		if done {
+			return ok
+		}
+		// Bucket overflow: resize (with the counter released so the
+		// quiescence wait cannot deadlock on ourselves), then retry.
+		t.resize(g)
+	}
+}
+
+// insertOnce attempts the insert in generation g; done=false signals the
+// caller to trigger a resize and retry.
+func (t *Table) insertOnce(g *generation, key, val uint64) (ok, done bool) {
+	for {
+		b := (t.hash(key) & g.mask) * wordsPerBucket
+		hdr := atomic.LoadUint64(&g.words[b])
+		free := -1
+		for i := 0; i < slotsPerBucket; i++ {
+			st := slotState(hdr, i)
+			if st == stateValid {
+				if atomic.LoadUint64(&g.words[b+1+uint64(i)*2]) == key {
+					if atomic.LoadUint64(&g.words[b]) != hdr {
+						continue
+					}
+					return false, true // exists
+				}
+			} else if st == stateEmpty && free < 0 {
+				free = i
+			}
+		}
+		if atomic.LoadUint64(&g.words[b]) != hdr {
+			continue
+		}
+		if free < 0 {
+			// No chaining: any fourth colliding key forces a full resize —
+			// the root cause of CLHT's 1–5 % occupancy in §5.1.5.
+			return false, false
+		}
+		claim := bumpVersion(withSlotState(hdr, free, 1 /* busy */))
+		if !atomic.CompareAndSwapUint64(&g.words[b], hdr, claim) {
+			continue
+		}
+		atomic.StoreUint64(&g.words[b+1+uint64(free)*2], key)
+		atomic.StoreUint64(&g.words[b+2+uint64(free)*2], val)
+		for {
+			h2 := atomic.LoadUint64(&g.words[b])
+			if atomic.CompareAndSwapUint64(&g.words[b], h2, bumpVersion(withSlotState(h2, free, stateValid))) {
+				return true, true
+			}
+		}
+	}
+}
+
+// Put implements baselines.Map: CLHT-LF offers no Puts (Table 1).
+func (t *Table) Put(key, val uint64) bool { return false }
+
+// Delete implements baselines.Map: slot reclaimed instantly.
+func (t *Table) Delete(key uint64) bool {
+	g, s := t.enter(key)
+	defer s.Add(-1)
+	for {
+		b := (t.hash(key) & g.mask) * wordsPerBucket
+		hdr := atomic.LoadUint64(&g.words[b])
+		for i := 0; i < slotsPerBucket; i++ {
+			if slotState(hdr, i) != stateValid {
+				continue
+			}
+			if atomic.LoadUint64(&g.words[b+1+uint64(i)*2]) != key {
+				continue
+			}
+			if atomic.CompareAndSwapUint64(&g.words[b], hdr, bumpVersion(withSlotState(hdr, i, stateEmpty))) {
+				return true
+			}
+			break // header moved; rescan
+		}
+		if atomic.LoadUint64(&g.words[b]) == hdr {
+			return false
+		}
+	}
+}
+
+// resize performs CLHT's serial blocking migration: one thread stops the
+// world, copies every live slot into a table twice the size, and swaps the
+// pointer. Concurrent threads spin in waitNotResizing the whole time.
+func (t *Table) resize(old *generation) {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	if t.cur.Load() != old {
+		return // someone already resized
+	}
+	t.resizing.Store(true)
+	defer t.resizing.Store(false)
+	// Quiescence: wait for every in-flight operation to drain.
+	for i := range t.active {
+		for t.active[i].v.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+
+	newBuckets := (old.mask + 1) * 2
+	for {
+		ng := newGeneration(newBuckets)
+		if t.copyAll(old, ng) {
+			t.cur.Store(ng)
+			t.resizes.Add(1)
+			return
+		}
+		// A bucket overflowed even in the bigger table; double again.
+		newBuckets *= 2
+	}
+}
+
+// copyAll moves every valid slot; single-threaded, no synchronization
+// needed because all operations are stalled.
+func (t *Table) copyAll(old, ng *generation) bool {
+	for b := uint64(0); b <= old.mask; b++ {
+		base := b * wordsPerBucket
+		hdr := old.words[base]
+		for i := 0; i < slotsPerBucket; i++ {
+			if slotState(hdr, i) != stateValid {
+				continue
+			}
+			k := old.words[base+1+uint64(i)*2]
+			v := old.words[base+2+uint64(i)*2]
+			nb := (t.hash(k) & ng.mask) * wordsPerBucket
+			nhdr := ng.words[nb]
+			free := -1
+			for j := 0; j < slotsPerBucket; j++ {
+				if slotState(nhdr, j) == stateEmpty {
+					free = j
+					break
+				}
+			}
+			if free < 0 {
+				return false
+			}
+			ng.words[nb] = withSlotState(nhdr, free, stateValid)
+			ng.words[nb+1+uint64(free)*2] = k
+			ng.words[nb+2+uint64(free)*2] = v
+		}
+	}
+	return true
+}
+
+var _ baselines.Map = (*Table)(nil)
+
+// Occupancy reports live slots over total slot capacity of the current
+// generation — the §5.1.5 metric. CLHT's inability to chain keeps this in
+// the paper's 1–5 % band at the moment a resize triggers.
+func (t *Table) Occupancy() (occupied, capacity uint64) {
+	g := t.cur.Load()
+	for b := uint64(0); b <= g.mask; b++ {
+		hdr := atomic.LoadUint64(&g.words[b*wordsPerBucket])
+		for i := 0; i < slotsPerBucket; i++ {
+			if slotState(hdr, i) == stateValid {
+				occupied++
+			}
+		}
+	}
+	return occupied, (g.mask + 1) * slotsPerBucket
+}

@@ -1,0 +1,109 @@
+package clht
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+func TestBucketOverflowForcesResize(t *testing.T) {
+	m := New(1, hashfn.Modulo) // single bucket
+	// Three slots fit; the fourth colliding insert must resize.
+	for i := uint64(0); i < 3; i++ {
+		if !m.Insert(i, i) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	if m.Resizes() != 0 {
+		t.Fatal("premature resize")
+	}
+	if !m.Insert(3, 3) {
+		t.Fatal("insert 3 failed")
+	}
+	if m.Resizes() == 0 {
+		t.Fatal("fourth colliding insert did not resize")
+	}
+	for i := uint64(0); i < 4; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = (%d,%v) after resize", i, v, ok)
+		}
+	}
+}
+
+func TestOccupancyLowAtResize(t *testing.T) {
+	m := New(1<<8, hashfn.WyHash)
+	maxOcc := 0.0
+	for k := uint64(0); m.Resizes() == 0; k++ {
+		m.Insert(k, k)
+		occ, cap := m.Occupancy()
+		if f := float64(occ) / float64(cap); f > maxOcc {
+			maxOcc = f
+		}
+	}
+	// No chaining: a resize triggers long before the table fills — the
+	// §5.1.5 phenomenon (paper band 1-5% at 67M bins; small tables land
+	// higher but far below DLHT's 60%+).
+	if maxOcc > 0.35 {
+		t.Fatalf("occupancy at resize %.2f too high for a chainless design", maxOcc)
+	}
+}
+
+func TestDeleteReclaimsInPlace(t *testing.T) {
+	m := New(1, hashfn.Modulo)
+	m.Insert(1, 1)
+	m.Insert(2, 2)
+	m.Insert(3, 3)
+	before := m.Resizes()
+	if !m.Delete(2) {
+		t.Fatal("delete")
+	}
+	// The freed slot absorbs the next colliding insert without a resize.
+	if !m.Insert(4, 4) {
+		t.Fatal("insert into reclaimed slot")
+	}
+	if m.Resizes() != before {
+		t.Fatal("insert into reclaimed slot still resized")
+	}
+}
+
+func TestNoPuts(t *testing.T) {
+	m := New(16, hashfn.Modulo)
+	m.Insert(1, 1)
+	if m.Put(1, 2) {
+		t.Fatal("CLHT-LF must not support Puts (Table 1)")
+	}
+	if v, _ := m.Get(1); v != 1 {
+		t.Fatal("Put mutated a value")
+	}
+}
+
+func TestConcurrentInsertsAcrossBlockingResizes(t *testing.T) {
+	m := New(4, hashfn.WyHash)
+	var wg sync.WaitGroup
+	const per = 3000
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				if !m.Insert(base+i, base+i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+		}(uint64(w+1) << 32)
+	}
+	wg.Wait()
+	if m.Resizes() == 0 {
+		t.Fatal("no resizes exercised")
+	}
+	for w := 0; w < 4; w++ {
+		base := uint64(w+1) << 32
+		for i := uint64(0); i < per; i++ {
+			if v, ok := m.Get(base + i); !ok || v != base+i {
+				t.Fatalf("Get(%d) = (%d,%v)", base+i, v, ok)
+			}
+		}
+	}
+}

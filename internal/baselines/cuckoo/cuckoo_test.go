@@ -1,0 +1,90 @@
+package cuckoo
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+func TestTwoChoicePlacement(t *testing.T) {
+	m := New(64, hashfn.WyHash)
+	for i := uint64(1); i <= 200; i++ {
+		if !m.Insert(i, i*3) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	for i := uint64(1); i <= 200; i++ {
+		if v, ok := m.Get(i); !ok || v != i*3 {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestEvictionMakesRoom(t *testing.T) {
+	// Small table: inserts beyond the direct home-bucket capacity must
+	// displace entries along BFS paths instead of failing early.
+	m := New(16, hashfn.WyHash)
+	inserted := uint64(0)
+	for i := uint64(1); i <= 200; i++ {
+		if !m.Insert(i, i) {
+			break
+		}
+		inserted++
+	}
+	// 16 rounds to 16 buckets × 4 slots = 64 slots; cuckoo typically
+	// reaches >80 % fill with two choices + eviction.
+	if inserted < 40 {
+		t.Fatalf("only %d inserts before failure; eviction not working", inserted)
+	}
+	for i := uint64(1); i <= inserted; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("key %d lost during evictions", i)
+		}
+	}
+}
+
+func TestDeleteReclaims(t *testing.T) {
+	m := New(16, hashfn.WyHash)
+	var keys []uint64
+	for i := uint64(1); ; i++ {
+		if !m.Insert(i, i) {
+			break
+		}
+		keys = append(keys, i)
+	}
+	// Free one slot; the next insert must succeed again.
+	if !m.Delete(keys[0]) {
+		t.Fatal("delete")
+	}
+	if !m.Insert(1_000_003, 1) {
+		t.Fatal("insert after delete failed; slot not reclaimed")
+	}
+}
+
+func TestConcurrentStripedLocking(t *testing.T) {
+	m := New(1<<10, hashfn.WyHash)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(1); i <= 1500; i++ {
+				k := base + i
+				if !m.Insert(k, k) {
+					t.Errorf("insert %d", k)
+					return
+				}
+				if v, ok := m.Get(k); !ok || v != k {
+					t.Errorf("get %d", k)
+					return
+				}
+				if i%2 == 0 && !m.Delete(k) {
+					t.Errorf("delete %d", k)
+					return
+				}
+			}
+		}(uint64(w+1) << 32)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,181 @@
+// Package dramhit reproduces the DRAMHiT skeleton (Narayanan et al.,
+// EuroSys'23) as the DLHT paper characterizes it: an inlined open-addressing
+// map that combines frugal memory accesses with software prefetching, but
+// offers only upserts (a "Put" may silently insert, an "Insert" may silently
+// update), cannot resize, and cannot reclaim deleted slots. Its batched path
+// *reorders* requests to maximize memory-level parallelism — the behaviour
+// that can deadlock lock managers (§5.3.3).
+package dramhit
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/baselines"
+	"repro/internal/cpuops"
+	"repro/internal/hashfn"
+)
+
+const (
+	emptyKey     = ^uint64(0)
+	tombstoneKey = ^uint64(0) - 1
+	maxProbes    = 4096
+)
+
+// Table is a DRAMHiT-style map.
+type Table struct {
+	hash  hashfn.Func64
+	cells []uint64
+	mask  uint64
+}
+
+// New creates a table with at least the given cell count.
+func New(cells uint64, hash hashfn.Kind) *Table {
+	n := uint64(16)
+	for n < cells {
+		n <<= 1
+	}
+	t := &Table{
+		hash:  hashfn.For64(hash),
+		cells: cpuops.AlignedUint64s(int(n)*2, 64),
+		mask:  n - 1,
+	}
+	for i := range t.cells {
+		if i%2 == 0 {
+			t.cells[i] = emptyKey
+		}
+	}
+	return t
+}
+
+// Name implements baselines.Map.
+func (t *Table) Name() string { return "DRAMHiT" }
+
+// Features implements baselines.Map.
+func (t *Table) Features() baselines.Features {
+	return baselines.Features{
+		Addressing:       "open",
+		LockFreeGets:     true,
+		Puts:             "upsert-only",
+		Inserts:          "upsert-only",
+		DeletesReclaim:   false,
+		DeletesSupported: false,
+		Resizable:        false,
+		Prefetching:      true,
+		Inlined:          true,
+	}
+}
+
+func (t *Table) cell(i uint64) *[2]uint64 {
+	return (*[2]uint64)(unsafe.Pointer(&t.cells[(i&t.mask)*2]))
+}
+
+// Get implements baselines.Map.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			return 0, false
+		}
+		if k == key {
+			return atomic.LoadUint64(&c[1]), true
+		}
+	}
+	return 0, false
+}
+
+// upsert inserts or updates; DRAMHiT cannot express a pure Insert or Put
+// (§2.2: "an application cannot express a pure Put or Insert").
+func (t *Table) upsert(key, val uint64) bool {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == key {
+			atomic.StoreUint64(&c[1], val) // silent update
+			return true
+		}
+		if k == emptyKey {
+			if cpuops.CompareAndSwap128(c, emptyKey, 0, key, val) {
+				return true // silent insert
+			}
+			p--
+		}
+	}
+	return false
+}
+
+// Insert implements baselines.Map via upsert semantics.
+func (t *Table) Insert(key, val uint64) bool { return t.upsert(key, val) }
+
+// Put implements baselines.Map via upsert semantics.
+func (t *Table) Put(key, val uint64) bool { return t.upsert(key, val) }
+
+// Delete implements baselines.Map: unsupported with reclamation; tombstone
+// only so probe chains survive.
+func (t *Table) Delete(key uint64) bool {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			return false
+		}
+		if k != key {
+			continue
+		}
+		v := atomic.LoadUint64(&c[1])
+		if cpuops.CompareAndSwap128(c, key, v, tombstoneKey, 0) {
+			return true
+		}
+		p--
+	}
+	return false
+}
+
+// GetBatch implements baselines.Batcher. DRAMHiT's asynchronous engine
+// processes requests in the order that maximizes overlap, not the order the
+// client issued: this skeleton sorts the batch by home cell (the in-memory
+// analogue of its queue partitioning), prefetches, executes in sorted
+// order, and scatters results back. Results are positionally correct but
+// side-effect ordering is NOT preserved — by design.
+func (t *Table) GetBatch(keys []uint64, vals []uint64, oks []bool) {
+	type req struct {
+		idx  int
+		home uint64
+	}
+	var buf [128]req
+	var reqs []req
+	if len(keys) <= len(buf) {
+		reqs = buf[:len(keys)]
+	} else {
+		reqs = make([]req, len(keys))
+	}
+	for i, k := range keys {
+		reqs[i] = req{i, t.hash(k) & t.mask}
+	}
+	// Insertion sort by home cell: batches are small (≤128) and this stays
+	// allocation free, standing in for DRAMHiT's queue partitioning.
+	for i := 1; i < len(reqs); i++ {
+		r := reqs[i]
+		j := i - 1
+		for j >= 0 && reqs[j].home > r.home {
+			reqs[j+1] = reqs[j]
+			j--
+		}
+		reqs[j+1] = r
+	}
+	for _, r := range reqs {
+		cpuops.PrefetchUint64(&t.cells[r.home*2])
+	}
+	for _, r := range reqs {
+		vals[r.idx], oks[r.idx] = t.Get(keys[r.idx])
+	}
+}
+
+var (
+	_ baselines.Map     = (*Table)(nil)
+	_ baselines.Batcher = (*Table)(nil)
+)

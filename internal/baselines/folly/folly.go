@@ -1,0 +1,147 @@
+// Package folly reproduces Meta's Folly AtomicHashMap skeleton as the DLHT
+// paper classifies it (Table 1): open addressing with lock-free finds and
+// inserts, keys and values at most 8 bytes, deletes through tombstones that
+// can never be reclaimed, and no resizing — the map is sized once and an
+// overflowing insert simply fails.
+package folly
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/baselines"
+	"repro/internal/cpuops"
+	"repro/internal/hashfn"
+)
+
+const (
+	emptyKey     = ^uint64(0)
+	tombstoneKey = ^uint64(0) - 1
+	maxProbes    = 4096
+)
+
+// Table is a fixed-size open-addressing map.
+type Table struct {
+	hash  hashfn.Func64
+	cells []uint64
+	mask  uint64
+	used  atomic.Uint64 // live + tombstones; never decreases
+}
+
+// New creates a Folly-style map with at least the given cell count.
+func New(cells uint64, hash hashfn.Kind) *Table {
+	n := uint64(16)
+	for n < cells {
+		n <<= 1
+	}
+	t := &Table{
+		hash:  hashfn.For64(hash),
+		cells: cpuops.AlignedUint64s(int(n)*2, 16),
+		mask:  n - 1,
+	}
+	for i := range t.cells {
+		if i%2 == 0 {
+			t.cells[i] = emptyKey
+		}
+	}
+	return t
+}
+
+// Name implements baselines.Map.
+func (t *Table) Name() string { return "Folly" }
+
+// Features implements baselines.Map.
+func (t *Table) Features() baselines.Features {
+	return baselines.Features{
+		Addressing:       "open",
+		LockFreeGets:     true,
+		Puts:             "lock-free",
+		Inserts:          "lock-free",
+		DeletesReclaim:   false,
+		DeletesSupported: true, // tombstones only
+		Resizable:        false,
+		Inlined:          true,
+	}
+}
+
+func (t *Table) cell(i uint64) *[2]uint64 {
+	return (*[2]uint64)(unsafe.Pointer(&t.cells[(i&t.mask)*2]))
+}
+
+// Get implements baselines.Map.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			return 0, false
+		}
+		if k == key {
+			return atomic.LoadUint64(&c[1]), true
+		}
+	}
+	return 0, false
+}
+
+// Insert implements baselines.Map. Fails when the key exists or the fixed
+// index has no reachable empty cell.
+func (t *Table) Insert(key, val uint64) bool {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == key {
+			return false
+		}
+		if k == emptyKey {
+			if cpuops.CompareAndSwap128(c, emptyKey, 0, key, val) {
+				t.used.Add(1)
+				return true
+			}
+			p--
+		}
+	}
+	return false
+}
+
+// Put implements baselines.Map: in-place value store on an existing key.
+func (t *Table) Put(key, val uint64) bool {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			return false
+		}
+		if k == key {
+			atomic.StoreUint64(&c[1], val)
+			return true
+		}
+	}
+	return false
+}
+
+// Delete implements baselines.Map: tombstone, slot permanently lost (§2.2:
+// "DRAMHiT and Folly do not address that").
+func (t *Table) Delete(key uint64) bool {
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := t.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			return false
+		}
+		if k != key {
+			continue
+		}
+		v := atomic.LoadUint64(&c[1])
+		if cpuops.CompareAndSwap128(c, key, v, tombstoneKey, 0) {
+			return true
+		}
+		p--
+	}
+	return false
+}
+
+var _ baselines.Map = (*Table)(nil)

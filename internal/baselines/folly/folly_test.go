@@ -1,0 +1,62 @@
+package folly
+
+import (
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+// The defining Folly limitation (§2.2): tombstones permanently occupy
+// cells, so delete/insert cycles consume the fixed index until it dies.
+func TestTombstonesPermanentlyConsumeIndex(t *testing.T) {
+	m := New(64, hashfn.WyHash) // 64 cells, fixed
+	cycles := 0
+	for i := uint64(1); i < 10000; i++ {
+		if !m.Insert(i, i) {
+			break
+		}
+		if !m.Delete(i) {
+			t.Fatalf("delete %d", i)
+		}
+		cycles++
+	}
+	// At most ~64 cycles fit before every cell is a tombstone; with probe
+	// limits it dies at or before that.
+	if cycles == 0 || cycles > 64 {
+		t.Fatalf("tombstones should kill a 64-cell map within 64 cycles, lasted %d", cycles)
+	}
+}
+
+func TestFixedSizeNoResize(t *testing.T) {
+	m := New(16, hashfn.WyHash)
+	inserted := 0
+	for i := uint64(1); i <= 64; i++ {
+		if m.Insert(i, i) {
+			inserted++
+		}
+	}
+	if inserted > 16 {
+		t.Fatalf("fixed map of 16 cells absorbed %d keys", inserted)
+	}
+	// Everything inserted is retrievable; nothing was evicted.
+	found := 0
+	for i := uint64(1); i <= 64; i++ {
+		if _, ok := m.Get(i); ok {
+			found++
+		}
+	}
+	if found != inserted {
+		t.Fatalf("found %d, inserted %d", found, inserted)
+	}
+}
+
+func TestPutInPlace(t *testing.T) {
+	m := New(64, hashfn.WyHash)
+	m.Insert(1, 10)
+	if !m.Put(1, 11) {
+		t.Fatal("put")
+	}
+	if v, _ := m.Get(1); v != 11 {
+		t.Fatalf("v = %d", v)
+	}
+}

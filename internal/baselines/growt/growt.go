@@ -1,0 +1,337 @@
+// Package growt reproduces the uaGrowT variant of GrowT (Maier, Sanders,
+// Dementiev — "Concurrent Hash Tables: Fast and General(?)!", TOPC'19) as
+// the DLHT paper evaluates it: open addressing with 16-byte atomic cells,
+// tombstone deletes that permanently occupy slots, and a *parallel but
+// blocking* resize triggered at 30 % occupancy (the threshold in GrowT's
+// codebase per §5.1.5) or when tombstones fill the table. During a resize
+// every operation stalls until all live cells have been transferred — the
+// behaviour behind the 12.8× InsDel gap in the paper's Figure 5.
+package growt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/baselines"
+	"repro/internal/cpuops"
+	"repro/internal/hashfn"
+)
+
+const (
+	emptyKey     = ^uint64(0)     // cells start empty
+	tombstoneKey = ^uint64(0) - 1 // deleted cells; never reusable
+	maxProbes    = 1024
+)
+
+// Table is a uaGrowT-style map. User keys must avoid the two sentinels.
+type Table struct {
+	hash hashfn.Func64
+	cur  atomic.Pointer[generation]
+
+	resizeState atomic.Uint32 // 0 normal, 1 allocating, 2 migrating
+	resizes     atomic.Uint64
+	// active counters let the migration wait out in-flight operations
+	// before copying cells (the blocking resize's stop-the-world step).
+	active [64]paddedCounter
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type generation struct {
+	cells []uint64 // 2 words per cell, 16-byte aligned
+	mask  uint64
+	// used counts occupied cells (live + tombstones): the resize trigger.
+	used atomic.Uint64
+	// live counts non-tombstone entries.
+	live atomic.Uint64
+
+	next        atomic.Pointer[generation]
+	chunkCursor atomic.Uint64
+	chunksDone  atomic.Uint64
+	numChunks   uint64
+}
+
+const chunkCells = 4096
+
+func newGeneration(cells uint64) *generation {
+	g := &generation{
+		cells:     cpuops.AlignedUint64s(int(cells)*2, 16),
+		mask:      cells - 1,
+		numChunks: (cells + chunkCells - 1) / chunkCells,
+	}
+	for i := range g.cells {
+		if i%2 == 0 {
+			g.cells[i] = emptyKey
+		}
+	}
+	return g
+}
+
+// New creates a GrowT table with at least the given cell count (rounded up
+// to a power of two).
+func New(cells uint64, hash hashfn.Kind) *Table {
+	n := uint64(16)
+	for n < cells {
+		n <<= 1
+	}
+	t := &Table{hash: hashfn.For64(hash)}
+	t.cur.Store(newGeneration(n))
+	return t
+}
+
+// Name implements baselines.Map.
+func (t *Table) Name() string { return "GrowT" }
+
+// Features implements baselines.Map.
+func (t *Table) Features() baselines.Features {
+	return baselines.Features{
+		Addressing:       "open",
+		LockFreeGets:     true,
+		Puts:             "lock-free",
+		Inserts:          "lock-free",
+		DeletesReclaim:   false, // tombstones; reclaim only via full migration
+		DeletesSupported: true,
+		Resizable:        true,
+		ParallelResize:   true,
+		Inlined:          true,
+	}
+}
+
+// Resizes reports completed migrations.
+func (t *Table) Resizes() uint64 { return t.resizes.Load() }
+
+func (g *generation) cell(i uint64) *[2]uint64 {
+	return (*[2]uint64)(unsafe.Pointer(&g.cells[(i&g.mask)*2]))
+}
+
+// enter stalls while a migration runs (GrowT's resize is blocking),
+// registers the operation on a striped counter, and returns the active
+// generation. The caller must decrement the counter when done.
+func (t *Table) enter(key uint64) (*generation, *atomic.Int64) {
+	s := &t.active[key&63].v
+	for {
+		for t.resizeState.Load() != 0 {
+			runtime.Gosched()
+		}
+		s.Add(1)
+		if t.resizeState.Load() == 0 {
+			return t.cur.Load(), s
+		}
+		s.Add(-1)
+	}
+}
+
+// Get implements baselines.Map.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	g, s := t.enter(key)
+	defer s.Add(-1)
+	h := t.hash(key)
+	for p := uint64(0); p < maxProbes; p++ {
+		c := g.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			return 0, false
+		}
+		if k == key {
+			return atomic.LoadUint64(&c[1]), true
+		}
+	}
+	return 0, false
+}
+
+// Insert implements baselines.Map.
+func (t *Table) Insert(key, val uint64) bool {
+	for {
+		g, s := t.enter(key)
+		if g.used.Load()*10 >= (g.mask+1)*3 { // 30 % occupancy trigger
+			s.Add(-1)
+			t.grow(g)
+			continue
+		}
+		h := t.hash(key)
+		ok, retry := t.tryInsert(g, h, key, val)
+		s.Add(-1)
+		if retry {
+			t.grow(g)
+			continue
+		}
+		return ok
+	}
+}
+
+func (t *Table) tryInsert(g *generation, h, key, val uint64) (ok, needGrow bool) {
+	for p := uint64(0); p < maxProbes; p++ {
+		c := g.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == key {
+			return false, false
+		}
+		if k == emptyKey {
+			if cpuops.CompareAndSwap128(c, emptyKey, 0, key, val) {
+				g.used.Add(1)
+				g.live.Add(1)
+				return true, false
+			}
+			p-- // reinspect the cell
+			continue
+		}
+		// Tombstones are NOT reusable (open addressing cannot reclaim
+		// without breaking probe chains — §2.2); skip over them.
+	}
+	return false, true
+}
+
+// Put implements baselines.Map: update an existing key's value.
+func (t *Table) Put(key, val uint64) bool {
+	for {
+		g, s := t.enter(key)
+		h := t.hash(key)
+		for p := uint64(0); p < maxProbes; p++ {
+			c := g.cell(h + p)
+			k := atomic.LoadUint64(&c[0])
+			if k == emptyKey {
+				return false
+			}
+			if k != key {
+				continue
+			}
+			atomic.StoreUint64(&c[1], val)
+			s.Add(-1)
+			return true
+		}
+		s.Add(-1)
+		return false
+	}
+}
+
+// Delete implements baselines.Map: plants a tombstone. The slot is lost
+// until the next full migration.
+func (t *Table) Delete(key uint64) bool {
+	for {
+		g, s := t.enter(key)
+		h := t.hash(key)
+		for p := uint64(0); p < maxProbes; p++ {
+			c := g.cell(h + p)
+			k := atomic.LoadUint64(&c[0])
+			if k == emptyKey {
+				return false
+			}
+			if k != key {
+				continue
+			}
+			v := atomic.LoadUint64(&c[1])
+			if !cpuops.CompareAndSwap128(c, key, v, tombstoneKey, 0) {
+				p-- // value changed; reinspect the cell
+				continue
+			}
+			g.live.Add(^uint64(0))
+			s.Add(-1)
+			return true
+		}
+		s.Add(-1)
+		return false
+	}
+}
+
+// grow runs GrowT's parallel blocking migration: the initiating thread
+// flips the gate (stalling all operations), threads that also call grow
+// help by claiming chunks, and only live (non-tombstone) cells move — this
+// is when tombstone space is finally reclaimed.
+func (t *Table) grow(old *generation) {
+	if t.cur.Load() != old {
+		return
+	}
+	if t.resizeState.CompareAndSwap(0, 1) {
+		if t.cur.Load() != old { // lost a race before the gate closed
+			t.resizeState.Store(0)
+			return
+		}
+		// Size for live data at ~15 % target occupancy, at least double.
+		cells := (old.mask + 1) * 2
+		for cells < old.live.Load()*8 {
+			cells *= 2
+		}
+		ng := newGeneration(cells)
+		old.next.Store(ng)
+		// Stop-the-world: wait for in-flight operations to drain before
+		// anyone copies cells.
+		for i := range t.active {
+			for t.active[i].v.Load() != 0 {
+				runtime.Gosched()
+			}
+		}
+		t.resizeState.Store(2)
+	} else {
+		for t.resizeState.Load() == 1 {
+			runtime.Gosched()
+		}
+		if t.cur.Load() != old {
+			return
+		}
+	}
+	ng := old.next.Load()
+	if ng == nil {
+		return
+	}
+	// Parallel chunk transfer.
+	for {
+		c := old.chunkCursor.Add(1) - 1
+		if c >= old.numChunks {
+			break
+		}
+		start := c * chunkCells
+		end := start + chunkCells
+		if end > old.mask+1 {
+			end = old.mask + 1
+		}
+		for i := start; i < end; i++ {
+			cell := old.cell(i)
+			k := cell[0] // no concurrency: everyone else is gated
+			if k == emptyKey || k == tombstoneKey {
+				continue
+			}
+			t.migrate(ng, k, cell[1])
+		}
+		old.chunksDone.Add(1)
+	}
+	for old.chunksDone.Load() < old.numChunks {
+		runtime.Gosched()
+	}
+	if t.cur.CompareAndSwap(old, ng) {
+		t.resizes.Add(1)
+		t.resizeState.Store(0)
+	}
+}
+
+func (t *Table) migrate(g *generation, key, val uint64) {
+	h := t.hash(key)
+	for p := uint64(0); ; p++ {
+		c := g.cell(h + p)
+		k := atomic.LoadUint64(&c[0])
+		if k == emptyKey {
+			if cpuops.CompareAndSwap128(c, emptyKey, 0, key, val) {
+				g.used.Add(1)
+				g.live.Add(1)
+				return
+			}
+			p--
+		}
+	}
+}
+
+var _ baselines.Map = (*Table)(nil)
+
+// Occupancy reports live cells over total cells of the current generation.
+// GrowT migrates at 30 % used (live + tombstones), so the live occupancy at
+// resize sits in the paper's 30-50 % band or below under deletes.
+func (t *Table) Occupancy() (occupied, capacity uint64) {
+	g := t.cur.Load()
+	return g.live.Load(), g.mask + 1
+}
+
+// Used reports occupied cells including tombstones.
+func (t *Table) Used() uint64 { return t.cur.Load().used.Load() }

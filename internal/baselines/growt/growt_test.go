@@ -1,0 +1,129 @@
+package growt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+func TestTombstoneAccounting(t *testing.T) {
+	m := New(1<<10, hashfn.WyHash)
+	for i := uint64(1); i <= 10; i++ {
+		if !m.Insert(i, i) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	occ, _ := m.Occupancy()
+	if occ != 10 {
+		t.Fatalf("live = %d, want 10", occ)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if !m.Delete(i) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	occ, _ = m.Occupancy()
+	if occ != 6 {
+		t.Fatalf("live after deletes = %d, want 6", occ)
+	}
+	// Tombstones still occupy cells: used stays at 10.
+	if m.Used() != 10 {
+		t.Fatalf("used = %d, want 10 (tombstones occupy)", m.Used())
+	}
+}
+
+func TestDeletedKeysNotFoundButProbeChainsSurvive(t *testing.T) {
+	m := New(64, hashfn.Modulo)
+	// Force a probe chain: keys that collide under modulo into 64 cells.
+	keys := []uint64{1, 65, 129, 193}
+	for _, k := range keys {
+		if !m.Insert(k, k) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	// Delete the middle of the chain; later chain members must stay
+	// reachable (the tombstone preserves the probe path).
+	if !m.Delete(65) {
+		t.Fatal("delete 65")
+	}
+	for _, k := range []uint64{1, 129, 193} {
+		if v, ok := m.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = (%d,%v) after mid-chain delete", k, v, ok)
+		}
+	}
+	if _, ok := m.Get(65); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestMigrationReclaimsTombstonesAndPreservesLive(t *testing.T) {
+	m := New(64, hashfn.WyHash)
+	// Fill cells with tombstones until the 30% trigger fires.
+	live := map[uint64]uint64{}
+	for i := uint64(1); m.Resizes() == 0 && i < 1<<20; i++ {
+		m.Insert(i, i*2)
+		if i%3 == 0 {
+			m.Delete(i)
+		} else {
+			live[i] = i * 2
+		}
+	}
+	if m.Resizes() == 0 {
+		t.Fatal("tombstone pressure never triggered a migration")
+	}
+	for k, v := range live {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("live key %d lost across migration: (%d,%v)", k, got, ok)
+		}
+	}
+	// The new generation starts tombstone free; the loop iteration that
+	// triggered the migration may already have planted one new tombstone.
+	occ, _ := m.Occupancy()
+	if m.Used() > occ+1 {
+		t.Fatalf("used %d vs live %d: migration carried tombstones over", m.Used(), occ)
+	}
+}
+
+func TestPutDuringNormalOperation(t *testing.T) {
+	m := New(256, hashfn.WyHash)
+	m.Insert(5, 50)
+	if !m.Put(5, 51) {
+		t.Fatal("put failed")
+	}
+	if v, _ := m.Get(5); v != 51 {
+		t.Fatalf("v = %d", v)
+	}
+	if m.Put(99, 1) {
+		t.Fatal("put on missing key succeeded")
+	}
+}
+
+func TestConcurrentInsertDeleteWithMigrations(t *testing.T) {
+	m := New(64, hashfn.WyHash) // tiny: constant migrations
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(1); i <= 3000; i++ {
+				k := base + i
+				if !m.Insert(k, k) {
+					t.Errorf("insert %d failed", k)
+					return
+				}
+				if !m.Delete(k) {
+					t.Errorf("delete %d failed", k)
+					return
+				}
+			}
+		}(uint64(w+1) << 32)
+	}
+	wg.Wait()
+	if occ, _ := m.Occupancy(); occ != 0 {
+		t.Fatalf("%d live entries left after balanced ins/del", occ)
+	}
+	if m.Resizes() == 0 {
+		t.Fatal("expected migrations under tombstone churn")
+	}
+}

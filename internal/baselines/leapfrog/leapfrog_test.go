@@ -1,0 +1,85 @@
+package leapfrog
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+func TestChainWalk(t *testing.T) {
+	m := New(64, hashfn.Modulo)
+	// Force one chain: keys congruent mod 64.
+	keys := []uint64{2, 66, 130, 194, 258}
+	for _, k := range keys {
+		if !m.Insert(k, k*10) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := m.Get(k); !ok || v != k*10 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestErasedCellsStayInChain(t *testing.T) {
+	m := New(64, hashfn.Modulo)
+	keys := []uint64{3, 67, 131}
+	for _, k := range keys {
+		m.Insert(k, k)
+	}
+	// Delete the middle entry; the chain must still reach the tail.
+	if !m.Delete(67) {
+		t.Fatal("delete")
+	}
+	if _, ok := m.Get(67); ok {
+		t.Fatal("erased key visible")
+	}
+	if v, ok := m.Get(131); !ok || v != 131 {
+		t.Fatalf("tail lost after mid-chain erase: (%d,%v)", v, ok)
+	}
+	// Re-inserting the erased key revives the same cell.
+	if !m.Insert(67, 670) {
+		t.Fatal("revive failed")
+	}
+	if v, _ := m.Get(67); v != 670 {
+		t.Fatalf("revived value = %d", v)
+	}
+}
+
+func TestPutOnErasedFails(t *testing.T) {
+	m := New(64, hashfn.WyHash)
+	m.Insert(5, 50)
+	m.Delete(5)
+	if m.Put(5, 51) {
+		t.Fatal("Put succeeded on an erased entry")
+	}
+}
+
+func TestConcurrentDisjointChains(t *testing.T) {
+	// 8000 keys need headroom: cells are never reclaimed in Leapfrog.
+	m := New(1<<15, hashfn.WyHash)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(1); i <= 2000; i++ {
+				k := base + i
+				if !m.Insert(k, k) {
+					t.Errorf("insert %d", k)
+					return
+				}
+			}
+			for i := uint64(1); i <= 2000; i++ {
+				k := base + i
+				if v, ok := m.Get(k); !ok || v != k {
+					t.Errorf("get %d = (%d,%v)", k, v, ok)
+					return
+				}
+			}
+		}(uint64(w+1) << 40)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,229 @@
+// Package mica reproduces the CRCW store variant of MICA2 (Lim et al.,
+// NSDI'14 / MICA2) as the DLHT paper evaluates it: closed addressing with
+// lossless 7-entry buckets, a per-bucket version lock (seqlock — reads are
+// optimistic, updates *block*), and values stored out of line so that every
+// request costs at least two memory accesses plus (de)allocation on
+// Inserts/Deletes. MICA prefetches both the bucket and the value in its
+// batched path, which this skeleton mirrors via GetBatch. No resizing.
+package mica
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/alloc"
+	"repro/internal/baselines"
+	"repro/internal/cpuops"
+	"repro/internal/hashfn"
+)
+
+const bucketEntries = 7
+
+// Bucket layout (16 words = 2 cache lines, as MICA2's 15-entry variant is
+// scaled down): word 0 = version lock, word 1 = occupancy bitmap,
+// words 2..15 = 7 × (key, value-ref).
+const wordsPerBucket = 16
+
+// Table is a MICA2-style store.
+type Table struct {
+	hash    hashfn.Func64
+	words   []uint64
+	mask    uint64
+	values  alloc.Allocator
+	valSize int
+}
+
+// New creates a table with at least the given bucket count (rounded to a
+// power of two). valSize is the out-of-line value size in bytes (≥8).
+func New(buckets uint64, hash hashfn.Kind, valSize int) *Table {
+	n := uint64(1)
+	for n < buckets {
+		n <<= 1
+	}
+	if valSize < 8 {
+		valSize = 8
+	}
+	return &Table{
+		hash:    hashfn.For64(hash),
+		words:   cpuops.AlignedUint64s(int(n)*wordsPerBucket, 64),
+		mask:    n - 1,
+		values:  alloc.NewArena(),
+		valSize: valSize,
+	}
+}
+
+// Name implements baselines.Map.
+func (t *Table) Name() string { return "MICA" }
+
+// Features implements baselines.Map.
+func (t *Table) Features() baselines.Features {
+	return baselines.Features{
+		Addressing:       "closed",
+		LockFreeGets:     true, // optimistic seqlock reads
+		Puts:             "blocking",
+		Inserts:          "blocking",
+		DeletesReclaim:   true,
+		DeletesSupported: true,
+		Resizable:        false,
+		Prefetching:      true,
+		Inlined:          false, // the defining MICA handicap in Figs 3/5/6
+	}
+}
+
+func (t *Table) bucket(key uint64) uint64 {
+	return (t.hash(key) & t.mask) * wordsPerBucket
+}
+
+// lock spins until it owns the bucket's version lock (odd = locked).
+func (t *Table) lock(b uint64) uint64 {
+	for {
+		v := atomic.LoadUint64(&t.words[b])
+		if v&1 == 0 && atomic.CompareAndSwapUint64(&t.words[b], v, v+1) {
+			return v + 1
+		}
+		runtime.Gosched()
+	}
+}
+
+func (t *Table) unlock(b uint64) {
+	atomic.AddUint64(&t.words[b], 1)
+}
+
+// Get implements baselines.Map: optimistic read of the index entry, then a
+// second memory access to fetch the value bytes.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	b := t.bucket(key)
+	for {
+		v1 := atomic.LoadUint64(&t.words[b])
+		if v1&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		bitmap := atomic.LoadUint64(&t.words[b+1])
+		var ref alloc.Ref
+		found := false
+		for i := 0; i < bucketEntries; i++ {
+			if bitmap&(1<<uint(i)) == 0 {
+				continue
+			}
+			if atomic.LoadUint64(&t.words[b+2+uint64(i)*2]) == key {
+				ref = alloc.Ref(atomic.LoadUint64(&t.words[b+3+uint64(i)*2]))
+				found = true
+				break
+			}
+		}
+		if atomic.LoadUint64(&t.words[b]) != v1 {
+			continue
+		}
+		if !found {
+			return 0, false
+		}
+		// Second access: dereference the value store.
+		val := leU64(t.values.Bytes(ref, 8))
+		if atomic.LoadUint64(&t.words[b]) != v1 {
+			continue // value freed/reused under us; retry
+		}
+		return val, true
+	}
+}
+
+// Insert implements baselines.Map: takes the bucket lock (blocking updates)
+// and allocates the out-of-line value.
+func (t *Table) Insert(key, val uint64) bool {
+	b := t.bucket(key)
+	t.lock(b)
+	defer t.unlock(b)
+	bitmap := t.words[b+1]
+	free := -1
+	for i := 0; i < bucketEntries; i++ {
+		if bitmap&(1<<uint(i)) == 0 {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if t.words[b+2+uint64(i)*2] == key {
+			return false
+		}
+	}
+	if free < 0 {
+		return false // lossless mode: bucket full, no eviction, no resize
+	}
+	ref, bytes := t.values.Alloc(t.valSize)
+	putU64(bytes, val)
+	atomic.StoreUint64(&t.words[b+2+uint64(free)*2], key)
+	atomic.StoreUint64(&t.words[b+3+uint64(free)*2], uint64(ref))
+	atomic.StoreUint64(&t.words[b+1], bitmap|1<<uint(free))
+	return true
+}
+
+// Put implements baselines.Map: blocking in-place value overwrite.
+func (t *Table) Put(key, val uint64) bool {
+	b := t.bucket(key)
+	t.lock(b)
+	defer t.unlock(b)
+	bitmap := t.words[b+1]
+	for i := 0; i < bucketEntries; i++ {
+		if bitmap&(1<<uint(i)) == 0 || t.words[b+2+uint64(i)*2] != key {
+			continue
+		}
+		ref := alloc.Ref(t.words[b+3+uint64(i)*2])
+		putU64(t.values.Bytes(ref, 8), val)
+		return true
+	}
+	return false
+}
+
+// Delete implements baselines.Map: blocking, frees the value slot — MICA's
+// deletes reclaim but pay the deallocation (§5.1.2).
+func (t *Table) Delete(key uint64) bool {
+	b := t.bucket(key)
+	t.lock(b)
+	defer t.unlock(b)
+	bitmap := t.words[b+1]
+	for i := 0; i < bucketEntries; i++ {
+		if bitmap&(1<<uint(i)) == 0 || t.words[b+2+uint64(i)*2] != key {
+			continue
+		}
+		ref := alloc.Ref(t.words[b+3+uint64(i)*2])
+		atomic.StoreUint64(&t.words[b+1], bitmap&^(1<<uint(i)))
+		t.values.Free(ref)
+		return true
+	}
+	return false
+}
+
+// GetBatch implements baselines.Batcher: prefetch all buckets, then execute
+// in order (MICA batches but does not reorder).
+func (t *Table) GetBatch(keys []uint64, vals []uint64, oks []bool) {
+	for _, k := range keys {
+		b := t.bucket(k)
+		cpuops.PrefetchUint64(&t.words[b])
+	}
+	for i, k := range keys {
+		vals[i], oks[i] = t.Get(k)
+	}
+}
+
+// Value words are read optimistically (seqlock-validated) while locked Puts
+// overwrite them, so the accesses must be atomic: arena blocks are 16-byte
+// aligned, making the word cast safe.
+func leU64(b []byte) uint64 {
+	if len(b) < 8 {
+		panic("mica: short value block")
+	}
+	return atomic.LoadUint64((*uint64)(unsafe.Pointer(&b[0])))
+}
+
+func putU64(b []byte, v uint64) {
+	if len(b) < 8 {
+		panic("mica: short value block")
+	}
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&b[0])), v)
+}
+
+var (
+	_ baselines.Map     = (*Table)(nil)
+	_ baselines.Batcher = (*Table)(nil)
+)

@@ -1,0 +1,90 @@
+package mica
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+// MICA's defining property: values live out of line, so every Get pays a
+// second access and every Insert/Delete an (de)allocation.
+func TestValuesOutOfLine(t *testing.T) {
+	m := New(64, hashfn.WyHash, 8)
+	if !m.Insert(1, 100) {
+		t.Fatal("insert")
+	}
+	before := m.values.Stats()
+	if before.Allocs != 1 {
+		t.Fatalf("allocs = %d, want 1 per insert", before.Allocs)
+	}
+	if v, ok := m.Get(1); !ok || v != 100 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if !m.Delete(1) {
+		t.Fatal("delete")
+	}
+	after := m.values.Stats()
+	if after.Frees != 1 {
+		t.Fatalf("frees = %d, want 1 per delete (MICA reclaims)", after.Frees)
+	}
+}
+
+func TestPutOverwritesOutOfLine(t *testing.T) {
+	m := New(64, hashfn.WyHash, 8)
+	m.Insert(2, 20)
+	before := m.values.Stats().Allocs
+	if !m.Put(2, 21) {
+		t.Fatal("put")
+	}
+	if m.values.Stats().Allocs != before {
+		t.Fatal("Put must update in place, not reallocate")
+	}
+	if v, _ := m.Get(2); v != 21 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestLosslessBucketFull(t *testing.T) {
+	m := New(1, hashfn.Modulo, 8) // rounds to 1 bucket, 7 entries
+	inserted := 0
+	for i := uint64(0); i < 20; i++ {
+		if m.Insert(i, i) {
+			inserted++
+		}
+	}
+	if inserted != bucketEntries {
+		t.Fatalf("lossless bucket took %d, want %d", inserted, bucketEntries)
+	}
+}
+
+func TestSeqlockReadsUnderWriters(t *testing.T) {
+	m := New(1<<8, hashfn.WyHash, 8)
+	for i := uint64(0); i < 64; i++ {
+		m.Insert(i, i<<32|i)
+	}
+	var wg sync.WaitGroup
+	stopC := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopC:
+				return
+			default:
+			}
+			for i := uint64(0); i < 64; i++ {
+				m.Put(i, i<<32|i) // rewrite the same value
+			}
+		}
+	}()
+	for round := 0; round < 20000; round++ {
+		k := uint64(round % 64)
+		if v, ok := m.Get(k); ok && v != k<<32|k {
+			t.Fatalf("torn read: %#x", v)
+		}
+	}
+	close(stopC)
+	wg.Wait()
+}

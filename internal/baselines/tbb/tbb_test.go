@@ -1,0 +1,83 @@
+package tbb
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hashfn"
+)
+
+func TestChainingBasic(t *testing.T) {
+	m := New(16, hashfn.Modulo)
+	// All in one bucket.
+	for _, k := range []uint64{1, 17, 33, 49} {
+		if !m.Insert(k, k) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	for _, k := range []uint64{1, 17, 33, 49} {
+		if v, ok := m.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if !m.Delete(17) {
+		t.Fatal("delete mid-chain")
+	}
+	if _, ok := m.Get(17); ok {
+		t.Fatal("deleted key visible")
+	}
+	for _, k := range []uint64{1, 33, 49} {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("chain broken at %d", k)
+		}
+	}
+}
+
+func TestRehashGrowth(t *testing.T) {
+	m := New(16, hashfn.WyHash)
+	const n = 2000
+	for i := uint64(1); i <= n; i++ {
+		if !m.Insert(i, i^7) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	if m.mask+1 <= 16 {
+		t.Fatalf("no rehash happened: %d buckets", m.mask+1)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := m.Get(i); !ok || v != i^7 {
+			t.Fatalf("Get(%d) = (%d,%v) after rehash", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentWithRehash(t *testing.T) {
+	m := New(16, hashfn.WyHash)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(1); i <= 2000; i++ {
+				k := base + i
+				if !m.Insert(k, k) {
+					t.Errorf("insert %d", k)
+					return
+				}
+				if i%3 == 0 {
+					m.Delete(k)
+				}
+			}
+		}(uint64(w+1) << 32)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		base := uint64(w+1) << 32
+		for i := uint64(1); i <= 2000; i++ {
+			_, ok := m.Get(base + i)
+			if want := i%3 != 0; ok != want {
+				t.Fatalf("key %d present=%v want %v", base+i, ok, want)
+			}
+		}
+	}
+}

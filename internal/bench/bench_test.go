@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestMeasurementMReqs(t *testing.T) {
+	m := Measurement{Ops: 2_000_000, Elapsed: time.Second}
+	if m.MReqs() != 2.0 {
+		t.Fatalf("MReqs = %v", m.MReqs())
+	}
+	if (Measurement{}).MReqs() != 0 {
+		t.Fatal("zero measurement must be 0")
+	}
+}
+
+func TestRunWorkloadCounts(t *testing.T) {
+	tbl := NewDLHT(1<<10, false)
+	tgt := DLHTTarget(tbl, "DLHT", true)
+	PrepopulateParallel(tgt, 512, 2)
+	m := RunWorkload(tgt, 2, 50*time.Millisecond, GetLoop(tgt, 512, 8))
+	if m.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+}
+
+func TestPrepopulateThenGet(t *testing.T) {
+	tbl := NewDLHT(1<<10, false)
+	tgt := DLHTTarget(tbl, "DLHT", false)
+	PrepopulateParallel(tgt, 1000, 4)
+	w := tgt.NewWorker(9)
+	for k := uint64(0); k < 1000; k++ {
+		if v, ok := w.Get(k); !ok || v != k+1 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestDLHTWorkerBatchGet(t *testing.T) {
+	tbl := NewDLHT(1<<10, false)
+	tgt := DLHTTarget(tbl, "DLHT", true)
+	PrepopulateParallel(tgt, 100, 1)
+	w := tgt.NewWorker(1).(BatchGetter)
+	keys := []uint64{1, 2, 3, 999}
+	vals := make([]uint64, 4)
+	oks := make([]bool, 4)
+	w.GetBatch(keys, vals, oks)
+	for i := 0; i < 3; i++ {
+		if !oks[i] || vals[i] != keys[i]+1 {
+			t.Fatalf("batch %d = (%d,%v)", i, vals[i], oks[i])
+		}
+	}
+	if oks[3] {
+		t.Fatal("missing key reported found")
+	}
+}
+
+func TestPopulateGrows(t *testing.T) {
+	dl := DLHTTarget(core.MustNew(core.Config{Bins: 64, Resizable: true, MaxThreads: 64}), "DLHT", true)
+	m := Populate(dl, 2, 10000)
+	if m.Ops != 10000 {
+		t.Fatalf("ops = %d", m.Ops)
+	}
+}
+
+func TestPowerModelShape(t *testing.T) {
+	// More throughput at equal threads must cost more power but still
+	// improve efficiency; more threads at equal throughput must hurt it.
+	if ModelWatts(8, 100) <= ModelWatts(8, 10) {
+		t.Fatal("power must grow with bandwidth")
+	}
+	if Efficiency(8, 100) <= Efficiency(8, 10) {
+		t.Fatal("efficiency must grow with throughput at fixed threads")
+	}
+	if Efficiency(8, 100) >= Efficiency(1, 100) {
+		t.Fatal("efficiency must drop with idle-burning threads")
+	}
+	if ModelWatts(4, 50) <= ModelWatts(1, 50) {
+		t.Fatal("power must grow with threads")
+	}
+}
+
+func TestCXLTargetSlowsGets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates the 128MiB chase buffer")
+	}
+	tbl := NewDLHT(1<<12, false)
+	tgt := DLHTTarget(tbl, "DLHT", false)
+	PrepopulateParallel(tgt, 1000, 1)
+	far := CXLTarget(tgt)
+	w := far.NewWorker(0)
+	if v, ok := w.Get(5); !ok || v != 6 {
+		t.Fatalf("CXL-wrapped Get = (%d,%v)", v, ok)
+	}
+	if !w.(*cxlWorker).inner.(*dlhtWorker).h.Contains(5) {
+		t.Fatal("wrapped worker lost table access")
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{
+		ID: "figX", Title: "Demo", Header: []string{"a", "bb"},
+		Notes: "hello",
+	}
+	r.AddRow("1", "2")
+	s := r.String()
+	for _, want := range []string{"figX", "Demo", "a", "bb", "hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, e := range Registry {
+		got, err := Lookup(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Fatalf("Lookup(%q) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+// Every experiment must run end-to-end at QuickScale and produce rows.
+func TestAllExperimentsQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	s := QuickScale()
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(s)
+			if res.ID == "" || len(res.Header) == 0 {
+				t.Fatalf("experiment %s returned empty metadata", e.ID)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("experiment %s produced no rows", e.ID)
+			}
+			t.Log("\n" + res.String())
+		})
+	}
+}
+
+func TestDefaultThreadsMonotonic(t *testing.T) {
+	ths := DefaultThreads()
+	if len(ths) == 0 || ths[0] != 1 {
+		t.Fatalf("threads = %v", ths)
+	}
+	for i := 1; i < len(ths); i++ {
+		if ths[i] <= ths[i-1] {
+			t.Fatalf("threads not increasing: %v", ths)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{Keys: 300}
+	if g.bins() < 200 || g.cells() < 1200 {
+		t.Fatalf("bins=%d cells=%d", g.bins(), g.cells())
+	}
+}

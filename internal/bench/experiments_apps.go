@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/clht"
+	"repro/internal/baselines/cuckoo"
+	"repro/internal/baselines/dramhit"
+	"repro/internal/baselines/folly"
+	"repro/internal/baselines/growt"
+	"repro/internal/baselines/leapfrog"
+	"repro/internal/baselines/mica"
+	"repro/internal/baselines/tbb"
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/join"
+	"repro/internal/lockmgr"
+	"repro/internal/oltp"
+	"repro/internal/workload"
+	"repro/internal/ycsb"
+)
+
+// Fig17LockManager reproduces Figure 17: a database lock manager over
+// HashSet mode. Each worker locks and unlocks batches of record keys; the
+// batched variant uses the order-preserving LockAll/UnlockAll path, the
+// NoBatch variant takes locks one by one.
+func Fig17LockManager(s Scale) Result {
+	res := Result{
+		ID:     "fig17",
+		Title:  "Lock manager over HashSet: locks+unlocks per second (M/s)",
+		Header: []string{"threads", "DLHT", "DLHT-NoBatch"},
+		Notes:  "paper shape: batching up to 2.2x; ~1.5B locks/unlocks at peak on the paper's server",
+	}
+	for _, th := range s.Threads {
+		var rates []float64
+		for _, batched := range []bool{true, false} {
+			mgr := lockmgr.New(s.Keys/2+64, th)
+			var stop atomic.Bool
+			var total atomic.Uint64
+			var wg sync.WaitGroup
+			for tid := 0; tid < th; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					sess := mgr.Session()
+					// Disjoint per-thread key regions; keys within a region
+					// are scrambled so lock-table bins are hit randomly (a
+					// sequential counter would keep the workload cache-hot
+					// and hide the memory behaviour under study). Each
+					// batch is sorted ascending, as a 2PL client would
+					// present it.
+					base := uint64(tid) << 48
+					keys := make([]uint64, s.Batch)
+					var ops uint64
+					ctr := uint64(0)
+					for !stop.Load() {
+						if batched {
+							for i := range keys {
+								ctr++
+								keys[i] = base + (ctr*0x9e3779b97f4a7c15)&(1<<48-1)
+							}
+							// Present the set sorted, as a 2PL client does.
+							for i := 1; i < len(keys); i++ {
+								k := keys[i]
+								j := i - 1
+								for j >= 0 && keys[j] > k {
+									keys[j+1] = keys[j]
+									j--
+								}
+								keys[j+1] = k
+							}
+							if !sess.LockAll(keys) {
+								continue
+							}
+							sess.UnlockAll(keys)
+							ops += uint64(2 * len(keys))
+						} else {
+							for i := 0; i < s.Batch; i++ {
+								ctr++
+								k := base + (ctr*0x9e3779b97f4a7c15)&(1<<48-1)
+								sess.TryLock(k)
+								sess.Unlock(k)
+							}
+							ops += uint64(2 * s.Batch)
+						}
+					}
+					total.Add(ops)
+				}(tid)
+			}
+			begin := time.Now()
+			time.Sleep(s.Dur)
+			stop.Store(true)
+			wg.Wait()
+			rates = append(rates, float64(total.Load())/time.Since(begin).Seconds()/1e6)
+		}
+		res.AddRow(fmt.Sprint(th), f1(rates[0]), f1(rates[1]))
+	}
+	return res
+}
+
+// Fig18YCSB reproduces Figure 18: the four YCSB mixes across threads.
+func Fig18YCSB(s Scale) Result {
+	res := Result{
+		ID:     "fig18",
+		Title:  "YCSB mixes, M ops/s",
+		Header: []string{"threads", "YCSB-C", "YCSB-B", "YCSB-A", "YCSB-F"},
+		Notes:  "paper shape: all scale to the socket limit; F (update-only RMW) ~half of C (read-only)",
+	}
+	maxTh := s.maxThreads()
+	d, err := ycsb.New(s.Keys, maxTh*(len(s.Threads)+1))
+	if err != nil {
+		res.Notes = "setup failed: " + err.Error()
+		return res
+	}
+	for _, th := range s.Threads {
+		row := []string{fmt.Sprint(th)}
+		for _, mix := range []workload.Mix{workload.YCSBC, workload.YCSBB, workload.YCSBA, workload.YCSBF} {
+			r := d.Run(mix, th, s.Dur)
+			row = append(row, f1(r.MReqs()))
+		}
+		res.AddRow(row...)
+	}
+	return res
+}
+
+// Fig19OLTP reproduces Figure 19: TATP and Smallbank transactions per
+// second across threads (Table 4 characteristics).
+func Fig19OLTP(s Scale) Result {
+	res := Result{
+		ID:     "fig19",
+		Title:  "OLTP transactions, M txs/s",
+		Header: []string{"threads", "TATP", "Smallbank"},
+		Notes:  "paper: 175M (TATP) / 129M (Smallbank) txs/s at 64 threads; TATP > Smallbank (fewer write-backs)",
+	}
+	// Scaled: paper uses 1M subscribers / 10M accounts.
+	subs := s.Keys / 8
+	accts := s.Keys / 4
+	budget := s.maxThreads() * (len(s.Threads) + 1)
+	tatp := oltp.NewTATP(subs, budget)
+	small := oltp.NewSmallbank(accts, budget)
+	for _, th := range s.Threads {
+		rt := oltp.Run(tatp, th, s.Dur)
+		rs := oltp.Run(small, th, s.Dur)
+		res.AddRow(fmt.Sprint(th), f2(rt.MTxs()), f2(rs.MTxs()))
+	}
+	return res
+}
+
+// Fig20HashJoin reproduces Figure 20: non-partitioned join throughput,
+// (|R|+|S|)/runtime, with and without batching.
+func Fig20HashJoin(s Scale) Result {
+	res := Result{
+		ID:     "fig20",
+		Title:  "Hash join, M tuples/s",
+		Header: []string{"threads", "DLHT", "DLHT-NoBatch", "DLHT-Partitioned"},
+		Notes:  "paper shape: batching 2.2x on probes. Partitioned column is the paper's future-work extension (radix partitions + single-thread tables)",
+	}
+	// Workload A scaled: |S| = 16|R| as 2^27 vs 2^31.
+	buildN := s.Keys / 4
+	probeN := buildN * 16
+	build := join.GenerateBuild(buildN, 1)
+	probe := join.GenerateProbe(probeN, buildN, 2)
+	for _, th := range s.Threads {
+		jb := join.Run(build, probe, th, s.Batch)
+		jn := join.Run(build, probe, th, 1)
+		jp := join.RunPartitioned(build, probe, th, s.Batch)
+		res.AddRow(fmt.Sprint(th),
+			f1(jb.TuplesPerSec()/1e6), f1(jn.TuplesPerSec()/1e6), f1(jp.TuplesPerSec()/1e6))
+	}
+	return res
+}
+
+// Table01Features reproduces Table 1: the feature matrix, with measured
+// occupancy bands appended by the occupancy experiment.
+func Table01Features(s Scale) Result {
+	res := Result{
+		ID:    "table1",
+		Title: "Key features for memory-resident performance (paper Table 1)",
+		Header: []string{
+			"design", "addressing", "gets", "puts", "inserts",
+			"deletes-reclaim", "resize", "prefetch", "inlined",
+		},
+	}
+	maps := []baselines.Map{
+		clht.New(1<<10, hashfn.Modulo),
+		growt.New(1<<10, hashfn.Modulo),
+		folly.New(1<<10, hashfn.Modulo),
+		mica.New(1<<10, hashfn.Modulo, 8),
+		dramhit.New(1<<10, hashfn.Modulo),
+		cuckoo.New(1<<10, hashfn.Modulo),
+		leapfrog.New(1<<10, hashfn.Modulo),
+		tbb.New(1<<10, hashfn.Modulo),
+	}
+	add := func(name string, f featureRow) {
+		res.AddRow(name, f.addr, f.gets, f.puts, f.inserts, f.del, f.resize, f.pref, f.inl)
+	}
+	add("DLHT", featureRow{"closed", "lock-free", "lock-free (dw-CAS)", "lock-free",
+		"yes (instant)", "parallel, non-blocking", "yes", "yes"})
+	for _, m := range maps {
+		f := m.Features()
+		resize := "none"
+		if f.Resizable {
+			resize = "blocking"
+			if f.ParallelResize {
+				resize = "parallel, blocking"
+			}
+			if f.NonBlockingResize {
+				resize = "non-blocking"
+			}
+		}
+		add(m.Name(), featureRow{
+			f.Addressing, boolWord(f.LockFreeGets, "lock-free", "blocking"),
+			f.Puts, f.Inserts, boolWord(f.DeletesReclaim, "yes (instant)", "no (tombstones/none)"),
+			resize, boolWord(f.Prefetching, "yes", "no"), boolWord(f.Inlined, "yes", "no"),
+		})
+	}
+	res.Notes = "occupancy bands: run -exp occupancy"
+	return res
+}
+
+type featureRow struct {
+	addr, gets, puts, inserts, del, resize, pref, inl string
+}
+
+func boolWord(b bool, yes, no string) string {
+	if b {
+		return yes
+	}
+	return no
+}
+
+// Table04OLTP reproduces Table 4: benchmark characteristics.
+func Table04OLTP(Scale) Result {
+	return Result{
+		ID:     "table4",
+		Title:  "Evaluated transactional benchmarks (paper Table 4)",
+		Header: []string{"benchmark", "characteristic", "tables", "tx types", "read txs"},
+		Rows: [][]string{
+			{"TATP", "read-intensive", "4", "7", "80%"},
+			{"Smallbank", "write-intensive", "3", "6", "15%"},
+		},
+	}
+}
+
+// Table05Summary reproduces Table 5: DLHT vs the fastest baselines, derived
+// from fresh Get / InsDel / population measurements at max threads.
+func Table05Summary(s Scale) Result {
+	res := Result{
+		ID:     "table5",
+		Title:  "Comparison summary: DLHT speedup over each baseline (paper Table 5)",
+		Header: []string{"baseline", "Get x", "InsDel x", "population x"},
+		Notes:  "paper: CLHT 3.5/ -/8x, MICA 4.8/-/-, GrowT 3.5/12.8/3.9x, Folly 3.5/-/-, DRAMHiT 1.7/-/-",
+	}
+	th := s.maxThreads()
+	g := Geometry{Keys: s.Keys}
+
+	// Get speedups.
+	getTargets := FastTargets(g)
+	prepopAll(getTargets, s)
+	gets := map[string]float64{}
+	for _, t := range getTargets {
+		gets[t.Name] = RunWorkload(t, th, s.Dur, GetLoop(t, s.Keys, s.Batch)).MReqs()
+	}
+	// InsDel speedups on fresh empty tables.
+	insTargets := FastTargets(g)
+	insdel := map[string]float64{}
+	for _, t := range insTargets {
+		insdel[t.Name] = RunWorkload(t, th, s.Dur, InsDelLoop(t, s.Keys, s.Batch)).MReqs()
+	}
+	// Population speedups (resizable designs only).
+	pop := map[string]float64{}
+	{
+		dl := DLHTTarget(core.MustNew(core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4096}), "DLHT", true)
+		pop["DLHT"] = Populate(dl, th, s.PopKeys).MReqs()
+		for _, t := range BaselineTargets(Geometry{Keys: 1 << 10}) {
+			if t.Name == "GrowT" || t.Name == "CLHT" {
+				pop[t.Name] = Populate(t, th, s.PopKeys).MReqs()
+			}
+		}
+	}
+	ratio := func(m map[string]float64, name string) string {
+		if m[name] <= 0 {
+			return "-"
+		}
+		return f1(m["DLHT"]/m[name]) + "x"
+	}
+	for _, name := range []string{"CLHT", "MICA", "GrowT", "Folly", "DRAMHiT"} {
+		res.AddRow(name, ratio(gets, name), ratio(insdel, name), ratio(pop, name))
+	}
+	return res
+}

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/baselines/clht"
+	"repro/internal/baselines/cuckoo"
+	"repro/internal/baselines/dramhit"
+	"repro/internal/baselines/folly"
+	"repro/internal/baselines/growt"
+	"repro/internal/baselines/leapfrog"
+	"repro/internal/baselines/mica"
+	"repro/internal/baselines/tbb"
+	"repro/internal/core"
+	"repro/internal/hashfn"
+)
+
+// PrepopulateParallel fills the target with keys 0..n-1 using several
+// workers (values = key+1).
+func PrepopulateParallel(t Target, n uint64, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	per := (n + uint64(threads) - 1) / uint64(threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		lo := uint64(tid) * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(tid int, lo, hi uint64) {
+			defer wg.Done()
+			w := t.NewWorker(tid)
+			for k := lo; k < hi; k++ {
+				w.Insert(k, k+1)
+			}
+		}(tid, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Fig01Headline reproduces Figure 1: throughput of every design at the
+// maximum thread count under the default Get and InsDel workloads.
+func Fig01Headline(s Scale) Result {
+	res := Result{
+		ID:     "fig1",
+		Title:  "Headline throughput at max threads (Get / InsDel), M reqs/s",
+		Header: []string{"design", "Get", "InsDel"},
+		Notes:  "paper: DLHT 1660 M Gets/s; all baselines >2x below 1B/s",
+	}
+	threads := s.maxThreads()
+	// One design at a time: constructing (or worse, populating) all ten
+	// tables at once would keep gigabytes hot and poison every later row
+	// with memory pressure. Each maker builds exactly one instance.
+	for _, m := range targetMakers(Geometry{Keys: s.Keys}) {
+		getT := m.mk()
+		PrepopulateParallel(getT, s.Keys, threads)
+		get := RunWorkload(getT, threads, s.Dur, GetLoop(getT, s.Keys, s.Batch))
+		getT = Target{}
+		runtime.GC()
+		// InsDel on a fresh empty instance (paper: "we start with an empty
+		// hashtable that can fit 100 million keys").
+		insT := m.mk()
+		insdel := RunWorkload(insT, threads, s.Dur, InsDelLoop(insT, s.Keys, s.Batch))
+		insT = Target{}
+		runtime.GC()
+		res.AddRow(m.name, f1(get.MReqs()), f1(insdel.MReqs()))
+	}
+	return res
+}
+
+// targetMaker lazily constructs one design instance.
+type targetMaker struct {
+	name string
+	mk   func() Target
+}
+
+// targetMakers returns one constructor per Figure 1/3 design.
+func targetMakers(g Geometry) []targetMaker {
+	return []targetMaker{
+		{"DLHT", func() Target { return DLHTTarget(NewDLHT(g.bins(), false), "DLHT", true) }},
+		{"DLHT-NoBatch", func() Target { return DLHTTarget(NewDLHT(g.bins(), false), "DLHT-NoBatch", false) }},
+		{"GrowT", func() Target { return BaselineTarget(growt.New(g.cells(), g.Hash)) }},
+		{"DRAMHiT", func() Target { return BaselineTarget(dramhit.New(g.cells(), g.Hash)) }},
+		{"Folly", func() Target { return BaselineTarget(folly.New(g.cells(), g.Hash)) }},
+		{"CLHT", func() Target { return BaselineTarget(clht.New(g.bins(), g.Hash)) }},
+		{"MICA", func() Target { return BaselineTarget(mica.New(g.bins(), g.Hash, 8)) }},
+		{"Cuckoo", func() Target { return BaselineTarget(cuckoo.New(g.Keys/2+64, g.Hash)) }},
+		{"Leapfrog", func() Target { return BaselineTarget(leapfrog.New(g.cells(), g.Hash)) }},
+		{"TBB", func() Target { return BaselineTarget(tbb.New(g.Keys+64, g.Hash)) }},
+	}
+}
+
+// Fig03Get reproduces Figure 3: Get throughput vs thread count for all ten
+// designs.
+func Fig03Get(s Scale) Result {
+	res := Result{
+		ID:    "fig3",
+		Title: "Get throughput vs threads, M reqs/s",
+		Notes: "paper shape: DLHT > DRAMHiT > {GrowT,Folly,CLHT,DLHT-NoBatch} > MICA > {Cuckoo,Leapfrog,TBB}",
+	}
+	targets := AllTargets(Geometry{Keys: s.Keys})
+	res.Header = append([]string{"threads"}, names(targets)...)
+	prepopAll(targets, s)
+	for _, th := range s.Threads {
+		row := []string{fmt.Sprint(th)}
+		for _, t := range targets {
+			m := RunWorkload(t, th, s.Dur, GetLoop(t, s.Keys, s.Batch))
+			row = append(row, f1(m.MReqs()))
+		}
+		res.AddRow(row...)
+	}
+	return res
+}
+
+// Fig04Power reproduces Figure 4: Get power-efficiency (M reqs/s per watt)
+// through the documented analytic power model.
+func Fig04Power(s Scale) Result {
+	res := Result{
+		ID:    "fig4",
+		Title: "Get power-efficiency vs threads, M reqs/s per modeled watt",
+		Notes: "power = 90W idle + 3.5W/thread + 0.5J/GB DRAM model (DESIGN.md §4.6)",
+	}
+	targets := AllTargets(Geometry{Keys: s.Keys})
+	res.Header = append([]string{"threads"}, names(targets)...)
+	prepopAll(targets, s)
+	for _, th := range s.Threads {
+		row := []string{fmt.Sprint(th)}
+		for _, t := range targets {
+			m := RunWorkload(t, th, s.Dur, GetLoop(t, s.Keys, s.Batch))
+			row = append(row, f2(Efficiency(th, m.MReqs())))
+		}
+		res.AddRow(row...)
+	}
+	return res
+}
+
+// Fig05InsDel reproduces Figure 5: the InsDel workload (insert a fresh key,
+// delete it) against the designs whose deletes are meaningful. Tables start
+// empty, sized for Keys, as in the paper.
+func Fig05InsDel(s Scale) Result {
+	res := Result{
+		ID:    "fig5",
+		Title: "InsDel throughput vs threads, M reqs/s",
+		Notes: "paper shape: DLHT ~3x CLHT ~ DLHT-NoBatch >> MICA > GrowT (12.8x below, tombstone migrations)",
+	}
+	mk := func() []Target {
+		g := Geometry{Keys: s.Keys}
+		dl := NewDLHT(g.bins(), false)
+		return []Target{
+			DLHTTarget(dl, "DLHT", true),
+			DLHTTarget(dl, "DLHT-NoBatch", false),
+			BaselineTarget(clht.New(g.bins(), g.Hash)),
+			BaselineTarget(growt.New(g.cells(), g.Hash)),
+			BaselineTarget(mica.New(g.bins(), g.Hash, 8)),
+		}
+	}
+	probe := mk()
+	res.Header = append([]string{"threads"}, names(probe)...)
+	for _, th := range s.Threads {
+		row := []string{fmt.Sprint(th)}
+		for _, t := range mk() { // fresh empty tables per point
+			m := RunWorkload(t, th, s.Dur, InsDelLoop(t, s.Keys, s.Batch))
+			row = append(row, f1(m.MReqs()))
+		}
+		res.AddRow(row...)
+	}
+	return res
+}
+
+// Fig06PutHeavy reproduces Figure 6: 50 % Gets + 50 % Puts on prepopulated
+// keys (CLHT is omitted: no Puts).
+func Fig06PutHeavy(s Scale) Result {
+	res := Result{
+		ID:    "fig6",
+		Title: "Put-heavy (50% Get + 50% Put) vs threads, M reqs/s",
+		Notes: "paper shape: DLHT ~1042 M/s, up to 2.7x over GrowT/Folly; smaller gap to DRAMHiT",
+	}
+	g := Geometry{Keys: s.Keys}
+	dl := NewDLHT(g.bins(), false)
+	targets := []Target{
+		DLHTTarget(dl, "DLHT", true),
+		DLHTTarget(dl, "DLHT-NoBatch", false),
+	}
+	targets = append(targets, BaselineTargets(g)[:3]...) // GrowT, DRAMHiT, Folly
+	targets = append(targets, BaselineTarget(mica.New(g.bins(), g.Hash, 8)))
+	res.Header = append([]string{"threads"}, names(targets)...)
+	prepopAll(targets, s)
+	for _, th := range s.Threads {
+		row := []string{fmt.Sprint(th)}
+		for _, t := range targets {
+			m := RunWorkload(t, th, s.Dur, PutHeavyLoop(t, s.Keys, s.Batch))
+			row = append(row, f1(m.MReqs()))
+		}
+		res.AddRow(row...)
+	}
+	return res
+}
+
+// Fig07Population reproduces Figure 7: average population throughput while
+// inserting PopKeys into an initially small growing index.
+func Fig07Population(s Scale) Result {
+	res := Result{
+		ID:     "fig7",
+		Title:  fmt.Sprintf("Population of %d keys into a growing index, M inserts/s", s.PopKeys),
+		Header: []string{"threads", "DLHT", "GrowT", "CLHT"},
+		Notes:  "paper shape: DLHT 3.9x GrowT; CLHT flat beyond 8 threads (serial blocking resize)",
+	}
+	for _, th := range s.Threads {
+		dl := DLHTTarget(core.MustNew(core.Config{
+			Bins: 1 << 10, Resizable: true, MaxThreads: 4096,
+		}), "DLHT", true)
+		gt := BaselineTarget(growt.New(1<<12, hashfn.Modulo))
+		cl := BaselineTarget(clht.New(1<<10, hashfn.Modulo))
+		row := []string{fmt.Sprint(th)}
+		for _, t := range []Target{dl, gt, cl} {
+			m := Populate(t, th, s.PopKeys)
+			row = append(row, f1(m.MReqs()))
+		}
+		res.AddRow(row...)
+	}
+	return res
+}
+
+// Fig08ResizeTimeline reproduces Figure 8: Gets and Inserts per interval
+// while the index resizes live.
+func Fig08ResizeTimeline(s Scale) Result {
+	res := Result{
+		ID:     "fig8",
+		Title:  "Gets and Inserts during a non-blocking resize (time series)",
+		Header: []string{"t(ms)", "Gets M/s", "Inserts M/s"},
+		Notes:  "paper shape: Gets dip while bins transfer but never stall; inserts join the transfer then finish in the new index",
+	}
+	tbl := core.MustNew(core.Config{
+		// Sized so the prepopulated keys nearly fill it: the extra inserts
+		// force a live migration.
+		Bins: s.Keys / 2, Resizable: true, MaxThreads: 4096,
+	})
+	h := tbl.MustHandle()
+	for k := uint64(0); k < s.Keys; k++ {
+		h.Insert(k, k)
+	}
+	half := s.maxThreads() / 2
+	if half < 1 {
+		half = 1
+	}
+	series := ResizeTimeline(tbl, s.Keys, s.PopKeys, half, half, s.Dur/8+time.Millisecond)
+	for _, p := range series {
+		res.AddRow(fmt.Sprint(p.At.Milliseconds()), f1(p.GetsM), f1(p.InsertM))
+	}
+	if st := tbl.Stats(); st.Resizes > 0 {
+		res.Notes += fmt.Sprintf(" | resizes completed: %d, keys moved: %d", st.Resizes, st.KeysMoved)
+	}
+	return res
+}
+
+// OccupancyStudy reproduces §5.1.5: occupancy at the moment a resize
+// triggers, with wyhash, for DLHT (bounded chaining, link ratio 5), CLHT
+// (no chaining) and GrowT (30 % trigger).
+func OccupancyStudy(s Scale) Result {
+	res := Result{
+		ID:     "occupancy",
+		Title:  "Index occupancy when a resize triggers (wyhash)",
+		Header: []string{"design", "occupancy at resize", "paper band"},
+		Notes:  "paper: DLHT 61-72%, CLHT 1-5%, open-addressing ~30-50% (GrowT trigger 30%)",
+	}
+	// DLHT with link buckets limited to one fifth of bins (§5.1.5).
+	{
+		tbl := core.MustNew(core.Config{
+			Bins: 1 << 10, LinkRatio: 5, Hash: hashfn.WyHash,
+			Resizable: true, MaxThreads: 64,
+		})
+		h := tbl.MustHandle()
+		lastOcc := 0.0
+		resizes := tbl.Stats().Resizes
+		for k := uint64(0); ; k++ {
+			h.Insert(k, k)
+			if k%256 == 0 {
+				st := tbl.Stats()
+				if st.Resizes > resizes {
+					break
+				}
+				if st.Occupancy > lastOcc {
+					lastOcc = st.Occupancy
+				}
+			}
+		}
+		res.AddRow("DLHT", pct(lastOcc), "61-72%")
+	}
+	{
+		m := clht.New(1<<10, hashfn.WyHash)
+		last := 0.0
+		for k := uint64(0); m.Resizes() == 0; k++ {
+			m.Insert(k, k)
+			if k%64 == 0 {
+				occ, cap := m.Occupancy()
+				if f := float64(occ) / float64(cap); f > last {
+					last = f
+				}
+			}
+		}
+		res.AddRow("CLHT", pct(last), "1-5%")
+	}
+	{
+		m := growt.New(1<<12, hashfn.WyHash)
+		last := 0.0
+		for k := uint64(1); m.Resizes() == 0; k++ {
+			m.Insert(k, k)
+			if k%64 == 0 {
+				occ, cap := m.Occupancy()
+				if f := float64(occ) / float64(cap); f > last {
+					last = f
+				}
+			}
+		}
+		res.AddRow("GrowT", pct(last), "30-50% (trigger 30%)")
+	}
+	return res
+}
+
+// helpers
+
+func names(ts []Target) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+func prepopAll(ts []Target, s Scale) {
+	for _, t := range ts {
+		if t.Name == "DLHT-NoBatch" {
+			continue // shares its table with "DLHT"
+		}
+		PrepopulateParallel(t, s.Keys, s.maxThreads())
+	}
+}

@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Measurement is one throughput data point.
+type Measurement struct {
+	Ops     uint64
+	Elapsed time.Duration
+}
+
+// MReqs returns throughput in million requests per second — the unit of
+// every figure in the paper.
+func (m Measurement) MReqs() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Ops) / m.Elapsed.Seconds() / 1e6
+}
+
+// LoopFunc runs a worker until stop is set and returns operations done.
+type LoopFunc func(w Worker, tid int, stop *atomic.Bool) uint64
+
+// RunWorkload launches threads workers against the target for dur and
+// aggregates their operation counts.
+func RunWorkload(t Target, threads int, dur time.Duration, loop LoopFunc) Measurement {
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var started, wg sync.WaitGroup
+	started.Add(threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := t.NewWorker(tid)
+			started.Done()
+			started.Wait() // begin simultaneously
+			total.Add(loop(w, tid, &stop))
+		}(tid)
+	}
+	started.Wait()
+	begin := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return Measurement{Ops: total.Load(), Elapsed: time.Since(begin)}
+}
+
+// checkEvery bounds how often loops poll the stop flag.
+const checkEvery = 64
+
+// GetLoop is the default Get workload (§4): uniform reads over the
+// prepopulated keys, batched when the target supports it.
+func GetLoop(t Target, prepop uint64, batch int) LoopFunc {
+	return func(w Worker, tid int, stop *atomic.Bool) uint64 {
+		stream := workload.NewUniform(uint64(tid)*7919+1, prepop)
+		if bg, ok := w.(BatchGetter); ok && t.Batched && batch > 1 {
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			oks := make([]bool, batch)
+			var ops uint64
+			for !stop.Load() {
+				for i := range keys {
+					keys[i] = stream.Key()
+				}
+				bg.GetBatch(keys, vals, oks)
+				ops += uint64(batch)
+			}
+			return ops
+		}
+		var ops uint64
+		for !stop.Load() {
+			for i := 0; i < checkEvery; i++ {
+				w.Get(stream.Key())
+			}
+			ops += checkEvery
+		}
+		return ops
+	}
+}
+
+// SkewedGetLoop is GetLoop over the §5.2.4 hot-set distribution.
+func SkewedGetLoop(t Target, prepop, hotKeys uint64, pctHot, batch int) LoopFunc {
+	return func(w Worker, tid int, stop *atomic.Bool) uint64 {
+		stream := workload.NewSkewed(uint64(tid)*7919+1, prepop, hotKeys, pctHot)
+		if bg, ok := w.(BatchGetter); ok && t.Batched && batch > 1 {
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			oks := make([]bool, batch)
+			var ops uint64
+			for !stop.Load() {
+				for i := range keys {
+					keys[i] = stream.Key()
+				}
+				bg.GetBatch(keys, vals, oks)
+				ops += uint64(batch)
+			}
+			return ops
+		}
+		var ops uint64
+		for !stop.Load() {
+			for i := 0; i < checkEvery; i++ {
+				w.Get(stream.Key())
+			}
+			ops += checkEvery
+		}
+		return ops
+	}
+}
+
+// InsDelLoop is the paper's InsDel workload: insert a fresh key, delete the
+// same key (50 % Inserts + 50 % Deletes, always at most one live key per
+// thread). DLHT executes it as an order-preserving batch.
+func InsDelLoop(t Target, prepop uint64, batch int) LoopFunc {
+	return func(w Worker, tid int, stop *atomic.Bool) uint64 {
+		fresh := workload.NewFreshKeys(tid, prepop)
+		if ob, ok := w.(OpsBatcher); ok && t.Batched && batch > 1 {
+			ops := make([]core.Op, batch)
+			var n uint64
+			for !stop.Load() {
+				for i := 0; i < batch-1; i += 2 {
+					k := fresh.Key()
+					ops[i] = core.Op{Kind: core.OpInsert, Key: k, Value: k}
+					ops[i+1] = core.Op{Kind: core.OpDelete, Key: k}
+				}
+				if batch%2 == 1 {
+					ops[batch-1] = core.Op{Kind: core.OpGet, Key: fresh.Key() - 1}
+				}
+				ob.ExecOps(ops)
+				n += uint64(batch)
+			}
+			return n
+		}
+		var n uint64
+		for !stop.Load() {
+			for i := 0; i < checkEvery/2; i++ {
+				k := fresh.Key()
+				w.Insert(k, k)
+				w.Delete(k)
+			}
+			n += checkEvery
+		}
+		return n
+	}
+}
+
+// PutHeavyLoop is the §5.1.3 mix: 50 % Gets + 50 % Puts over prepopulated
+// keys, batched for DLHT.
+func PutHeavyLoop(t Target, prepop uint64, batch int) LoopFunc {
+	return func(w Worker, tid int, stop *atomic.Bool) uint64 {
+		stream := workload.NewUniform(uint64(tid)*104729+1, prepop)
+		if ob, ok := w.(OpsBatcher); ok && t.Batched && batch > 1 {
+			ops := make([]core.Op, batch)
+			var n uint64
+			for !stop.Load() {
+				for i := range ops {
+					k := stream.Key()
+					if i%2 == 0 {
+						ops[i] = core.Op{Kind: core.OpGet, Key: k}
+					} else {
+						ops[i] = core.Op{Kind: core.OpPut, Key: k, Value: k}
+					}
+				}
+				ob.ExecOps(ops)
+				n += uint64(batch)
+			}
+			return n
+		}
+		var n uint64
+		for !stop.Load() {
+			for i := 0; i < checkEvery/2; i++ {
+				w.Get(stream.Key())
+				w.Put(stream.Key(), 42)
+			}
+			n += checkEvery
+		}
+		return n
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Population (Fig 7)
+// ---------------------------------------------------------------------------
+
+// Populate inserts total fresh keys using threads workers against an empty,
+// growing table, and returns the aggregate insert throughput — the paper's
+// Figure 7 metric.
+func Populate(t Target, threads int, total uint64) Measurement {
+	per := total / uint64(threads)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := t.NewWorker(tid)
+			base := uint64(tid) * per
+			for i := uint64(0); i < per; i++ {
+				w.Insert(base+i, i+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	return Measurement{Ops: per * uint64(threads), Elapsed: time.Since(begin)}
+}
+
+// ---------------------------------------------------------------------------
+// Time series (Fig 8)
+// ---------------------------------------------------------------------------
+
+// SeriesPoint is one sampling interval of the Figure 8 timeline.
+type SeriesPoint struct {
+	At      time.Duration
+	GetsM   float64 // M gets/s in this interval
+	InsertM float64 // M inserts/s in this interval
+}
+
+// ResizeTimeline reproduces Figure 8: half the threads populate the table
+// past its capacity (forcing a live migration), half perform Gets on the
+// prepopulated keys; throughput of both classes is sampled per interval.
+func ResizeTimeline(tbl *core.Table, prepop, extra uint64, getters, inserters int, interval time.Duration) []SeriesPoint {
+	var gets, inserts atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < getters; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := tbl.MustHandle()
+			stream := workload.NewUniform(uint64(tid)+1, prepop)
+			for !stop.Load() {
+				for j := 0; j < 32; j++ {
+					h.Get(stream.Key())
+				}
+				gets.Add(32)
+			}
+		}(i)
+	}
+	perIns := extra / uint64(inserters)
+	var insDone sync.WaitGroup
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		insDone.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer insDone.Done()
+			h := tbl.MustHandle()
+			base := prepop + uint64(tid)*perIns
+			for j := uint64(0); j < perIns && !stop.Load(); j++ {
+				h.Insert(base+j, 1)
+				inserts.Add(1)
+			}
+		}(i)
+	}
+	// Sample until the inserters finish, then one more interval.
+	finished := make(chan struct{})
+	go func() {
+		insDone.Wait()
+		close(finished)
+	}()
+	var series []SeriesPoint
+	begin := time.Now()
+	lastG, lastI := uint64(0), uint64(0)
+	done := false
+	for !done {
+		select {
+		case <-finished:
+			done = true
+		case <-time.After(interval):
+		}
+		g, ins := gets.Load(), inserts.Load()
+		series = append(series, SeriesPoint{
+			At:      time.Since(begin),
+			GetsM:   float64(g-lastG) / interval.Seconds() / 1e6,
+			InsertM: float64(ins-lastI) / interval.Seconds() / 1e6,
+		})
+		lastG, lastI = g, ins
+	}
+	stop.Store(true)
+	wg.Wait()
+	return series
+}
+
+// ---------------------------------------------------------------------------
+// Latency (Fig 15)
+// ---------------------------------------------------------------------------
+
+// LatencyPoint is one load level of the Figure 15 study.
+type LatencyPoint struct {
+	Threads    int
+	Throughput float64 // M reqs/s (the load axis)
+	AvgNs      float64
+	P99Ns      float64
+}
+
+// MeasureLatency samples per-operation latency under a closed-loop load of
+// the given thread count. getsOnly selects the Get workload; otherwise the
+// InsDel pattern is timed.
+func MeasureLatency(t Target, threads int, prepop uint64, dur time.Duration, getsOnly bool) LatencyPoint {
+	var stop atomic.Bool
+	var total atomic.Uint64
+	samples := make([][]int64, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := t.NewWorker(tid)
+			stream := workload.NewUniform(uint64(tid)+1, prepop)
+			fresh := workload.NewFreshKeys(tid, prepop)
+			var mine []int64
+			var ops uint64
+			// Time every 16th operation: clock reads cost ~100 ns on
+			// virtualized hosts and would otherwise dominate both the
+			// latency distribution and the throughput (load) axis.
+			const sampleEvery = 16
+			for !stop.Load() {
+				for i := 0; i < sampleEvery-1; i++ {
+					if getsOnly {
+						w.Get(stream.Key())
+					} else {
+						k := fresh.Key()
+						w.Insert(k, k)
+						w.Delete(k)
+					}
+				}
+				begin := time.Now()
+				if getsOnly {
+					w.Get(stream.Key())
+				} else {
+					k := fresh.Key()
+					w.Insert(k, k)
+					w.Delete(k)
+				}
+				el := time.Since(begin).Nanoseconds()
+				if !getsOnly {
+					el /= 2 // per request, not per pair
+				}
+				if len(mine) < 1<<17 {
+					mine = append(mine, el)
+				}
+				ops += sampleEvery
+			}
+			if !getsOnly {
+				ops *= 2
+			}
+			total.Add(ops)
+			samples[tid] = mine
+		}(tid)
+	}
+	begin := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return LatencyPoint{Threads: threads}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum int64
+	for _, v := range all {
+		sum += v
+	}
+	return LatencyPoint{
+		Threads:    threads,
+		Throughput: float64(total.Load()) / elapsed.Seconds() / 1e6,
+		AvgNs:      float64(sum) / float64(len(all)),
+		P99Ns:      float64(all[len(all)*99/100]),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Thread sweep helper
+// ---------------------------------------------------------------------------
+
+// DefaultThreads returns the paper-style sweep 1,2,4,... up to GOMAXPROCS.
+func DefaultThreads() []int {
+	max := runtime.GOMAXPROCS(0)
+	var out []int
+	for t := 1; t < max; t *= 2 {
+		out = append(out, t)
+	}
+	out = append(out, max)
+	return out
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Loop drivers must produce the operation mixes they claim.
+
+// countingWorker records which operations a loop performs.
+type countingWorker struct {
+	gets, inserts, puts, deletes atomic.Uint64
+	inner                        Worker
+}
+
+func (w *countingWorker) Get(k uint64) (uint64, bool) { w.gets.Add(1); return w.inner.Get(k) }
+func (w *countingWorker) Insert(k, v uint64) bool     { w.inserts.Add(1); return w.inner.Insert(k, v) }
+func (w *countingWorker) Put(k, v uint64) bool        { w.puts.Add(1); return w.inner.Put(k, v) }
+func (w *countingWorker) Delete(k uint64) bool        { w.deletes.Add(1); return w.inner.Delete(k) }
+
+func countingTarget(prepop uint64) (Target, *countingWorker) {
+	tbl := NewDLHT(prepop+64, false)
+	base := DLHTTarget(tbl, "DLHT", false)
+	PrepopulateParallel(base, prepop, 1)
+	cw := &countingWorker{}
+	return Target{
+		Name:    "counting",
+		Batched: false,
+		NewWorker: func(tid int) Worker {
+			cw.inner = base.NewWorker(tid)
+			return cw
+		},
+	}, cw
+}
+
+func TestGetLoopOnlyGets(t *testing.T) {
+	tgt, cw := countingTarget(256)
+	RunWorkload(tgt, 1, 20*time.Millisecond, GetLoop(tgt, 256, 1))
+	if cw.gets.Load() == 0 {
+		t.Fatal("no gets")
+	}
+	if cw.inserts.Load()+cw.puts.Load()+cw.deletes.Load() != 0 {
+		t.Fatal("Get workload performed mutations")
+	}
+}
+
+func TestInsDelLoopBalanced(t *testing.T) {
+	tgt, cw := countingTarget(256)
+	RunWorkload(tgt, 1, 20*time.Millisecond, InsDelLoop(tgt, 256, 1))
+	ins, del := cw.inserts.Load(), cw.deletes.Load()
+	if ins == 0 || ins != del {
+		t.Fatalf("inserts=%d deletes=%d, want balanced", ins, del)
+	}
+	if cw.gets.Load()+cw.puts.Load() != 0 {
+		t.Fatal("InsDel workload performed reads/puts")
+	}
+}
+
+func TestPutHeavyLoopHalfAndHalf(t *testing.T) {
+	tgt, cw := countingTarget(256)
+	RunWorkload(tgt, 1, 20*time.Millisecond, PutHeavyLoop(tgt, 256, 1))
+	g, p := cw.gets.Load(), cw.puts.Load()
+	if g == 0 || g != p {
+		t.Fatalf("gets=%d puts=%d, want 50/50", g, p)
+	}
+}
+
+func TestSkewedGetLoopRuns(t *testing.T) {
+	tgt, cw := countingTarget(1024)
+	RunWorkload(tgt, 1, 20*time.Millisecond, SkewedGetLoop(tgt, 1024, 16, 90, 1))
+	if cw.gets.Load() == 0 {
+		t.Fatal("no gets")
+	}
+}
+
+func TestMeasureLatencyShape(t *testing.T) {
+	tbl := NewDLHT(1<<12, false)
+	tgt := DLHTTarget(tbl, "DLHT", false)
+	PrepopulateParallel(tgt, 1024, 1)
+	p := MeasureLatency(tgt, 1, 1024, 40*time.Millisecond, true)
+	if p.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if p.AvgNs <= 0 || p.P99Ns <= 0 {
+		t.Fatalf("latencies: %+v", p)
+	}
+	if p.P99Ns < p.AvgNs/4 {
+		t.Fatalf("p99 %f wildly below avg %f", p.P99Ns, p.AvgNs)
+	}
+}
+
+func TestResizeTimelineProducesSeries(t *testing.T) {
+	tbl := core.MustNew(core.Config{Bins: 256, Resizable: true, MaxThreads: 64})
+	h := tbl.MustHandle()
+	const prepop = 512
+	for k := uint64(0); k < prepop; k++ {
+		h.Insert(k, k)
+	}
+	series := ResizeTimeline(tbl, prepop, 4096, 1, 1, 5*time.Millisecond)
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	var gets, ins float64
+	for _, p := range series {
+		gets += p.GetsM
+		ins += p.InsertM
+	}
+	if gets <= 0 || ins <= 0 {
+		t.Fatalf("series sums: gets=%f inserts=%f", gets, ins)
+	}
+}
+
+func TestPopulateSplitsAcrossThreads(t *testing.T) {
+	tbl := core.MustNew(core.Config{Bins: 64, Resizable: true, MaxThreads: 64})
+	tgt := DLHTTarget(tbl, "DLHT", false)
+	m := Populate(tgt, 4, 8000)
+	if m.Ops != 8000 {
+		t.Fatalf("ops = %d", m.Ops)
+	}
+	// All inserted keys are present.
+	w := tgt.NewWorker(9)
+	missing := 0
+	for k := uint64(0); k < 8000; k++ {
+		if _, ok := w.Get(k); !ok {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d keys missing after Populate", missing)
+	}
+}
+
+func TestBaselineTargetAdapters(t *testing.T) {
+	for _, tgt := range BaselineTargets(Geometry{Keys: 1 << 10}) {
+		w := tgt.NewWorker(0)
+		if !w.Insert(7, 70) {
+			t.Fatalf("%s: insert failed", tgt.Name)
+		}
+		if v, ok := w.Get(7); !ok || v != 70 {
+			t.Fatalf("%s: get = (%d,%v)", tgt.Name, v, ok)
+		}
+	}
+}
+
+func TestFastTargetsSubset(t *testing.T) {
+	names := map[string]bool{}
+	for _, tgt := range FastTargets(Geometry{Keys: 1 << 10}) {
+		names[tgt.Name] = true
+	}
+	for _, want := range []string{"DLHT", "DLHT-NoBatch", "GrowT", "DRAMHiT", "Folly", "CLHT", "MICA"} {
+		if !names[want] {
+			t.Fatalf("FastTargets missing %s", want)
+		}
+	}
+	if names["Cuckoo"] || names["TBB"] || names["Leapfrog"] {
+		t.Fatal("FastTargets must omit the sub-250M tier (paper §5.1.1)")
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+import "fmt"
+
+// Experiment binds a paper table/figure id to the function regenerating it.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) Result
+}
+
+// Registry lists every reproducible experiment, in paper order.
+var Registry = []Experiment{
+	{"fig1", "Headline throughput (Figure 1)", Fig01Headline},
+	{"table1", "Feature matrix (Table 1)", Table01Features},
+	{"fig3", "Get throughput vs threads (Figure 3)", Fig03Get},
+	{"fig4", "Get power-efficiency (Figure 4)", Fig04Power},
+	{"fig5", "InsDel throughput (Figure 5)", Fig05InsDel},
+	{"fig6", "Put-heavy throughput (Figure 6)", Fig06PutHeavy},
+	{"fig7", "Population throughput (Figure 7)", Fig07Population},
+	{"fig8", "Non-blocking resize timeline (Figure 8)", Fig08ResizeTimeline},
+	{"occupancy", "Index occupancy (§5.1.5)", OccupancyStudy},
+	{"fig9", "Varying value size (Figure 9)", Fig09ValueSize},
+	{"fig10", "Varying key size (Figure 10)", Fig10KeySize},
+	{"fig11", "Varying index size (Figure 11)", Fig11IndexSize},
+	{"fig12", "Varying batch size (Figure 12)", Fig12BatchSize},
+	{"fig13", "Skew (Figure 13)", Fig13Skew},
+	{"fig14", "Enabling features (Figure 14)", Fig14Features},
+	{"fig15", "Latency (Figure 15)", Fig15Latency},
+	{"fig16", "Single-thread optimization (Figure 16)", Fig16SingleThread},
+	{"cxl", "CXL emulation (§5.3.2)", CXLEmulation},
+	{"fig17", "Lock manager (Figure 17)", Fig17LockManager},
+	{"fig18", "YCSB mixes (Figure 18)", Fig18YCSB},
+	{"fig19", "OLTP: TATP & Smallbank (Figure 19)", Fig19OLTP},
+	{"fig20", "Hash join (Figure 20)", Fig20HashJoin},
+	{"table4", "OLTP benchmark characteristics (Table 4)", Table04OLTP},
+	{"table5", "Comparison summary (Table 5)", Table05Summary},
+	{"ablations", "DLHT design-choice ablations (extension)", Ablations},
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (see -list)", id)
+}

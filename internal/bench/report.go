@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Result is the tabular output of one experiment: the rows/series the
+// paper's corresponding figure or table reports.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders an aligned text table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values.
+func (r Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Scale parameterizes every experiment. The paper runs 100 M–1.6 B keys on
+// a 72-thread server; the default scale targets a laptop while preserving
+// memory residency (the index comfortably exceeds L3).
+type Scale struct {
+	// Keys is the prepopulated key count (paper: 100 M).
+	Keys uint64
+	// PopKeys is the population-experiment total (paper: 800 M = 8×Keys).
+	PopKeys uint64
+	// Dur is the measurement window per data point.
+	Dur time.Duration
+	// Threads is the sweep axis (paper: 1..71).
+	Threads []int
+	// Batch is the default batch size (paper default: bold "batch-size" in
+	// Table 2; gains saturate around 24 per §5.2.3).
+	Batch int
+}
+
+// DefaultScale suits interactive runs (~1M keys, sub-second points).
+func DefaultScale() Scale {
+	return Scale{
+		Keys:    1 << 20,
+		PopKeys: 4 << 20,
+		Dur:     400 * time.Millisecond,
+		Threads: DefaultThreads(),
+		Batch:   16,
+	}
+}
+
+// QuickScale suits unit tests: tiny keys, very short windows.
+func QuickScale() Scale {
+	threads := []int{1, 2}
+	if runtime.GOMAXPROCS(0) < 2 {
+		threads = []int{1}
+	}
+	return Scale{
+		Keys:    1 << 12,
+		PopKeys: 1 << 14,
+		Dur:     30 * time.Millisecond,
+		Threads: threads,
+		Batch:   8,
+	}
+}
+
+// maxThreads returns the largest thread count in the sweep.
+func (s Scale) maxThreads() int {
+	m := 1
+	for _, t := range s.Threads {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

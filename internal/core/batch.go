@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cpuops"
+)
+
+// Batching (§3.3): the client hands DLHT an array of requests; DLHT first
+// issues one software prefetch per request's bin, overlapping all their
+// memory latencies, then executes the requests strictly in order. Order
+// preservation is the differentiator against DRAMHiT's reordering batches —
+// it is what makes the batch API safe for lock managers and transactional
+// protocols (§5.3.3). The per-request index-GC notifications (enter/leave)
+// are paid once per batch instead of once per request.
+
+// OpKind identifies a batched request type.
+type OpKind uint8
+
+const (
+	// OpGet reads a key.
+	OpGet OpKind = iota
+	// OpPut overwrites an existing key's value (Inlined mode only).
+	OpPut
+	// OpInsert adds a new key.
+	OpInsert
+	// OpInsertShadow adds a hidden (transaction-locked) key.
+	OpInsertShadow
+	// OpDelete removes a key.
+	OpDelete
+	// OpCommitShadow publishes a shadow insert (Value!=0 commits, 0 aborts).
+	OpCommitShadow
+)
+
+// Op is one request in a batch. Kind, Key and Value are inputs; Result, OK
+// and Err are outputs.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value uint64
+
+	// Result carries the read value (Get), previous value (Put/Delete) or
+	// existing value (failed Insert).
+	Result uint64
+	// OK reports per-kind success: key found (Get/Put/Delete) or key newly
+	// inserted (Insert).
+	OK bool
+	// Err carries Insert errors (ErrExists, ErrShadow, ErrFull, ...).
+	Err error
+}
+
+// Exec runs the batch in order and returns the number of operations
+// executed. When stopOnFail is true, execution terminates at the first
+// operation whose OK is false — e.g. a lock manager aborting a lock
+// acquisition sequence (§3.3); subsequent ops are left untouched.
+func (h *Handle) Exec(ops []Op, stopOnFail bool) int {
+	t := h.t
+	if t.cfg.SingleThread {
+		return h.execST(ops, stopOnFail)
+	}
+	mutates := false
+	for i := range ops {
+		if ops[i].Kind != OpGet {
+			mutates = true
+			break
+		}
+	}
+	if mutates {
+		t.beginUpdate()
+	}
+	ix := h.enter()
+	// Phase 1: overlap the memory latencies of the whole batch.
+	for i := range ops {
+		b := t.binFor(ix, ops[i].Key)
+		cpuops.PrefetchUint64(ix.headerAddr(b))
+	}
+	// Phase 2: execute in order.
+	done := 0
+	for i := range ops {
+		h.execOne(ix, &ops[i])
+		done++
+		if stopOnFail && !ops[i].OK {
+			break
+		}
+	}
+	h.leave()
+	if mutates {
+		t.endUpdate()
+	}
+	return done
+}
+
+func (h *Handle) execOne(ix *index, op *Op) {
+	t := h.t
+	op.Err = nil
+	switch op.Kind {
+	case OpGet:
+		op.Result, op.OK = t.getIn(ix, op.Key)
+	case OpPut:
+		if t.cfg.Mode != Inlined {
+			op.OK, op.Err = false, ErrWrongMode
+			return
+		}
+		op.Result, op.OK = t.putIn(ix, op.Key, op.Value)
+	case OpInsert, OpInsertShadow:
+		if isReserved(op.Key) {
+			op.OK, op.Err = false, ErrReservedKey
+			return
+		}
+		final := slotValid
+		if op.Kind == OpInsertShadow {
+			final = slotShadow
+		}
+		op.Result, op.Err = t.insertIn(h, ix, op.Key, op.Value, final)
+		op.OK = op.Err == nil
+	case OpDelete:
+		op.Result, op.OK = t.deleteIn(h, ix, op.Key)
+	case OpCommitShadow:
+		// Uses the full public path: commit/abort is not on hot paths.
+		op.OK = h.commitShadowIn(ix, op.Key, op.Value != 0)
+	}
+}
+
+// commitShadowIn is CommitShadow against a specific entered index.
+func (h *Handle) commitShadowIn(ix *index, key uint64, commit bool) bool {
+	t := h.t
+	for {
+		b := t.binFor(ix, key)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, _, st := ix.scanBin(b, hdr, key, -1, true)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss || st != slotShadow {
+				return false
+			}
+			target := slotValid
+			if !commit {
+				target = slotInvalid
+			}
+			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, target))) {
+				return true
+			}
+		}
+	}
+}
+
+func (h *Handle) execST(ops []Op, stopOnFail bool) int {
+	// Single-thread mode strips synchronization, not memory-awareness: the
+	// prefetch pass still overlaps the batch's DRAM latency (§3.4.5 only
+	// removes CASes, resize checks and enter/leave notifications).
+	ix := h.t.current.Load()
+	for i := range ops {
+		b := h.t.binFor(ix, ops[i].Key)
+		cpuops.PrefetchUint64(ix.headerAddr(b))
+	}
+	done := 0
+	for i := range ops {
+		op := &ops[i]
+		op.Err = nil
+		switch op.Kind {
+		case OpGet:
+			op.Result, op.OK = h.stGet(op.Key)
+		case OpPut:
+			op.Result, op.OK = h.stPut(op.Key, op.Value)
+		case OpInsert:
+			op.Result, op.Err = h.stInsert(op.Key, op.Value, slotValid)
+			op.OK = op.Err == nil
+		case OpInsertShadow:
+			op.Result, op.Err = h.stInsert(op.Key, op.Value, slotShadow)
+			op.OK = op.Err == nil
+		case OpDelete:
+			op.Result, op.OK = h.stDelete(op.Key)
+		case OpCommitShadow:
+			op.OK = h.stCommitShadow(op.Key, op.Value != 0)
+		}
+		done++
+		if stopOnFail && !op.OK {
+			break
+		}
+	}
+	return done
+}
+
+// PrefetchKey issues a software prefetch for the bin of key, the
+// coroutine-style interface of §3.3: call it, yield to other work, then
+// issue the request once the cache line has arrived.
+func (h *Handle) PrefetchKey(key uint64) {
+	ix := h.t.current.Load()
+	b := h.t.binFor(ix, key)
+	cpuops.PrefetchUint64(ix.headerAddr(b))
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBatchMixedKindsInOrder(t *testing.T) {
+	tb := MustNew(Config{Bins: 64})
+	h := tb.MustHandle()
+	ops := []Op{
+		{Kind: OpInsert, Key: 1, Value: 10},
+		{Kind: OpGet, Key: 1},
+		{Kind: OpPut, Key: 1, Value: 11},
+		{Kind: OpGet, Key: 1},
+		{Kind: OpDelete, Key: 1},
+		{Kind: OpGet, Key: 1},
+	}
+	n := h.Exec(ops, false)
+	if n != len(ops) {
+		t.Fatalf("executed %d, want %d", n, len(ops))
+	}
+	if !ops[0].OK || !ops[1].OK || ops[1].Result != 10 {
+		t.Fatalf("insert/get: %+v %+v", ops[0], ops[1])
+	}
+	if !ops[2].OK || ops[2].Result != 10 {
+		t.Fatalf("put: %+v", ops[2])
+	}
+	if !ops[3].OK || ops[3].Result != 11 {
+		t.Fatalf("get after put: %+v", ops[3])
+	}
+	if !ops[4].OK || ops[4].Result != 11 {
+		t.Fatalf("delete: %+v", ops[4])
+	}
+	if ops[5].OK {
+		t.Fatalf("get after delete must miss: %+v", ops[5])
+	}
+}
+
+// Order preservation is the lock-manager guarantee (§3.3, §5.3.3): within a
+// batch, an Insert followed by a Delete of the same key must leave the key
+// absent, and a Delete followed by an Insert must leave it present.
+func TestBatchOrderPreservation(t *testing.T) {
+	tb := MustNew(Config{Bins: 64})
+	h := tb.MustHandle()
+	ops := []Op{
+		{Kind: OpInsert, Key: 5, Value: 1},
+		{Kind: OpDelete, Key: 5},
+		{Kind: OpInsert, Key: 6, Value: 2},
+	}
+	h.Exec(ops, false)
+	if _, ok := h.Get(5); ok {
+		t.Fatal("insert→delete order violated")
+	}
+	if _, ok := h.Get(6); !ok {
+		t.Fatal("key 6 missing")
+	}
+	ops2 := []Op{
+		{Kind: OpDelete, Key: 6},
+		{Kind: OpInsert, Key: 6, Value: 3},
+	}
+	h.Exec(ops2, false)
+	if v, ok := h.Get(6); !ok || v != 3 {
+		t.Fatalf("delete→insert order violated: (%d,%v)", v, ok)
+	}
+}
+
+func TestBatchStopOnFail(t *testing.T) {
+	tb := MustNew(Config{Bins: 64})
+	h := tb.MustHandle()
+	h.Insert(2, 20)
+	ops := []Op{
+		{Kind: OpInsert, Key: 1, Value: 1},
+		{Kind: OpInsert, Key: 2, Value: 2}, // fails: exists
+		{Kind: OpInsert, Key: 3, Value: 3}, // must not run
+	}
+	n := h.Exec(ops, true)
+	if n != 2 {
+		t.Fatalf("executed %d ops, want 2", n)
+	}
+	if !errors.Is(ops[1].Err, ErrExists) {
+		t.Fatalf("op1 err = %v", ops[1].Err)
+	}
+	if _, ok := h.Get(3); ok {
+		t.Fatal("op after failure was executed")
+	}
+}
+
+func TestBatchShadowOps(t *testing.T) {
+	tb := MustNew(Config{Mode: HashSet, Bins: 64})
+	h := tb.MustHandle()
+	lock := []Op{
+		{Kind: OpInsertShadow, Key: 10},
+		{Kind: OpInsertShadow, Key: 11},
+	}
+	if h.Exec(lock, true) != 2 || !lock[0].OK || !lock[1].OK {
+		t.Fatalf("locks: %+v", lock)
+	}
+	// Conflicting lock attempt fails and stops.
+	conflict := []Op{
+		{Kind: OpInsertShadow, Key: 11},
+		{Kind: OpInsertShadow, Key: 12},
+	}
+	if n := h.Exec(conflict, true); n != 1 {
+		t.Fatalf("conflict executed %d ops, want 1", n)
+	}
+	// Release via commit-abort.
+	unlock := []Op{
+		{Kind: OpCommitShadow, Key: 10, Value: 0},
+		{Kind: OpCommitShadow, Key: 11, Value: 0},
+	}
+	h.Exec(unlock, false)
+	if !unlock[0].OK || !unlock[1].OK {
+		t.Fatalf("unlock: %+v", unlock)
+	}
+	if h.Len() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+func TestBatchPutWrongMode(t *testing.T) {
+	tb := MustNew(Config{Mode: HashSet, Bins: 16})
+	h := tb.MustHandle()
+	ops := []Op{{Kind: OpPut, Key: 1, Value: 1}}
+	h.Exec(ops, false)
+	if ops[0].OK || !errors.Is(ops[0].Err, ErrWrongMode) {
+		t.Fatalf("op = %+v", ops[0])
+	}
+}
+
+func TestBatchAcrossResize(t *testing.T) {
+	tb := MustNew(Config{Bins: 4, Resizable: true, ChunkBins: 2})
+	h := tb.MustHandle()
+	const batches = 100
+	const per = 32
+	k := uint64(0)
+	for b := 0; b < batches; b++ {
+		ops := make([]Op, per)
+		for i := range ops {
+			ops[i] = Op{Kind: OpInsert, Key: k, Value: k * 2}
+			k++
+		}
+		h.Exec(ops, false)
+		for i := range ops {
+			if !ops[i].OK {
+				t.Fatalf("batch %d op %d failed: %v", b, i, ops[i].Err)
+			}
+		}
+	}
+	if tb.Stats().Resizes == 0 {
+		t.Fatal("expected resizes during batched population")
+	}
+	for i := uint64(0); i < k; i++ {
+		if v, ok := h.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestBatchConcurrentWorkers(t *testing.T) {
+	tb := MustNew(Config{Bins: 256, Resizable: true, ChunkBins: 64, MaxThreads: 16})
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tb.MustHandle()
+			base := uint64(w) << 32
+			for round := 0; round < 200; round++ {
+				var ops [16]Op
+				for i := range ops {
+					ops[i] = Op{Kind: OpInsert, Key: base + uint64(round*16+i), Value: 1}
+				}
+				h.Exec(ops[:], false)
+				for i := range ops {
+					ops[i].Kind = OpDelete
+				}
+				h.Exec(ops[:], false)
+				for i := range ops {
+					if !ops[i].OK {
+						t.Errorf("delete in batch failed")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tb.MustHandle().Len(); n != 0 {
+		t.Fatalf("%d entries left", n)
+	}
+}
+
+func TestPrefetchKeyHarmless(t *testing.T) {
+	tb := MustNew(Config{Bins: 64})
+	h := tb.MustHandle()
+	h.Insert(1, 2)
+	h.PrefetchKey(1)
+	h.PrefetchKey(999)
+	if v, _ := h.Get(1); v != 2 {
+		t.Fatal("prefetch corrupted state")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	tb := MustNew(Config{Bins: 16})
+	h := tb.MustHandle()
+	if n := h.Exec(nil, true); n != 0 {
+		t.Fatalf("empty batch executed %d ops", n)
+	}
+}

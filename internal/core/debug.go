@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// DumpBin renders a human-readable view of one bin of the current index —
+// header version, bin state, slot states and the raw slot words. Intended
+// for debugging and tests; it takes no locks and may show a torn view under
+// concurrency.
+func (t *Table) DumpBin(b uint64) string {
+	ix := t.current.Load()
+	if b >= ix.numBins {
+		return fmt.Sprintf("bin %d out of range (%d bins)", b, ix.numBins)
+	}
+	hdr := atomic.LoadUint64(ix.headerAddr(b))
+	meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bin %d: version=%d state=%s link1=%d link2=%d\n",
+		b, version(hdr), binStateName(binState(hdr)), linkOne(meta), linkTwo(meta))
+	limit := slotLimit(meta)
+	for i := 0; i < limit; i++ {
+		st := slotState(hdr, i)
+		if st == slotInvalid {
+			continue
+		}
+		k, v := ix.loadSlot(b, meta, i)
+		fmt.Fprintf(&sb, "  slot %2d [%s] key=%#x val=%#x\n", i, slotStateName(st), k, v)
+	}
+	return sb.String()
+}
+
+// DumpStats renders the table counters compactly.
+func (t *Table) DumpStats() string {
+	s := t.Stats()
+	return fmt.Sprintf(
+		"bins=%d links=%d/%d occupied=%d/%d (%.1f%%) resizes=%d helpers=%d chunks=%d moved=%d epochFrees=%d",
+		s.Bins, s.LinksUsed, s.LinkBuckets, s.Occupied, s.Capacity,
+		s.Occupancy*100, s.Resizes, s.ResizeHelpers, s.ChunksMoved, s.KeysMoved, s.EpochFrees)
+}
+
+func binStateName(s uint64) string {
+	switch s {
+	case binNoTransfer:
+		return "NoTransfer"
+	case binInTransfer:
+		return "InTransfer"
+	case binDoneTransfer:
+		return "DoneTransfer"
+	}
+	return "?"
+}
+
+func slotStateName(s uint64) string {
+	switch s {
+	case slotInvalid:
+		return "Invalid"
+	case slotTryInsert:
+		return "TryIns"
+	case slotValid:
+		return "Valid"
+	case slotShadow:
+		return "Shadow"
+	}
+	return "?"
+}

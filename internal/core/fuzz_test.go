@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Native fuzz targets. `go test` exercises the seed corpus; `go test -fuzz`
+// explores further. Both drive the table against an exact model.
+
+// FuzzInlinedOps interprets the input as an op tape over a small key space
+// and checks every step against a map oracle, on a geometry that forces
+// chaining and resizing.
+func FuzzInlinedOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x13, 0x88, 0xff, 0x00, 0x23, 0x34})
+	f.Add(bytes.Repeat([]byte{0xa5}, 64))
+	f.Add([]byte("insert-delete-put-get-insert-delete"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tb := MustNew(Config{Bins: 2, Resizable: true, ChunkBins: 1})
+		h := tb.MustHandle()
+		model := map[uint64]uint64{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, kb := tape[i], tape[i+1]
+			k := uint64(kb) % 40
+			v := uint64(op)<<8 | uint64(i)
+			switch op % 4 {
+			case 0:
+				_, err := h.Insert(k, v)
+				if _, exists := model[k]; exists != errors.Is(err, ErrExists) {
+					t.Fatalf("step %d: insert(%d) err=%v exists=%v", i, k, err, exists)
+				}
+				if err == nil {
+					model[k] = v
+				}
+			case 1:
+				got, ok := h.Delete(k)
+				want, exists := model[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("step %d: delete(%d)=(%d,%v) want (%d,%v)", i, k, got, ok, want, exists)
+				}
+				delete(model, k)
+			case 2:
+				old, ok := h.Put(k, v)
+				want, exists := model[k]
+				if ok != exists || (ok && old != want) {
+					t.Fatalf("step %d: put(%d)=(%d,%v) want (%d,%v)", i, k, old, ok, want, exists)
+				}
+				if ok {
+					model[k] = v
+				}
+			default:
+				got, ok := h.Get(k)
+				want, exists := model[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("step %d: get(%d)=(%d,%v) want (%d,%v)", i, k, got, ok, want, exists)
+				}
+			}
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("final len %d != model %d", h.Len(), len(model))
+		}
+	})
+}
+
+// FuzzKVOps drives Allocator mode with fuzzer-chosen keys and values,
+// including keys straddling the 8-byte inline boundary.
+func FuzzKVOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte("vvvv"), uint8(0))
+	f.Add([]byte("a-key-longer-than-eight"), []byte{}, uint8(1))
+	f.Add([]byte("12345678"), bytes.Repeat([]byte{7}, 100), uint8(2))
+	f.Fuzz(func(t *testing.T, key, val []byte, opSel uint8) {
+		if len(key) == 0 || len(key) > 200 || len(val) > 1<<12 {
+			t.Skip()
+		}
+		tb := MustNew(Config{Mode: Allocator, Bins: 4, VariableKV: true, Resizable: true, ChunkBins: 1})
+		h := tb.MustHandle()
+		// A deterministic mini-scenario around the fuzzed pair.
+		if err := h.InsertKV(0, key, val); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		got, ok := h.GetKV(0, key)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("get after insert: (%q,%v) want %q", got, ok, val)
+		}
+		if err := h.InsertKV(0, key, val); !errors.Is(err, ErrExists) {
+			t.Fatalf("duplicate insert err = %v", err)
+		}
+		// A sibling key differing in length only.
+		sibling := append(append([]byte{}, key...), 0)
+		if len(sibling) <= 200 {
+			if err := h.InsertKV(0, sibling, []byte("x")); err != nil {
+				t.Fatalf("sibling insert: %v", err)
+			}
+			if v, ok := h.GetKV(0, sibling); !ok || string(v) != "x" {
+				t.Fatalf("sibling get: (%q,%v)", v, ok)
+			}
+		}
+		if !h.DeleteKV(0, key) {
+			t.Fatal("delete failed")
+		}
+		if _, ok := h.GetKV(0, key); ok {
+			t.Fatal("deleted key visible")
+		}
+	})
+}
+
+// FuzzHeaderAlgebra checks the bit-field laws on arbitrary words.
+func FuzzHeaderAlgebra(f *testing.F) {
+	f.Add(uint64(0), uint8(3), uint8(2))
+	f.Add(^uint64(0), uint8(14), uint8(1))
+	f.Fuzz(func(t *testing.T, hdr uint64, slot, state uint8) {
+		i := int(slot) % slotsPerBin
+		s := uint64(state) & 3
+		out := withSlotState(hdr, i, s)
+		if slotState(out, i) != s {
+			t.Fatal("slot state not set")
+		}
+		if binState(out) != binState(hdr) || version(out) != version(hdr) {
+			t.Fatal("collateral damage to bin state or version")
+		}
+		if version(bumpVersion(out)) != version(out)+1 {
+			t.Fatal("version bump")
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package core
+
+// Bin header bit layout (§3.1 of the paper). The header is the first 8-byte
+// word of every primary bucket and the synchronization point for all bin
+// mutations:
+//
+//	bits  0..29  fifteen 2-bit slot states (slot i at bits 2i..2i+1)
+//	bits 30..31  2-bit bin state
+//	bits 32..63  32-bit version, incremented by every successful header CAS
+//
+// Packing all 15 slot states of a 4-bucket chain into one word is what lets
+// Inserts and Deletes anywhere in the chain be a single CAS, and the
+// version is both the seqlock for lock-free Gets and the ABA guard.
+
+// Slot states.
+const (
+	slotInvalid   uint64 = 0 // empty, reusable
+	slotTryInsert uint64 = 1 // claimed by an in-flight Insert, invisible
+	slotValid     uint64 = 2 // holds a live key-value pair
+	slotShadow    uint64 = 3 // inserted but hidden (transactional lock, §3.2.2)
+)
+
+// Bin states.
+const (
+	binNoTransfer   uint64 = 0 // normal operation
+	binInTransfer   uint64 = 1 // resize is migrating this bin; ops wait
+	binDoneTransfer uint64 = 2 // bin migrated; ops go to the next index
+)
+
+// slotsPerBin is the maximum number of slots in a fully chained bin:
+// 3 in the primary bucket + 4 + 4 + 4 in the link buckets.
+const slotsPerBin = 15
+
+// Primary-bucket slot count.
+const primarySlots = 3
+
+const (
+	binStateShift = 30
+	versionShift  = 32
+	slotStateMask = uint64(3)
+	lowerMask     = (uint64(1) << versionShift) - 1
+)
+
+// slotState extracts the 2-bit state of slot i.
+func slotState(hdr uint64, i int) uint64 {
+	return (hdr >> (2 * uint(i))) & slotStateMask
+}
+
+// withSlotState returns hdr with slot i's state replaced. It does not bump
+// the version; compose with bumpVersion for a CAS target.
+func withSlotState(hdr uint64, i int, s uint64) uint64 {
+	sh := 2 * uint(i)
+	return (hdr &^ (slotStateMask << sh)) | (s << sh)
+}
+
+// binState extracts the 2-bit bin state.
+func binState(hdr uint64) uint64 {
+	return (hdr >> binStateShift) & slotStateMask
+}
+
+// withBinState returns hdr with the bin state replaced (version untouched).
+func withBinState(hdr uint64, s uint64) uint64 {
+	return (hdr &^ (slotStateMask << binStateShift)) | (s << binStateShift)
+}
+
+// version extracts the 32-bit header version.
+func version(hdr uint64) uint32 {
+	return uint32(hdr >> versionShift)
+}
+
+// bumpVersion returns hdr with the version incremented (mod 2^32).
+func bumpVersion(hdr uint64) uint64 {
+	return (hdr & lowerMask) | (uint64(version(hdr)+1) << versionShift)
+}
+
+// firstInvalidSlot returns the lowest slot index whose state is Invalid and
+// which lies below limit, or -1 when the bin is full. limit restricts the
+// search to slots reachable given the bin's chaining capacity (always
+// slotsPerBin in resizable tables, since chains are grown on demand).
+func firstInvalidSlot(hdr uint64, limit int) int {
+	for i := 0; i < limit; i++ {
+		if slotState(hdr, i) == slotInvalid {
+			return i
+		}
+	}
+	return -1
+}
+
+// countSlotsInState returns how many of the first limit slots are in state s.
+func countSlotsInState(hdr uint64, s uint64, limit int) int {
+	n := 0
+	for i := 0; i < limit; i++ {
+		if slotState(hdr, i) == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Link-metadata word layout (second 8-byte word of a primary bucket):
+// low 32 bits index one link bucket (slots 3..6), high 32 bits index the
+// first of two consecutive link buckets (slots 7..14). Index 0 means
+// "not chained".
+
+// linkOne extracts the single-bucket link index.
+func linkOne(meta uint64) uint32 { return uint32(meta) }
+
+// linkTwo extracts the double-bucket link index.
+func linkTwo(meta uint64) uint32 { return uint32(meta >> 32) }
+
+// withLinkOne returns meta with the single-bucket index set.
+func withLinkOne(meta uint64, idx uint32) uint64 {
+	return (meta &^ 0xffffffff) | uint64(idx)
+}
+
+// withLinkTwo returns meta with the double-bucket index set.
+func withLinkTwo(meta uint64, idx uint32) uint64 {
+	return (meta & 0xffffffff) | uint64(idx)<<32
+}
+
+// slotLimit returns the number of slots addressable with the current
+// chaining: 3 (no links), 7 (one link bucket), or 15 (all three).
+func slotLimit(meta uint64) int {
+	switch {
+	case linkTwo(meta) != 0:
+		return slotsPerBin
+	case linkOne(meta) != 0:
+		return 7
+	default:
+		return primarySlots
+	}
+}
+
+// bucketForSlot maps a slot index (0..14) to its bucket: -1 for the primary
+// bucket, otherwise the link-array bucket index derived from meta.
+// The second return is the slot's position within that bucket.
+func bucketForSlot(meta uint64, slot int) (bucket int64, pos int) {
+	switch {
+	case slot < primarySlots:
+		return -1, slot
+	case slot < 7:
+		return int64(linkOne(meta)), slot - 3
+	case slot < 11:
+		return int64(linkTwo(meta)), slot - 7
+	default:
+		return int64(linkTwo(meta)) + 1, slot - 11
+	}
+}
+
+// slotNeedsChain reports whether using the given slot requires a link
+// bucket that is not yet chained, and which link field (1 or 2) it needs.
+func slotNeedsChain(meta uint64, slot int) (need bool, field int) {
+	switch {
+	case slot < primarySlots:
+		return false, 0
+	case slot < 7:
+		return linkOne(meta) == 0, 1
+	default:
+		return linkTwo(meta) == 0, 2
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+)
+
+func TestSlotStateRoundTrip(t *testing.T) {
+	f := func(hdr uint64, slot uint8, state uint8) bool {
+		i := int(slot) % slotsPerBin
+		s := uint64(state) & 3
+		got := withSlotState(hdr, i, s)
+		if slotState(got, i) != s {
+			return false
+		}
+		// Other slots, the bin state and the version must be untouched.
+		for j := 0; j < slotsPerBin; j++ {
+			if j != i && slotState(got, j) != slotState(hdr, j) {
+				return false
+			}
+		}
+		return binState(got) == binState(hdr) && version(got) == version(hdr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinStateRoundTrip(t *testing.T) {
+	f := func(hdr uint64, state uint8) bool {
+		s := uint64(state) & 3
+		got := withBinState(hdr, s)
+		if binState(got) != s {
+			return false
+		}
+		for j := 0; j < slotsPerBin; j++ {
+			if slotState(got, j) != slotState(hdr, j) {
+				return false
+			}
+		}
+		return version(got) == version(hdr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBumpVersion(t *testing.T) {
+	f := func(hdr uint64) bool {
+		got := bumpVersion(hdr)
+		if version(got) != version(hdr)+1 {
+			return false
+		}
+		return got&lowerMask == hdr&lowerMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Wraparound.
+	hdr := uint64(0xFFFFFFFF) << versionShift
+	if version(bumpVersion(hdr)) != 0 {
+		t.Error("version must wrap at 2^32")
+	}
+}
+
+func TestFirstInvalidSlot(t *testing.T) {
+	// All invalid.
+	if got := firstInvalidSlot(0, slotsPerBin); got != 0 {
+		t.Errorf("empty header: got %d, want 0", got)
+	}
+	// Slot 0 valid -> 1.
+	hdr := withSlotState(0, 0, slotValid)
+	if got := firstInvalidSlot(hdr, slotsPerBin); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+	// Everything occupied -> -1.
+	hdr = 0
+	for i := 0; i < slotsPerBin; i++ {
+		hdr = withSlotState(hdr, i, slotValid)
+	}
+	if got := firstInvalidSlot(hdr, slotsPerBin); got != -1 {
+		t.Errorf("full bin: got %d, want -1", got)
+	}
+	// TryInsert and Shadow also count as occupied.
+	hdr = withSlotState(0, 0, slotTryInsert)
+	hdr = withSlotState(hdr, 1, slotShadow)
+	if got := firstInvalidSlot(hdr, slotsPerBin); got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+	// limit restricts the search.
+	if got := firstInvalidSlot(hdr, 2); got != -1 {
+		t.Errorf("limited search: got %d, want -1", got)
+	}
+}
+
+func TestCountSlotsInState(t *testing.T) {
+	hdr := uint64(0)
+	for i := 0; i < 5; i++ {
+		hdr = withSlotState(hdr, i, slotValid)
+	}
+	hdr = withSlotState(hdr, 7, slotShadow)
+	if n := countSlotsInState(hdr, slotValid, slotsPerBin); n != 5 {
+		t.Errorf("valid count = %d, want 5", n)
+	}
+	if n := countSlotsInState(hdr, slotShadow, slotsPerBin); n != 1 {
+		t.Errorf("shadow count = %d, want 1", n)
+	}
+	if n := countSlotsInState(hdr, slotInvalid, slotsPerBin); n != 9 {
+		t.Errorf("invalid count = %d, want 9", n)
+	}
+}
+
+func TestLinkMetaRoundTrip(t *testing.T) {
+	f := func(meta uint64, one, two uint32) bool {
+		m1 := withLinkOne(meta, one)
+		if linkOne(m1) != one || linkTwo(m1) != linkTwo(meta) {
+			return false
+		}
+		m2 := withLinkTwo(m1, two)
+		return linkOne(m2) == one && linkTwo(m2) == two
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotLimit(t *testing.T) {
+	if slotLimit(0) != primarySlots {
+		t.Error("unchained bin must expose 3 slots")
+	}
+	if slotLimit(withLinkOne(0, 5)) != 7 {
+		t.Error("single link must expose 7 slots")
+	}
+	if slotLimit(withLinkTwo(0, 9)) != slotsPerBin {
+		t.Error("double link must expose 15 slots")
+	}
+	if slotLimit(withLinkTwo(withLinkOne(0, 5), 9)) != slotsPerBin {
+		t.Error("full chain must expose 15 slots")
+	}
+}
+
+func TestBucketForSlot(t *testing.T) {
+	meta := withLinkTwo(withLinkOne(0, 10), 20)
+	cases := []struct {
+		slot   int
+		bucket int64
+		pos    int
+	}{
+		{0, -1, 0}, {1, -1, 1}, {2, -1, 2},
+		{3, 10, 0}, {4, 10, 1}, {6, 10, 3},
+		{7, 20, 0}, {10, 20, 3},
+		{11, 21, 0}, {14, 21, 3},
+	}
+	for _, c := range cases {
+		b, p := bucketForSlot(meta, c.slot)
+		if b != c.bucket || p != c.pos {
+			t.Errorf("slot %d: got (%d,%d), want (%d,%d)", c.slot, b, p, c.bucket, c.pos)
+		}
+	}
+}
+
+func TestSlotNeedsChain(t *testing.T) {
+	for slot := 0; slot < primarySlots; slot++ {
+		if need, _ := slotNeedsChain(0, slot); need {
+			t.Errorf("primary slot %d must not need chaining", slot)
+		}
+	}
+	if need, field := slotNeedsChain(0, 3); !need || field != 1 {
+		t.Error("slot 3 on unchained bin must need field 1")
+	}
+	if need, field := slotNeedsChain(0, 7); !need || field != 2 {
+		t.Error("slot 7 on unchained bin must need field 2")
+	}
+	meta := withLinkOne(0, 4)
+	if need, _ := slotNeedsChain(meta, 4); need {
+		t.Error("slot 4 with link-1 chained must not need chaining")
+	}
+	if need, field := slotNeedsChain(meta, 12); !need || field != 2 {
+		t.Error("slot 12 with only link-1 must need field 2")
+	}
+}
+
+func TestTransferKeyFor(t *testing.T) {
+	if transferKeyFor(0) != TransferKeyEven || transferKeyFor(2) != TransferKeyEven {
+		t.Error("even bins must use the even transfer key")
+	}
+	if transferKeyFor(1) != TransferKeyOdd || transferKeyFor(7) != TransferKeyOdd {
+		t.Error("odd bins must use the odd transfer key")
+	}
+	if !isReserved(TransferKeyEven) || !isReserved(TransferKeyOdd) {
+		t.Error("transfer keys must be reserved")
+	}
+	if isReserved(0) || isReserved(12345) {
+		t.Error("ordinary keys must not be reserved")
+	}
+}
+
+func TestGrowthFactor(t *testing.T) {
+	cases := []struct {
+		bins, want uint64
+	}{
+		{16, 8}, {4095, 8}, {4096, 4}, {1 << 20, 4}, {64 << 20, 2}, {1 << 30, 2},
+	}
+	for _, c := range cases {
+		if got := growthFactor(c.bins); got != c.want {
+			t.Errorf("growthFactor(%d) = %d, want %d", c.bins, got, c.want)
+		}
+	}
+}
+
+func TestKVEncodingRoundTrip(t *testing.T) {
+	f := func(refBits uint64, code uint8, ns uint16) bool {
+		ref := refBits & ((1 << 48) - 1)
+		c := int(code) & 0xf
+		n := ns & nsMask
+		v := encodeSlotVal(alloc.Ref(ref), c, n)
+		return uint64(refOf(v)) == ref && keyCodeOf(v) == c && nsOf(v) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInlineKeyWord(t *testing.T) {
+	if inlineKeyWord([]byte{0x01}) != 0x01 {
+		t.Error("single byte")
+	}
+	if inlineKeyWord([]byte{0x01, 0x02}) != 0x0201 {
+		t.Error("little-endian order")
+	}
+	full := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if inlineKeyWord(full) != 0x0807060504030201 {
+		t.Error("8-byte key")
+	}
+	// Longer keys use only the first 8 bytes.
+	long := append(append([]byte{}, full...), 9, 10)
+	if inlineKeyWord(long) != inlineKeyWord(full) {
+		t.Error("filter word must use first 8 bytes")
+	}
+	if keyCodeFor(long) != bigKeyCode || keyCodeFor(full) != 8 || keyCodeFor([]byte{1}) != 1 {
+		t.Error("key codes")
+	}
+}

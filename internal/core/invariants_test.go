@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+// Migrating an Allocator-mode table must move block references, never clone
+// or drop blocks: after inserting and deleting everything across several
+// resizes, the arena must balance.
+func TestKVNoBlockLeakAcrossResize(t *testing.T) {
+	a := alloc.NewArena()
+	tb := MustNew(Config{
+		Mode: Allocator, Bins: 4, ValueSize: 24, Alloc: a,
+		Resizable: true, ChunkBins: 2,
+	})
+	h := tb.MustHandle()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		if err := h.InsertKV(0, key, make([]byte, 24)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tb.Stats().Resizes == 0 {
+		t.Fatal("no resizes exercised")
+	}
+	st := a.Stats()
+	if st.Allocs != uint64(n) {
+		t.Fatalf("allocs = %d, want %d (migration must not clone blocks)", st.Allocs, n)
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		if !h.DeleteKV(0, key) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	st = a.Stats()
+	if st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d: blocks leaked across migration", st.Allocs, st.Frees)
+	}
+	if st.HeapUsed != 0 {
+		t.Fatalf("HeapUsed = %d after deleting everything", st.HeapUsed)
+	}
+}
+
+// Transfer keys are internal markers; they must never surface through Get,
+// Range or Snapshot, even during heavy concurrent migration.
+func TestTransferKeysNeverVisible(t *testing.T) {
+	tb := MustNew(Config{Bins: 8, Resizable: true, ChunkBins: 2, MaxThreads: 8})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	// The writer inserts enough keys to force several migrations while the
+	// scanners run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tb.MustHandle()
+		for i := uint64(0); i < 20000; i++ {
+			h.Insert(i, i)
+		}
+	}()
+	// Scanners assert no reserved key ever appears.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := tb.MustHandle()
+			for j := 0; j < 50; j++ {
+				h.Range(func(k, v uint64) bool {
+					if isReserved(k) {
+						bad.Add(1)
+						return false
+					}
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Stats().Resizes == 0 {
+		t.Fatal("no migration overlapped the scans")
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("transfer key leaked into iteration %d times", bad.Load())
+	}
+}
+
+// CommitShadow must find its entry even when the shadow slot has been
+// migrated by a concurrent resize between InsertShadow and CommitShadow.
+func TestCommitShadowSurvivesConcurrentResize(t *testing.T) {
+	tb := MustNew(Config{Bins: 8, Resizable: true, ChunkBins: 1, MaxThreads: 8})
+	const locks = 64
+	owner := tb.MustHandle()
+	for k := uint64(0); k < locks; k++ {
+		if _, err := owner.InsertShadow(1_000_000+k, k); err != nil {
+			t.Fatalf("shadow insert %d: %v", k, err)
+		}
+	}
+	// Drive several resizes underneath the held shadow entries.
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			h := tb.MustHandle()
+			for i := uint64(0); i < 4000; i++ {
+				h.Insert(base+i, i)
+			}
+		}(uint64(w) << 32)
+	}
+	wg.Wait()
+	if tb.Stats().Resizes == 0 {
+		t.Fatal("no resizes exercised")
+	}
+	// Every shadow entry must still be committable, half commit half abort.
+	for k := uint64(0); k < locks; k++ {
+		if !owner.CommitShadow(1_000_000+k, k%2 == 0) {
+			t.Fatalf("shadow entry %d lost across migrations", k)
+		}
+	}
+	for k := uint64(0); k < locks; k++ {
+		_, ok := owner.Get(1_000_000 + k)
+		if want := k%2 == 0; ok != want {
+			t.Fatalf("lock %d: visible=%v want %v", k, ok, want)
+		}
+	}
+}
+
+// The GC protocol's Stats counters must reconcile: every key moved by a
+// migration is accounted, and retired indexes stop being referenced.
+func TestResizeAccounting(t *testing.T) {
+	tb := MustNew(Config{Bins: 4, Resizable: true, ChunkBins: 2})
+	h := tb.MustHandle()
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i, i)
+	}
+	st := tb.Stats()
+	if st.Resizes == 0 || st.ChunksMoved == 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+	// KeysMoved counts every migrated slot across all generations; with g
+	// generations each key moves at most g times and at least the final
+	// population moved once from the penultimate index.
+	if st.KeysMoved == 0 {
+		t.Fatal("KeysMoved = 0 despite resizes")
+	}
+	if st.Occupied != n {
+		t.Fatalf("Occupied = %d, want %d", st.Occupied, n)
+	}
+}
+
+// Handles entering a retired index's table must never observe stale data:
+// after a resize completes, a fresh handle sees the full population.
+func TestFreshHandleAfterResize(t *testing.T) {
+	tb := MustNew(Config{Bins: 4, Resizable: true, ChunkBins: 2, MaxThreads: 32})
+	h := tb.MustHandle()
+	for i := uint64(0); i < 500; i++ {
+		h.Insert(i, i*2)
+	}
+	h2 := tb.MustHandle()
+	for i := uint64(0); i < 500; i++ {
+		if v, ok := h2.Get(i); !ok || v != i*2 {
+			t.Fatalf("fresh handle Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+// Zero-value Config must be usable through the facade contract.
+func TestZeroConfig(t *testing.T) {
+	tb := MustNew(Config{})
+	h := tb.MustHandle()
+	if _, err := h.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.Get(1); !ok || v != 2 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+}
+
+func TestDumpBinAndStats(t *testing.T) {
+	tb := MustNew(Config{Bins: 4})
+	h := tb.MustHandle()
+	h.Insert(0, 100)
+	h.InsertShadow(4, 200) // same bin under modulo with 4 bins
+	s := tb.DumpBin(0)
+	for _, want := range []string{"bin 0", "NoTransfer", "Valid", "Shadow", "0x64"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DumpBin missing %q:\n%s", want, s)
+		}
+	}
+	if out := tb.DumpBin(99); !strings.Contains(out, "out of range") {
+		t.Fatalf("out-of-range dump: %q", out)
+	}
+	st := tb.DumpStats()
+	if !strings.Contains(st, "bins=4") || !strings.Contains(st, "occupied=2") {
+		t.Fatalf("DumpStats: %q", st)
+	}
+}

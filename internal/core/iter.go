@@ -1,0 +1,141 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Iterator support (§3.4.4). The default iterator gives the weakly
+// consistent snapshot the paper's clients prefer: non-blocking, no
+// migration, each bin internally consistent but the whole traversal not a
+// point-in-time cut. Snapshot gives the strongly consistent variant by
+// stalling updates for the duration — the paper implements this with a
+// same-size migration; stalling achieves the same "updates stop, Gets
+// proceed" contract without copying the index.
+
+// Entry is one key-value pair produced by an iterator.
+type Entry struct {
+	Key   uint64
+	Value uint64
+}
+
+// Range iterates over all live entries, calling fn until it returns false.
+// Weakly consistent: entries inserted or deleted concurrently may or may
+// not be observed, but every returned pair was present at some point during
+// the traversal, and each bin is read atomically (version-validated).
+// Shadow entries are hidden, as everywhere.
+func (h *Handle) Range(fn func(key, val uint64) bool) {
+	ix := h.enter()
+	defer h.leave()
+	var buf [slotsPerBin]Entry
+	for b := uint64(0); b < ix.numBins; b++ {
+		n := h.t.collectBin(ix, b, buf[:0], 0)
+		for _, e := range n {
+			if !fn(e.Key, e.Value) {
+				return
+			}
+		}
+	}
+}
+
+// collectBin gathers the live entries of bin b with seqlock validation.
+// When the bin has been migrated it recurses into the successor index: with
+// hash-mod addressing and multiplicative growth, old bin b's keys land
+// exactly in new bins {b + j·oldBins}, so the traversal stays duplicate
+// free. depth bounds pathological recursion through nested resizes.
+func (t *Table) collectBin(ix *index, b uint64, out []Entry, depth int) []Entry {
+	hdrAddr := ix.headerAddr(b)
+	for attempt := 0; ; attempt++ {
+		hdr := atomic.LoadUint64(hdrAddr)
+		switch binState(hdr) {
+		case binInTransfer:
+			ix.waitBinTransferred(b)
+			continue
+		case binDoneTransfer:
+			if depth > 8 {
+				return out // give up on a resize storm; weak snapshot
+			}
+			nx := ix.nextIndex()
+			factor := nx.numBins / ix.numBins
+			if factor == 0 {
+				factor = 1
+			}
+			for j := uint64(0); j < factor; j++ {
+				out = t.collectBin(nx, b+j*ix.numBins, out, depth+1)
+			}
+			return out
+		}
+		meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+		limit := slotLimit(meta)
+		start := len(out)
+		for i := 0; i < limit; i++ {
+			if slotState(hdr, i) != slotValid {
+				continue
+			}
+			k, v := ix.loadSlot(b, meta, i)
+			out = append(out, Entry{k, v})
+		}
+		if atomic.LoadUint64(hdrAddr) == hdr {
+			return out
+		}
+		out = out[:start]
+		if attempt > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Snapshot returns a strongly consistent copy of all entries. It requires
+// Config.StrongSnapshots and blocks all mutating operations (but not Gets)
+// while it runs, matching the paper's "temporarily stalls updates"
+// semantics. The handle's goroutine must not hold other table state.
+func (h *Handle) Snapshot() ([]Entry, error) {
+	t := h.t
+	if !t.cfg.StrongSnapshots {
+		return nil, ErrWrongMode
+	}
+	if t.cfg.SingleThread {
+		return h.snapshotST(), nil
+	}
+	// Close the gate, then wait for in-flight updates to drain.
+	for !t.snapshotGate.CompareAndSwap(0, 1) {
+		runtime.Gosched() // another snapshot in progress
+	}
+	for t.updaters.Load() != 0 {
+		runtime.Gosched()
+	}
+	var out []Entry
+	h.Range(func(k, v uint64) bool {
+		out = append(out, Entry{k, v})
+		return true
+	})
+	t.snapshotGate.Store(0)
+	return out, nil
+}
+
+func (h *Handle) snapshotST() []Entry {
+	var out []Entry
+	ix := h.t.current.Load()
+	for b := uint64(0); b < ix.numBins; b++ {
+		hdr := *ix.headerAddr(b)
+		meta := *ix.linkMetaAddr(b)
+		limit := slotLimit(meta)
+		for i := 0; i < limit; i++ {
+			if slotState(hdr, i) != slotValid {
+				continue
+			}
+			kw := ix.slotKeyWord(b, meta, i)
+			p := slotPair(kw)
+			out = append(out, Entry{p[0], p[1]})
+		}
+	}
+	return out
+}
+
+// Len counts live entries with a weak traversal. O(bins); intended for
+// tests and tooling, not hot paths.
+func (h *Handle) Len() int {
+	n := 0
+	h.Range(func(uint64, uint64) bool { n++; return true })
+	return n
+}

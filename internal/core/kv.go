@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+)
+
+// Allocator mode (§3.1 mode 2, §3.4.1, §3.4.2): values — and keys larger
+// than 8 bytes — live out of line in blocks obtained from the configured
+// allocator. The slot's key word holds the inlined key (≤8 B) or the key's
+// first 8 bytes as a filter; the slot's value word packs a 48-bit block
+// reference with a 4-bit key-size code and a 12-bit namespace in the 16
+// most significant bits, exactly the paper's pointer-overloading layout.
+
+// Value-word encoding.
+const (
+	nsShift      = alloc.RefBits // bits 48..59
+	keyCodeShift = 60            // bits 60..63
+	nsMask       = 0xfff
+	// bigKeyCode marks keys longer than 8 bytes; their length lives in the
+	// block header ("four bits suffice, as keys larger than 8 bytes anyway
+	// need to dereference the pointer").
+	bigKeyCode = 0xf
+)
+
+// MaxNamespace is the largest namespace id (12 bits, §3.4.2).
+const MaxNamespace = nsMask
+
+// kvBlockHeader is the [klen u32][vlen u32] prefix stored when either
+// VariableKV is enabled or the key does not fit the slot.
+const kvBlockHeader = 8
+
+// Errors specific to Allocator mode.
+var (
+	// ErrValueSize flags a value whose size differs from Config.ValueSize
+	// on a table without VariableKV.
+	ErrValueSize = errors.New("dlht: value size differs from Config.ValueSize (enable VariableKV)")
+	// ErrNamespace flags a namespace id out of range or used on a table
+	// without Namespaces enabled.
+	ErrNamespace = errors.New("dlht: namespace out of range or not enabled")
+	// ErrEmptyKey flags zero-length keys.
+	ErrEmptyKey = errors.New("dlht: empty key")
+)
+
+func encodeSlotVal(ref alloc.Ref, keyCode int, ns uint16) uint64 {
+	return uint64(ref) | uint64(ns&nsMask)<<nsShift | uint64(keyCode)<<keyCodeShift
+}
+
+func refOf(v uint64) alloc.Ref { return alloc.Ref(v & alloc.RefMask) }
+func keyCodeOf(v uint64) int   { return int(v >> keyCodeShift) }
+func nsOf(v uint64) uint16     { return uint16(v>>nsShift) & nsMask }
+
+// inlineKeyWord packs up to the first 8 key bytes little-endian.
+func inlineKeyWord(key []byte) uint64 {
+	var w uint64
+	n := len(key)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		w |= uint64(key[i]) << (8 * uint(i))
+	}
+	return w
+}
+
+// keyCodeFor returns the 4-bit key-size code for a key.
+func keyCodeFor(key []byte) int {
+	if len(key) > 8 {
+		return bigKeyCode
+	}
+	return len(key)
+}
+
+// binForKV maps a byte key (plus namespace salt) to a bin.
+func (t *Table) binForKV(ix *index, key []byte, ns uint16) uint64 {
+	hv := t.hashB(key)
+	if ns != 0 {
+		hv ^= (uint64(ns) + 1) * 0x9e3779b97f4a7c15
+	}
+	return hv % ix.numBins
+}
+
+// checkKV validates mode, namespace and value size for the KV API.
+func (t *Table) checkKV(ns uint16, key []byte, val []byte, isInsert bool) error {
+	if t.cfg.Mode != Allocator {
+		return ErrWrongMode
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if ns != 0 && (!t.cfg.Namespaces || ns > MaxNamespace) {
+		return ErrNamespace
+	}
+	if isInsert && !t.cfg.VariableKV && len(val) != t.cfg.ValueSize {
+		return ErrValueSize
+	}
+	return nil
+}
+
+// blockGeometry computes the block size and the value offset for a pair.
+func (t *Table) blockGeometry(klen, vlen int) (size, valOff int) {
+	hasHdr := t.cfg.VariableKV || klen > 8
+	if hasHdr {
+		valOff = kvBlockHeader
+		if klen > 8 {
+			valOff += klen
+		}
+	}
+	return valOff + vlen, valOff
+}
+
+// writeBlock fills a freshly allocated block.
+func (t *Table) writeBlock(b []byte, key, val []byte) {
+	hasHdr := t.cfg.VariableKV || len(key) > 8
+	off := 0
+	if hasHdr {
+		putU32(b[0:], uint32(len(key)))
+		putU32(b[4:], uint32(len(val)))
+		off = kvBlockHeader
+		if len(key) > 8 {
+			copy(b[off:], key)
+			off += len(key)
+		}
+	}
+	copy(b[off:], val)
+}
+
+// valueView resolves the value bytes of a slot's value word. vlenHint is
+// used when the block has no header (fixed-size values, inlined key).
+func (t *Table) valueView(val uint64) []byte {
+	ref := refOf(val)
+	hasHdr := t.cfg.VariableKV || keyCodeOf(val) == bigKeyCode
+	if !hasHdr {
+		return t.cfg.Alloc.Bytes(ref, t.cfg.ValueSize)
+	}
+	hdr := t.cfg.Alloc.Bytes(ref, kvBlockHeader)
+	klen := int(getU32(hdr[0:]))
+	vlen := int(getU32(hdr[4:]))
+	valOff := kvBlockHeader
+	if klen > 8 {
+		valOff += klen
+	}
+	return t.cfg.Alloc.Bytes(ref, valOff+vlen)[valOff:]
+}
+
+// matchKV reports whether a slot's (keyWord, valWord) matches the lookup
+// key. Cheap filters first (key word, size code, namespace), then the full
+// out-of-line comparison for big keys.
+func (t *Table) matchKV(kw, vw uint64, wantKW uint64, wantCode int, ns uint16, key []byte) bool {
+	if kw != wantKW || keyCodeOf(vw) != wantCode || nsOf(vw) != ns {
+		return false
+	}
+	if wantCode != bigKeyCode {
+		return true
+	}
+	ref := refOf(vw)
+	hdr := t.cfg.Alloc.Bytes(ref, kvBlockHeader)
+	klen := int(getU32(hdr[0:]))
+	if klen != len(key) {
+		return false
+	}
+	stored := t.cfg.Alloc.Bytes(ref, kvBlockHeader+klen)[kvBlockHeader:]
+	for i := range key {
+		if stored[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scanBinKV is scanBin with the Allocator-mode match predicate. Big-key
+// block reads race with frees only when the slot was concurrently deleted,
+// in which case the final header validation forces a retry; the arena keeps
+// the memory mapped, so the stale read is safe.
+func (t *Table) scanBinKV(ix *index, b uint64, hdr uint64, wantKW uint64, wantCode int, ns uint16, key []byte) (slot int, val uint64) {
+	meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+	limit := slotLimit(meta)
+	hdrAddr := ix.headerAddr(b)
+	for i := 0; i < limit; i++ {
+		if slotState(hdr, i) != slotValid {
+			continue
+		}
+		kw, vw := ix.loadSlot(b, meta, i)
+		if !t.matchKV(kw, vw, wantKW, wantCode, ns, key) {
+			continue
+		}
+		if atomic.LoadUint64(hdrAddr) != hdr {
+			return scanRetry, 0
+		}
+		return i, vw
+	}
+	if atomic.LoadUint64(hdrAddr) != hdr {
+		return scanRetry, 0
+	}
+	return scanMiss, 0
+}
+
+// ---------------------------------------------------------------------------
+// Public KV API
+// ---------------------------------------------------------------------------
+
+// GetKV looks up key under namespace ns and returns a view of its value —
+// the paper's pointer API (§3.2.1): no copy is made, and the caller may
+// mutate the view in place to update the value. With EpochGC enabled the
+// view stays valid until this handle's next AdvanceEpoch call; without it,
+// until the key is deleted.
+func (h *Handle) GetKV(ns uint16, key []byte) ([]byte, bool) {
+	t := h.t
+	if err := t.checkKV(ns, key, nil, false); err != nil {
+		panic(err)
+	}
+	ix := h.enter()
+	defer h.leave()
+	wantKW := inlineKeyWord(key)
+	wantCode := keyCodeFor(key)
+	for {
+		b := t.binForKV(ix, key, ns)
+		for {
+			hdr := atomic.LoadUint64(ix.headerAddr(b))
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, vw := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss {
+				return nil, false
+			}
+			return t.valueView(vw), true
+		}
+	}
+}
+
+// GetKVCopy is GetKV but returns a private copy of the value, for callers
+// that must hold it across epoch advances.
+func (h *Handle) GetKVCopy(ns uint16, key []byte) ([]byte, bool) {
+	v, ok := h.GetKV(ns, key)
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// UpdateKV applies fn to the live value of key in place — the pointer-API
+// update pattern motivated in §3.2.1 (read-modify-write, partial updates,
+// custom concurrency). fn must synchronize with other writers of the same
+// key at the application level. Returns false when the key is absent.
+func (h *Handle) UpdateKV(ns uint16, key []byte, fn func(val []byte)) bool {
+	v, ok := h.GetKV(ns, key)
+	if !ok {
+		return false
+	}
+	fn(v)
+	return true
+}
+
+// InsertKV adds key→val under namespace ns. Returns ErrExists if the key is
+// present, ErrFull when out of room on a non-resizable table, ErrValueSize
+// on fixed-size tables with a mismatched value.
+func (h *Handle) InsertKV(ns uint16, key, val []byte) error {
+	t := h.t
+	if err := t.checkKV(ns, key, val, true); err != nil {
+		return err
+	}
+	t.beginUpdate()
+	ix := h.enter()
+	err := t.insertKVIn(h, ix, ns, key, val)
+	h.leave()
+	t.endUpdate()
+	return err
+}
+
+func (t *Table) insertKVIn(h *Handle, ix *index, ns uint16, key, val []byte) error {
+	wantKW := inlineKeyWord(key)
+	wantCode := keyCodeFor(key)
+	// The block is allocated once and reused across retries; freed on any
+	// failure path (paper §3.2.2 Allocator note).
+	var ref alloc.Ref
+	fail := func(err error) error {
+		if !ref.IsNil() {
+			t.cfg.Alloc.Free(ref)
+		}
+		return err
+	}
+indexLoop:
+	for {
+		b := t.binForKV(ix, key, ns)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				continue indexLoop
+			}
+			slot, _ := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
+			if slot == scanRetry {
+				continue
+			}
+			if slot >= 0 {
+				return fail(ErrExists)
+			}
+			i := firstInvalidSlot(hdr, slotsPerBin)
+			if i < 0 {
+				nx, err := t.resizeOrFail(h, ix)
+				if err != nil {
+					return fail(err)
+				}
+				ix = nx
+				continue indexLoop
+			}
+			if !atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotTryInsert))) {
+				continue
+			}
+			meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+			if need, field := slotNeedsChain(meta, i); need {
+				newMeta, ok := t.chainBucket(ix, b, field)
+				if !ok {
+					t.releaseSlot(ix, b, i)
+					nx, err := t.resizeOrFail(h, ix)
+					if err != nil {
+						return fail(err)
+					}
+					ix = nx
+					continue indexLoop
+				}
+				meta = newMeta
+			}
+			// Allocate and fill the out-of-line block now that the slot is
+			// claimed (§3.2.2: "the Insert algorithm allocates memory in
+			// step 4.1").
+			if ref.IsNil() {
+				size, _ := t.blockGeometry(len(key), len(val))
+				var blk []byte
+				ref, blk = t.cfg.Alloc.Alloc(size)
+				t.writeBlock(blk, key, val)
+			}
+			ix.storeSlot(b, meta, i, wantKW, encodeSlotVal(ref, wantCode, ns))
+			err, done := t.finalizeInsertKV(ix, b, i, wantKW, wantCode, ns, key)
+			if done {
+				if err != nil {
+					return fail(err)
+				}
+				return nil
+			}
+			ix = ix.nextIndex()
+			continue indexLoop
+		}
+	}
+}
+
+// finalizeInsertKV is step 5 for the KV path.
+func (t *Table) finalizeInsertKV(ix *index, b uint64, i int, wantKW uint64, wantCode int, ns uint16, key []byte) (error, bool) {
+	hdrAddr := ix.headerAddr(b)
+	for {
+		hdr := atomic.LoadUint64(hdrAddr)
+		if binState(hdr) != binNoTransfer {
+			if binState(hdr) == binInTransfer {
+				ix.waitBinTransferred(b)
+			}
+			return nil, false
+		}
+		slot, _ := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
+		if slot == scanRetry {
+			continue
+		}
+		if slot >= 0 && slot != i {
+			t.releaseSlot(ix, b, i)
+			return ErrExists, true
+		}
+		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotValid))) {
+			return nil, true
+		}
+	}
+}
+
+// DeleteKV removes key under namespace ns, reclaiming the slot instantly
+// and the out-of-line block immediately or via the epoch GC.
+func (h *Handle) DeleteKV(ns uint16, key []byte) bool {
+	t := h.t
+	if err := t.checkKV(ns, key, nil, false); err != nil {
+		panic(err)
+	}
+	t.beginUpdate()
+	ix := h.enter()
+	ok := t.deleteKVIn(h, ix, ns, key)
+	h.leave()
+	t.endUpdate()
+	return ok
+}
+
+func (t *Table) deleteKVIn(h *Handle, ix *index, ns uint16, key []byte) bool {
+	wantKW := inlineKeyWord(key)
+	wantCode := keyCodeFor(key)
+	for {
+		b := t.binForKV(ix, key, ns)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, vw := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, slotInvalid))) {
+				t.afterDelete(h, vw)
+				return true
+			}
+		}
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

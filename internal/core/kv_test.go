@@ -1,0 +1,433 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+func newKV(t *testing.T, cfg Config) (*Table, *Handle) {
+	t.Helper()
+	cfg.Mode = Allocator
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, tb.MustHandle()
+}
+
+func TestKVBasicFixedSize(t *testing.T) {
+	_, h := newKV(t, Config{Bins: 64, ValueSize: 16})
+	key := []byte("k1")
+	val := bytes.Repeat([]byte{0xab}, 16)
+	if err := h.InsertKV(0, key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := h.GetKV(0, key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("GetKV = (%x,%v)", got, ok)
+	}
+	if !h.DeleteKV(0, key) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := h.GetKV(0, key); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestKVFixedSizeRejectsWrongValueLen(t *testing.T) {
+	_, h := newKV(t, Config{Bins: 64, ValueSize: 8})
+	if err := h.InsertKV(0, []byte("k"), make([]byte, 9)); !errors.Is(err, ErrValueSize) {
+		t.Fatalf("err = %v, want ErrValueSize", err)
+	}
+}
+
+func TestKVVariableSizes(t *testing.T) {
+	// The paper's §3.4.1 example: a 2-byte key with a 5-byte value next to
+	// a 128-byte key with a 1024-byte value in the same index.
+	_, h := newKV(t, Config{Bins: 64, VariableKV: true})
+	small := []byte("ab")
+	smallVal := []byte("hello")
+	big := bytes.Repeat([]byte("K"), 128)
+	bigVal := bytes.Repeat([]byte("V"), 1024)
+	if err := h.InsertKV(0, small, smallVal); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertKV(0, big, bigVal); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.GetKV(0, small); !ok || !bytes.Equal(v, smallVal) {
+		t.Fatalf("small = (%q,%v)", v, ok)
+	}
+	if v, ok := h.GetKV(0, big); !ok || !bytes.Equal(v, bigVal) {
+		t.Fatalf("big: ok=%v len=%d", ok, len(v))
+	}
+}
+
+func TestKVBigKeysSharedPrefix(t *testing.T) {
+	// Keys longer than 8 bytes share their filter word; the full key in the
+	// block must disambiguate.
+	_, h := newKV(t, Config{Bins: 1, LinkRatio: 1, VariableKV: true})
+	k1 := []byte("prefix-0-AAAA")
+	k2 := []byte("prefix-0-BBBB")
+	k3 := []byte("prefix-0-AAAA-even-longer")
+	for i, k := range [][]byte{k1, k2, k3} {
+		if err := h.InsertKV(0, k, []byte{byte(i)}); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	for i, k := range [][]byte{k1, k2, k3} {
+		v, ok := h.GetKV(0, k)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("GetKV(%q) = (%v,%v), want %d", k, v, ok, i)
+		}
+	}
+	if err := h.InsertKV(0, k1, []byte{9}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate big key err = %v", err)
+	}
+	if !h.DeleteKV(0, k2) {
+		t.Fatal("delete k2")
+	}
+	if _, ok := h.GetKV(0, k2); ok {
+		t.Fatal("k2 visible after delete")
+	}
+	if _, ok := h.GetKV(0, k1); !ok {
+		t.Fatal("k1 lost")
+	}
+}
+
+func TestKVShortKeysDistinguishedByLength(t *testing.T) {
+	// "ab" and "ab\x00" share an inline key word; the 4-bit size code must
+	// keep them distinct.
+	_, h := newKV(t, Config{Bins: 16, VariableKV: true})
+	if err := h.InsertKV(0, []byte("ab"), []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertKV(0, []byte("ab\x00"), []byte{2}); err != nil {
+		t.Fatalf("length-distinct key rejected: %v", err)
+	}
+	v1, _ := h.GetKV(0, []byte("ab"))
+	v2, _ := h.GetKV(0, []byte("ab\x00"))
+	if v1[0] != 1 || v2[0] != 2 {
+		t.Fatalf("values = %v, %v", v1, v2)
+	}
+}
+
+func TestKVNamespaces(t *testing.T) {
+	_, h := newKV(t, Config{Bins: 64, VariableKV: true, Namespaces: true})
+	key := []byte("conflict")
+	for ns := uint16(0); ns < 5; ns++ {
+		if err := h.InsertKV(ns, key, []byte{byte(ns)}); err != nil {
+			t.Fatalf("ns %d: %v", ns, err)
+		}
+	}
+	for ns := uint16(0); ns < 5; ns++ {
+		v, ok := h.GetKV(ns, key)
+		if !ok || v[0] != byte(ns) {
+			t.Fatalf("ns %d: (%v,%v)", ns, v, ok)
+		}
+	}
+	// Deleting in one namespace leaves the others.
+	if !h.DeleteKV(2, key) {
+		t.Fatal("delete ns 2")
+	}
+	if _, ok := h.GetKV(2, key); ok {
+		t.Fatal("ns 2 still visible")
+	}
+	if _, ok := h.GetKV(3, key); !ok {
+		t.Fatal("ns 3 collateral damage")
+	}
+}
+
+func TestKVNamespaceValidation(t *testing.T) {
+	_, h := newKV(t, Config{Bins: 16, VariableKV: true}) // namespaces off
+	if err := h.InsertKV(7, []byte("k"), []byte("v")); !errors.Is(err, ErrNamespace) {
+		t.Fatalf("err = %v, want ErrNamespace", err)
+	}
+}
+
+func TestKVEmptyKeyRejected(t *testing.T) {
+	_, h := newKV(t, Config{Bins: 16, VariableKV: true})
+	if err := h.InsertKV(0, nil, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("err = %v, want ErrEmptyKey", err)
+	}
+}
+
+func TestKVWrongModePanics(t *testing.T) {
+	tb := MustNew(Config{Bins: 16})
+	h := tb.MustHandle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.GetKV(0, []byte("k"))
+}
+
+func TestKVUpdateInPlace(t *testing.T) {
+	// The pointer API of §3.2.1: Gets return a mutable view.
+	_, h := newKV(t, Config{Bins: 64, ValueSize: 8})
+	h.InsertKV(0, []byte("ctr"), make([]byte, 8))
+	for i := 0; i < 10; i++ {
+		ok := h.UpdateKV(0, []byte("ctr"), func(v []byte) { v[0]++ })
+		if !ok {
+			t.Fatal("update lost key")
+		}
+	}
+	v, _ := h.GetKV(0, []byte("ctr"))
+	if v[0] != 10 {
+		t.Fatalf("counter = %d, want 10", v[0])
+	}
+}
+
+func TestKVAllocatorReclaimsOnDelete(t *testing.T) {
+	a := alloc.NewArena()
+	tb := MustNew(Config{Mode: Allocator, Bins: 64, ValueSize: 32, Alloc: a})
+	h := tb.MustHandle()
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%02d", i))
+		if err := h.InsertKV(0, key, make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%02d", i))
+		if !h.DeleteKV(0, key) {
+			t.Fatal("delete")
+		}
+	}
+	s := a.Stats()
+	if s.Allocs != s.Frees {
+		t.Fatalf("allocs %d != frees %d (leak without epoch GC)", s.Allocs, s.Frees)
+	}
+}
+
+func TestKVFailedInsertFreesBlock(t *testing.T) {
+	a := alloc.NewArena()
+	tb := MustNew(Config{Mode: Allocator, Bins: 64, ValueSize: 8, Alloc: a})
+	h := tb.MustHandle()
+	h.InsertKV(0, []byte("dup"), make([]byte, 8))
+	before := a.Stats()
+	if err := h.InsertKV(0, []byte("dup"), make([]byte, 8)); !errors.Is(err, ErrExists) {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	if after.Allocs-before.Allocs != after.Frees-before.Frees {
+		t.Fatalf("failed insert leaked a block: %+v -> %+v", before, after)
+	}
+}
+
+func TestKVEpochGCDefersFrees(t *testing.T) {
+	a := alloc.NewArena()
+	tb := MustNew(Config{
+		Mode: Allocator, Bins: 64, ValueSize: 8, Alloc: a,
+		EpochGC: true, MaxThreads: 2,
+	})
+	h := tb.MustHandle()
+	h.InsertKV(0, []byte("k"), make([]byte, 8))
+	if !h.DeleteKV(0, []byte("k")) {
+		t.Fatal("delete")
+	}
+	if f := a.Stats().Frees; f != 0 {
+		t.Fatalf("block freed immediately despite epoch GC (frees=%d)", f)
+	}
+	// Advancing the epoch from all threads eventually reclaims.
+	freed := 0
+	for i := 0; i < 6 && freed == 0; i++ {
+		freed += h.AdvanceEpoch()
+	}
+	if freed == 0 {
+		t.Fatal("epoch GC never freed the retired block")
+	}
+	if tb.Stats().EpochFrees == 0 {
+		t.Fatal("EpochFrees counter not updated")
+	}
+}
+
+func TestKVResizePreservesPairs(t *testing.T) {
+	tb := MustNew(Config{
+		Mode: Allocator, Bins: 4, VariableKV: true, Resizable: true, ChunkBins: 2,
+	})
+	h := tb.MustHandle()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 1+i%60)
+		if err := h.InsertKV(0, key, val); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tb.Stats().Resizes == 0 {
+		t.Fatal("expected resizes")
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		v, ok := h.GetKV(0, key)
+		if !ok || len(v) != 1+i%60 || (len(v) > 0 && v[0] != byte(i)) {
+			t.Fatalf("pair %d corrupted after resize: ok=%v len=%d", i, ok, len(v))
+		}
+	}
+}
+
+func TestKVBigKeyResize(t *testing.T) {
+	// Big keys force the migration to re-hash via the block (§3.4.1 path).
+	tb := MustNew(Config{
+		Mode: Allocator, Bins: 2, VariableKV: true, Resizable: true, ChunkBins: 1,
+	})
+	h := tb.MustHandle()
+	const n = 300
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("a-very-long-key-beyond-8-bytes-%05d", i))
+		if err := h.InsertKV(0, key, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("a-very-long-key-beyond-8-bytes-%05d", i))
+		v, ok := h.GetKV(0, key)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("big key %d lost after resize", i)
+		}
+	}
+}
+
+func TestKVConcurrent(t *testing.T) {
+	tb := MustNew(Config{
+		Mode: Allocator, Bins: 256, VariableKV: true, Resizable: true,
+		ChunkBins: 64, MaxThreads: 16,
+	})
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tb.MustHandle()
+			for i := 0; i < 3000; i++ {
+				key := []byte(fmt.Sprintf("w%d-k%04d", w, i%200))
+				switch i % 3 {
+				case 0:
+					h.InsertKV(0, key, []byte(fmt.Sprintf("v%d", i)))
+				case 1:
+					h.GetKV(0, key)
+				default:
+					h.DeleteKV(0, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNaiveAllocatorBackend(t *testing.T) {
+	tb := MustNew(Config{Mode: Allocator, Bins: 64, ValueSize: 8, Alloc: alloc.NewNaive()})
+	h := tb.MustHandle()
+	if err := h.InsertKV(0, []byte("k"), []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := h.GetKV(0, []byte("k"))
+	if !ok || string(v) != "12345678" {
+		t.Fatalf("naive backend GetKV = (%q,%v)", v, ok)
+	}
+}
+
+func TestGetKVBatch(t *testing.T) {
+	_, h := newKV(t, Config{Bins: 256, VariableKV: true, Namespaces: true})
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("batch-key-%03d", i))
+		if err := h.InsertKV(uint16(i%3), key, bytes.Repeat([]byte{byte(i)}, 1+i%20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := make([]KVGet, 32)
+	for i := range reqs {
+		reqs[i] = KVGet{NS: uint16(i % 3), Key: []byte(fmt.Sprintf("batch-key-%03d", i))}
+	}
+	reqs = append(reqs, KVGet{NS: 0, Key: []byte("missing")})
+	h.GetKVBatch(reqs)
+	for i := 0; i < 32; i++ {
+		if !reqs[i].OK {
+			t.Fatalf("req %d not found", i)
+		}
+		want := bytes.Repeat([]byte{byte(i)}, 1+i%20)
+		if !bytes.Equal(reqs[i].Value, want) {
+			t.Fatalf("req %d value = %v, want %v", i, reqs[i].Value, want)
+		}
+	}
+	if reqs[32].OK || reqs[32].Value != nil {
+		t.Fatal("missing key reported found")
+	}
+}
+
+func TestGetKVBatchWrongModePanics(t *testing.T) {
+	tb := MustNew(Config{Bins: 16})
+	h := tb.MustHandle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.GetKVBatch([]KVGet{{Key: []byte("k")}})
+}
+
+func TestGetKVBatchLarge(t *testing.T) {
+	// Batches larger than the internal stack buffer must still work.
+	_, h := newKV(t, Config{Bins: 1 << 10, ValueSize: 8})
+	const n = 200
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("large-%04d", i))
+		if err := h.InsertKV(0, key, []byte{byte(i), 0, 0, 0, 0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := make([]KVGet, n)
+	for i := range reqs {
+		reqs[i] = KVGet{Key: []byte(fmt.Sprintf("large-%04d", i))}
+	}
+	h.GetKVBatch(reqs)
+	for i := range reqs {
+		if !reqs[i].OK || reqs[i].Value[0] != byte(i) {
+			t.Fatalf("req %d = (%v,%v)", i, reqs[i].Value, reqs[i].OK)
+		}
+	}
+}
+
+func TestGetKVBatchDuringResize(t *testing.T) {
+	tb := MustNew(Config{
+		Mode: Allocator, Bins: 4, VariableKV: true,
+		Resizable: true, ChunkBins: 1, MaxThreads: 8,
+	})
+	h := tb.MustHandle()
+	const n = 400
+	for i := 0; i < n; i++ {
+		h.InsertKV(0, []byte(fmt.Sprintf("rz-%04d", i)), []byte{byte(i)})
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := tb.MustHandle()
+		for i := n; i < n+3000; i++ {
+			w.InsertKV(0, []byte(fmt.Sprintf("rz-%04d", i)), []byte{1})
+		}
+	}()
+	reqs := make([]KVGet, 16)
+	for round := 0; round < 100; round++ {
+		for i := range reqs {
+			idx := (round*16 + i) % n
+			reqs[i] = KVGet{Key: []byte(fmt.Sprintf("rz-%04d", idx))}
+		}
+		h.GetKVBatch(reqs)
+		for i := range reqs {
+			idx := (round*16 + i) % n
+			if !reqs[i].OK || reqs[i].Value[0] != byte(idx) {
+				t.Fatalf("round %d req %d lost during resize", round, i)
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/cpuops"
+)
+
+// Allocator-mode batching (§3.3): "Unlike MICA, our pointer-based API also
+// allows us to prefetch the externally stored values in Allocator mode."
+// GetKVBatch runs in three phases: prefetch every request's bin, locate the
+// slots (bins now cached) while prefetching each hit's out-of-line block,
+// then materialize the value views (blocks now cached). Request order is
+// preserved in the results.
+
+// KVGet is one request of a GetKVBatch.
+type KVGet struct {
+	NS  uint16
+	Key []byte
+
+	// Value is the pointer-API view of the value (nil when not found).
+	// The same lifetime rules as GetKV apply.
+	Value []byte
+	OK    bool
+}
+
+// GetKVBatch performs a batch of Allocator-mode lookups with two-level
+// software prefetching (index bins, then value blocks).
+func (h *Handle) GetKVBatch(reqs []KVGet) {
+	t := h.t
+	if t.cfg.Mode != Allocator {
+		panic(ErrWrongMode)
+	}
+	ix := h.enter()
+	defer h.leave()
+
+	// Phase 1: prefetch every bin.
+	for i := range reqs {
+		b := t.binForKV(ix, reqs[i].Key, reqs[i].NS)
+		cpuops.PrefetchUint64(ix.headerAddr(b))
+	}
+	// Phase 2: locate slots; prefetch each hit's block before touching it.
+	type hit struct {
+		val uint64
+	}
+	// Small stack buffer for the common batch sizes.
+	var buf [64]hit
+	hits := buf[:0]
+	if len(reqs) > len(buf) {
+		hits = make([]hit, 0, len(reqs))
+	}
+	for i := range reqs {
+		vw, ok := t.lookupKVSlot(ix, reqs[i].NS, reqs[i].Key)
+		reqs[i].OK = ok
+		if ok {
+			blk := t.cfg.Alloc.Bytes(refOf(vw), 1)
+			cpuops.Prefetch(unsafe.Pointer(&blk[0]))
+		}
+		hits = append(hits, hit{vw})
+	}
+	// Phase 3: materialize the views; block headers are now cached.
+	for i := range reqs {
+		if reqs[i].OK {
+			reqs[i].Value = t.valueView(hits[i].val)
+		} else {
+			reqs[i].Value = nil
+		}
+	}
+}
+
+// lookupKVSlot runs the Get algorithm and returns the slot's value word.
+func (t *Table) lookupKVSlot(ix *index, ns uint16, key []byte) (uint64, bool) {
+	wantKW := inlineKeyWord(key)
+	wantCode := keyCodeFor(key)
+	for {
+		b := t.binForKV(ix, key, ns)
+		for {
+			hdr := atomic.LoadUint64(ix.headerAddr(b))
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, vw := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss {
+				return 0, false
+			}
+			return vw, true
+		}
+	}
+}

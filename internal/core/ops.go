@@ -1,0 +1,482 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Scan results for scanBin.
+const (
+	scanMiss  = -1 // key not in the bin (validated)
+	scanRetry = -2 // header moved during the scan; caller must retry
+)
+
+// scanBin runs the Get algorithm's linear search (§3.2.1) over bin b of ix
+// under the header snapshot hdr. It returns the slot holding key together
+// with its value word and slot state, or scanMiss/scanRetry. skipSlot
+// excludes a slot the caller owns in TryInsert state; includeShadow makes
+// Shadow slots visible (they are hidden from normal Gets/Puts/Deletes).
+//
+// Consistency: the final header reload validates every key/value read made
+// under hdr — any concurrent Insert/Delete/transfer bumps the version and
+// forces scanRetry. Puts do not bump the version, but they replace only the
+// value word of a slot whose key word is unchanged, so a value read that
+// races a Put returns either the old or the new value, both linearizable.
+func (ix *index) scanBin(b uint64, hdr uint64, key uint64, skipSlot int, includeShadow bool) (slot int, val uint64, state uint64) {
+	meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+	limit := slotLimit(meta)
+	hdrAddr := ix.headerAddr(b)
+	for i := 0; i < limit; i++ {
+		if i == skipSlot {
+			continue
+		}
+		s := slotState(hdr, i)
+		if s != slotValid && (!includeShadow || s != slotShadow) {
+			continue
+		}
+		k, v := ix.loadSlot(b, meta, i)
+		if k != key {
+			continue
+		}
+		if atomic.LoadUint64(hdrAddr) != hdr {
+			return scanRetry, 0, 0
+		}
+		return i, v, s
+	}
+	if atomic.LoadUint64(hdrAddr) != hdr {
+		return scanRetry, 0, 0
+	}
+	return scanMiss, 0, 0
+}
+
+// waitBinTransferred spins until bin b leaves the InTransfer state. Bin
+// transfers copy at most 15 slots, so the wait is short; this is the only
+// place a non-resize operation can block, which is what makes DLHT
+// "practically" rather than strictly non-blocking (§2.1).
+func (ix *index) waitBinTransferred(b uint64) {
+	hdrAddr := ix.headerAddr(b)
+	for spins := 0; ; spins++ {
+		if binState(atomic.LoadUint64(hdrAddr)) != binInTransfer {
+			return
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// nextIndex returns the successor index, spinning until the resizer has
+// published it. A bin can only be In/DoneTransfer after publication, so the
+// wait is momentary.
+func (ix *index) nextIndex() *index {
+	for {
+		if nx := ix.next.Load(); nx != nil {
+			return nx
+		}
+		runtime.Gosched()
+	}
+}
+
+// redirect resolves the index an operation on bin b must run against:
+// it waits out an in-flight bin transfer and follows the next pointer when
+// the bin has already moved. Returns nil if the operation may proceed on ix.
+func (ix *index) redirect(b uint64, hdr uint64) *index {
+	switch binState(hdr) {
+	case binNoTransfer:
+		return nil
+	case binInTransfer:
+		ix.waitBinTransferred(b)
+		return ix.nextIndex()
+	default: // binDoneTransfer
+		return ix.nextIndex()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Get (§3.2.1)
+// ---------------------------------------------------------------------------
+
+// Get returns the value stored under key in Inlined mode, or reports
+// whether the key exists in HashSet mode (the value is then 0). It is
+// lock-free and in the common case costs a single memory access.
+func (h *Handle) Get(key uint64) (uint64, bool) {
+	if h.t.cfg.SingleThread {
+		return h.stGet(key)
+	}
+	ix := h.enter()
+	v, ok := h.t.getIn(ix, key)
+	h.leave()
+	return v, ok
+}
+
+// Contains reports whether key is present (HashSet-friendly spelling).
+func (h *Handle) Contains(key uint64) bool {
+	_, ok := h.Get(key)
+	return ok
+}
+
+func (t *Table) getIn(ix *index, key uint64) (uint64, bool) {
+	for {
+		b := t.binFor(ix, key)
+		for {
+			hdr := atomic.LoadUint64(ix.headerAddr(b))
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break // recompute bin in the next index
+			}
+			slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
+			switch slot {
+			case scanRetry:
+				continue
+			case scanMiss:
+				return 0, false
+			default:
+				return v, true
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Insert (§3.2.2)
+// ---------------------------------------------------------------------------
+
+// Insert adds key→val. It returns (0, nil) on success; (existing, ErrExists)
+// when the key is already present; (0, ErrShadow) when the key is locked by
+// an uncommitted shadow insert; (0, ErrFull) when the index is full and the
+// table is not resizable; and (0, ErrReservedKey) for transfer-key values.
+// In HashSet mode val is ignored.
+func (h *Handle) Insert(key, val uint64) (uint64, error) {
+	return h.insertState(key, val, slotValid)
+}
+
+// InsertShadow performs the transactional shadow Insert of §3.2.2: the key
+// is inserted but remains hidden from Gets, Puts and Deletes until
+// CommitShadow is called. A shadow insert acts as an exclusive lock on the
+// key: concurrent Inserts of the same key fail with ErrShadow.
+func (h *Handle) InsertShadow(key, val uint64) (uint64, error) {
+	return h.insertState(key, val, slotShadow)
+}
+
+// CommitShadow finishes a shadow insert: commit=true publishes the key
+// (state→Valid), commit=false aborts it (state→Invalid, slot reclaimed).
+// Returns false if no shadow entry for key exists.
+func (h *Handle) CommitShadow(key uint64, commit bool) bool {
+	if h.t.cfg.SingleThread {
+		return h.stCommitShadow(key, commit)
+	}
+	ix := h.enter()
+	defer h.leave()
+	h.t.beginUpdate()
+	defer h.t.endUpdate()
+	t := h.t
+	for {
+		b := t.binFor(ix, key)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, _, st := ix.scanBin(b, hdr, key, -1, true)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss || st != slotShadow {
+				return false
+			}
+			target := slotValid
+			if !commit {
+				target = slotInvalid
+			}
+			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, target))) {
+				return true
+			}
+		}
+	}
+}
+
+func (h *Handle) insertState(key, val uint64, finalState uint64) (uint64, error) {
+	if isReserved(key) {
+		return 0, ErrReservedKey
+	}
+	if h.t.cfg.SingleThread {
+		return h.stInsert(key, val, finalState)
+	}
+	h.t.beginUpdate()
+	ix := h.enter()
+	v, err := h.t.insertIn(h, ix, key, val, finalState)
+	h.leave()
+	h.t.endUpdate()
+	return v, err
+}
+
+// insertIn is the concurrent Insert body. It does not bracket itself with
+// beginUpdate/endUpdate — the public entry points do — because the resize
+// transfer re-enters it while an update is already in flight, and a strong
+// snapshot draining the updater count must not deadlock against it.
+func (t *Table) insertIn(h *Handle, ix *index, key, val uint64, finalState uint64) (uint64, error) {
+indexLoop:
+	for {
+		b := t.binFor(ix, key)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				continue indexLoop
+			}
+			// Step 2: Get phase — the key must not already exist.
+			slot, v, st := ix.scanBin(b, hdr, key, -1, true)
+			if slot == scanRetry {
+				continue
+			}
+			if slot >= 0 {
+				if st == slotShadow {
+					return 0, ErrShadow
+				}
+				return v, ErrExists
+			}
+			// Step 3: pick the first Invalid slot (chaining on demand).
+			i := firstInvalidSlot(hdr, slotsPerBin)
+			if i < 0 {
+				nx, err := t.resizeOrFail(h, ix)
+				if err != nil {
+					return 0, err
+				}
+				ix = nx
+				continue indexLoop
+			}
+			// Step 4: claim the slot via header CAS.
+			if !atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotTryInsert))) {
+				continue
+			}
+			// Chain a link bucket if the claimed slot needs one (§3.2.2
+			// "Chaining buckets").
+			meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+			if need, field := slotNeedsChain(meta, i); need {
+				newMeta, ok := t.chainBucket(ix, b, field)
+				if !ok {
+					t.releaseSlot(ix, b, i)
+					nx, err := t.resizeOrFail(h, ix)
+					if err != nil {
+						return 0, err
+					}
+					ix = nx
+					continue indexLoop
+				}
+				meta = newMeta
+			}
+			// Step 4.1: fill the slot while it is invisible.
+			ix.storeSlot(b, meta, i, key, val)
+			// Step 5: publish via a second header CAS.
+			v, err, done := t.finalizeInsert(ix, b, i, key, finalState)
+			if done {
+				return v, err
+			}
+			// Bin was caught by a transfer mid-insert: retry in the next
+			// index; the abandoned TryInsert slot dies with the old index.
+			ix = ix.nextIndex()
+			continue indexLoop
+		}
+	}
+}
+
+// finalizeInsert performs step 5 of the Insert algorithm: transition slot i
+// from TryInsert to finalState. On a lost race with another insert of the
+// same key it releases the claimed slot and reports ErrExists/ErrShadow.
+// done=false means the bin entered a transfer and the caller must redo the
+// insert in the next index.
+func (t *Table) finalizeInsert(ix *index, b uint64, i int, key uint64, finalState uint64) (uint64, error, bool) {
+	hdrAddr := ix.headerAddr(b)
+	for {
+		hdr := atomic.LoadUint64(hdrAddr)
+		if binState(hdr) != binNoTransfer {
+			if binState(hdr) == binInTransfer {
+				ix.waitBinTransferred(b)
+			}
+			return 0, nil, false
+		}
+		// Re-run the Get phase excluding our own slot: a concurrent insert
+		// of the same key may have published first.
+		slot, v, st := ix.scanBin(b, hdr, key, i, true)
+		if slot == scanRetry {
+			continue
+		}
+		if slot >= 0 {
+			t.releaseSlot(ix, b, i)
+			if st == slotShadow {
+				return 0, ErrShadow, true
+			}
+			return v, ErrExists, true
+		}
+		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, finalState))) {
+			return 0, nil, true
+		}
+	}
+}
+
+// releaseSlot returns a TryInsert slot to Invalid (abandoned claim).
+func (t *Table) releaseSlot(ix *index, b uint64, i int) {
+	hdrAddr := ix.headerAddr(b)
+	for {
+		hdr := atomic.LoadUint64(hdrAddr)
+		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotInvalid))) {
+			return
+		}
+	}
+}
+
+// chainBucket links a bucket (field 1: single, field 2: consecutive pair)
+// into bin b, racing other inserts on the link-metadata word. Returns the
+// resulting metadata and false when the link array is exhausted.
+func (t *Table) chainBucket(ix *index, b uint64, field int) (uint64, bool) {
+	metaAddr := ix.linkMetaAddr(b)
+	for {
+		meta := atomic.LoadUint64(metaAddr)
+		if field == 1 {
+			if linkOne(meta) != 0 {
+				return meta, true
+			}
+			idx := ix.allocLinkSingle()
+			if idx == 0 {
+				return meta, false
+			}
+			next := withLinkOne(meta, idx)
+			if atomic.CompareAndSwapUint64(metaAddr, meta, next) {
+				return next, true
+			}
+			ix.recycleLinkSingle(idx)
+		} else {
+			if linkTwo(meta) != 0 {
+				return meta, true
+			}
+			idx := ix.allocLinkPair()
+			if idx == 0 {
+				return meta, false
+			}
+			next := withLinkTwo(meta, idx)
+			if atomic.CompareAndSwapUint64(metaAddr, meta, next) {
+				return next, true
+			}
+			ix.recycleLinkPair(idx)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Delete (§3.2.3)
+// ---------------------------------------------------------------------------
+
+// Delete removes key, returning its value and true if it was present. The
+// slot is reclaimed instantly — the headline advantage over open-addressing
+// tombstones.
+func (h *Handle) Delete(key uint64) (uint64, bool) {
+	if h.t.cfg.SingleThread {
+		return h.stDelete(key)
+	}
+	h.t.beginUpdate()
+	ix := h.enter()
+	v, ok := h.t.deleteIn(h, ix, key)
+	h.leave()
+	h.t.endUpdate()
+	return v, ok
+}
+
+func (t *Table) deleteIn(h *Handle, ix *index, key uint64) (uint64, bool) {
+	for {
+		b := t.binFor(ix, key)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss {
+				return 0, false
+			}
+			// CAS against the header we scanned under: any concurrent
+			// change to the bin (including the slot being deleted and
+			// reused) bumps the version and fails this CAS.
+			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, slotInvalid))) {
+				t.afterDelete(h, v)
+				return v, true
+			}
+		}
+	}
+}
+
+// afterDelete releases allocator-mode out-of-line storage, immediately or
+// through the epoch GC (§3.2.3).
+func (t *Table) afterDelete(h *Handle, val uint64) {
+	if t.cfg.Mode != Allocator {
+		return
+	}
+	ref := refOf(val)
+	if ref.IsNil() {
+		return
+	}
+	if h != nil && h.eh != nil {
+		a := t.cfg.Alloc
+		h.eh.Retire(func() { a.Free(ref) })
+		return
+	}
+	t.cfg.Alloc.Free(ref)
+}
+
+// ---------------------------------------------------------------------------
+// Put (§3.2.4)
+// ---------------------------------------------------------------------------
+
+// Put overwrites the value of an existing key with a double-word CAS on the
+// slot, returning the previous value and true. It returns (0, false) when
+// the key does not exist. Inlined mode only.
+func (h *Handle) Put(key, val uint64) (uint64, bool) {
+	if h.t.cfg.Mode != Inlined {
+		panic(ErrWrongMode)
+	}
+	if h.t.cfg.SingleThread {
+		return h.stPut(key, val)
+	}
+	h.t.beginUpdate()
+	ix := h.enter()
+	old, ok := h.t.putIn(ix, key, val)
+	h.leave()
+	h.t.endUpdate()
+	return old, ok
+}
+
+func (t *Table) putIn(ix *index, key, val uint64) (uint64, bool) {
+	for {
+		b := t.binFor(ix, key)
+		for {
+			hdr := atomic.LoadUint64(ix.headerAddr(b))
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				break
+			}
+			slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
+			if slot == scanRetry {
+				continue
+			}
+			if slot == scanMiss {
+				return 0, false
+			}
+			// §3.2.4: Puts do not re-read or CAS the header — only the
+			// double-word CAS on the slot. A slot recycled to another key,
+			// or claimed by the resize transfer (its key word becomes a
+			// transfer key), makes this CAS fail and the Put retries.
+			meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+			kw := ix.slotKeyWord(b, meta, slot)
+			if dwcas(kw, key, v, key, val) {
+				return v, true
+			}
+		}
+	}
+}

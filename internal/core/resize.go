@@ -1,0 +1,259 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/cpuops"
+)
+
+// dwcas performs the paper's double-word CAS on a 16-byte slot.
+func dwcas(kw *uint64, oldKey, oldVal, newKey, newVal uint64) bool {
+	return cpuops.CompareAndSwap128(slotPair(kw), oldKey, oldVal, newKey, newVal)
+}
+
+// growthFactor implements §3.2.5: ×8 for small indexes (<4K bins), ×4 for
+// medium (<64M bins), ×2 beyond.
+func growthFactor(bins uint64) uint64 {
+	switch {
+	case bins < 4<<10:
+		return 8
+	case bins < 64<<20:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// resizeOrFail either joins/starts a resize of ix and returns the successor
+// index, or reports ErrFull when resizing is disabled.
+func (t *Table) resizeOrFail(h *Handle, ix *index) (*index, error) {
+	if !t.cfg.Resizable {
+		return nil, ErrFull
+	}
+	return t.resize(h, ix), nil
+}
+
+// resize runs the §3.2.5 protocol from the perspective of a thread whose
+// Insert could not find room in ix:
+//
+//  1. One thread wins the CAS and becomes the resizer: it allocates the new
+//     index and publishes it. Everyone else becomes a helper.
+//  2. Resizer and helpers claim 16K-bin chunks by fetch-and-add and
+//     transfer them until none remain.
+//  3. All participants wait for the transfer to complete, then retry their
+//     Insert in the new index (the caller does the retry).
+//
+// The thread that swings the table's index pointer also performs the old
+// index's GC: it waits until no per-thread announcement points at the old
+// index, then marks it retired. Unlike the paper's resizer, the wait runs
+// on a background goroutine so that no request thread ever blocks on
+// quiescence — in Go the memory itself is reclaimed by the runtime GC, so
+// the wait only exists to reproduce (and count) the protocol.
+func (t *Table) resize(h *Handle, ix *index) *index {
+	if ix.state.CompareAndSwap(idxNormal, idxAllocating) {
+		nx := newIndex(ix.numBins*growthFactor(ix.numBins), t.cfg.LinkRatio, t.cfg.ChunkBins)
+		ix.next.Store(nx)
+		ix.state.Store(idxMigrating)
+	} else {
+		t.resizeHelpers.Add(1)
+	}
+	nx := ix.nextIndex()
+	t.helpTransfer(h, ix, nx)
+	for ix.chunksDone.Load() < ix.numChunks {
+		runtime.Gosched()
+	}
+	if t.current.CompareAndSwap(ix, nx) {
+		ix.state.Store(idxDrained)
+		t.resizes.Add(1)
+		if t.cfg.SingleThread {
+			ix.state.Store(idxRetired)
+		} else {
+			go t.retireIndex(ix)
+		}
+	}
+	return nx
+}
+
+// helpTransfer claims and transfers chunks until the cursor runs out.
+func (t *Table) helpTransfer(h *Handle, ix, nx *index) {
+	for {
+		c := ix.chunkCursor.Add(1) - 1
+		if c >= ix.numChunks {
+			return
+		}
+		start := c * ix.chunkBins
+		end := start + ix.chunkBins
+		if end > ix.numBins {
+			end = ix.numBins
+		}
+		for b := start; b < end; b++ {
+			t.transferBin(h, ix, nx, b)
+		}
+		ix.chunksDone.Add(1)
+		t.chunksMoved.Add(1)
+	}
+}
+
+// transferBin migrates one bin: block it (InTransfer), hand each live slot
+// off with a double-word CAS that plants the transfer key, re-insert the
+// pair in the new index, then mark the bin DoneTransfer.
+func (t *Table) transferBin(h *Handle, ix, nx *index, b uint64) {
+	hdrAddr := ix.headerAddr(b)
+	var hdr uint64
+	for {
+		hdr = atomic.LoadUint64(hdrAddr)
+		next := bumpVersion(withBinState(hdr, binInTransfer))
+		if atomic.CompareAndSwapUint64(hdrAddr, hdr, next) {
+			hdr = next
+			break
+		}
+	}
+	meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+	limit := slotLimit(meta)
+	tk := transferKeyFor(b)
+	moved := uint64(0)
+	for i := 0; i < limit; i++ {
+		st := slotState(hdr, i)
+		// Shadow entries are live locks held by in-flight transactions and
+		// must survive the migration with their state intact.
+		if st != slotValid && st != slotShadow {
+			continue
+		}
+		kw := ix.slotKeyWord(b, meta, i)
+		pair := slotPair(kw)
+		for {
+			k := atomic.LoadUint64(&pair[0])
+			v := atomic.LoadUint64(&pair[1])
+			// Inserts and Deletes are excluded by InTransfer, so only a
+			// racing Put can change the slot, and only its value word; the
+			// dw-CAS retry loop captures a stable (key, value) pair while
+			// planting the transfer key that will defeat later Puts.
+			if dwcas(kw, k, v, tk, v) {
+				t.insertMigrated(h, nx, k, v, st)
+				moved++
+				break
+			}
+		}
+	}
+	for {
+		cur := atomic.LoadUint64(hdrAddr)
+		if atomic.CompareAndSwapUint64(hdrAddr, cur, bumpVersion(withBinState(cur, binDoneTransfer))) {
+			break
+		}
+	}
+	if moved != 0 {
+		t.keysMoved.Add(moved)
+	}
+}
+
+// insertMigrated re-inserts a migrated slot (raw key and value words, with
+// its original Valid/Shadow state) into the successor index. It is the
+// Insert algorithm minus the Get phase: keys are unique while a migration
+// is in flight, and in Allocator mode the key word is only a filter whose
+// collisions would confuse an existence check. The destination bin a
+// migrated key lands in may itself be under a nested migration, in which
+// case the insert follows the chain.
+func (t *Table) insertMigrated(h *Handle, ix *index, keyWord, valWord uint64, state uint64) {
+	bin := func(ix *index) uint64 {
+		if t.cfg.Mode == Allocator {
+			// Re-derive the bin from the stored key material. For inlined
+			// (≤8 B) keys the key word is the key itself; big keys must be
+			// re-read from their block.
+			return t.binForMigratedKV(ix, keyWord, valWord)
+		}
+		return t.binFor(ix, keyWord)
+	}
+indexLoop:
+	for {
+		b := bin(ix)
+		for {
+			hdrAddr := ix.headerAddr(b)
+			hdr := atomic.LoadUint64(hdrAddr)
+			if nx := ix.redirect(b, hdr); nx != nil {
+				ix = nx
+				continue indexLoop
+			}
+			i := firstInvalidSlot(hdr, slotsPerBin)
+			if i < 0 {
+				nx, err := t.resizeOrFail(h, ix)
+				if err != nil {
+					// Migration into a non-resizable table cannot happen:
+					// migrations only exist when resizing is enabled.
+					panic("dlht: migrated insert hit a full non-resizable index")
+				}
+				ix = nx
+				continue indexLoop
+			}
+			if !atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotTryInsert))) {
+				continue
+			}
+			meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+			if need, field := slotNeedsChain(meta, i); need {
+				newMeta, ok := t.chainBucket(ix, b, field)
+				if !ok {
+					t.releaseSlot(ix, b, i)
+					nx, _ := t.resizeOrFail(h, ix)
+					ix = nx
+					continue indexLoop
+				}
+				meta = newMeta
+			}
+			ix.storeSlot(b, meta, i, keyWord, valWord)
+			for {
+				hdr2 := atomic.LoadUint64(hdrAddr)
+				if binState(hdr2) != binNoTransfer {
+					if binState(hdr2) == binInTransfer {
+						ix.waitBinTransferred(b)
+					}
+					ix = ix.nextIndex()
+					continue indexLoop
+				}
+				if atomic.CompareAndSwapUint64(hdrAddr, hdr2, bumpVersion(withSlotState(hdr2, i, state))) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// binForMigratedKV recomputes the destination bin of an Allocator-mode slot
+// from its stored words: namespace from the value word, key bytes either
+// from the key word (inlined) or from the block (big keys).
+func (t *Table) binForMigratedKV(ix *index, keyWord, valWord uint64) uint64 {
+	ns := nsOf(valWord)
+	code := keyCodeOf(valWord)
+	if code != bigKeyCode {
+		var buf [8]byte
+		for i := 0; i < code; i++ {
+			buf[i] = byte(keyWord >> (8 * uint(i)))
+		}
+		return t.binForKV(ix, buf[:code], ns)
+	}
+	ref := refOf(valWord)
+	hdr := t.cfg.Alloc.Bytes(ref, kvBlockHeader)
+	klen := int(getU32(hdr[0:]))
+	key := t.cfg.Alloc.Bytes(ref, kvBlockHeader+klen)[kvBlockHeader:]
+	return t.binForKV(ix, key, ns)
+}
+
+// retireIndex waits until no thread announcement references ix, then marks
+// it retired (§3.2.5 "GC old index"). Runs asynchronously; the Go runtime
+// reclaims the memory once the last reference drops.
+func (t *Table) retireIndex(ix *index) {
+	for i := range t.announces {
+		slot := &t.announces[i].ptr
+		for slot.Load() == ix {
+			runtime.Gosched()
+		}
+	}
+	ix.state.Store(idxRetired)
+}
+
+// waitRetired blocks until ix reaches the retired state; used by tests to
+// assert the GC protocol completes.
+func (ix *index) waitRetired() {
+	for ix.state.Load() != idxRetired {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func newST(t *testing.T, cfg Config) *Handle {
+	t.Helper()
+	cfg.SingleThread = true
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb.MustHandle()
+}
+
+func TestSTBasicOps(t *testing.T) {
+	h := newST(t, Config{Bins: 64})
+	if _, err := h.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.Get(1); !ok || v != 10 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if old, ok := h.Put(1, 11); !ok || old != 10 {
+		t.Fatalf("Put = (%d,%v)", old, ok)
+	}
+	if v, ok := h.Delete(1); !ok || v != 11 {
+		t.Fatalf("Delete = (%d,%v)", v, ok)
+	}
+	if _, ok := h.Get(1); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestSTDuplicateInsert(t *testing.T) {
+	h := newST(t, Config{Bins: 64})
+	h.Insert(1, 10)
+	if v, err := h.Insert(1, 99); !errors.Is(err, ErrExists) || v != 10 {
+		t.Fatalf("dup insert = (%d,%v)", v, err)
+	}
+}
+
+func TestSTChaining(t *testing.T) {
+	h := newST(t, Config{Bins: 1, LinkRatio: 1})
+	for i := uint64(0); i < slotsPerBin; i++ {
+		if _, err := h.Insert(i, i); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if _, err := h.Insert(99, 1); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	for i := uint64(0); i < slotsPerBin; i++ {
+		if v, ok := h.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestSTResize(t *testing.T) {
+	cfg := Config{Bins: 2, Resizable: true, ChunkBins: 1, SingleThread: true}
+	tb := MustNew(cfg)
+	h := tb.MustHandle()
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		if _, err := h.Insert(i, i^0xff); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tb.Stats().Resizes == 0 {
+		t.Fatal("expected resizes")
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := h.Get(i); !ok || v != i^0xff {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestSTShadow(t *testing.T) {
+	h := newST(t, Config{Bins: 64})
+	h.InsertShadow(5, 50)
+	if _, ok := h.Get(5); ok {
+		t.Fatal("shadow visible")
+	}
+	if _, err := h.Insert(5, 51); !errors.Is(err, ErrShadow) {
+		t.Fatalf("err = %v", err)
+	}
+	if !h.CommitShadow(5, true) {
+		t.Fatal("commit")
+	}
+	if v, ok := h.Get(5); !ok || v != 50 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+}
+
+func TestSTBatch(t *testing.T) {
+	h := newST(t, Config{Bins: 64})
+	ops := []Op{
+		{Kind: OpInsert, Key: 1, Value: 1},
+		{Kind: OpPut, Key: 1, Value: 2},
+		{Kind: OpGet, Key: 1},
+		{Kind: OpDelete, Key: 1},
+	}
+	if n := h.Exec(ops, true); n != 4 {
+		t.Fatalf("executed %d", n)
+	}
+	if ops[2].Result != 2 {
+		t.Fatalf("get = %d", ops[2].Result)
+	}
+}
+
+func TestSTSnapshot(t *testing.T) {
+	cfg := Config{Bins: 16, SingleThread: true, StrongSnapshots: true}
+	tb := MustNew(cfg)
+	h := tb.MustHandle()
+	for i := uint64(0); i < 10; i++ {
+		h.Insert(i, i)
+	}
+	snap, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 10 {
+		t.Fatalf("snapshot = %d entries", len(snap))
+	}
+}
+
+// A single-thread table may hand out several handles — the contract is
+// single-goroutine use, not a single handle.
+func TestSTMultipleHandlesSameGoroutine(t *testing.T) {
+	tb := MustNew(Config{Bins: 16, SingleThread: true, MaxThreads: 8})
+	h1 := tb.MustHandle()
+	h2, err := tb.Handle()
+	if err != nil {
+		t.Fatalf("second handle: %v", err)
+	}
+	h1.Insert(1, 10)
+	if v, ok := h2.Get(1); !ok || v != 10 {
+		t.Fatalf("handles disagree: (%d,%v)", v, ok)
+	}
+}
+
+// Equivalence: a long deterministic op sequence produces identical results
+// in single-thread and concurrent modes.
+func TestSTMatchesConcurrentSemantics(t *testing.T) {
+	run := func(cfg Config) map[uint64]uint64 {
+		tb := MustNew(cfg)
+		h := tb.MustHandle()
+		rng := xorshift(42)
+		for i := 0; i < 20000; i++ {
+			k := rng.next() % 256
+			switch rng.next() % 4 {
+			case 0:
+				h.Insert(k, k+1)
+			case 1:
+				h.Delete(k)
+			case 2:
+				h.Put(k, k+2)
+			default:
+				h.Get(k)
+			}
+		}
+		out := map[uint64]uint64{}
+		h.Range(func(k, v uint64) bool { out[k] = v; return true })
+		return out
+	}
+	st := run(Config{Bins: 8, Resizable: true, ChunkBins: 2, SingleThread: true})
+	mt := run(Config{Bins: 8, Resizable: true, ChunkBins: 2})
+	if len(st) != len(mt) {
+		t.Fatalf("lens differ: %d vs %d", len(st), len(mt))
+	}
+	for k, v := range st {
+		if mt[k] != v {
+			t.Fatalf("key %d: %d vs %d", k, v, mt[k])
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package core implements the Dandelion Hashtable (DLHT) from
+// "DLHT: A Non-blocking Resizable Hashtable with Fast Deletes and
+// Memory-awareness" (HPDC'24): a closed-addressing concurrent hashtable
+// built on bounded cache-line chaining with lock-free Gets/Inserts/Deletes,
+// double-word-CAS Puts, software-prefetched batching, and a parallel,
+// practically non-blocking resize.
+//
+// The exported surface of this package is re-exported by the top-level dlht
+// package, which is the intended import path for applications.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/epoch"
+	"repro/internal/hashfn"
+)
+
+// Mode selects one of DLHT's three operating modes (§3.1).
+type Mode uint8
+
+const (
+	// Inlined stores 8-byte keys and 8-byte values directly in the slots.
+	Inlined Mode = iota
+	// Allocator stores values (and keys larger than 8 bytes) out of line;
+	// slots carry 48-bit references with overloaded metadata bits. Gets
+	// return pointers (byte views) rather than copies, and there is no Put.
+	Allocator
+	// HashSet stores only keys (at most 8 bytes); values are absent.
+	HashSet
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Inlined:
+		return "inlined"
+	case Allocator:
+		return "allocator"
+	case HashSet:
+		return "hashset"
+	}
+	return "unknown"
+}
+
+// Reserved transfer keys (§3.2.5): written into migrated slots so that a
+// racing Put's double-word CAS must fail. One is used for even bins and one
+// for odd bins, mirroring the paper; user keys may not take these values.
+const (
+	TransferKeyEven = ^uint64(0)     // 0xFFFFFFFFFFFFFFFF
+	TransferKeyOdd  = ^uint64(0) - 1 // 0xFFFFFFFFFFFFFFFE
+)
+
+// Errors returned by table operations.
+var (
+	// ErrExists is returned by Insert when the key is already present; the
+	// existing value accompanies it, matching the paper's "return its value
+	// along with the corresponding flag".
+	ErrExists = errors.New("dlht: key already exists")
+	// ErrShadow is returned when an operation hits a key held in Shadow
+	// state by an uncommitted shadow Insert (§3.2.2 transactions).
+	ErrShadow = errors.New("dlht: key locked by shadow insert")
+	// ErrFull is returned by Insert when the bin and link array are
+	// exhausted and resizing is disabled.
+	ErrFull = errors.New("dlht: index full and resizing disabled")
+	// ErrReservedKey rejects the transfer-key values.
+	ErrReservedKey = errors.New("dlht: key value reserved for resize transfer")
+	// ErrWrongMode flags an API call not available in the table's mode.
+	ErrWrongMode = errors.New("dlht: operation not supported in this mode")
+	// ErrKeyTooLarge flags keys above 8 bytes outside Allocator mode.
+	ErrKeyTooLarge = errors.New("dlht: key larger than 8 bytes requires Allocator mode")
+	// ErrTooManyHandles is returned when more handles are requested than
+	// Config.MaxThreads.
+	ErrTooManyHandles = errors.New("dlht: handle limit reached; raise Config.MaxThreads")
+)
+
+// Config configures a Table. The zero value is usable: an Inlined,
+// resizable table with modulo hashing and paper-default geometry.
+type Config struct {
+	// Mode selects Inlined (default), Allocator, or HashSet.
+	Mode Mode
+	// Bins is the initial number of bins. Defaults to 64K. Each bin is one
+	// 64-byte primary bucket holding 3 slots.
+	Bins uint64
+	// LinkRatio is bins per link bucket (default 8, §3.1).
+	LinkRatio int
+	// Hash selects the bin-mapping hash (default Modulo, §3.4.3).
+	Hash hashfn.Kind
+	// Resizable enables the non-blocking parallel resize. When false, an
+	// Insert that cannot find room returns ErrFull and the per-request
+	// enter/leave notifications are compiled out of the hot path (§5.2.5).
+	Resizable bool
+	// SingleThread strips all synchronization (§3.4.5). The table must
+	// then be used from exactly one goroutine.
+	SingleThread bool
+	// MaxThreads bounds the number of Handles (default 2×GOMAXPROCS).
+	MaxThreads int
+	// ChunkBins is the resize transfer chunk (default 16384, §3.2.5).
+	ChunkBins uint64
+
+	// Allocator-mode settings.
+
+	// Alloc supplies the out-of-line allocator; nil selects the slab Arena
+	// (the mimalloc analogue). Ignored outside Allocator mode.
+	Alloc alloc.Allocator
+	// VariableKV stores per-pair key/value sizes in the allocation header,
+	// allowing mixed sizes in one index (§3.4.1). Costs 8 bytes per pair.
+	VariableKV bool
+	// ValueSize is the fixed value size when VariableKV is false.
+	ValueSize int
+	// Namespaces enables 12-bit namespace tags packed into slot metadata
+	// (§3.4.2).
+	Namespaces bool
+	// EpochGC defers freeing of deleted out-of-line blocks until readers
+	// have quiesced (§3.2.3). Opt-in, as in the paper.
+	EpochGC bool
+	// StrongSnapshots enables the blocking strongly-consistent snapshot
+	// (§3.4.4); costs one counter update per mutating request.
+	StrongSnapshots bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Bins == 0 {
+		c.Bins = 1 << 16
+	}
+	if c.LinkRatio <= 0 {
+		c.LinkRatio = 8
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkBins == 0 {
+		c.ChunkBins = 16384
+	}
+	if c.Mode == Allocator {
+		if c.Alloc == nil {
+			c.Alloc = alloc.NewArena()
+		}
+		if c.ValueSize <= 0 {
+			c.ValueSize = 8
+		}
+	}
+}
+
+// Stats aggregates table counters.
+type Stats struct {
+	Resizes        uint64  // completed index migrations
+	ResizeHelpers  uint64  // threads that joined a migration as helpers
+	ChunksMoved    uint64  // transfer chunks processed
+	KeysMoved      uint64  // slots migrated across indexes
+	Bins           uint64  // current bin count
+	LinkBuckets    uint64  // link buckets in the current index
+	LinksUsed      uint64  // link buckets handed out in the current index
+	Occupied       uint64  // live slots (point-in-time probe)
+	Capacity       uint64  // total slot capacity
+	Occupancy      float64 // Occupied / Capacity
+	EpochFrees     uint64  // blocks reclaimed through the epoch GC
+	AllocatorStats alloc.Stats
+}
+
+// Table is a DLHT instance. Construct with New; obtain a Handle per worker
+// goroutine for all operations.
+type Table struct {
+	cfg     Config
+	current atomic.Pointer[index]
+
+	hash64 hashfn.Func64
+	hashB  hashfn.FuncBytes
+
+	// Per-handle announcement slots implement the index-GC protocol of
+	// §3.2.5: a handle stores the index pointer it is operating on when it
+	// enters and clears it when it leaves; the resizer waits until no slot
+	// points at the drained index before retiring it.
+	announces []announceSlot
+	nHandles  atomic.Int32
+
+	gc *epoch.Collector
+
+	// updaters counts in-flight mutating operations; used only when
+	// StrongSnapshots is enabled. snapshotGate blocks new updates while a
+	// strong snapshot drains the counter.
+	updaters     atomic.Int64
+	snapshotGate atomic.Uint32
+
+	// Counters.
+	resizes       atomic.Uint64
+	resizeHelpers atomic.Uint64
+	chunksMoved   atomic.Uint64
+	keysMoved     atomic.Uint64
+	epochFrees    atomic.Uint64
+}
+
+type announceSlot struct {
+	ptr atomic.Pointer[index]
+	_   [56]byte // keep each handle's slot on its own cache line
+}
+
+// New creates a Table from cfg.
+func New(cfg Config) (*Table, error) {
+	cfg.setDefaults()
+	if cfg.Mode != Allocator && cfg.VariableKV {
+		return nil, fmt.Errorf("%w: VariableKV", ErrWrongMode)
+	}
+	if cfg.Mode != Allocator && cfg.Namespaces {
+		return nil, fmt.Errorf("%w: Namespaces", ErrWrongMode)
+	}
+	// SingleThread tables may still hand out several handles (e.g. a loader
+	// and a runner); the contract is that all of them are used from one
+	// goroutine only.
+	t := &Table{
+		cfg:       cfg,
+		hash64:    hashfn.For64(cfg.Hash),
+		hashB:     hashfn.ForBytes(cfg.Hash),
+		announces: make([]announceSlot, cfg.MaxThreads),
+	}
+	if cfg.Mode == Allocator && cfg.EpochGC {
+		t.gc = epoch.NewCollector(cfg.MaxThreads)
+	}
+	t.current.Store(newIndex(cfg.Bins, cfg.LinkRatio, cfg.ChunkBins))
+	return t, nil
+}
+
+// MustNew is New that panics on configuration errors; convenient in tests
+// and examples.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Mode returns the table's operating mode.
+func (t *Table) Mode() Mode { return t.cfg.Mode }
+
+// Resizable reports whether resizing is compiled in.
+func (t *Table) Resizable() bool { return t.cfg.Resizable }
+
+// NumBins returns the current number of bins (changes across resizes).
+func (t *Table) NumBins() uint64 { return t.current.Load().numBins }
+
+// Stats returns a point-in-time snapshot of the table counters. The
+// occupancy probe walks the whole index; avoid calling it on a hot path.
+func (t *Table) Stats() Stats {
+	ix := t.current.Load()
+	occ, cap := ix.occupancy()
+	s := Stats{
+		Resizes:       t.resizes.Load(),
+		ResizeHelpers: t.resizeHelpers.Load(),
+		ChunksMoved:   t.chunksMoved.Load(),
+		KeysMoved:     t.keysMoved.Load(),
+		Bins:          ix.numBins,
+		LinkBuckets:   ix.numLinks,
+		Occupied:      occ,
+		Capacity:      cap,
+		EpochFrees:    t.epochFrees.Load(),
+	}
+	if n := ix.nextLink.Load(); n > 1 {
+		s.LinksUsed = n - 1
+		if s.LinksUsed > ix.numLinks {
+			s.LinksUsed = ix.numLinks
+		}
+	}
+	if cap > 0 {
+		s.Occupancy = float64(occ) / float64(cap)
+	}
+	if t.cfg.Alloc != nil {
+		s.AllocatorStats = t.cfg.Alloc.Stats()
+	}
+	return s
+}
+
+// binFor maps a key hash to a bin of index ix.
+func (t *Table) binFor(ix *index, key uint64) uint64 {
+	return t.hash64(key) % ix.numBins
+}
+
+// isReserved reports whether k collides with a transfer key.
+func isReserved(k uint64) bool {
+	return k == TransferKeyEven || k == TransferKeyOdd
+}
+
+// transferKeyFor returns the transfer key assigned to bin b (§3.2.5: "one
+// key for odd and another for even bins").
+func transferKeyFor(b uint64) uint64 {
+	if b&1 == 0 {
+		return TransferKeyEven
+	}
+	return TransferKeyOdd
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+// Handle is the per-goroutine interface to a Table. Handles are not safe
+// for concurrent use; create one per worker.
+type Handle struct {
+	t  *Table
+	id int
+	eh *epoch.Handle
+	// pinned tracks whether this handle currently pins an epoch. With
+	// EpochGC enabled a handle stays pinned between operations so that the
+	// byte views returned by GetKV remain valid until the handle's own next
+	// AdvanceEpoch call (§3.2.3's client contract).
+	pinned bool
+}
+
+// Handle allocates the next free per-thread handle.
+func (t *Table) Handle() (*Handle, error) {
+	id := int(t.nHandles.Add(1)) - 1
+	if id >= t.cfg.MaxThreads {
+		t.nHandles.Add(-1)
+		return nil, ErrTooManyHandles
+	}
+	h := &Handle{t: t, id: id}
+	if t.gc != nil {
+		h.eh = t.gc.Handle(id)
+	}
+	return h, nil
+}
+
+// MustHandle is Handle that panics on exhaustion.
+func (t *Table) MustHandle() *Handle {
+	h, err := t.Handle()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// enter announces the handle's presence in the current index and returns
+// it. The load/announce/validate loop is the hazard-pointer discipline that
+// makes the resizer's quiescence wait sound. When resizing is disabled (or
+// in single-thread mode) this collapses to a single pointer load — the
+// exact cost difference measured by Fig 14's "Resizing" bar.
+func (h *Handle) enter() *index {
+	t := h.t
+	if !t.cfg.Resizable || t.cfg.SingleThread {
+		return t.current.Load()
+	}
+	slot := &t.announces[h.id].ptr
+	for {
+		ix := t.current.Load()
+		slot.Store(ix)
+		if t.current.Load() == ix {
+			h.pin()
+			return ix
+		}
+	}
+}
+
+// pin establishes the persistent epoch pin for EpochGC tables.
+func (h *Handle) pin() {
+	if h.eh != nil && !h.pinned {
+		h.eh.Enter()
+		h.pinned = true
+	}
+}
+
+// leave clears the announcement. The epoch pin is deliberately retained —
+// see Handle.pinned.
+func (h *Handle) leave() {
+	t := h.t
+	if !t.cfg.Resizable || t.cfg.SingleThread {
+		return
+	}
+	t.announces[h.id].ptr.Store(nil)
+}
+
+// beginUpdate/endUpdate bracket mutating operations when strong snapshots
+// are enabled.
+func (t *Table) beginUpdate() {
+	if !t.cfg.StrongSnapshots {
+		return
+	}
+	for t.snapshotGate.Load() != 0 {
+		runtime.Gosched()
+	}
+	t.updaters.Add(1)
+}
+
+func (t *Table) endUpdate() {
+	if !t.cfg.StrongSnapshots {
+		return
+	}
+	t.updaters.Add(-1)
+}
+
+// AdvanceEpoch is the periodic client call of §3.2.3: it refreshes this
+// handle's observed epoch, attempts to move the global epoch forward, and
+// reclaims blocks retired two epochs ago. Any byte views previously
+// returned to this handle by GetKV/UpdateKV become invalid. It returns the
+// number of blocks freed by this call. No-op unless EpochGC is enabled.
+func (h *Handle) AdvanceEpoch() int {
+	if h.eh == nil {
+		return 0
+	}
+	h.eh.Enter() // re-observe the current epoch; keeps the handle pinned
+	h.pinned = true
+	n := h.eh.Advance()
+	if n > 0 {
+		h.t.epochFrees.Add(uint64(n))
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+package cpuops
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+// slot allocates a single 16-byte-aligned 2-word slot.
+func slot(t *testing.T) *[2]uint64 {
+	t.Helper()
+	w := AlignedUint64s(2, 16)
+	p := (*[2]uint64)(unsafe.Pointer(&w[0]))
+	if !IsAligned(unsafe.Pointer(p), 16) {
+		t.Fatal("slot not 16-byte aligned")
+	}
+	return p
+}
+
+func TestCAS128SuccessAndFailure(t *testing.T) {
+	impls := []struct {
+		name string
+		f    func(p *[2]uint64, o0, o1, n0, n1 uint64) bool
+	}{
+		{"public", CompareAndSwap128},
+		{"fallback", casFallback},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			p := slot(t)
+			p[0], p[1] = 10, 20
+			if !impl.f(p, 10, 20, 30, 40) {
+				t.Fatal("expected CAS success")
+			}
+			if p[0] != 30 || p[1] != 40 {
+				t.Fatalf("slot = %v, want [30 40]", *p)
+			}
+			if impl.f(p, 10, 20, 1, 1) {
+				t.Fatal("expected CAS failure on stale expected values")
+			}
+			if p[0] != 30 || p[1] != 40 {
+				t.Fatalf("failed CAS mutated slot: %v", *p)
+			}
+			// Partial matches must fail.
+			if impl.f(p, 30, 999, 0, 0) || impl.f(p, 999, 40, 0, 0) {
+				t.Fatal("CAS succeeded with only one word matching")
+			}
+		})
+	}
+}
+
+func TestCAS128PropertySingleThread(t *testing.T) {
+	p := slot(t)
+	f := func(a, b, c, d uint64) bool {
+		p[0], p[1] = a, b
+		if !CompareAndSwap128(p, a, b, c, d) {
+			return false
+		}
+		return p[0] == c && p[1] == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent counter: N goroutines increment both halves of the slot via
+// CAS128. Both halves must end equal to the total increment count — the
+// atomicity invariant a torn implementation would break.
+func TestCAS128ConcurrentAtomicity(t *testing.T) {
+	for _, impl := range []struct {
+		name string
+		f    func(p *[2]uint64, o0, o1, n0, n1 uint64) bool
+	}{
+		{"public", CompareAndSwap128},
+		{"fallback", casFallback},
+	} {
+		t.Run(impl.name, func(t *testing.T) {
+			p := slot(t)
+			const perG = 20000
+			workers := runtime.GOMAXPROCS(0)
+			if workers > 8 {
+				workers = 8
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						for {
+							a := atomic.LoadUint64(&p[0])
+							b := atomic.LoadUint64(&p[1])
+							if a != b {
+								t.Error("observed torn slot")
+								return
+							}
+							if impl.f(p, a, b, a+1, b+1) {
+								break
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			want := uint64(workers * perG)
+			if p[0] != want || p[1] != want {
+				t.Fatalf("slot = [%d %d], want [%d %d]", p[0], p[1], want, want)
+			}
+		})
+	}
+}
+
+// Two goroutines fight over distinct slots that share a fallback stripe;
+// progress must still be made (no deadlock) and values must stay coherent.
+func TestCASFallbackStripeSharing(t *testing.T) {
+	w := AlignedUint64s(4, 16)
+	p1 := (*[2]uint64)(unsafe.Pointer(&w[0]))
+	p2 := (*[2]uint64)(unsafe.Pointer(&w[2]))
+	var wg sync.WaitGroup
+	for _, p := range []*[2]uint64{p1, p2} {
+		wg.Add(1)
+		go func(p *[2]uint64) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				for {
+					a := atomic.LoadUint64(&p[0])
+					if casFallback(p, a, a, a+1, a+1) {
+						break
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if p1[0] != 5000 || p2[0] != 5000 {
+		t.Fatalf("counters = %d, %d; want 5000, 5000", p1[0], p2[0])
+	}
+}
+
+func TestAlignedUint64s(t *testing.T) {
+	for _, align := range []uintptr{8, 16, 64, 128} {
+		for _, n := range []int{1, 2, 7, 64, 1024} {
+			s := AlignedUint64s(n, align)
+			if len(s) != n {
+				t.Fatalf("len = %d, want %d", len(s), n)
+			}
+			if !IsAligned(unsafe.Pointer(&s[0]), align) {
+				t.Fatalf("align %d, n %d: base %p not aligned", align, n, &s[0])
+			}
+			// The slice must be fully writable.
+			for i := range s {
+				s[i] = uint64(i)
+			}
+		}
+	}
+}
+
+func TestAlignedUint64sBadAlign(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	AlignedUint64s(8, 24)
+}
+
+func TestPrefetchDoesNotCrash(t *testing.T) {
+	x := make([]uint64, 64)
+	for i := range x {
+		PrefetchUint64(&x[i])
+	}
+	Prefetch(unsafe.Pointer(&x[0]))
+}
+
+func TestHasNativeCAS128MatchesBuild(t *testing.T) {
+	if runtime.GOARCH == "amd64" && !HasNativeCAS128() {
+		t.Log("amd64 build without native CAS128 (purego tag?)")
+	}
+}
+
+func BenchmarkCAS128Native(b *testing.B) {
+	w := AlignedUint64s(2, 16)
+	p := (*[2]uint64)(unsafe.Pointer(&w[0]))
+	for i := 0; i < b.N; i++ {
+		CompareAndSwap128(p, p[0], p[1], p[0]+1, p[1]+1)
+	}
+}
+
+func BenchmarkCAS128Fallback(b *testing.B) {
+	w := AlignedUint64s(2, 16)
+	p := (*[2]uint64)(unsafe.Pointer(&w[0]))
+	for i := 0; i < b.N; i++ {
+		casFallback(p, p[0], p[1], p[0]+1, p[1]+1)
+	}
+}

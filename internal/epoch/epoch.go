@@ -1,0 +1,146 @@
+// Package epoch implements the epoch-based garbage collection DLHT offers
+// for Allocator-mode Deletes (§3.2.3): slots are reclaimed instantly, but
+// the out-of-line value a deleted slot pointed to may still be read by a
+// concurrent Get, so it is retired into the current epoch and only freed
+// once every participating thread has moved past that epoch. As in the
+// paper, "the client periodically performs a call from all threads to
+// advance the epoch".
+package epoch
+
+import "sync/atomic"
+
+// Collector coordinates a fixed set of participant threads. Thread i
+// interacts through its Handle. The zero epoch is never collected, and a
+// retired item is freed two epoch advances after retirement — the classic
+// three-bucket scheme.
+type Collector struct {
+	global  atomic.Uint64
+	records []record
+}
+
+type record struct {
+	// epoch is the last global epoch this participant observed; the low bit
+	// of active indicates whether the participant is inside a critical
+	// region.
+	epoch  atomic.Uint64
+	active atomic.Uint32
+	_      [44]byte // pad to a cache line together with the two words above
+
+	// retired items per epoch bucket (index = epoch % 3). Only the owning
+	// thread touches its buckets, except during Drain.
+	buckets [3][]func()
+}
+
+// NewCollector creates a collector for up to maxThreads participants.
+func NewCollector(maxThreads int) *Collector {
+	if maxThreads <= 0 {
+		maxThreads = 1
+	}
+	c := &Collector{records: make([]record, maxThreads)}
+	c.global.Store(1)
+	for i := range c.records {
+		c.records[i].epoch.Store(1)
+	}
+	return c
+}
+
+// Handle is the per-thread interface to the collector.
+type Handle struct {
+	c  *Collector
+	id int
+}
+
+// Handle returns the participant handle for thread id (0 ≤ id < maxThreads).
+func (c *Collector) Handle(id int) *Handle {
+	if id < 0 || id >= len(c.records) {
+		panic("epoch: handle id out of range")
+	}
+	return &Handle{c: c, id: id}
+}
+
+// Epoch returns the current global epoch (for tests and stats).
+func (c *Collector) Epoch() uint64 { return c.global.Load() }
+
+// Enter marks the participant as inside an epoch-protected region. Reads of
+// retire-protected memory must happen between Enter and Leave.
+func (h *Handle) Enter() {
+	r := &h.c.records[h.id]
+	r.active.Store(1)
+	r.epoch.Store(h.c.global.Load())
+}
+
+// Leave marks the participant as outside any protected region.
+func (h *Handle) Leave() {
+	h.c.records[h.id].active.Store(0)
+}
+
+// Retire schedules free to run once two epoch advances have occurred, i.e.
+// when no participant can still hold a reference obtained before the
+// retirement epoch.
+func (h *Handle) Retire(free func()) {
+	r := &h.c.records[h.id]
+	e := h.c.global.Load()
+	r.buckets[e%3] = append(r.buckets[e%3], free)
+}
+
+// Advance is the periodic client call from the paper. It attempts to move
+// the global epoch forward; if successful, it frees this participant's
+// bucket from two epochs ago. It returns the number of items freed.
+//
+// The global epoch can only advance when every active participant has
+// observed the current epoch, so by the time bucket (e-2)%3 is freed no
+// reader can reference its items.
+func (h *Handle) Advance() int {
+	c := h.c
+	e := c.global.Load()
+	canAdvance := true
+	for i := range c.records {
+		r := &c.records[i]
+		if r.active.Load() == 1 && r.epoch.Load() != e {
+			canAdvance = false
+			break
+		}
+	}
+	if canAdvance {
+		c.global.CompareAndSwap(e, e+1)
+	}
+	// Free this thread's stale bucket regardless of who advanced: anything
+	// retired at epoch ≤ current-2 is unreachable.
+	cur := c.global.Load()
+	if cur < 3 {
+		return 0
+	}
+	freedBucket := (cur - 2) % 3
+	r := &c.records[h.id]
+	// The bucket for (cur-2) is only safe if it cannot also be the bucket
+	// of the current epoch; with 3 buckets that always holds.
+	if freedBucket == cur%3 || freedBucket == (cur-1)%3 {
+		return 0
+	}
+	items := r.buckets[freedBucket]
+	if len(items) == 0 {
+		return 0
+	}
+	r.buckets[freedBucket] = nil
+	for _, f := range items {
+		f()
+	}
+	return len(items)
+}
+
+// Drain frees every retired item unconditionally. Only safe when the caller
+// guarantees quiescence (e.g. table teardown). Returns items freed.
+func (c *Collector) Drain() int {
+	n := 0
+	for i := range c.records {
+		r := &c.records[i]
+		for b := range r.buckets {
+			for _, f := range r.buckets[b] {
+				f()
+				n++
+			}
+			r.buckets[b] = nil
+		}
+	}
+	return n
+}

@@ -1,0 +1,138 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireNotFreedImmediately(t *testing.T) {
+	c := NewCollector(1)
+	h := c.Handle(0)
+	freed := false
+	h.Retire(func() { freed = true })
+	if freed {
+		t.Fatal("freed before any advance")
+	}
+	h.Advance()
+	if freed {
+		t.Fatal("freed after a single advance")
+	}
+}
+
+func TestRetireFreedAfterTwoAdvances(t *testing.T) {
+	c := NewCollector(1)
+	h := c.Handle(0)
+	freed := false
+	h.Retire(func() { freed = true })
+	for i := 0; i < 4 && !freed; i++ {
+		h.Advance()
+	}
+	if !freed {
+		t.Fatal("item never freed after repeated advances")
+	}
+}
+
+func TestAdvanceBlockedByLaggingActiveThread(t *testing.T) {
+	c := NewCollector(2)
+	h0, h1 := c.Handle(0), c.Handle(1)
+	h0.Enter()
+	h1.Enter()
+	e := c.Epoch()
+	// h1 advances; both threads have observed e, so the epoch moves.
+	h1.Advance()
+	if c.Epoch() != e+1 {
+		t.Fatalf("epoch = %d, want %d", c.Epoch(), e+1)
+	}
+	// h0 has not re-observed the new epoch; further advances must stall.
+	h1.Enter() // h1 observes e+1
+	h1.Advance()
+	if c.Epoch() != e+1 {
+		t.Fatalf("epoch advanced past a lagging active thread: %d", c.Epoch())
+	}
+	// Once h0 leaves, it no longer blocks advancement.
+	h0.Leave()
+	h1.Advance()
+	if c.Epoch() != e+2 {
+		t.Fatalf("epoch = %d, want %d after lagging thread left", c.Epoch(), e+2)
+	}
+}
+
+func TestDrainFreesEverything(t *testing.T) {
+	c := NewCollector(3)
+	var n atomic.Int64
+	for i := 0; i < 3; i++ {
+		h := c.Handle(i)
+		for j := 0; j < 5; j++ {
+			h.Retire(func() { n.Add(1) })
+		}
+	}
+	if freed := c.Drain(); freed != 15 {
+		t.Fatalf("Drain freed %d, want 15", freed)
+	}
+	if n.Load() != 15 {
+		t.Fatalf("callbacks run %d, want 15", n.Load())
+	}
+}
+
+func TestHandleOutOfRangePanics(t *testing.T) {
+	c := NewCollector(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Handle(1)
+}
+
+// The safety property: a reader inside Enter/Leave that captured an item
+// before it was retired must never observe the free callback running while
+// it is still inside the critical region.
+func TestEpochSafetyUnderConcurrency(t *testing.T) {
+	const readers = 4
+	c := NewCollector(readers + 1)
+	writer := c.Handle(readers)
+
+	type obj struct{ alive atomic.Bool }
+	var current atomic.Pointer[obj]
+	o := &obj{}
+	o.alive.Store(true)
+	current.Store(o)
+
+	var stop atomic.Bool
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := c.Handle(id)
+			for !stop.Load() {
+				h.Enter()
+				p := current.Load()
+				// Simulate some work inside the critical region.
+				for k := 0; k < 10; k++ {
+					if !p.alive.Load() {
+						violations.Add(1)
+						break
+					}
+				}
+				h.Leave()
+				h.Advance()
+			}
+		}(i)
+	}
+	for round := 0; round < 3000; round++ {
+		old := current.Load()
+		next := &obj{}
+		next.alive.Store(true)
+		current.Store(next)
+		writer.Retire(func() { old.alive.Store(false) })
+		writer.Advance()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d epoch safety violations", v)
+	}
+}

@@ -1,0 +1,415 @@
+// Package hashfn provides the hash functions evaluated by the DLHT paper
+// (§3.4.3): the default modulo mapping, wyhash (the paper's recommended
+// general-purpose function), and the comparison set the authors benchmarked
+// (xxHash64, Murmur3, FNV-1a). All functions are implemented from their
+// public specifications using only the standard library.
+package hashfn
+
+import "math/bits"
+
+// Kind selects a hash function.
+type Kind uint8
+
+const (
+	// Modulo is the paper's default: bin = key % bins. Only meaningful for
+	// 8-byte integer keys.
+	Modulo Kind = iota
+	// WyHash is wyhash v4 for 8-byte keys (Hash64) and byte strings (Hash).
+	WyHash
+	// XXHash64 is the xxHash 64-bit variant.
+	XXHash64
+	// Murmur3 is MurmurHash3's 128-bit x64 finalizer for integers and the
+	// x64 128-bit algorithm (low word) for byte strings.
+	Murmur3
+	// FNV1a is the 64-bit Fowler–Noll–Vo 1a hash.
+	FNV1a
+)
+
+// String returns the canonical lower-case name of the hash kind.
+func (k Kind) String() string {
+	switch k {
+	case Modulo:
+		return "modulo"
+	case WyHash:
+		return "wyhash"
+	case XXHash64:
+		return "xxhash64"
+	case Murmur3:
+		return "murmur3"
+	case FNV1a:
+		return "fnv1a"
+	}
+	return "unknown"
+}
+
+// Func64 hashes an 8-byte integer key.
+type Func64 func(key uint64) uint64
+
+// FuncBytes hashes a byte-string key.
+type FuncBytes func(key []byte) uint64
+
+// For64 returns the integer-key hash function for kind k.
+// For Modulo the identity is returned; the caller applies `% bins`.
+func For64(k Kind) Func64 {
+	switch k {
+	case Modulo:
+		return func(key uint64) uint64 { return key }
+	case WyHash:
+		return WyHash64
+	case XXHash64:
+		return XX64Uint64
+	case Murmur3:
+		return Murmur3Fmix64
+	case FNV1a:
+		return FNV1a64Uint64
+	}
+	return WyHash64
+}
+
+// ForBytes returns the byte-key hash function for kind k. Modulo has no
+// byte-string form, so it falls back to wyhash as the paper's variable-key
+// configurations do.
+func ForBytes(k Kind) FuncBytes {
+	switch k {
+	case XXHash64:
+		return XX64(0)
+	case Murmur3:
+		return Murmur3Bytes(0)
+	case FNV1a:
+		return FNV1a64
+	default:
+		return WyHashBytes(0)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// wyhash (v4 final, https://github.com/wangyi-fudan/wyhash)
+// ---------------------------------------------------------------------------
+
+const (
+	wyp0 = 0xa0761d6478bd642f
+	wyp1 = 0xe7037ed1a0b428db
+	wyp2 = 0x8ebc6af09c88c6e3
+	wyp3 = 0x589965cc75374cc3
+)
+
+func wymum(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+func wyr8(p []byte) uint64 {
+	_ = p[7]
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+func wyr4(p []byte) uint64 {
+	_ = p[3]
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24
+}
+
+func wyr3(p []byte, k int) uint64 {
+	return uint64(p[0])<<16 | uint64(p[k>>1])<<8 | uint64(p[k-1])
+}
+
+// WyHash64 hashes a single 64-bit integer with the wyhash integer mix
+// (wyhash64 in the reference implementation).
+func WyHash64(x uint64) uint64 {
+	return wymum(x^wyp0, x^wyp1)
+}
+
+// WyHashBytes returns a wyhash function over byte strings with the given
+// seed, following the v4 reference layout.
+func WyHashBytes(seed uint64) FuncBytes {
+	return func(p []byte) uint64 {
+		n := len(p)
+		s := seed ^ wyp0
+		var a, b uint64
+		switch {
+		case n <= 16:
+			switch {
+			case n >= 4:
+				a = wyr4(p)<<32 | wyr4(p[(n>>3)<<2:])
+				b = wyr4(p[n-4:])<<32 | wyr4(p[n-4-((n>>3)<<2):])
+			case n > 0:
+				a = wyr3(p, n)
+				b = 0
+			default:
+				a, b = 0, 0
+			}
+		default:
+			i := n
+			q := p
+			if i > 48 {
+				s1, s2 := s, s
+				for i > 48 {
+					s = wymum(wyr8(q)^wyp1, wyr8(q[8:])^s)
+					s1 = wymum(wyr8(q[16:])^wyp2, wyr8(q[24:])^s1)
+					s2 = wymum(wyr8(q[32:])^wyp3, wyr8(q[40:])^s2)
+					q = q[48:]
+					i -= 48
+				}
+				s ^= s1 ^ s2
+			}
+			for i > 16 {
+				s = wymum(wyr8(q)^wyp1, wyr8(q[8:])^s)
+				i -= 16
+				q = q[16:]
+			}
+			a = wyr8(p[n-16:])
+			b = wyr8(p[n-8:])
+		}
+		return wymum(wyp1^uint64(n), wymum(a^wyp1, b^s))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// xxHash64 (https://github.com/Cyan4973/xxHash, XXH64)
+// ---------------------------------------------------------------------------
+
+const (
+	xxPrime1 = 11400714785074694791
+	xxPrime2 = 14029467366897019727
+	xxPrime3 = 1609587929392839161
+	xxPrime4 = 9650029242287828579
+	xxPrime5 = 2870177450012600261
+)
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * xxPrime2
+	acc = bits.RotateLeft64(acc, 31)
+	acc *= xxPrime1
+	return acc
+}
+
+func xxMergeRound(acc, val uint64) uint64 {
+	val = xxRound(0, val)
+	acc ^= val
+	acc = acc*xxPrime1 + xxPrime4
+	return acc
+}
+
+func xxAvalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}
+
+// XX64Uint64 hashes an integer by running XXH64 over its 8 little-endian
+// bytes with seed 0, matching XXH64(&x, 8, 0).
+func XX64Uint64(x uint64) uint64 {
+	h := uint64(xxPrime5) + 8
+	h ^= xxRound(0, x)
+	h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+	return xxAvalanche(h)
+}
+
+// XX64 returns an XXH64 function over byte strings with the given seed.
+func XX64(seed uint64) FuncBytes {
+	return func(p []byte) uint64 {
+		n := len(p)
+		var h uint64
+		if n >= 32 {
+			v1 := seed + xxPrime1 + xxPrime2
+			v2 := seed + xxPrime2
+			v3 := seed
+			v4 := seed - xxPrime1
+			q := p
+			for len(q) >= 32 {
+				v1 = xxRound(v1, wyr8(q))
+				v2 = xxRound(v2, wyr8(q[8:]))
+				v3 = xxRound(v3, wyr8(q[16:]))
+				v4 = xxRound(v4, wyr8(q[24:]))
+				q = q[32:]
+			}
+			h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+				bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+			h = xxMergeRound(h, v1)
+			h = xxMergeRound(h, v2)
+			h = xxMergeRound(h, v3)
+			h = xxMergeRound(h, v4)
+			p = q
+		} else {
+			h = seed + xxPrime5
+		}
+		h += uint64(n)
+		for len(p) >= 8 {
+			h ^= xxRound(0, wyr8(p))
+			h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+			p = p[8:]
+		}
+		if len(p) >= 4 {
+			h ^= wyr4(p) * xxPrime1
+			h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+			p = p[4:]
+		}
+		for _, b := range p {
+			h ^= uint64(b) * xxPrime5
+			h = bits.RotateLeft64(h, 11) * xxPrime1
+		}
+		return xxAvalanche(h)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// MurmurHash3 (x64 variants)
+// ---------------------------------------------------------------------------
+
+// Murmur3Fmix64 is MurmurHash3's 64-bit finalizer, the standard way to hash
+// a single integer with Murmur3.
+func Murmur3Fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Murmur3Bytes returns the low 64 bits of MurmurHash3_x64_128 with the given
+// seed.
+func Murmur3Bytes(seed uint64) FuncBytes {
+	const (
+		c1 = 0x87c37b91114253d5
+		c2 = 0x4cf5ad432745937f
+	)
+	return func(p []byte) uint64 {
+		n := len(p)
+		h1, h2 := seed, seed
+		q := p
+		for len(q) >= 16 {
+			k1 := wyr8(q)
+			k2 := wyr8(q[8:])
+			k1 *= c1
+			k1 = bits.RotateLeft64(k1, 31)
+			k1 *= c2
+			h1 ^= k1
+			h1 = bits.RotateLeft64(h1, 27)
+			h1 += h2
+			h1 = h1*5 + 0x52dce729
+			k2 *= c2
+			k2 = bits.RotateLeft64(k2, 33)
+			k2 *= c1
+			h2 ^= k2
+			h2 = bits.RotateLeft64(h2, 31)
+			h2 += h1
+			h2 = h2*5 + 0x38495ab5
+			q = q[16:]
+		}
+		var k1, k2 uint64
+		tail := q
+		switch len(tail) & 15 {
+		case 15:
+			k2 ^= uint64(tail[14]) << 48
+			fallthrough
+		case 14:
+			k2 ^= uint64(tail[13]) << 40
+			fallthrough
+		case 13:
+			k2 ^= uint64(tail[12]) << 32
+			fallthrough
+		case 12:
+			k2 ^= uint64(tail[11]) << 24
+			fallthrough
+		case 11:
+			k2 ^= uint64(tail[10]) << 16
+			fallthrough
+		case 10:
+			k2 ^= uint64(tail[9]) << 8
+			fallthrough
+		case 9:
+			k2 ^= uint64(tail[8])
+			k2 *= c2
+			k2 = bits.RotateLeft64(k2, 33)
+			k2 *= c1
+			h2 ^= k2
+			fallthrough
+		case 8:
+			if len(tail) >= 8 {
+				k1 ^= uint64(tail[7]) << 56
+			}
+			fallthrough
+		case 7:
+			if len(tail) >= 7 {
+				k1 ^= uint64(tail[6]) << 48
+			}
+			fallthrough
+		case 6:
+			if len(tail) >= 6 {
+				k1 ^= uint64(tail[5]) << 40
+			}
+			fallthrough
+		case 5:
+			if len(tail) >= 5 {
+				k1 ^= uint64(tail[4]) << 32
+			}
+			fallthrough
+		case 4:
+			if len(tail) >= 4 {
+				k1 ^= uint64(tail[3]) << 24
+			}
+			fallthrough
+		case 3:
+			if len(tail) >= 3 {
+				k1 ^= uint64(tail[2]) << 16
+			}
+			fallthrough
+		case 2:
+			if len(tail) >= 2 {
+				k1 ^= uint64(tail[1]) << 8
+			}
+			fallthrough
+		case 1:
+			if len(tail) >= 1 {
+				k1 ^= uint64(tail[0])
+			}
+			k1 *= c1
+			k1 = bits.RotateLeft64(k1, 31)
+			k1 *= c2
+			h1 ^= k1
+		}
+		h1 ^= uint64(n)
+		h2 ^= uint64(n)
+		h1 += h2
+		h2 += h1
+		h1 = Murmur3Fmix64(h1)
+		h2 = Murmur3Fmix64(h2)
+		h1 += h2
+		return h1
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a 64-bit
+// ---------------------------------------------------------------------------
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FNV1a64 hashes a byte string with 64-bit FNV-1a.
+func FNV1a64(p []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// FNV1a64Uint64 hashes an integer by feeding its 8 little-endian bytes to
+// FNV-1a.
+func FNV1a64Uint64(x uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}

@@ -1,0 +1,234 @@
+package hashfn
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Modulo: "modulo", WyHash: "wyhash", XXHash64: "xxhash64",
+		Murmur3: "murmur3", FNV1a: "fnv1a", Kind(99): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestFor64ModuloIsIdentity(t *testing.T) {
+	f := For64(Modulo)
+	for _, k := range []uint64{0, 1, 42, math.MaxUint64} {
+		if f(k) != k {
+			t.Fatalf("modulo For64(%d) = %d, want identity", k, f(k))
+		}
+	}
+}
+
+func TestFor64AllKindsDeterministic(t *testing.T) {
+	for _, k := range []Kind{Modulo, WyHash, XXHash64, Murmur3, FNV1a} {
+		f := For64(k)
+		if f(12345) != f(12345) {
+			t.Errorf("%v: nondeterministic", k)
+		}
+	}
+}
+
+func TestForBytesAllKindsDeterministic(t *testing.T) {
+	key := []byte("the quick brown fox jumps over the lazy dog")
+	for _, k := range []Kind{Modulo, WyHash, XXHash64, Murmur3, FNV1a} {
+		f := ForBytes(k)
+		if f(key) != f(key) {
+			t.Errorf("%v: nondeterministic for bytes", k)
+		}
+	}
+}
+
+// Known-answer test for FNV-1a from the reference vectors.
+func TestFNV1a64KnownAnswers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := FNV1a64([]byte(c.in)); got != c.want {
+			t.Errorf("FNV1a64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// Murmur3Fmix64 reference values (from the canonical fmix64).
+func TestMurmur3Fmix64KnownAnswers(t *testing.T) {
+	if got := Murmur3Fmix64(0); got != 0 {
+		t.Errorf("fmix64(0) = %#x, want 0", got)
+	}
+	// fmix64(1) per the reference C++ implementation.
+	if got := Murmur3Fmix64(1); got != 0xb456bcfc34c2cb2c {
+		t.Errorf("fmix64(1) = %#x, want 0xb456bcfc34c2cb2c", got)
+	}
+}
+
+// Integer hash and byte-string hash must agree with each other's structure:
+// hashing the 8 LE bytes of x through FNV1a64 equals FNV1a64Uint64(x).
+func TestFNV1aIntMatchesBytes(t *testing.T) {
+	f := func(x uint64) bool {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], x)
+		return FNV1a64(b[:]) == FNV1a64Uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXX64Uint64MatchesBytes(t *testing.T) {
+	h := XX64(0)
+	f := func(x uint64) bool {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], x)
+		return h(b[:]) == XX64Uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// XXH64 known-answer vectors (seed 0).
+func TestXX64KnownAnswers(t *testing.T) {
+	h := XX64(0)
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"abc", 0x44bc2cf5ad770999},
+	}
+	for _, c := range cases {
+		if got := h([]byte(c.in)); got != c.want {
+			t.Errorf("XXH64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// wyhash must differ across nearby keys (avalanche sanity).
+func TestWyHash64Avalanche(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		h := WyHash64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision: WyHash64(%d) == WyHash64(%d) == %#x", i, prev, h)
+		}
+		seen[h] = i
+	}
+}
+
+// All byte hashes must not collide trivially on length-extension pairs.
+func TestBytesHashesDistinguishLengths(t *testing.T) {
+	for _, k := range []Kind{WyHash, XXHash64, Murmur3, FNV1a} {
+		f := ForBytes(k)
+		a := f([]byte("aa"))
+		b := f([]byte("aa\x00"))
+		if a == b {
+			t.Errorf("%v: hash ignores trailing NUL", k)
+		}
+	}
+}
+
+// Chi-squared uniformity test: hashing 0..n-1 into 256 bins must look
+// uniform for the real hash functions (this is the paper's occupancy
+// prerequisite: "given a state-of-the-art hash function").
+func TestHashUniformity(t *testing.T) {
+	const n = 1 << 16
+	const bins = 256
+	for _, k := range []Kind{WyHash, XXHash64, Murmur3, FNV1a} {
+		f := For64(k)
+		var counts [bins]int
+		for i := uint64(0); i < n; i++ {
+			counts[f(i)%bins]++
+		}
+		expected := float64(n) / bins
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 255 degrees of freedom; 99.9th percentile ~ 330.5. Anything under
+		// 400 is comfortably uniform for this smoke check.
+		if chi2 > 400 {
+			t.Errorf("%v: chi2 = %.1f, distribution too skewed", k, chi2)
+		}
+	}
+}
+
+// wyhash over byte strings covers every internal branch: <=3, 4..16, 17..48,
+// >48 bytes. Each size class must be deterministic and length-sensitive.
+func TestWyHashBytesBranches(t *testing.T) {
+	h := WyHashBytes(0)
+	sizes := []int{0, 1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 48, 49, 96, 200}
+	seen := map[uint64]int{}
+	for _, n := range sizes {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(i * 31)
+		}
+		v := h(buf)
+		if v2 := h(buf); v2 != v {
+			t.Fatalf("size %d: nondeterministic", n)
+		}
+		if prev, dup := seen[v]; dup && n > 0 {
+			t.Errorf("size %d collides with size %d", n, prev)
+		}
+		seen[v] = n
+	}
+}
+
+func TestMurmur3BytesBranchCoverage(t *testing.T) {
+	h := Murmur3Bytes(0)
+	// Cover all 16 tail lengths.
+	seen := map[uint64]int{}
+	for n := 0; n <= 33; n++ {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(i + 1)
+		}
+		v := h(buf)
+		if prev, dup := seen[v]; dup && n > 0 {
+			t.Errorf("murmur3: size %d collides with size %d", n, prev)
+		}
+		seen[v] = n
+	}
+}
+
+func BenchmarkWyHash64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += WyHash64(uint64(i))
+	}
+	sink = acc
+}
+
+func BenchmarkXX64Uint64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += XX64Uint64(uint64(i))
+	}
+	sink = acc
+}
+
+func BenchmarkMurmur3Fmix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Murmur3Fmix64(uint64(i))
+	}
+	sink = acc
+}
+
+var sink uint64

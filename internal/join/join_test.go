@@ -1,0 +1,112 @@
+package join
+
+import "testing"
+
+func TestGenerateBuildUniqueKeys(t *testing.T) {
+	r := GenerateBuild(1000, 1)
+	seen := map[uint64]bool{}
+	for _, tu := range r {
+		if tu.Key >= 1000 {
+			t.Fatalf("key %d out of domain", tu.Key)
+		}
+		if seen[tu.Key] {
+			t.Fatalf("duplicate build key %d", tu.Key)
+		}
+		seen[tu.Key] = true
+	}
+	// Shuffled: not in ascending order.
+	ordered := true
+	for i := 1; i < len(r); i++ {
+		if r[i].Key < r[i-1].Key {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		t.Fatal("build relation not shuffled")
+	}
+}
+
+func TestGenerateProbeInDomain(t *testing.T) {
+	s := GenerateProbe(5000, 1000, 2)
+	for _, tu := range s {
+		if tu.Key >= 1000 {
+			t.Fatalf("probe key %d outside build domain", tu.Key)
+		}
+	}
+}
+
+func TestJoinAllProbesMatch(t *testing.T) {
+	build := GenerateBuild(1<<10, 1)
+	probe := GenerateProbe(1<<13, 1<<10, 2)
+	for _, batch := range []int{1, 16} {
+		res := Run(build, probe, 2, batch)
+		if res.Matches != uint64(len(probe)) {
+			t.Fatalf("batch %d: matches = %d, want %d", batch, res.Matches, len(probe))
+		}
+		if res.TuplesPerSec() <= 0 {
+			t.Fatal("zero throughput")
+		}
+		if res.TotalTuples != uint64(len(build)+len(probe)) {
+			t.Fatalf("total = %d", res.TotalTuples)
+		}
+	}
+}
+
+func TestJoinPartialMatches(t *testing.T) {
+	build := GenerateBuild(100, 1)
+	// Probe keys 0..199: half match.
+	probe := make([]Tuple, 200)
+	for i := range probe {
+		probe[i] = Tuple{Key: uint64(i)}
+	}
+	res := Run(build, probe, 1, 8)
+	if res.Matches != 100 {
+		t.Fatalf("matches = %d, want 100", res.Matches)
+	}
+}
+
+func TestJoinThreadCountsAgree(t *testing.T) {
+	build := GenerateBuild(1<<9, 3)
+	probe := GenerateProbe(1<<12, 1<<9, 4)
+	r1 := Run(build, probe, 1, 8)
+	r4 := Run(build, probe, 4, 8)
+	if r1.Matches != r4.Matches {
+		t.Fatalf("matches differ across thread counts: %d vs %d", r1.Matches, r4.Matches)
+	}
+}
+
+func TestPartitionedJoinMatchesNonPartitioned(t *testing.T) {
+	build := GenerateBuild(1<<10, 7)
+	probe := GenerateProbe(1<<13, 1<<10, 8)
+	base := Run(build, probe, 2, 8)
+	part := RunPartitioned(build, probe, 2, 8)
+	if part.Matches != base.Matches {
+		t.Fatalf("partitioned matches %d != %d", part.Matches, base.Matches)
+	}
+	if part.TuplesPerSec() <= 0 {
+		t.Fatal("zero partitioned throughput")
+	}
+	// Unbatched variant agrees too.
+	part1 := RunPartitioned(build, probe, 1, 1)
+	if part1.Matches != base.Matches {
+		t.Fatalf("unbatched partitioned matches %d != %d", part1.Matches, base.Matches)
+	}
+}
+
+func TestPartitionCoversAllTuples(t *testing.T) {
+	rel := GenerateBuild(1000, 9)
+	parts := partition(rel, 16, 15)
+	n := 0
+	for p, tuples := range parts {
+		for _, tu := range tuples {
+			if tu.Key&15 != uint64(p) {
+				t.Fatalf("tuple %d in wrong partition %d", tu.Key, p)
+			}
+			n++
+		}
+	}
+	if n != len(rel) {
+		t.Fatalf("partitioning lost tuples: %d/%d", n, len(rel))
+	}
+}

@@ -1,0 +1,104 @@
+// Package lockmgr implements the database lock manager of the paper's
+// §5.3.3 on top of DLHT's HashSet mode: inserting a key locks a record,
+// deleting it unlocks. Lock acquisition uses DLHT's order-preserving batch
+// API, which is what makes two-phase-locking protocols deadlock free —
+// locks are requested in sorted order and the batch engine guarantees they
+// are attempted in exactly that order (unlike DRAMHiT's reordering batches,
+// which the paper shows can deadlock such protocols).
+package lockmgr
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Manager wraps a HashSet-mode DLHT used as a lock table.
+type Manager struct {
+	set *core.Table
+	// diag is a dedicated handle for Outstanding; not for concurrent use.
+	diag *core.Handle
+}
+
+// New creates a lock manager with the given lock-table geometry.
+func New(bins uint64, maxThreads int) *Manager {
+	set := core.MustNew(core.Config{
+		Mode:       core.HashSet,
+		Bins:       bins,
+		MaxThreads: maxThreads + 1,
+	})
+	return &Manager{set: set, diag: set.MustHandle()}
+}
+
+// Session is the per-thread interface; create one per worker goroutine.
+type Session struct {
+	h   *core.Handle
+	ops []core.Op
+}
+
+// Session allocates a worker session.
+func (m *Manager) Session() *Session {
+	return &Session{h: m.set.MustHandle()}
+}
+
+// TryLock acquires a single record lock; false when already held.
+func (s *Session) TryLock(key uint64) bool {
+	_, err := s.h.Insert(key, 0)
+	return err == nil
+}
+
+// Unlock releases a single record lock; false when not held.
+func (s *Session) Unlock(key uint64) bool {
+	_, ok := s.h.Delete(key)
+	return ok
+}
+
+// LockAll acquires every key (sorted internally for global ordering) in one
+// order-preserving batch. If any acquisition fails, the locks already taken
+// by the batch are rolled back and false is returned — the batch engine's
+// stop-on-fail semantics (§3.3).
+func (s *Session) LockAll(keys []uint64) bool {
+	// Callers that already present sorted keys (the common protocol, e.g.
+	// index order in 2PL) skip the sort entirely.
+	sorted := true
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	s.ops = s.ops[:0]
+	for _, k := range keys {
+		s.ops = append(s.ops, core.Op{Kind: core.OpInsert, Key: k})
+	}
+	done := s.h.Exec(s.ops, true)
+	if done == len(s.ops) && s.ops[done-1].OK {
+		return true
+	}
+	// Roll back the acquired prefix (the failed op did not take its lock).
+	for i := 0; i < done-1; i++ {
+		s.h.Delete(s.ops[i].Key)
+	}
+	// A batch that stopped early may have stopped ON a success boundary:
+	// when done < len(ops) the op at done-1 failed and holds nothing.
+	return false
+}
+
+// UnlockAll releases every key in one batch.
+func (s *Session) UnlockAll(keys []uint64) {
+	s.ops = s.ops[:0]
+	for _, k := range keys {
+		s.ops = append(s.ops, core.Op{Kind: core.OpDelete, Key: k})
+	}
+	s.h.Exec(s.ops, false)
+}
+
+// Held reports whether a lock is currently held (diagnostics).
+func (s *Session) Held(key uint64) bool { return s.h.Contains(key) }
+
+// Outstanding counts currently held locks across all sessions (O(bins));
+// not safe to call concurrently with itself.
+func (m *Manager) Outstanding() int { return m.diag.Len() }

@@ -1,0 +1,133 @@
+package lockmgr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTryLockUnlock(t *testing.T) {
+	m := New(64, 2)
+	s := m.Session()
+	if !s.TryLock(1) {
+		t.Fatal("first lock failed")
+	}
+	if s.TryLock(1) {
+		t.Fatal("double lock succeeded")
+	}
+	if !s.Held(1) {
+		t.Fatal("lock not held")
+	}
+	if !s.Unlock(1) {
+		t.Fatal("unlock failed")
+	}
+	if s.Unlock(1) {
+		t.Fatal("double unlock succeeded")
+	}
+	if !s.TryLock(1) {
+		t.Fatal("relock after unlock failed")
+	}
+}
+
+func TestLockAllSuccessAndRelease(t *testing.T) {
+	m := New(64, 2)
+	s := m.Session()
+	keys := []uint64{5, 3, 9, 1}
+	if !s.LockAll(keys) {
+		t.Fatal("LockAll failed")
+	}
+	for _, k := range keys {
+		if !s.Held(k) {
+			t.Fatalf("key %d not held", k)
+		}
+	}
+	s.UnlockAll(keys)
+	if m.Outstanding() != 0 {
+		t.Fatalf("%d locks leaked", m.Outstanding())
+	}
+}
+
+func TestLockAllRollsBackOnConflict(t *testing.T) {
+	m := New(64, 4)
+	s1 := m.Session()
+	s2 := m.Session()
+	if !s1.TryLock(7) {
+		t.Fatal("setup lock failed")
+	}
+	// s2 wants {3, 7, 9}: 7 is taken, so 3 (acquired first in sorted order)
+	// must be rolled back and 9 never attempted.
+	if s2.LockAll([]uint64{3, 7, 9}) {
+		t.Fatal("LockAll succeeded despite conflict")
+	}
+	if s2.Held(3) || s2.Held(9) {
+		t.Fatal("conflict rollback leaked a lock")
+	}
+	if !s1.Held(7) {
+		t.Fatal("victim lost its lock")
+	}
+	if m.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", m.Outstanding())
+	}
+}
+
+func TestLockAllSortsForDeadlockFreedom(t *testing.T) {
+	// Two sessions lock overlapping sets given in opposite orders; because
+	// LockAll sorts and the batch preserves order, no deadlock is possible
+	// and exactly one wins each round.
+	m := New(256, 8)
+	const rounds = 2000
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := m.Session()
+			for i := 0; i < rounds; i++ {
+				keys := []uint64{10, 20, 30}
+				if w == 1 {
+					keys = []uint64{30, 20, 10}
+				}
+				if s.LockAll(keys) {
+					wins.Add(1)
+					s.UnlockAll([]uint64{10, 20, 30})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wins.Load() == 0 {
+		t.Fatal("nobody ever acquired the lock set")
+	}
+	if m.Outstanding() != 0 {
+		t.Fatalf("%d locks leaked", m.Outstanding())
+	}
+}
+
+func TestConcurrentMutualExclusion(t *testing.T) {
+	m := New(64, 8)
+	var holders [4]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := m.Session()
+			for i := 0; i < 3000; i++ {
+				k := uint64(i % 4)
+				if !s.TryLock(k) {
+					continue
+				}
+				if holders[k].Add(1) != 1 {
+					t.Errorf("mutual exclusion violated on %d", k)
+				}
+				holders[k].Add(-1)
+				s.Unlock(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Outstanding() != 0 {
+		t.Fatalf("%d locks leaked", m.Outstanding())
+	}
+}

@@ -1,0 +1,107 @@
+package oltp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTATPRuns(t *testing.T) {
+	w := NewTATP(512, 8)
+	r := Run(w, 2, 40*time.Millisecond)
+	if r.Txs == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if r.Benchmark != "TATP" {
+		t.Fatalf("name = %q", r.Benchmark)
+	}
+	if r.MTxs() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestTATPWorkerAllTransactionTypes(t *testing.T) {
+	w := NewTATP(256, 4)
+	exec := w.NewWorker(0)
+	commits := 0
+	for i := 0; i < 20000; i++ {
+		if exec() {
+			commits++
+		}
+	}
+	// The mix is 80 % reads on guaranteed-present subscriber rows, so the
+	// commit rate must be high.
+	if commits < 10000 {
+		t.Fatalf("only %d/20000 committed", commits)
+	}
+}
+
+func TestSmallbankRuns(t *testing.T) {
+	w := NewSmallbank(512, 8)
+	r := Run(w, 2, 40*time.Millisecond)
+	if r.Txs == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if r.Benchmark != "Smallbank" {
+		t.Fatalf("name = %q", r.Benchmark)
+	}
+}
+
+func TestSmallbankSendPaymentConservesMoney(t *testing.T) {
+	// Drive only transfer-like transactions by running the full worker and
+	// tracking the invariant that money never appears from nowhere beyond
+	// what deposits/checks add: we instead run a dedicated transfer loop
+	// through the public surface by replaying SendPayment-equivalent pairs.
+	s := NewSmallbank(64, 4)
+	before := s.TotalCents()
+	// Amalgamate and SendPayment conserve; Deposit/TransactSavings add;
+	// WriteCheck subtracts. So run the worker and verify the total changed
+	// only through bounded per-tx deltas (no 2x double-credits).
+	exec := s.NewWorker(1)
+	const txs = 5000
+	for i := 0; i < txs; i++ {
+		exec()
+	}
+	after := s.TotalCents()
+	var diff uint64
+	if after > before {
+		diff = after - before
+	} else {
+		diff = before - after
+	}
+	// Deposits add <100, savings <100, checks subtract <51 per transaction;
+	// anything beyond ~100/tx indicates a broken balance update.
+	if diff > txs*100 {
+		t.Fatalf("balance drift %d exceeds per-tx bounds", diff)
+	}
+}
+
+func TestSmallbankWorkerCommitRate(t *testing.T) {
+	s := NewSmallbank(256, 4)
+	exec := s.NewWorker(0)
+	commits := 0
+	for i := 0; i < 10000; i++ {
+		if exec() {
+			commits++
+		}
+	}
+	// Single-threaded: no lock conflicts, so nearly everything commits.
+	if commits < 9000 {
+		t.Fatalf("only %d/10000 committed single-threaded", commits)
+	}
+}
+
+func TestRunParallelNoLeakedLocks(t *testing.T) {
+	s := NewSmallbank(128, 8)
+	Run(s, 4, 50*time.Millisecond)
+	if n := s.locks.Outstanding(); n != 0 {
+		t.Fatalf("%d record locks leaked", n)
+	}
+}
+
+func TestTATPParallelNoLeakedLocks(t *testing.T) {
+	w := NewTATP(128, 8)
+	Run(w, 4, 50*time.Millisecond)
+	if n := w.locks.Outstanding(); n != 0 {
+		t.Fatalf("%d record locks leaked", n)
+	}
+}

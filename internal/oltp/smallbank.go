@@ -1,0 +1,180 @@
+package oltp
+
+import (
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+	"repro/internal/workload"
+)
+
+// Smallbank (Cahill et al., "Serializable isolation for snapshot
+// databases") scaled to n customer accounts. Three tables (accounts,
+// savings, checking), six transaction types, 15 % reads — the paper's
+// write-intensive OLTP benchmark (Table 4).
+//
+// Balances are stored as unsigned cents biased by balanceBias so that
+// overdrafts stay representable in a uint64 slot.
+type Smallbank struct {
+	accounts uint64
+	account  *core.Table // custid -> account metadata
+	savings  *core.Table // custid -> savings balance
+	checking *core.Table // custid -> checking balance
+	locks    *lockmgr.Manager
+}
+
+const balanceBias = 1 << 40
+
+// Standard Smallbank mix (percent): Balance is the only read transaction.
+const (
+	txBalance         = 15
+	txDepositChecking = 17
+	txTransactSavings = 17
+	txAmalgamate      = 17
+	txWriteCheck      = 17
+	// txSendPayment = rest (17)
+)
+
+// NewSmallbank populates a Smallbank database with n accounts.
+func NewSmallbank(n uint64, maxThreads int) *Smallbank {
+	if maxThreads < 8192 {
+		maxThreads = 8192 // handles are per-Run and never recycled
+	}
+	mk := func() *core.Table {
+		return core.MustNew(core.Config{
+			Bins:       n + 64,
+			Resizable:  true,
+			MaxThreads: maxThreads + 1,
+		})
+	}
+	s := &Smallbank{
+		accounts: n,
+		account:  mk(),
+		savings:  mk(),
+		checking: mk(),
+		locks:    lockmgr.New(n/2+64, maxThreads),
+	}
+	ha := s.account.MustHandle()
+	hs := s.savings.MustHandle()
+	hc := s.checking.MustHandle()
+	rng := workload.NewRNG(13)
+	for id := uint64(0); id < n; id++ {
+		ha.Insert(id, rng.Next())
+		hs.Insert(id, balanceBias+rng.Uint64n(100000))
+		hc.Insert(id, balanceBias+rng.Uint64n(100000))
+	}
+	return s
+}
+
+// Name implements Workload.
+func (s *Smallbank) Name() string { return "Smallbank" }
+
+// NewWorker implements Workload.
+func (s *Smallbank) NewWorker(tid int) func() bool {
+	rng := workload.NewRNG(uint64(tid)*97 + 3)
+	hs := s.savings.MustHandle()
+	hc := s.checking.MustHandle()
+	locks := s.locks.Session()
+	addTo := func(h *core.Handle, id uint64, delta uint64) bool {
+		v, ok := h.Get(id)
+		if !ok {
+			return false
+		}
+		_, ok = h.Put(id, v+delta)
+		return ok
+	}
+	return func() bool {
+		a := rng.Uint64n(s.accounts)
+		p := int(rng.Uint64n(100))
+		switch {
+		case p < txBalance:
+			// Balance: read both balances of one customer.
+			_, ok1 := hs.Get(a)
+			_, ok2 := hc.Get(a)
+			return ok1 && ok2
+		case p < txBalance+txDepositChecking:
+			// DepositChecking: single-row update under its lock.
+			if !locks.TryLock(a) {
+				return false
+			}
+			ok := addTo(hc, a, rng.Uint64n(100))
+			locks.Unlock(a)
+			return ok
+		case p < txBalance+txDepositChecking+txTransactSavings:
+			// TransactSavings.
+			if !locks.TryLock(a) {
+				return false
+			}
+			ok := addTo(hs, a, rng.Uint64n(100))
+			locks.Unlock(a)
+			return ok
+		case p < txBalance+txDepositChecking+txTransactSavings+txAmalgamate:
+			// Amalgamate: move everything from a's savings+checking into
+			// b's checking — three rows, two customers, 2PL.
+			b := rng.Uint64n(s.accounts)
+			if b == a {
+				b = (a + 1) % s.accounts
+			}
+			keys := []uint64{a, b}
+			if !locks.LockAll(keys) {
+				return false
+			}
+			sv, ok1 := hs.Get(a)
+			cv, ok2 := hc.Get(a)
+			ok := ok1 && ok2
+			if ok {
+				hs.Put(a, balanceBias)
+				hc.Put(a, balanceBias)
+				addTo(hc, b, (sv-balanceBias)+(cv-balanceBias))
+			}
+			locks.UnlockAll(keys)
+			return ok
+		case p < txBalance+txDepositChecking+txTransactSavings+txAmalgamate+txWriteCheck:
+			// WriteCheck: read both balances, debit checking.
+			if !locks.TryLock(a) {
+				return false
+			}
+			sv, ok1 := hs.Get(a)
+			cv, ok2 := hc.Get(a)
+			ok := ok1 && ok2
+			if ok {
+				amount := rng.Uint64n(50)
+				if sv+cv-2*balanceBias < amount {
+					amount++ // overdraft penalty, per the spec
+				}
+				hc.Put(a, cv-amount)
+			}
+			locks.Unlock(a)
+			return ok
+		default:
+			// SendPayment: transfer between two checking accounts.
+			b := rng.Uint64n(s.accounts)
+			if b == a {
+				b = (a + 1) % s.accounts
+			}
+			keys := []uint64{a, b}
+			if !locks.LockAll(keys) {
+				return false
+			}
+			amount := rng.Uint64n(20)
+			av, ok := hc.Get(a)
+			if ok {
+				hc.Put(a, av-amount)
+				addTo(hc, b, amount)
+			}
+			locks.UnlockAll(keys)
+			return ok
+		}
+	}
+}
+
+// TotalCents sums all balances (conservation check for tests): transfers
+// must conserve the combined total, modulo deposit/check transactions.
+func (s *Smallbank) TotalCents() uint64 {
+	hs := s.savings.MustHandle()
+	hc := s.checking.MustHandle()
+	var sum uint64
+	hs.Range(func(_, v uint64) bool { sum += v - balanceBias; return true })
+	hc.Range(func(_, v uint64) bool { sum += v - balanceBias; return true })
+	return sum
+}
+
+var _ Workload = (*Smallbank)(nil)

@@ -1,0 +1,246 @@
+// Package workload generates the key streams and operation mixes of the
+// DLHT paper's evaluation (§4): uniform access over a prepopulated key
+// space, the InsDel pattern (insert a fresh key, then delete it), the
+// Put-heavy mix, hot-set skew (§5.2.4), and the YCSB single-key mixes
+// (§5.3.4). Generators are deterministic per seed and allocation free on
+// the hot path.
+package workload
+
+import "math"
+
+// RNG is xorshift128+, the fast per-thread generator used by all drivers.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG seeds a generator; distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	// SplitMix64 expansion of the seed avoids weak low-entropy states.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	s0 := z ^ (z >> 31)
+	z = seed + 0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	s1 := z ^ (z >> 31)
+	if s0 == 0 && s1 == 0 {
+		s1 = 1
+	}
+	return &RNG{s0, s1}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Uint64n returns a value in [0, n).
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.Next() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// ---------------------------------------------------------------------------
+// Key streams
+// ---------------------------------------------------------------------------
+
+// Uniform yields uniformly random keys from the prepopulated space [0, n).
+type Uniform struct {
+	rng *RNG
+	n   uint64
+}
+
+// NewUniform creates a uniform stream over n prepopulated keys.
+func NewUniform(seed, n uint64) *Uniform {
+	return &Uniform{NewRNG(seed), n}
+}
+
+// Key returns the next key.
+func (u *Uniform) Key() uint64 { return u.rng.Uint64n(u.n) }
+
+// Skewed yields keys where pctHot percent of accesses hit one of hotKeys
+// hot keys (the paper's §5.2.4 uses 1000 hot keys) and the rest are uniform
+// over [0, n).
+type Skewed struct {
+	rng     *RNG
+	n       uint64
+	hotKeys uint64
+	pctHot  int
+}
+
+// NewSkewed creates a hot-set skewed stream.
+func NewSkewed(seed, n, hotKeys uint64, pctHot int) *Skewed {
+	if hotKeys == 0 {
+		hotKeys = 1
+	}
+	return &Skewed{NewRNG(seed), n, hotKeys, pctHot}
+}
+
+// Key returns the next key.
+func (s *Skewed) Key() uint64 {
+	if int(s.rng.Uint64n(100)) < s.pctHot {
+		return s.rng.Uint64n(s.hotKeys)
+	}
+	return s.rng.Uint64n(s.n)
+}
+
+// FreshKeys yields keys guaranteed not to collide with the prepopulated
+// space or with other threads — the paper's Insert convention ("Inserts
+// also use the RNG to select a key... that has not been prepopulated. This
+// ensures that Inserts will always incur the full overhead of the
+// insertion"). Each thread owns a disjoint 40-bit region above the prepop
+// range; within it, keys follow a multiplicative bijection of a counter so
+// they are unique AND pseudo-random — sequential counters would map to
+// sequential bins under modulo hashing and make the workload cache-hot,
+// hiding exactly the memory behaviour the paper studies.
+type FreshKeys struct {
+	base    uint64
+	counter uint64
+}
+
+// freshRegionBits sizes each thread's private key region.
+const freshRegionBits = 40
+
+// NewFreshKeys creates the fresh-key stream for a thread.
+func NewFreshKeys(thread int, prepop uint64) *FreshKeys {
+	return &FreshKeys{base: prepop + (uint64(thread)+1)<<freshRegionBits}
+}
+
+// Key returns the next never-before-used key. Multiplication by an odd
+// constant is a bijection mod 2^40, so the stream never repeats within the
+// region while landing in effectively random bins.
+func (f *FreshKeys) Key() uint64 {
+	f.counter++
+	scrambled := (f.counter * 0x9e3779b97f4a7c15) & ((1 << freshRegionBits) - 1)
+	return f.base + scrambled
+}
+
+// ---------------------------------------------------------------------------
+// Zipf (for YCSB)
+// ---------------------------------------------------------------------------
+
+// Zipf generates Zipf-distributed ranks in [0, n) with exponent theta
+// (YCSB default 0.99), using the Gray et al. rejection-free method.
+type Zipf struct {
+	rng             *RNG
+	n               uint64
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+}
+
+// NewZipf creates a Zipf generator. Construction is O(n) once (zeta sum);
+// callers should reuse generators across threads via Clone.
+func NewZipf(seed, n uint64, theta float64) *Zipf {
+	z := &Zipf{rng: NewRNG(seed), n: n, theta: theta}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - powF(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+// Clone returns an independent generator sharing the precomputed constants.
+func (z *Zipf) Clone(seed uint64) *Zipf {
+	c := *z
+	c.rng = NewRNG(seed)
+	return &c
+}
+
+// Key returns the next Zipf-distributed key in [0, n).
+func (z *Zipf) Key() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+powF(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * powF(z.eta*u-z.eta+1, z.alpha))
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	// Cap the exact sum for very large n; the tail contribution is
+	// approximated by the integral, keeping construction fast at scale.
+	const exactCap = 1 << 20
+	sum := 0.0
+	m := n
+	if m > exactCap {
+		m = exactCap
+	}
+	for i := uint64(1); i <= m; i++ {
+		sum += 1 / powF(float64(i), theta)
+	}
+	if n > m {
+		// ∫ x^-theta dx from m to n.
+		sum += (powF(float64(n), 1-theta) - powF(float64(m), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+func powF(x, y float64) float64 { return math.Pow(x, y) }
+
+// ---------------------------------------------------------------------------
+// Operation mixes
+// ---------------------------------------------------------------------------
+
+// OpType is a workload-level operation.
+type OpType uint8
+
+// Workload operations.
+const (
+	Read OpType = iota
+	Update
+	Insert
+	Delete
+	ReadModifyWrite
+	Scan // unused by DLHT benches; present for YCSB completeness
+)
+
+// Mix is a discrete distribution over operations, in percent.
+type Mix struct {
+	ReadPct, UpdatePct, InsertPct, RMWPct int
+	name                                  string
+}
+
+// Name returns the mix label.
+func (m Mix) Name() string { return m.name }
+
+// YCSB standard mixes (§5.3.4 evaluates A, B, C and F).
+var (
+	YCSBA = Mix{ReadPct: 50, UpdatePct: 50, name: "YCSB-A"}
+	YCSBB = Mix{ReadPct: 95, UpdatePct: 5, name: "YCSB-B"}
+	YCSBC = Mix{ReadPct: 100, name: "YCSB-C"}
+	YCSBD = Mix{ReadPct: 95, InsertPct: 5, name: "YCSB-D"}
+	YCSBF = Mix{RMWPct: 100, name: "YCSB-F"}
+)
+
+// Pick draws an operation from the mix.
+func (m Mix) Pick(r *RNG) OpType {
+	v := int(r.Uint64n(100))
+	switch {
+	case v < m.ReadPct:
+		return Read
+	case v < m.ReadPct+m.UpdatePct:
+		return Update
+	case v < m.ReadPct+m.UpdatePct+m.InsertPct:
+		return Insert
+	default:
+		return ReadModifyWrite
+	}
+}

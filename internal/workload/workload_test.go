@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(1)
+	c := NewRNG(2)
+	same, diff := 0, 0
+	for i := 0; i < 1000; i++ {
+		va, vb, vc := a.Next(), b.Next(), c.Next()
+		if va == vb {
+			same++
+		}
+		if va != vc {
+			diff++
+		}
+	}
+	if same != 1000 {
+		t.Fatal("same seed must give the same stream")
+	}
+	if diff < 990 {
+		t.Fatal("different seeds must give different streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := NewRNG(seed)
+		bound := uint64(n) + 1
+		for i := 0; i < 100; i++ {
+			if r.Uint64n(bound) >= bound {
+				return false
+			}
+		}
+		return r.Uint64n(0) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := NewUniform(1, 100)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		k := u.Key()
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform stream covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestSkewedHotFraction(t *testing.T) {
+	s := NewSkewed(1, 1_000_000, 1000, 90)
+	hot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Key() < 1000 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// 90 % direct hot hits plus ~0.1 % accidental uniform hits.
+	if frac < 0.88 || frac > 0.93 {
+		t.Fatalf("hot fraction = %.3f, want ≈0.90", frac)
+	}
+}
+
+func TestSkewedZeroPctIsUniform(t *testing.T) {
+	s := NewSkewed(1, 1_000_000, 1000, 0)
+	hot := 0
+	for i := 0; i < 100000; i++ {
+		if s.Key() < 1000 {
+			hot++
+		}
+	}
+	if hot > 500 { // expect ~100
+		t.Fatalf("0%% skew produced %d hot hits", hot)
+	}
+}
+
+func TestFreshKeysDisjoint(t *testing.T) {
+	const prepop = 1 << 20
+	f0 := NewFreshKeys(0, prepop)
+	f1 := NewFreshKeys(1, prepop)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		for _, f := range []*FreshKeys{f0, f1} {
+			k := f.Key()
+			if k < prepop {
+				t.Fatalf("fresh key %d collides with prepopulated space", k)
+			}
+			if seen[k] {
+				t.Fatalf("fresh key %d repeated", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	z := NewZipf(1, 1_000_000, 0.99)
+	var top10, total int
+	for i := 0; i < 100000; i++ {
+		k := z.Key()
+		if k >= 1_000_000 {
+			t.Fatalf("zipf key %d out of range", k)
+		}
+		if k < 10 {
+			top10++
+		}
+		total++
+	}
+	frac := float64(top10) / float64(total)
+	// With theta=0.99 over 1M items, the top-10 ranks draw a large share.
+	if frac < 0.15 {
+		t.Fatalf("top-10 fraction = %.3f, zipf not skewed", frac)
+	}
+}
+
+func TestZipfClone(t *testing.T) {
+	z := NewZipf(1, 10000, 0.99)
+	c1, c2 := z.Clone(5), z.Clone(5)
+	for i := 0; i < 100; i++ {
+		if c1.Key() != c2.Key() {
+			t.Fatal("clones with equal seeds must agree")
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	r := NewRNG(3)
+	counts := map[OpType]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[YCSBA.Pick(r)]++
+	}
+	reads := float64(counts[Read]) / n
+	updates := float64(counts[Update]) / n
+	if reads < 0.47 || reads > 0.53 || updates < 0.47 || updates > 0.53 {
+		t.Fatalf("YCSB-A proportions: reads %.3f updates %.3f", reads, updates)
+	}
+	// YCSB-C is all reads.
+	for i := 0; i < 1000; i++ {
+		if YCSBC.Pick(r) != Read {
+			t.Fatal("YCSB-C produced a non-read")
+		}
+	}
+	// YCSB-F is all RMW.
+	for i := 0; i < 1000; i++ {
+		if YCSBF.Pick(r) != ReadModifyWrite {
+			t.Fatal("YCSB-F produced a non-RMW")
+		}
+	}
+}
+
+func TestMixNames(t *testing.T) {
+	for _, m := range []Mix{YCSBA, YCSBB, YCSBC, YCSBD, YCSBF} {
+		if m.Name() == "" {
+			t.Fatal("mix without a name")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package ycsb implements the single-key YCSB benchmark mixes of the
+// paper's §5.3.4 over DLHT: workloads A (50/50 read-update), B (95/5),
+// C (read only) and F (read-modify-write), with Zipf-distributed keys as in
+// the YCSB specification.
+package ycsb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Driver owns the table and the prepopulated record space.
+type Driver struct {
+	t       *core.Table
+	records uint64
+	zipf    *workload.Zipf
+}
+
+// New builds a driver with the given record count prepopulated (values are
+// 8-byte encodings, the paper's default inlined configuration).
+func New(records uint64, maxThreads int) (*Driver, error) {
+	if maxThreads < 8192 {
+		// Handles are never recycled; thread sweeps and repeated Run calls
+		// each take fresh ones, so budget generously (64 B per slot).
+		maxThreads = 8192
+	}
+	t, err := core.New(core.Config{
+		Bins:       records*2/3 + 64,
+		Resizable:  true,
+		MaxThreads: maxThreads + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := t.MustHandle()
+	for k := uint64(0); k < records; k++ {
+		if _, err := h.Insert(k, xy(k)); err != nil {
+			return nil, err
+		}
+	}
+	return &Driver{
+		t:       t,
+		records: records,
+		zipf:    workload.NewZipf(42, records, 0.99),
+	}, nil
+}
+
+// xy is a cheap value scrambler so values differ from keys.
+func xy(k uint64) uint64 { return k*0x9e3779b97f4a7c15 + 1 }
+
+// Result is the outcome of one mix run.
+type Result struct {
+	Mix     string
+	Threads int
+	Ops     uint64
+	Elapsed time.Duration
+}
+
+// MReqs returns million operations per second.
+func (r Result) MReqs() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// Run executes the mix for dur across threads workers.
+func (d *Driver) Run(mix workload.Mix, threads int, dur time.Duration) Result {
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := d.t.MustHandle()
+			rng := workload.NewRNG(uint64(tid)*2654435761 + 7)
+			keys := d.zipf.Clone(uint64(tid) + 1)
+			fresh := workload.NewFreshKeys(tid, d.records)
+			var ops uint64
+			for !stop.Load() {
+				for i := 0; i < 32; i++ {
+					k := keys.Key()
+					switch mix.Pick(rng) {
+					case workload.Read:
+						h.Get(k)
+					case workload.Update:
+						h.Put(k, rng.Next())
+					case workload.Insert:
+						nk := fresh.Key()
+						h.Insert(nk, nk)
+					case workload.ReadModifyWrite:
+						v, ok := h.Get(k)
+						if ok {
+							h.Put(k, v+1)
+						}
+					}
+				}
+				ops += 32
+			}
+			total.Add(ops)
+		}(tid)
+	}
+	begin := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return Result{Mix: mix.Name(), Threads: threads, Ops: total.Load(), Elapsed: time.Since(begin)}
+}

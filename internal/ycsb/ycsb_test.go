@@ -1,0 +1,45 @@
+package ycsb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestDriverRunsAllMixes(t *testing.T) {
+	d, err := New(1<<10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mix := range []workload.Mix{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBF} {
+		r := d.Run(mix, 2, 30*time.Millisecond)
+		if r.Ops == 0 {
+			t.Fatalf("%s: no ops", mix.Name())
+		}
+		if r.Mix != mix.Name() || r.Threads != 2 {
+			t.Fatalf("result metadata: %+v", r)
+		}
+		if r.MReqs() <= 0 {
+			t.Fatalf("%s: zero throughput", mix.Name())
+		}
+	}
+}
+
+func TestResultZeroElapsed(t *testing.T) {
+	if (Result{Ops: 5}).MReqs() != 0 {
+		t.Fatal("zero-elapsed result must report 0")
+	}
+}
+
+func TestDriverRepeatedRunsShareTable(t *testing.T) {
+	d, err := New(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if r := d.Run(workload.YCSBC, 1, 10*time.Millisecond); r.Ops == 0 {
+			t.Fatalf("run %d: no ops", i)
+		}
+	}
+}
