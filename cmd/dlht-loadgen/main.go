@@ -1,0 +1,214 @@
+// Command dlht-loadgen drives a dlht-server with pipelined traffic and
+// reports throughput and latency percentiles. It first prepopulates the
+// keyspace with INSERTs, then runs a mixed GET/PUT phase in which every
+// connection keeps -pipeline requests in flight — the client-side mirror
+// of the server's batch execution.
+//
+// Usage:
+//
+//	dlht-loadgen -addr localhost:4040 -conns 8 -pipeline 16 \
+//	    -ops 1000000 -keys 100000 -read-pct 50 -dist uniform
+//
+// Any transport error or unexpected response status counts as an error;
+// the process exits non-zero if any occurred.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:4040", "server address")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		pipeline = flag.Int("pipeline", 16, "requests kept in flight per connection")
+		totalOps = flag.Uint64("ops", 1_000_000, "total measured operations across all connections")
+		keys     = flag.Uint64("keys", 100_000, "prepopulated keyspace size")
+		readPct  = flag.Int("read-pct", 50, "percentage of GETs (rest are PUTs)")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform|zipf|hot")
+		skipLoad = flag.Bool("skip-load", false, "skip the INSERT prepopulation phase")
+	)
+	flag.Parse()
+	if *conns < 1 || *pipeline < 1 || *readPct < 0 || *readPct > 100 {
+		log.Fatal("bad flags: need conns>=1, pipeline>=1, 0<=read-pct<=100")
+	}
+	if *pipeline > 4096 {
+		// Deeper pipelines can deadlock on kernel socket buffers: the
+		// server blocks writing responses nobody is reading yet.
+		log.Fatal("bad flags: pipeline must be <= 4096")
+	}
+
+	if !*skipLoad {
+		m, errs := load(*addr, *conns, *pipeline, *keys)
+		if errs > 0 {
+			log.Fatalf("load phase: %d errors", errs)
+		}
+		fmt.Printf("loaded %d keys in %v (%.2f M inserts/s)\n",
+			m.Ops, m.Elapsed.Round(time.Millisecond), m.MReqs())
+	}
+
+	fmt.Printf("run: %d ops over %d conns × pipeline %d (%d%% GET / %d%% PUT, %s keys)\n",
+		*totalOps, *conns, *pipeline, *readPct, 100-*readPct, *dist)
+	m, lat, errs := run(*addr, *conns, *pipeline, *totalOps, *keys, *readPct, *dist)
+	fmt.Printf("throughput: %.2f M reqs/s (%d ops in %v)\n",
+		m.MReqs(), m.Ops, m.Elapsed.Round(time.Millisecond))
+	fmt.Println(lat)
+	fmt.Printf("errors: %d\n", errs)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// load prepopulates [0, keys) with INSERTs, striped across connections.
+func load(addr string, conns, pipeline int, keys uint64) (bench.Measurement, uint64) {
+	var errs atomic.Uint64
+	var wg sync.WaitGroup
+	begin := time.Now()
+	per := (keys + uint64(conns) - 1) / uint64(conns)
+	for c := 0; c < conns; c++ {
+		lo := uint64(c) * per
+		hi := lo + per
+		if hi > keys {
+			hi = keys
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer cl.Close()
+			sent, recvd := lo, lo
+			for recvd < hi {
+				for sent < hi && sent-recvd < uint64(pipeline) {
+					if err := cl.Send(server.Request{Op: server.OpInsert, Key: sent, Value: sent ^ 0xdead}); err != nil {
+						errs.Add(1)
+						return
+					}
+					sent++
+				}
+				if err := cl.Flush(); err != nil {
+					errs.Add(1)
+					return
+				}
+				r, err := cl.Recv()
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				if r.Status != server.StatusOK && r.Status != server.StatusExists {
+					errs.Add(1)
+				}
+				recvd++
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return bench.Measurement{Ops: keys, Elapsed: time.Since(begin)}, errs.Load()
+}
+
+// keyStream abstracts the three supported distributions.
+type keyStream interface{ Key() uint64 }
+
+func newStream(dist string, seed, keys uint64) keyStream {
+	switch dist {
+	case "uniform":
+		return workload.NewUniform(seed, keys)
+	case "zipf":
+		return workload.NewZipf(seed, keys, 0.99)
+	case "hot":
+		// §5.2.4 hot set: 90% of accesses over 1000 hot keys.
+		return workload.NewSkewed(seed, keys, 1000, 90)
+	}
+	log.Fatalf("unknown -dist %q (want uniform|zipf|hot)", dist)
+	return nil
+}
+
+// run executes the measured mixed phase and aggregates throughput, latency
+// and error counts across connections.
+func run(addr string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string) (bench.Measurement, bench.LatencySummary, uint64) {
+	var total, errs atomic.Uint64
+	agg := bench.NewSampler(1 << 20)
+	var aggMu sync.Mutex
+	var wg sync.WaitGroup
+	per := totalOps / uint64(conns)
+	begin := time.Now()
+	for c := 0; c < conns; c++ {
+		quota := per
+		if c == 0 {
+			quota += totalOps % uint64(conns) // remainder rides on conn 0
+		}
+		wg.Add(1)
+		go func(c int, quota uint64) {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				errs.Add(quota)
+				return
+			}
+			defer cl.Close()
+			stream := newStream(dist, uint64(c)*2654435761+7, keys)
+			rng := workload.NewRNG(uint64(c)*7919 + 3)
+			sampler := bench.NewSampler(1 << 17)
+			times := make([]time.Time, pipeline)
+			var sent, recvd uint64
+			for recvd < quota {
+				topped := false
+				for sent < quota && sent-recvd < uint64(pipeline) {
+					k := stream.Key()
+					req := server.Request{Op: server.OpGet, Key: k}
+					if int(rng.Uint64n(100)) >= readPct {
+						req = server.Request{Op: server.OpPut, Key: k, Value: rng.Next()}
+					}
+					if err := cl.Send(req); err != nil {
+						errs.Add(quota - recvd)
+						return
+					}
+					times[sent%uint64(pipeline)] = time.Now()
+					sent++
+					topped = true
+				}
+				if topped {
+					if err := cl.Flush(); err != nil {
+						errs.Add(quota - recvd)
+						return
+					}
+				}
+				r, err := cl.Recv()
+				if err != nil {
+					errs.Add(quota - recvd)
+					return
+				}
+				sampler.Add(time.Since(times[recvd%uint64(pipeline)]).Nanoseconds())
+				// Every key is prepopulated and never deleted, so both GET
+				// and PUT must answer StatusOK.
+				if r.Status != server.StatusOK {
+					errs.Add(1)
+				}
+				recvd++
+			}
+			total.Add(recvd)
+			aggMu.Lock()
+			agg.Merge(sampler)
+			aggMu.Unlock()
+		}(c, quota)
+	}
+	wg.Wait()
+	m := bench.Measurement{Ops: total.Load(), Elapsed: time.Since(begin)}
+	return m, agg.Summary(), errs.Load()
+}

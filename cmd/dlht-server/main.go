@@ -1,0 +1,70 @@
+// Command dlht-server exposes a DLHT table over TCP using the pipelined
+// binary protocol of repro/internal/server. Each connection is one
+// goroutine holding one table handle; all requests buffered on a
+// connection are executed as a single prefetched batch (§3.3).
+//
+// Usage:
+//
+//	dlht-server -addr :4040 -bins 1048576 -max-batch 64
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	dlht "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":4040", "listen address")
+		bins       = flag.Uint64("bins", 1<<20, "initial bin count (3 slots per bin)")
+		resizable  = flag.Bool("resizable", true, "enable non-blocking resize")
+		maxBatch   = flag.Int("max-batch", 64, "max requests per Exec batch per connection")
+		maxThreads = flag.Int("max-threads", 4096, "max concurrent connections (table handles)")
+		hashName   = flag.String("hash", "modulo", "bin hash: modulo|wy|xx|murmur3|fnv1a")
+	)
+	flag.Parse()
+
+	cfg := dlht.Config{Bins: *bins, Resizable: *resizable, MaxThreads: *maxThreads}
+	switch *hashName {
+	case "modulo":
+		cfg.Hash = dlht.HashModulo
+	case "wy":
+		cfg.Hash = dlht.HashWy
+	case "xx":
+		cfg.Hash = dlht.HashXX
+	case "murmur3":
+		cfg.Hash = dlht.HashMurmur3
+	case "fnv1a":
+		cfg.Hash = dlht.HashFNV1a
+	default:
+		log.Fatalf("unknown -hash %q", *hashName)
+	}
+	tbl, err := dlht.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := server.New(tbl, server.Options{MaxBatch: *maxBatch})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		s.Close()
+	}()
+
+	log.Printf("dlht-server listening on %s (bins=%d resizable=%v max-batch=%d)",
+		*addr, *bins, *resizable, *maxBatch)
+	if err := s.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
+		log.Fatal(err)
+	}
+	st := tbl.Stats()
+	log.Printf("final: %d/%d slots occupied (%.1f%%), %d resizes",
+		st.Occupied, st.Capacity, st.Occupancy*100, st.Resizes)
+}

@@ -34,6 +34,16 @@
 //	}
 //	h.Exec(ops, false)
 //
+// # Batching over the network
+//
+// The batch API is also the unit of network service: repro/internal/server
+// exposes a table over TCP (cmd/dlht-server), decoding every request
+// pipelined on a connection into one []Op batch executed through
+// Handle.Exec. The prefetch pass that hides DRAM latency for local batches
+// (§3.3) thereby absorbs network-induced request bursts, and Exec's order
+// preservation doubles as the protocol's request/response matching rule.
+// Connection-scoped handles are recycled via Handle.Close.
+//
 // The implementation lives in repro/internal/core; this package re-exports
 // it as the stable public surface.
 package dlht

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sampler collects per-request latency samples with a fixed cap, for use by
+// closed-loop drivers (the network load generator). Not safe for concurrent
+// use; give each worker its own Sampler and Merge at the end.
+type Sampler struct {
+	samples []int64
+	dropped uint64
+}
+
+// NewSampler creates a sampler retaining at most capacity samples.
+func NewSampler(capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = 1 << 17
+	}
+	return &Sampler{samples: make([]int64, 0, capacity)}
+}
+
+// Add records one latency sample (nanoseconds). Samples past the cap are
+// counted but not retained.
+func (s *Sampler) Add(ns int64) {
+	if len(s.samples) < cap(s.samples) {
+		s.samples = append(s.samples, ns)
+		return
+	}
+	s.dropped++
+}
+
+// Merge folds o's samples into s (up to s's remaining capacity).
+func (s *Sampler) Merge(o *Sampler) {
+	for _, v := range o.samples {
+		s.Add(v)
+	}
+	s.dropped += o.dropped
+}
+
+// LatencySummary is the percentile digest of a sample set.
+type LatencySummary struct {
+	Count                   int
+	Dropped                 uint64 // recorded beyond the retention cap
+	Avg, P50, P95, P99, Max time.Duration
+}
+
+// Summary sorts the retained samples and digests them.
+func (s *Sampler) Summary() LatencySummary {
+	n := len(s.samples)
+	if n == 0 {
+		return LatencySummary{Dropped: s.dropped}
+	}
+	sorted := make([]int64, n)
+	copy(sorted, s.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p int) time.Duration {
+		i := n * p / 100
+		if i >= n {
+			i = n - 1
+		}
+		return time.Duration(sorted[i])
+	}
+	return LatencySummary{
+		Count:   n,
+		Dropped: s.dropped,
+		Avg:     time.Duration(sum / int64(n)),
+		P50:     pct(50),
+		P95:     pct(95),
+		P99:     pct(99),
+		Max:     time.Duration(sorted[n-1]),
+	}
+}
+
+// String renders the digest on one line.
+func (l LatencySummary) String() string {
+	if l.Count == 0 {
+		return "latency: no samples"
+	}
+	return fmt.Sprintf("latency: avg=%v p50=%v p95=%v p99=%v max=%v (%d samples)",
+		l.Avg.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+		l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond),
+		l.Max.Round(time.Microsecond), l.Count)
+}

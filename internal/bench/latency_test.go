@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerSummary(t *testing.T) {
+	s := NewSampler(1000)
+	for i := int64(1); i <= 100; i++ {
+		s.Add(i * 1000) // 1µs .. 100µs
+	}
+	sum := s.Summary()
+	if sum.Count != 100 {
+		t.Fatalf("Count = %d, want 100", sum.Count)
+	}
+	if sum.P50 < 50*time.Microsecond || sum.P50 > 52*time.Microsecond {
+		t.Fatalf("P50 = %v", sum.P50)
+	}
+	if sum.P99 < 99*time.Microsecond || sum.P99 > 100*time.Microsecond {
+		t.Fatalf("P99 = %v", sum.P99)
+	}
+	if sum.Max != 100*time.Microsecond {
+		t.Fatalf("Max = %v", sum.Max)
+	}
+	if sum.Avg != 50500*time.Nanosecond {
+		t.Fatalf("Avg = %v", sum.Avg)
+	}
+}
+
+func TestSamplerCapAndMerge(t *testing.T) {
+	a := NewSampler(10)
+	for i := 0; i < 25; i++ {
+		a.Add(int64(i))
+	}
+	if got := a.Summary(); got.Count != 10 || got.Dropped != 15 {
+		t.Fatalf("Count=%d Dropped=%d, want 10,15", got.Count, got.Dropped)
+	}
+	b := NewSampler(100)
+	b.Add(7)
+	b.Merge(a)
+	if got := b.Summary(); got.Count != 11 || got.Dropped != 15 {
+		t.Fatalf("merged Count=%d Dropped=%d, want 11,15", got.Count, got.Dropped)
+	}
+	empty := NewSampler(4)
+	if s := empty.Summary(); s.Count != 0 || s.String() != "latency: no samples" {
+		t.Fatalf("empty summary = %+v %q", s, s.String())
+	}
+}

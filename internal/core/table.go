@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/alloc"
@@ -180,6 +181,12 @@ type Table struct {
 
 	gc *epoch.Collector
 
+	// freeIDs recycles handle ids returned through Handle.Close, so
+	// long-lived processes with connection-scoped handles (the network
+	// server) never exhaust MaxThreads.
+	freeMu  sync.Mutex
+	freeIDs []int
+
 	// updaters counts in-flight mutating operations; used only when
 	// StrongSnapshots is enabled. snapshotGate blocks new updates while a
 	// strong snapshot drains the counter.
@@ -310,8 +317,21 @@ type Handle struct {
 	pinned bool
 }
 
-// Handle allocates the next free per-thread handle.
+// Handle allocates the next free per-thread handle, preferring ids
+// recycled through Close.
 func (t *Table) Handle() (*Handle, error) {
+	t.freeMu.Lock()
+	if n := len(t.freeIDs); n > 0 {
+		id := t.freeIDs[n-1]
+		t.freeIDs = t.freeIDs[:n-1]
+		t.freeMu.Unlock()
+		h := &Handle{t: t, id: id}
+		if t.gc != nil {
+			h.eh = t.gc.Handle(id)
+		}
+		return h, nil
+	}
+	t.freeMu.Unlock()
 	id := int(t.nHandles.Add(1)) - 1
 	if id >= t.cfg.MaxThreads {
 		t.nHandles.Add(-1)
@@ -389,6 +409,27 @@ func (t *Table) endUpdate() {
 		return
 	}
 	t.updaters.Add(-1)
+}
+
+// Close returns the handle's id to the table for reuse by a future Handle
+// call. The handle must not be used again; byte views it returned become
+// invalid once the id is reissued. Close exists for connection-scoped
+// handles (one per network connection): without it a long-lived server
+// would leak announce slots until ErrTooManyHandles.
+func (h *Handle) Close() {
+	t := h.t
+	if t == nil {
+		return // already closed
+	}
+	h.t = nil
+	t.announces[h.id].ptr.Store(nil)
+	if h.eh != nil && h.pinned {
+		h.eh.Leave()
+		h.pinned = false
+	}
+	t.freeMu.Lock()
+	t.freeIDs = append(t.freeIDs, h.id)
+	t.freeMu.Unlock()
 }
 
 // AdvanceEpoch is the periodic client call of §3.2.3: it refreshes this

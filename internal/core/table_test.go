@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"testing"
 )
 
@@ -313,4 +314,48 @@ func TestWyHashConfig(t *testing.T) {
 			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
 		}
 	}
+}
+
+func TestHandleCloseRecyclesIDs(t *testing.T) {
+	tb := MustNew(Config{Bins: 1 << 8, Resizable: true, MaxThreads: 2})
+	h1 := tb.MustHandle()
+	h2 := tb.MustHandle()
+	if _, err := tb.Handle(); !errors.Is(err, ErrTooManyHandles) {
+		t.Fatalf("err = %v, want ErrTooManyHandles", err)
+	}
+	// Closing a handle frees its id for the next taker — a server can cycle
+	// through far more connections than MaxThreads.
+	h1.Close()
+	for i := 0; i < 100; i++ {
+		h := tb.MustHandle()
+		if _, err := h.Insert(uint64(i), uint64(i)); err != nil {
+			t.Fatalf("insert via recycled handle: %v", err)
+		}
+		h.Close()
+	}
+	if v, ok := h2.Get(42); !ok || v != 42 {
+		t.Fatalf("Get(42) = (%d,%v), want (42,true)", v, ok)
+	}
+	h1.Close() // double Close is a no-op
+}
+
+func TestHandleCloseConcurrent(t *testing.T) {
+	tb := MustNew(Config{Bins: 1 << 10, Resizable: true, MaxThreads: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := tb.MustHandle()
+				k := uint64(g*1000 + i)
+				h.Insert(k, k)
+				if v, ok := h.Get(k); !ok || v != k {
+					t.Errorf("Get(%d) = (%d,%v)", k, v, ok)
+				}
+				h.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
 }

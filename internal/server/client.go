@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client is a pipelined protocol client. It is not safe for concurrent use;
+// open one per goroutine (mirroring the one-handle-per-goroutine contract
+// on the server side).
+//
+// The pipelining surface is Send/Flush/Recv: queue any number of requests,
+// flush, then receive responses in request order. The Get/Put/Insert/Delete
+// helpers are one-request pipelines for convenience and tests.
+type Client struct {
+	c        net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	inflight int
+	frame    [ReqSize]byte
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Close closes the underlying connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Inflight returns the number of requests sent but not yet received.
+func (cl *Client) Inflight() int { return cl.inflight }
+
+// Send queues one request into the write buffer.
+func (cl *Client) Send(r Request) error {
+	b := AppendRequest(cl.frame[:0], r)
+	if _, err := cl.bw.Write(b); err != nil {
+		return err
+	}
+	cl.inflight++
+	return nil
+}
+
+// Flush pushes all queued requests to the wire.
+func (cl *Client) Flush() error { return cl.bw.Flush() }
+
+// Recv reads the next response. Responses arrive in request order.
+func (cl *Client) Recv() (Response, error) {
+	var b [RespSize]byte
+	if _, err := io.ReadFull(cl.br, b[:]); err != nil {
+		return Response{}, err
+	}
+	cl.inflight--
+	return DecodeResponse(b[:])
+}
+
+// doWindow bounds Do's in-flight requests. Unbounded pipelining deadlocks
+// once in-flight response bytes overrun the kernel socket buffers: the
+// server blocks writing responses the client is not yet reading, stops
+// reading, and the client's Flush blocks in turn. 4096 responses are
+// 36 KiB — comfortably inside default TCP buffers.
+const doWindow = 4096
+
+// Do pipelines all reqs and fills resps (which must have the same length)
+// with the in-order responses. Requests are flushed in windows of doWindow
+// so arbitrarily large batches cannot deadlock on socket buffers; callers
+// driving Send/Flush/Recv directly must bound in-flight requests
+// themselves.
+func (cl *Client) Do(reqs []Request, resps []Response) error {
+	if len(reqs) != len(resps) {
+		return fmt.Errorf("server: Do: %d requests but %d response slots", len(reqs), len(resps))
+	}
+	for lo := 0; lo < len(reqs); lo += doWindow {
+		hi := lo + doWindow
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		for _, r := range reqs[lo:hi] {
+			if err := cl.Send(r); err != nil {
+				return err
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			r, err := cl.Recv()
+			if err != nil {
+				return err
+			}
+			resps[i] = r
+		}
+	}
+	return nil
+}
+
+// do runs a one-request pipeline.
+func (cl *Client) do(r Request) (Response, error) {
+	if err := cl.Send(r); err != nil {
+		return Response{}, err
+	}
+	if err := cl.Flush(); err != nil {
+		return Response{}, err
+	}
+	return cl.Recv()
+}
+
+// Get reads key; ok reports whether it was present.
+func (cl *Client) Get(key uint64) (val uint64, ok bool, err error) {
+	r, err := cl.do(Request{Op: OpGet, Key: key})
+	return r.Result, r.Status == StatusOK, err
+}
+
+// Put overwrites an existing key and returns its previous value; ok is
+// false when the key was absent.
+func (cl *Client) Put(key, val uint64) (prev uint64, ok bool, err error) {
+	r, err := cl.do(Request{Op: OpPut, Key: key, Value: val})
+	return r.Result, r.Status == StatusOK, err
+}
+
+// Insert adds a new key. A StatusExists reply surfaces as (existing, false,
+// nil); other non-OK statuses become errors.
+func (cl *Client) Insert(key, val uint64) (existing uint64, inserted bool, err error) {
+	r, err := cl.do(Request{Op: OpInsert, Key: key, Value: val})
+	if err != nil {
+		return 0, false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return 0, true, nil
+	case StatusExists:
+		return r.Result, false, nil
+	}
+	return 0, false, fmt.Errorf("server: insert: %v", r.Status)
+}
+
+// Delete removes key and returns its previous value; ok is false when the
+// key was absent.
+func (cl *Client) Delete(key uint64) (prev uint64, ok bool, err error) {
+	r, err := cl.do(Request{Op: OpDelete, Key: key})
+	return r.Result, r.Status == StatusOK, err
+}

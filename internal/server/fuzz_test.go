@@ -1,0 +1,55 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the request decoder. The
+// decoder must never panic; whenever it accepts a frame, re-encoding the
+// decoded request must reproduce the frame's first ReqSize bytes.
+func FuzzDecodeRequest(f *testing.F) {
+	// Valid frames for every opcode.
+	f.Add(AppendRequest(nil, Request{Op: OpGet, Key: 1}))
+	f.Add(AppendRequest(nil, Request{Op: OpPut, Key: 2, Value: 3}))
+	f.Add(AppendRequest(nil, Request{Op: OpInsert, Key: ^uint64(0), Value: 4}))
+	f.Add(AppendRequest(nil, Request{Op: OpDelete, Key: 5}))
+	// Malformed seeds: bad opcode, truncated, empty, oversized.
+	bad := AppendRequest(nil, Request{Op: OpGet, Key: 6})
+	bad[0] = 0x7f
+	f.Add(bad)
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, ReqSize*3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		if r.Op >= opCodeEnd {
+			t.Fatalf("decoder accepted invalid opcode %d", r.Op)
+		}
+		if got := AppendRequest(nil, r); !bytes.Equal(got, data[:ReqSize]) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, data[:ReqSize])
+		}
+	})
+}
+
+// FuzzDecodeResponse: same contract for the response decoder.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(AppendResponse(nil, Response{Status: StatusOK, Result: 1}))
+	f.Add(AppendResponse(nil, Response{Status: StatusBadRequest}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		if got := AppendResponse(nil, r); !bytes.Equal(got, data[:RespSize]) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, data[:RespSize])
+		}
+	})
+}

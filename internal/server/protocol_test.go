@@ -1,0 +1,105 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, r := range []Request{
+		{Op: OpGet, Key: 1},
+		{Op: OpPut, Key: 2, Value: 3},
+		{Op: OpInsert, Key: ^uint64(0), Value: 42},
+		{Op: OpDelete, Key: 0},
+	} {
+		b := AppendRequest(nil, r)
+		if len(b) != ReqSize {
+			t.Fatalf("encoded size = %d, want %d", len(b), ReqSize)
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+// TestRequestRoundTripProperty: encode∘decode is the identity for every
+// valid opcode and arbitrary key/value words.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(op uint8, key, value uint64) bool {
+		r := Request{Op: OpCode(op % uint8(opCodeEnd)), Key: key, Value: value}
+		got, err := DecodeRequest(AppendRequest(nil, r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseRoundTripProperty(t *testing.T) {
+	f := func(status uint8, result uint64) bool {
+		r := Response{Status: Status(status), Result: result}
+		got, err := DecodeResponse(AppendResponse(nil, r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRequestMalformed(t *testing.T) {
+	// Truncated frames at every short length.
+	full := AppendRequest(nil, Request{Op: OpPut, Key: 7, Value: 9})
+	for n := 0; n < ReqSize; n++ {
+		if _, err := DecodeRequest(full[:n]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("len %d: err = %v, want ErrShortFrame", n, err)
+		}
+	}
+	// Every invalid opcode byte.
+	for op := int(opCodeEnd); op <= 255; op++ {
+		b := AppendRequest(nil, Request{Key: 1})
+		b[0] = byte(op)
+		if _, err := DecodeRequest(b); !errors.Is(err, ErrBadOpCode) {
+			t.Fatalf("opcode %d: err = %v, want ErrBadOpCode", op, err)
+		}
+	}
+}
+
+func TestDecodeResponseShort(t *testing.T) {
+	b := AppendResponse(nil, Response{Status: StatusOK, Result: 5})
+	for n := 0; n < RespSize; n++ {
+		if _, err := DecodeResponse(b[:n]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("len %d: err = %v, want ErrShortFrame", n, err)
+		}
+	}
+}
+
+// TestDecodeTrailingBytesIgnored: decoders only consume the fixed frame, so
+// a buffer holding several frames decodes from the front.
+func TestDecodeTrailingBytesIgnored(t *testing.T) {
+	var b []byte
+	b = AppendRequest(b, Request{Op: OpGet, Key: 1})
+	b = AppendRequest(b, Request{Op: OpDelete, Key: 2})
+	first, err := DecodeRequest(b)
+	if err != nil || first.Op != OpGet || first.Key != 1 {
+		t.Fatalf("first = %+v, err %v", first, err)
+	}
+	second, err := DecodeRequest(b[ReqSize:])
+	if err != nil || second.Op != OpDelete || second.Key != 2 {
+		t.Fatalf("second = %+v, err %v", second, err)
+	}
+}
+
+func TestStatusAndOpCodeStrings(t *testing.T) {
+	// The mnemonics are part of error messages; keep them stable.
+	if OpGet.String() != "GET" || OpCode(250).String() == "" {
+		t.Fatal("OpCode.String broken")
+	}
+	if StatusOK.String() != "OK" || StatusBadRequest.String() != "BAD_REQUEST" {
+		t.Fatal("Status.String broken")
+	}
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	dlht "repro"
+)
+
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// MaxBatch caps how many pending requests one connection contributes to
+	// a single Exec batch (default 64). Larger batches amortize prefetching
+	// further but delay the first response of the burst.
+	MaxBatch int
+	// ReadBuffer and WriteBuffer size the per-connection bufio buffers
+	// (default 64 KiB each). The read buffer bounds how much of a pipeline
+	// burst a single syscall can pick up.
+	ReadBuffer, WriteBuffer int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 64 << 10
+	}
+	if o.WriteBuffer <= 0 {
+		o.WriteBuffer = 64 << 10
+	}
+}
+
+// Server serves a DLHT table over TCP. Each accepted connection is owned by
+// one goroutine holding one dlht.Handle (the paper's one-handle-per-thread
+// contract); the handle is recycled when the connection closes.
+type Server struct {
+	tbl  *dlht.Table
+	opts Options
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New creates a Server for tbl. The table must be in Inlined mode.
+func New(tbl *dlht.Table, opts Options) *Server {
+	opts.setDefaults()
+	return &Server{tbl: tbl, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always returns a non-nil
+// error; after Close the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, closes every live connection and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// acquireHandle takes a table handle, briefly retrying to ride out handle
+// churn: a closing connection releases its handle asynchronously, so a
+// reconnect can transiently observe exhaustion.
+func (s *Server) acquireHandle() (*dlht.Handle, error) {
+	h, err := s.tbl.Handle()
+	if err == nil {
+		return h, nil
+	}
+	for i := 0; i < 200; i++ {
+		time.Sleep(time.Millisecond)
+		if h, err = s.tbl.Handle(); err == nil {
+			return h, nil
+		}
+	}
+	return nil, err
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveConn runs the connection's decode→Exec→encode loop. The loop blocks
+// only on the first frame of a burst; every further frame already buffered
+// joins the same batch, so a deep client pipeline is executed under one
+// prefetch pass and answered with one flush.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.removeConn(c)
+	defer c.Close()
+
+	h, err := s.acquireHandle()
+	if err != nil {
+		// Handle exhaustion: consume the connection's first request so the
+		// refusal obeys the i-th-response-answers-i-th-request rule, then
+		// answer it with StatusBusy and close.
+		frame := make([]byte, ReqSize)
+		if _, err := io.ReadFull(c, frame); err != nil {
+			return
+		}
+		c.Write(AppendResponse(nil, Response{Status: StatusBusy}))
+		return
+	}
+	defer h.Close()
+
+	br := bufio.NewReaderSize(c, s.opts.ReadBuffer)
+	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
+	frame := make([]byte, ReqSize)
+	ops := make([]dlht.Op, 0, s.opts.MaxBatch)
+	out := make([]byte, 0, s.opts.MaxBatch*RespSize)
+
+	for {
+		// Block for the head of the next burst.
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			bw.Write(AppendResponse(nil, Response{Status: StatusBadRequest}))
+			bw.Flush()
+			return
+		}
+		ops = append(ops[:0], reqToOp(req))
+		// Drain the rest of the burst without blocking.
+		for len(ops) < s.opts.MaxBatch && br.Buffered() >= ReqSize {
+			io.ReadFull(br, frame) // cannot fail: fully buffered
+			req, err := DecodeRequest(frame)
+			if err != nil {
+				// Answer the decodable prefix, then the error frame.
+				s.execAndReply(h, ops, &out, bw)
+				bw.Write(AppendResponse(nil, Response{Status: StatusBadRequest}))
+				bw.Flush()
+				return
+			}
+			ops = append(ops, reqToOp(req))
+		}
+		s.execAndReply(h, ops, &out, bw)
+		// Flush only when about to block; responses for back-to-back bursts
+		// share a syscall.
+		if br.Buffered() < ReqSize {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// execAndReply executes the batch in order and buffers one response frame
+// per op.
+func (s *Server) execAndReply(h *dlht.Handle, ops []dlht.Op, out *[]byte, bw *bufio.Writer) {
+	h.Exec(ops, false)
+	*out = (*out)[:0]
+	for i := range ops {
+		*out = AppendResponse(*out, opToResp(&ops[i]))
+	}
+	bw.Write(*out)
+}
+
+// reqToOp maps a wire request onto a batch op.
+func reqToOp(r Request) dlht.Op {
+	var k dlht.OpKind
+	switch r.Op {
+	case OpGet:
+		k = dlht.OpGet
+	case OpPut:
+		k = dlht.OpPut
+	case OpInsert:
+		k = dlht.OpInsert
+	case OpDelete:
+		k = dlht.OpDelete
+	}
+	return dlht.Op{Kind: k, Key: r.Key, Value: r.Value}
+}
+
+// opToResp maps an executed op's outcome onto a wire response.
+func opToResp(op *dlht.Op) Response {
+	if op.OK {
+		return Response{Status: StatusOK, Result: op.Result}
+	}
+	switch {
+	case op.Err == nil:
+		// Get/Put/Delete miss.
+		return Response{Status: StatusNotFound}
+	case errors.Is(op.Err, dlht.ErrExists):
+		return Response{Status: StatusExists, Result: op.Result}
+	case errors.Is(op.Err, dlht.ErrShadow):
+		return Response{Status: StatusShadow}
+	case errors.Is(op.Err, dlht.ErrFull):
+		return Response{Status: StatusFull}
+	case errors.Is(op.Err, dlht.ErrReservedKey):
+		return Response{Status: StatusReservedKey}
+	case errors.Is(op.Err, dlht.ErrWrongMode):
+		return Response{Status: StatusWrongMode}
+	}
+	return Response{Status: StatusBadRequest}
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	dlht "repro"
+)
+
+// startServer spins up a server on a loopback port and tears it down with
+// the test.
+func startServer(t testing.TB, cfg dlht.Config, opts Options) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dlht.MustNew(cfg), opts)
+	s.ln = ln // publish the address before Serve's goroutine runs
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dialT(t testing.TB, s *Server) *Client {
+	t.Helper()
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestRoundTripAllOps drives all four op kinds end to end over TCP — the
+// acceptance-criteria round-trip test.
+func TestRoundTripAllOps(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true}, Options{})
+	cl := dialT(t, s)
+
+	// INSERT fresh key.
+	if _, inserted, err := cl.Insert(100, 7); err != nil || !inserted {
+		t.Fatalf("Insert(100) = inserted=%v, err=%v", inserted, err)
+	}
+	// Duplicate INSERT reports the existing value.
+	if existing, inserted, err := cl.Insert(100, 8); err != nil || inserted || existing != 7 {
+		t.Fatalf("dup Insert = (%d,%v,%v), want (7,false,nil)", existing, inserted, err)
+	}
+	// GET hit.
+	if v, ok, err := cl.Get(100); err != nil || !ok || v != 7 {
+		t.Fatalf("Get(100) = (%d,%v,%v), want (7,true,nil)", v, ok, err)
+	}
+	// PUT overwrites and returns the previous value.
+	if prev, ok, err := cl.Put(100, 9); err != nil || !ok || prev != 7 {
+		t.Fatalf("Put(100,9) = (%d,%v,%v), want (7,true,nil)", prev, ok, err)
+	}
+	if v, ok, _ := cl.Get(100); !ok || v != 9 {
+		t.Fatalf("Get after Put = (%d,%v), want (9,true)", v, ok)
+	}
+	// PUT on a missing key misses.
+	if _, ok, err := cl.Put(200, 1); err != nil || ok {
+		t.Fatalf("Put(missing) ok=%v err=%v, want false,nil", ok, err)
+	}
+	// DELETE returns the deleted value; second DELETE misses.
+	if prev, ok, err := cl.Delete(100); err != nil || !ok || prev != 9 {
+		t.Fatalf("Delete(100) = (%d,%v,%v), want (9,true,nil)", prev, ok, err)
+	}
+	if _, ok, _ := cl.Delete(100); ok {
+		t.Fatal("second Delete found the key")
+	}
+	// GET miss after delete.
+	if _, ok, _ := cl.Get(100); ok {
+		t.Fatal("Get found a deleted key")
+	}
+}
+
+// TestPipelinedBatch pushes a deep pipeline in one flush and checks every
+// in-order response, exercising the server's burst batching path.
+func TestPipelinedBatch(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16})
+	cl := dialT(t, s)
+
+	const n = 256 // 16x the server batch cap: forces multiple Exec batches
+	reqs := make([]Request, 0, 3*n)
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, Request{Op: OpInsert, Key: i, Value: i * 10})
+	}
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, Request{Op: OpGet, Key: i})
+	}
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, Request{Op: OpDelete, Key: i})
+	}
+	resps := make([]Response, len(reqs))
+	if err := cl.Do(reqs, resps); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if resps[i].Status != StatusOK {
+			t.Fatalf("insert %d: %v", i, resps[i].Status)
+		}
+		if r := resps[n+i]; r.Status != StatusOK || r.Result != i*10 {
+			t.Fatalf("get %d = %+v, want OK %d", i, r, i*10)
+		}
+		if r := resps[2*n+i]; r.Status != StatusOK || r.Result != i*10 {
+			t.Fatalf("delete %d = %+v, want OK %d", i, r, i*10)
+		}
+	}
+}
+
+// TestConcurrentConnections hammers the table from many connections at
+// once; each owns a disjoint key range, and cross-connection visibility is
+// checked at the end.
+func TestConcurrentConnections(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true, MaxThreads: 64}, Options{})
+	const conns, perConn = 8, 500
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			base := uint64(c) * perConn
+			reqs := make([]Request, 0, 2*perConn)
+			for i := uint64(0); i < perConn; i++ {
+				reqs = append(reqs, Request{Op: OpInsert, Key: base + i, Value: base + i})
+				reqs = append(reqs, Request{Op: OpGet, Key: base + i})
+			}
+			resps := make([]Response, len(reqs))
+			if err := cl.Do(reqs, resps); err != nil {
+				errs <- err
+				return
+			}
+			for i, r := range resps {
+				if r.Status != StatusOK {
+					t.Errorf("conn %d resp %d: %v", c, i, r.Status)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All inserts visible through a fresh connection.
+	cl := dialT(t, s)
+	for c := 0; c < conns; c++ {
+		k := uint64(c)*perConn + perConn/2
+		if v, ok, err := cl.Get(k); err != nil || !ok || v != k {
+			t.Fatalf("Get(%d) = (%d,%v,%v)", k, v, ok, err)
+		}
+	}
+}
+
+// TestMalformedFrameClosesConnection: a bad opcode elicits StatusBadRequest
+// and a connection close, with earlier pipelined requests still answered.
+func TestMalformedFrameClosesConnection(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true}, Options{})
+	c, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var buf []byte
+	buf = AppendRequest(buf, Request{Op: OpInsert, Key: 1, Value: 2})
+	bad := AppendRequest(nil, Request{Op: OpGet, Key: 3})
+	bad[0] = 0xee
+	buf = append(buf, bad...)
+	if _, err := c.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(c)
+	cl.inflight = 2
+	if r, err := cl.Recv(); err != nil || r.Status != StatusOK {
+		t.Fatalf("prefix response = %+v, %v; want OK", r, err)
+	}
+	if r, err := cl.Recv(); err != nil || r.Status != StatusBadRequest {
+		t.Fatalf("bad-frame response = %+v, %v; want BAD_REQUEST", r, err)
+	}
+	if _, err := cl.Recv(); err == nil {
+		t.Fatal("connection still open after malformed frame")
+	}
+	// The decodable prefix took effect.
+	cl2 := dialT(t, s)
+	if v, ok, _ := cl2.Get(1); !ok || v != 2 {
+		t.Fatalf("Get(1) = (%d,%v), want (2,true)", v, ok)
+	}
+}
+
+// TestHandleRecycling cycles far more connections than MaxThreads; without
+// Handle.Close recycling the server would run out of handles.
+func TestHandleRecycling(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4}, Options{})
+	for i := 0; i < 64; i++ {
+		cl, err := Dial(s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Insert(uint64(i), uint64(i)); err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		cl.Close()
+	}
+}
+
+// TestBusyWhenHandlesExhausted: with every handle held by a live
+// connection, a new connection's first request is answered with StatusBusy
+// and the connection is closed — after consuming the request, so the
+// response-matching rule holds.
+func TestBusyWhenHandlesExhausted(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 2}, Options{})
+	// Pin both handles with live connections.
+	for i := 0; i < 2; i++ {
+		cl := dialT(t, s)
+		if _, inserted, err := cl.Insert(uint64(i), 1); err != nil || !inserted {
+			t.Fatalf("pin conn %d: inserted=%v err=%v", i, inserted, err)
+		}
+	}
+	cl := dialT(t, s)
+	if err := cl.Send(Request{Op: OpGet, Key: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := cl.Recv(); err != nil || r.Status != StatusBusy {
+		t.Fatalf("resp = %+v, %v; want BUSY", r, err)
+	}
+	if _, err := cl.Recv(); err == nil {
+		t.Fatal("connection still open after BUSY")
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(dlht.MustNew(dlht.Config{Bins: 1 << 8}), Options{})
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if _, _, err := cl.Get(1); err == nil {
+		t.Fatal("connection survived server Close")
+	}
+}

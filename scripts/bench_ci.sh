@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench_ci.sh — benchmark smoke run for CI and local perf tracking.
+#
+# Runs the short-benchtime benchmark suites of the root package and
+# internal/server, parses the `go test -bench` output, and appends one JSON
+# line per invocation to BENCH_ci.json (JSON Lines: each line is a complete
+# object with commit, timestamp and per-benchmark ns/op). CI uploads its
+# run as an artifact; the in-repo file accumulates the perf trajectory
+# when contributors run this locally and commit the result — in the
+# spirit of hand-curated BENCHMARKS.md logs.
+#
+# Usage: scripts/bench_ci.sh [output-file]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ci.json}"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+gover=$(go env GOVERSION)
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# -run='^$' skips all tests; -benchtime=100ms keeps this a smoke signal,
+# not a rigorous measurement. Output goes to a file first so a failing
+# `go test` aborts the script (a pipe into tee would mask its exit status
+# under POSIX sh, which has no pipefail).
+go test -bench=. -benchtime=100ms -run='^$' . ./internal/server >"$tmp" 2>&1 || {
+	status=$?
+	cat "$tmp"
+	echo "bench run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
+cat "$tmp"
+
+awk -v commit="$commit" -v stamp="$stamp" -v gover="$gover" '
+	/^Benchmark/ && NF >= 4 && $4 == "ns/op" {
+		printf "%s{\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s}", sep, $1, $2, $3
+		sep = ","
+	}
+	END {
+		printf "]}\n"
+	}
+	BEGIN {
+		printf "{\"commit\":\"%s\",\"date\":\"%s\",\"go\":\"%s\",\"results\":[", commit, stamp, gover
+	}
+' "$tmp" >>"$out"
+
+echo "appended $(grep -c . "$out") total entries to $out"
