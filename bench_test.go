@@ -12,6 +12,8 @@
 package dlht
 
 import (
+	"encoding/binary"
+	"fmt"
 	"strconv"
 	"testing"
 	"time"
@@ -94,6 +96,85 @@ func BenchmarkFig20_HashJoin(b *testing.B)         { runExperiment(b, "fig20") }
 func BenchmarkTable04_OLTPCharacter(b *testing.B)  { runExperiment(b, "table4") }
 func BenchmarkTable05_ComparisonSumm(b *testing.B) { runExperiment(b, "table5") }
 func BenchmarkAblations(b *testing.B)              { runExperiment(b, "ablations") }
+
+// BenchmarkExec measures the sliding-window batch pipeline on an
+// out-of-LLC table (1M keys over a 64 MiB bin array): batch sizes from
+// well-inside to far-beyond the window, crossed with window sizes including
+// "full" (the unbounded whole-batch prefetch pass that was the previous
+// behavior), for both the Inlined Exec engine and the Allocator-mode
+// GetKVBatch two-level pipeline. ns/op is per request, not per batch.
+func BenchmarkExec(b *testing.B) {
+	const keys = 1 << 20
+	windows := []struct {
+		name string
+		w    int
+	}{
+		{"full", -1}, // prefetch the whole batch up front (old behavior)
+		{"8", 8},
+		{"16", 16}, // PrefetchWindow=0 default
+		{"32", 32},
+	}
+	batches := []int{8, 64, 512, 4096}
+
+	for _, wc := range windows {
+		b.Run("w="+wc.name, func(b *testing.B) {
+			// Inlined-mode engine.
+			t := MustNew(Config{Bins: keys, PrefetchWindow: wc.w, MaxThreads: 8})
+			h := t.MustHandle()
+			for k := uint64(0); k < keys; k++ {
+				if _, err := h.Insert(k, k+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, bs := range batches {
+				b.Run(fmt.Sprintf("inlined/b=%d", bs), func(b *testing.B) {
+					ops := make([]Op, bs)
+					x := uint64(1)
+					b.ResetTimer()
+					for i := 0; i < b.N; i += bs {
+						for j := range ops {
+							x ^= x << 13
+							x ^= x >> 7
+							x ^= x << 17
+							ops[j] = Op{Kind: OpGet, Key: x % keys}
+						}
+						h.Exec(ops, false)
+					}
+				})
+			}
+
+			// Allocator-mode two-level pipeline.
+			kt := MustNew(Config{Mode: Allocator, Bins: keys, PrefetchWindow: wc.w, MaxThreads: 8, ValueSize: 8})
+			kh := kt.MustHandle()
+			var kb [8]byte
+			for k := uint64(0); k < keys; k++ {
+				binary.LittleEndian.PutUint64(kb[:], k)
+				if err := kh.InsertKV(0, kb[:], kb[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, bs := range batches {
+				b.Run(fmt.Sprintf("kv/b=%d", bs), func(b *testing.B) {
+					reqs := make([]KVGet, bs)
+					keyBuf := make([]byte, 8*bs)
+					x := uint64(1)
+					b.ResetTimer()
+					for i := 0; i < b.N; i += bs {
+						for j := range reqs {
+							x ^= x << 13
+							x ^= x >> 7
+							x ^= x << 17
+							kb := keyBuf[8*j : 8*j+8]
+							binary.LittleEndian.PutUint64(kb, x%keys)
+							reqs[j] = KVGet{Key: kb}
+						}
+						kh.GetKVBatch(reqs)
+					}
+				})
+			}
+		})
+	}
+}
 
 // Micro-benchmarks of the public API hot paths, complementing the
 // figure-level harnesses above.

@@ -9,6 +9,11 @@
 //	dlht-loadgen -addr localhost:4040 -conns 8 -pipeline 16 \
 //	    -ops 1000000 -keys 100000 -read-pct 50 -dist uniform
 //
+// With -embedded the loadgen starts an in-process dlht-server on a loopback
+// port and drives that, making a single binary sufficient for end-to-end
+// experiments — in particular sweeping -window (the table's prefetch
+// window) against -pipeline (the client-side burst depth it feeds).
+//
 // Any transport error or unexpected response status counts as an error;
 // the process exits non-zero if any occurred.
 package main
@@ -17,11 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	dlht "repro"
 	"repro/internal/bench"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -37,6 +44,9 @@ func main() {
 		readPct  = flag.Int("read-pct", 50, "percentage of GETs (rest are PUTs)")
 		dist     = flag.String("dist", "uniform", "key distribution: uniform|zipf|hot")
 		skipLoad = flag.Bool("skip-load", false, "skip the INSERT prepopulation phase")
+		embedded = flag.Bool("embedded", false, "start an in-process server on a loopback port (ignores -addr)")
+		window   = flag.Int("window", 0, "embedded server's prefetch window (0 = default, <0 = full batch)")
+		bins     = flag.Uint64("bins", 1<<18, "embedded server's initial bin count")
 	)
 	flag.Parse()
 	if *conns < 1 || *pipeline < 1 || *readPct < 0 || *readPct > 100 {
@@ -46,6 +56,22 @@ func main() {
 		// Deeper pipelines can deadlock on kernel socket buffers: the
 		// server blocks writing responses nobody is reading yet.
 		log.Fatal("bad flags: pipeline must be <= 4096")
+	}
+
+	if *embedded {
+		tbl, err := dlht.New(dlht.Config{Bins: *bins, Resizable: true, MaxThreads: 4096, PrefetchWindow: *window})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := server.New(tbl, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		*addr = ln.Addr().String()
+		fmt.Printf("embedded server on %s (bins=%d window=%d)\n", *addr, *bins, *window)
 	}
 
 	if !*skipLoad {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dlht-server -addr :4040 -bins 1048576 -max-batch 64
+//	dlht-server -addr :4040 -bins 1048576 -window 16
 package main
 
 import (
@@ -24,13 +24,14 @@ func main() {
 		addr       = flag.String("addr", ":4040", "listen address")
 		bins       = flag.Uint64("bins", 1<<20, "initial bin count (3 slots per bin)")
 		resizable  = flag.Bool("resizable", true, "enable non-blocking resize")
-		maxBatch   = flag.Int("max-batch", 64, "max requests per Exec batch per connection")
+		maxBatch   = flag.Int("max-batch", 0, "max requests per Exec batch per connection (0 = bounded by read buffer)")
 		maxThreads = flag.Int("max-threads", 4096, "max concurrent connections (table handles)")
 		hashName   = flag.String("hash", "modulo", "bin hash: modulo|wy|xx|murmur3|fnv1a")
+		window     = flag.Int("window", 0, "prefetch window for batch execution (0 = default, <0 = full batch)")
 	)
 	flag.Parse()
 
-	cfg := dlht.Config{Bins: *bins, Resizable: *resizable, MaxThreads: *maxThreads}
+	cfg := dlht.Config{Bins: *bins, Resizable: *resizable, MaxThreads: *maxThreads, PrefetchWindow: *window}
 	switch *hashName {
 	case "modulo":
 		cfg.Hash = dlht.HashModulo
@@ -59,8 +60,8 @@ func main() {
 		s.Close()
 	}()
 
-	log.Printf("dlht-server listening on %s (bins=%d resizable=%v max-batch=%d)",
-		*addr, *bins, *resizable, *maxBatch)
+	log.Printf("dlht-server listening on %s (bins=%d resizable=%v max-batch=%d window=%d)",
+		*addr, *bins, *resizable, *maxBatch, *window)
 	if err := s.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -10,7 +10,11 @@
 //   - Most requests complete with a single memory access: small keys and
 //     values are inlined in 64-byte cache-line buckets.
 //   - A batching API overlaps the DRAM latency of many requests with
-//     software prefetching while preserving request order.
+//     software prefetching while preserving request order. Prefetches run a
+//     bounded sliding window ahead of execution (Config.PrefetchWindow,
+//     default 16), so arbitrarily deep batches stay cache-resident, and the
+//     hash memoized while a bin is in flight is reused at execution (it is
+//     recomputed only when a resize redirects the bin).
 //   - Resizes are parallel and practically non-blocking: concurrent
 //     operations only wait while their own bin (≤15 slots) is migrated.
 //   - Three modes: Inlined (8 B keys/values), Allocator (out-of-line
@@ -34,15 +38,22 @@
 //	}
 //	h.Exec(ops, false)
 //
+// Exec prefetches each request's bin a bounded distance ahead of executing
+// it — Config.PrefetchWindow, default 16 — rather than sweeping the whole
+// batch up front, so the lines fetched for a request are still resident
+// when it runs no matter how deep the batch is. Tune the window with the
+// measured sweep in the README ("Tuning the prefetch window").
+//
 // # Batching over the network
 //
 // The batch API is also the unit of network service: repro/internal/server
 // exposes a table over TCP (cmd/dlht-server), decoding every request
 // pipelined on a connection into one []Op batch executed through
-// Handle.Exec. The prefetch pass that hides DRAM latency for local batches
-// (§3.3) thereby absorbs network-induced request bursts, and Exec's order
-// preservation doubles as the protocol's request/response matching rule.
-// Connection-scoped handles are recycled via Handle.Close.
+// Handle.Exec. The sliding-window prefetch pass that hides DRAM latency for
+// local batches (§3.3) thereby absorbs network-induced request bursts of
+// any depth, and Exec's order preservation doubles as the protocol's
+// request/response matching rule. Connection-scoped handles are recycled
+// via Handle.Close.
 //
 // The implementation lives in repro/internal/core; this package re-exports
 // it as the stable public surface.
@@ -68,6 +79,8 @@ type (
 	Op = core.Op
 	// OpKind tags an Op.
 	OpKind = core.OpKind
+	// KVGet is one request of an Allocator-mode GetKVBatch.
+	KVGet = core.KVGet
 	// Entry is an iterator item.
 	Entry = core.Entry
 	// Stats is the table counter snapshot.

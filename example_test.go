@@ -26,8 +26,8 @@ func Example() {
 	// delete returned: 2000
 }
 
-// Batches prefetch every request's bin up front and execute strictly in
-// order (§3.3).
+// Batches prefetch each request's bin a bounded window ahead of executing
+// it (§3.3, Config.PrefetchWindow) and execute strictly in order.
 func ExampleHandle_Exec() {
 	h := dlht.MustNew(dlht.Config{}).MustHandle()
 	ops := []dlht.Op{

@@ -23,7 +23,7 @@ func Ablations(s Scale) Result {
 
 	// --- Link ratio: 4, 8 (paper default), 16, 32 ---------------------
 	for _, ratio := range []int{4, 8, 16, 32} {
-		tbl := core.MustNew(core.Config{
+		tbl := mustNewDLHT(core.Config{
 			Bins: keys*2/3 + 64, LinkRatio: ratio, MaxThreads: 4096,
 		})
 		tgt := DLHTTarget(tbl, "DLHT", true)
@@ -37,7 +37,7 @@ func Ablations(s Scale) Result {
 
 	// --- Transfer chunk size: 1K, 4K, 16K (paper), 64K bins -----------
 	for _, chunk := range []uint64{1 << 10, 1 << 12, 1 << 14, 1 << 16} {
-		tbl := core.MustNew(core.Config{
+		tbl := mustNewDLHT(core.Config{
 			Bins: 1 << 10, Resizable: true, ChunkBins: chunk, MaxThreads: 4096,
 		})
 		tgt := DLHTTarget(tbl, "DLHT", true)
@@ -47,7 +47,7 @@ func Ablations(s Scale) Result {
 
 	// --- Hash function: modulo (paper default), wyhash, xxhash, murmur3, fnv1a
 	for _, hk := range []hashfn.Kind{hashfn.Modulo, hashfn.WyHash, hashfn.XXHash64, hashfn.Murmur3, hashfn.FNV1a} {
-		tbl := core.MustNew(core.Config{
+		tbl := mustNewDLHT(core.Config{
 			Bins: keys*2/3 + 64, Hash: hk, MaxThreads: 4096,
 		})
 		tgt := DLHTTarget(tbl, "DLHT", true)
@@ -65,7 +65,7 @@ func Ablations(s Scale) Result {
 func fillToRejection(cfg core.Config) float64 {
 	cfg.Resizable = false
 	cfg.MaxThreads = 4
-	tbl := core.MustNew(cfg)
+	tbl := mustNewDLHT(cfg)
 	h := tbl.MustHandle()
 	for k := uint64(0); ; k++ {
 		if _, err := h.Insert(k, k); err != nil {

@@ -274,7 +274,7 @@ func Table05Summary(s Scale) Result {
 	// Population speedups (resizable designs only).
 	pop := map[string]float64{}
 	{
-		dl := DLHTTarget(core.MustNew(core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4096}), "DLHT", true)
+		dl := DLHTTarget(mustNewDLHT(core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4096}), "DLHT", true)
 		pop["DLHT"] = Populate(dl, th, s.PopKeys).MReqs()
 		for _, t := range BaselineTargets(Geometry{Keys: 1 << 10}) {
 			if t.Name == "GrowT" || t.Name == "CLHT" {

@@ -215,7 +215,7 @@ func Fig07Population(s Scale) Result {
 		Notes:  "paper shape: DLHT 3.9x GrowT; CLHT flat beyond 8 threads (serial blocking resize)",
 	}
 	for _, th := range s.Threads {
-		dl := DLHTTarget(core.MustNew(core.Config{
+		dl := DLHTTarget(mustNewDLHT(core.Config{
 			Bins: 1 << 10, Resizable: true, MaxThreads: 4096,
 		}), "DLHT", true)
 		gt := BaselineTarget(growt.New(1<<12, hashfn.Modulo))
@@ -239,7 +239,7 @@ func Fig08ResizeTimeline(s Scale) Result {
 		Header: []string{"t(ms)", "Gets M/s", "Inserts M/s"},
 		Notes:  "paper shape: Gets dip while bins transfer but never stall; inserts join the transfer then finish in the new index",
 	}
-	tbl := core.MustNew(core.Config{
+	tbl := mustNewDLHT(core.Config{
 		// Sized so the prepopulated keys nearly fill it: the extra inserts
 		// force a live migration.
 		Bins: s.Keys / 2, Resizable: true, MaxThreads: 4096,
@@ -274,7 +274,7 @@ func OccupancyStudy(s Scale) Result {
 	}
 	// DLHT with link buckets limited to one fifth of bins (§5.1.5).
 	{
-		tbl := core.MustNew(core.Config{
+		tbl := mustNewDLHT(core.Config{
 			Bins: 1 << 10, LinkRatio: 5, Hash: hashfn.WyHash,
 			Resizable: true, MaxThreads: 64,
 		})

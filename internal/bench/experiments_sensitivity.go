@@ -60,7 +60,7 @@ func Fig09ValueSize(s Scale) Result {
 			insdel = RunWorkload(tgt, threads, s.Dur, InsDelLoop(tgt, prepop, s.Batch)).MReqs()
 		} else {
 			mk := func() *core.Table {
-				return core.MustNew(core.Config{
+				return mustNewDLHT(core.Config{
 					Mode: core.Allocator, Bins: prepop*2/3 + 64,
 					ValueSize: vs, MaxThreads: 4096,
 				})
@@ -88,7 +88,7 @@ func Fig10KeySize(s Scale) Result {
 	threads := s.maxThreads()
 	for _, ks := range []int{8, 16, 32, 64, 128, 256} {
 		mk := func() *core.Table {
-			return core.MustNew(core.Config{
+			return mustNewDLHT(core.Config{
 				Mode: core.Allocator, Bins: prepop*2/3 + 64,
 				ValueSize: 8, VariableKV: true, MaxThreads: 4096,
 			})
@@ -235,7 +235,7 @@ func Fig12BatchSize(s Scale) Result {
 	tgt := DLHTTarget(tbl, "DLHT", true)
 	PrepopulateParallel(tgt, s.Keys, threads)
 	// Resizing-enabled table, sized to never actually resize (§5.2.3).
-	tblR := core.MustNew(core.Config{Bins: s.Keys*2/3 + 64, Resizable: true, MaxThreads: 4096})
+	tblR := mustNewDLHT(core.Config{Bins: s.Keys*2/3 + 64, Resizable: true, MaxThreads: 4096})
 	tgtR := DLHTTarget(tblR, "DLHT-Resizing", true)
 	PrepopulateParallel(tgtR, s.Keys, threads)
 	for _, batch := range []int{1, 2, 4, 8, 16, 24, 32, 64, 128} {
@@ -318,8 +318,8 @@ func Fig14Features(s Scale) Result {
 		for _, m := range mods {
 			m(&cfg)
 		}
-		get := runKV(core.MustNew(cfg), prepop, 32, 8, threads, s.Dur, kvGet)
-		insdel := runKV(core.MustNew(cfg), prepop, 32, 8, threads, s.Dur, kvInsDel)
+		get := runKV(mustNewDLHT(cfg), prepop, 32, 8, threads, s.Dur, kvGet)
+		insdel := runKV(mustNewDLHT(cfg), prepop, 32, 8, threads, s.Dur, kvInsDel)
 		return get, insdel
 	}
 	resizing := func(c *core.Config) { c.Resizable = true }
@@ -396,7 +396,7 @@ func Fig16SingleThread(s Scale) Result {
 		if single {
 			name = "DLHT-ST"
 		}
-		return DLHTTarget(core.MustNew(cfg), name, true)
+		return DLHTTarget(mustNewDLHT(cfg), name, true)
 	}
 	type row struct {
 		name      string

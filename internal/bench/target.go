@@ -90,11 +90,37 @@ func DLHTTarget(t *core.Table, name string, batched bool) Target {
 	}
 }
 
+// prefetchWindow is the Config.PrefetchWindow applied to every DLHT table
+// the harness constructs; the cmd tools set it once at startup from their
+// -window flag (0 keeps the core default, negative selects the full-batch
+// prefetch pass).
+var prefetchWindow int
+
+// SetPrefetchWindow fixes the prefetch window of all subsequently
+// constructed DLHT targets. Call before running experiments, not during.
+func SetPrefetchWindow(w int) { prefetchWindow = w }
+
+// benchConfig applies the harness-wide prefetch window to a table config
+// that does not set one of its own.
+func benchConfig(cfg core.Config) core.Config {
+	if cfg.PrefetchWindow == 0 {
+		cfg.PrefetchWindow = prefetchWindow
+	}
+	return cfg
+}
+
+// mustNewDLHT is core.MustNew with the harness-wide prefetch window
+// applied; every experiment that builds a table directly goes through it so
+// the -window flag reaches ad-hoc configs, not just NewDLHT geometry.
+func mustNewDLHT(cfg core.Config) *core.Table {
+	return core.MustNew(benchConfig(cfg))
+}
+
 // NewDLHT builds a default-configuration DLHT table for bins/keys geometry,
 // mirroring the paper's default (§4): modulo hashing, resizing disabled,
 // link buckets at 1/8 of bins.
 func NewDLHT(bins uint64, resizable bool) *core.Table {
-	return core.MustNew(core.Config{
+	return mustNewDLHT(core.Config{
 		Bins:       bins,
 		Resizable:  resizable,
 		MaxThreads: 4096,

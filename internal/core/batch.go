@@ -6,13 +6,22 @@ import (
 	"repro/internal/cpuops"
 )
 
-// Batching (§3.3): the client hands DLHT an array of requests; DLHT first
-// issues one software prefetch per request's bin, overlapping all their
-// memory latencies, then executes the requests strictly in order. Order
+// Batching (§3.3): the client hands DLHT an array of requests; DLHT issues
+// one software prefetch per request's bin, overlapping their memory
+// latencies, then executes the requests strictly in order. Order
 // preservation is the differentiator against DRAMHiT's reordering batches —
 // it is what makes the batch API safe for lock managers and transactional
 // protocols (§5.3.3). The per-request index-GC notifications (enter/leave)
 // are paid once per batch instead of once per request.
+//
+// The prefetch pass is a bounded sliding window rather than a whole-batch
+// sweep: at most Config.PrefetchWindow bins are in flight ahead of
+// execution, so the lines fetched for request i are still cache-resident
+// when request i executes — a whole-batch pass over thousands of requests
+// would evict its own head before use and degenerate into pure overhead.
+// While a bin is prefetched its index is memoized in a per-handle ring, so
+// execution never recomputes the hash; a resize redirect invalidates the
+// memoized bin and the op recomputes it against the successor index.
 
 // OpKind identifies a batched request type.
 type OpKind uint8
@@ -69,15 +78,27 @@ func (h *Handle) Exec(ops []Op, stopOnFail bool) int {
 		t.beginUpdate()
 	}
 	ix := h.enter()
-	// Phase 1: overlap the memory latencies of the whole batch.
-	for i := range ops {
+	n := len(ops)
+	w := t.prefetchWindow(n)
+	ring := h.binScratch(w)
+	// Prime the pipeline: prefetch the first w bins, memoizing each.
+	for i := 0; i < w; i++ {
 		b := t.binFor(ix, ops[i].Key)
+		ring[i] = b
 		cpuops.PrefetchUint64(ix.headerAddr(b))
 	}
-	// Phase 2: execute in order.
+	// Steady state: before executing op i, issue the prefetch for op i+w,
+	// keeping exactly w bins in flight. Op i's memoized bin is read out
+	// first because op i+w reuses its ring slot ((i+w) mod w == i mod w).
 	done := 0
-	for i := range ops {
-		h.execOne(ix, &ops[i])
+	for i := 0; i < n; i++ {
+		b := ring[i%w]
+		if j := i + w; j < n {
+			nb := t.binFor(ix, ops[j].Key)
+			ring[i%w] = nb
+			cpuops.PrefetchUint64(ix.headerAddr(nb))
+		}
+		h.execOneAt(ix, &ops[i], b)
 		done++
 		if stopOnFail && !ops[i].OK {
 			break
@@ -90,18 +111,21 @@ func (h *Handle) Exec(ops []Op, stopOnFail bool) int {
 	return done
 }
 
-func (h *Handle) execOne(ix *index, op *Op) {
+// execOneAt executes one batched op whose bin within ix was memoized by the
+// prefetch stage. The *At op variants fall back to recomputing the bin when
+// a resize has redirected it.
+func (h *Handle) execOneAt(ix *index, op *Op, b uint64) {
 	t := h.t
 	op.Err = nil
 	switch op.Kind {
 	case OpGet:
-		op.Result, op.OK = t.getIn(ix, op.Key)
+		op.Result, op.OK = t.getInAt(ix, op.Key, b)
 	case OpPut:
 		if t.cfg.Mode != Inlined {
 			op.OK, op.Err = false, ErrWrongMode
 			return
 		}
-		op.Result, op.OK = t.putIn(ix, op.Key, op.Value)
+		op.Result, op.OK = t.putInAt(ix, op.Key, op.Value, b)
 	case OpInsert, OpInsertShadow:
 		if isReserved(op.Key) {
 			op.OK, op.Err = false, ErrReservedKey
@@ -111,74 +135,88 @@ func (h *Handle) execOne(ix *index, op *Op) {
 		if op.Kind == OpInsertShadow {
 			final = slotShadow
 		}
-		op.Result, op.Err = t.insertIn(h, ix, op.Key, op.Value, final)
+		op.Result, op.Err = t.insertInAt(h, ix, op.Key, op.Value, final, b)
 		op.OK = op.Err == nil
 	case OpDelete:
-		op.Result, op.OK = t.deleteIn(h, ix, op.Key)
+		op.Result, op.OK = t.deleteInAt(h, ix, op.Key, b)
 	case OpCommitShadow:
-		// Uses the full public path: commit/abort is not on hot paths.
-		op.OK = h.commitShadowIn(ix, op.Key, op.Value != 0)
+		op.OK = h.commitShadowInAt(ix, op.Key, op.Value != 0, b)
 	}
 }
 
 // commitShadowIn is CommitShadow against a specific entered index.
 func (h *Handle) commitShadowIn(ix *index, key uint64, commit bool) bool {
+	return h.commitShadowInAt(ix, key, commit, h.t.binFor(ix, key))
+}
+
+// commitShadowInAt is commitShadowIn with the key's bin precomputed.
+func (h *Handle) commitShadowInAt(ix *index, key uint64, commit bool, b uint64) bool {
 	t := h.t
 	for {
-		b := t.binFor(ix, key)
-		for {
-			hdrAddr := ix.headerAddr(b)
-			hdr := atomic.LoadUint64(hdrAddr)
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break
-			}
-			slot, _, st := ix.scanBin(b, hdr, key, -1, true)
-			if slot == scanRetry {
-				continue
-			}
-			if slot == scanMiss || st != slotShadow {
-				return false
-			}
-			target := slotValid
-			if !commit {
-				target = slotInvalid
-			}
-			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, target))) {
-				return true
-			}
+		hdrAddr := ix.headerAddr(b)
+		hdr := atomic.LoadUint64(hdrAddr)
+		if nx := ix.redirect(b, hdr); nx != nil {
+			ix = nx
+			b = t.binFor(ix, key)
+			continue
+		}
+		slot, _, st := ix.scanBin(b, hdr, key, -1, true)
+		if slot == scanRetry {
+			continue
+		}
+		if slot == scanMiss || st != slotShadow {
+			return false
+		}
+		target := slotValid
+		if !commit {
+			target = slotInvalid
+		}
+		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, target))) {
+			return true
 		}
 	}
 }
 
 func (h *Handle) execST(ops []Op, stopOnFail bool) int {
 	// Single-thread mode strips synchronization, not memory-awareness: the
-	// prefetch pass still overlaps the batch's DRAM latency (§3.4.5 only
-	// removes CASes, resize checks and enter/leave notifications).
-	ix := h.t.current.Load()
-	for i := range ops {
-		b := h.t.binFor(ix, ops[i].Key)
+	// sliding-window prefetch still overlaps the batch's DRAM latency
+	// (§3.4.5 only removes CASes, resize checks and enter/leave
+	// notifications).
+	t := h.t
+	ix := t.current.Load()
+	n := len(ops)
+	w := t.prefetchWindow(n)
+	ring := h.binScratch(w)
+	for i := 0; i < w; i++ {
+		b := t.binFor(ix, ops[i].Key)
+		ring[i] = b
 		cpuops.PrefetchUint64(ix.headerAddr(b))
 	}
 	done := 0
-	for i := range ops {
+	for i := 0; i < n; i++ {
+		b := ring[i%w]
+		if j := i + w; j < n {
+			nb := t.binFor(ix, ops[j].Key)
+			ring[i%w] = nb
+			cpuops.PrefetchUint64(ix.headerAddr(nb))
+		}
 		op := &ops[i]
 		op.Err = nil
 		switch op.Kind {
 		case OpGet:
-			op.Result, op.OK = h.stGet(op.Key)
+			op.Result, op.OK = h.stGetAt(ix, op.Key, b)
 		case OpPut:
-			op.Result, op.OK = h.stPut(op.Key, op.Value)
+			op.Result, op.OK = h.stPutAt(ix, op.Key, op.Value, b)
 		case OpInsert:
-			op.Result, op.Err = h.stInsert(op.Key, op.Value, slotValid)
+			op.Result, op.Err = h.stInsertAt(ix, op.Key, op.Value, slotValid, b)
 			op.OK = op.Err == nil
 		case OpInsertShadow:
-			op.Result, op.Err = h.stInsert(op.Key, op.Value, slotShadow)
+			op.Result, op.Err = h.stInsertAt(ix, op.Key, op.Value, slotShadow, b)
 			op.OK = op.Err == nil
 		case OpDelete:
-			op.Result, op.OK = h.stDelete(op.Key)
+			op.Result, op.OK = h.stDeleteAt(ix, op.Key, b)
 		case OpCommitShadow:
-			op.OK = h.stCommitShadow(op.Key, op.Value != 0)
+			op.OK = h.stCommitShadowAt(ix, op.Key, op.Value != 0, b)
 		}
 		done++
 		if stopOnFail && !op.OK {

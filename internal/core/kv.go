@@ -213,26 +213,11 @@ func (h *Handle) GetKV(ns uint16, key []byte) ([]byte, bool) {
 	}
 	ix := h.enter()
 	defer h.leave()
-	wantKW := inlineKeyWord(key)
-	wantCode := keyCodeFor(key)
-	for {
-		b := t.binForKV(ix, key, ns)
-		for {
-			hdr := atomic.LoadUint64(ix.headerAddr(b))
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break
-			}
-			slot, vw := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
-			if slot == scanRetry {
-				continue
-			}
-			if slot == scanMiss {
-				return nil, false
-			}
-			return t.valueView(vw), true
-		}
+	vw, ok := t.lookupKVSlot(ix, ns, key)
+	if !ok {
+		return nil, false
 	}
+	return t.valueView(vw), true
 }
 
 // GetKVCopy is GetKV but returns a private copy of the value, for callers

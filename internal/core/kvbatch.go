@@ -9,10 +9,13 @@ import (
 
 // Allocator-mode batching (§3.3): "Unlike MICA, our pointer-based API also
 // allows us to prefetch the externally stored values in Allocator mode."
-// GetKVBatch runs in three phases: prefetch every request's bin, locate the
-// slots (bins now cached) while prefetching each hit's out-of-line block,
-// then materialize the value views (blocks now cached). Request order is
-// preserved in the results.
+// GetKVBatch runs as one interleaved pipeline with two prefetch stages: the
+// bin-header prefetch runs a full window ahead of execution, the slot
+// lookup (which prefetches the hit's out-of-line block) runs half a window
+// ahead, and the value views materialize last, once their block headers are
+// cached. The previous three-barrier formulation prefetched every bin
+// before touching any — for huge batches the head of the pass was evicted
+// before use. Request order is preserved in the results.
 
 // KVGet is one request of a GetKVBatch.
 type KVGet struct {
@@ -25,8 +28,19 @@ type KVGet struct {
 	OK    bool
 }
 
+// kvPipe is one in-flight request of the GetKVBatch pipeline: the hash
+// coordinates memoized by the bin-prefetch stage (kw, code, bin) plus the
+// located slot's value word from the lookup stage.
+type kvPipe struct {
+	bin  uint64
+	kw   uint64
+	vw   uint64
+	code int
+	ok   bool
+}
+
 // GetKVBatch performs a batch of Allocator-mode lookups with two-level
-// software prefetching (index bins, then value blocks).
+// sliding-window software prefetching (index bins, then value blocks).
 func (h *Handle) GetKVBatch(reqs []KVGet) {
 	t := h.t
 	if t.cfg.Mode != Allocator {
@@ -35,34 +49,54 @@ func (h *Handle) GetKVBatch(reqs []KVGet) {
 	ix := h.enter()
 	defer h.leave()
 
-	// Phase 1: prefetch every bin.
-	for i := range reqs {
-		b := t.binForKV(ix, reqs[i].Key, reqs[i].NS)
-		cpuops.PrefetchUint64(ix.headerAddr(b))
+	n := len(reqs)
+	w := t.prefetchWindow(n)
+	// The lookup stage trails the bin prefetch by half a window and leads
+	// materialization by the other half, splitting the in-flight budget
+	// between the two prefetch levels.
+	lead := (w + 1) / 2
+	ring := h.kvScratch(w)
+
+	// Stage 1: hash the key, memoize its coordinates, prefetch the bin.
+	stage1 := func(j int) {
+		e := &ring[j%w]
+		e.kw = inlineKeyWord(reqs[j].Key)
+		e.code = keyCodeFor(reqs[j].Key)
+		e.bin = t.binForKV(ix, reqs[j].Key, reqs[j].NS)
+		cpuops.PrefetchUint64(ix.headerAddr(e.bin))
 	}
-	// Phase 2: locate slots; prefetch each hit's block before touching it.
-	type hit struct {
-		val uint64
-	}
-	// Small stack buffer for the common batch sizes.
-	var buf [64]hit
-	hits := buf[:0]
-	if len(reqs) > len(buf) {
-		hits = make([]hit, 0, len(reqs))
-	}
-	for i := range reqs {
-		vw, ok := t.lookupKVSlot(ix, reqs[i].NS, reqs[i].Key)
-		reqs[i].OK = ok
-		if ok {
-			blk := t.cfg.Alloc.Bytes(refOf(vw), 1)
+	// Stage 2: locate the slot (bin now cached) and prefetch the hit's
+	// out-of-line block.
+	stage2 := func(j int) {
+		e := &ring[j%w]
+		e.vw, e.ok = t.lookupKVSlotAt(ix, reqs[j].NS, reqs[j].Key, e.kw, e.code, e.bin)
+		if e.ok {
+			blk := t.cfg.Alloc.Bytes(refOf(e.vw), 1)
 			cpuops.Prefetch(unsafe.Pointer(&blk[0]))
 		}
-		hits = append(hits, hit{vw})
 	}
-	// Phase 3: materialize the views; block headers are now cached.
-	for i := range reqs {
-		if reqs[i].OK {
-			reqs[i].Value = t.valueView(hits[i].val)
+
+	// Prime both stages (prefetchWindow guarantees lead ≤ w ≤ n).
+	for j := 0; j < w; j++ {
+		stage1(j)
+	}
+	for j := 0; j < lead; j++ {
+		stage2(j)
+	}
+	// Steady state: request i's ring entry is copied out first because
+	// stage1(i+w) reuses its slot; stage2(i+lead)'s slot is distinct since
+	// 0 < lead ≤ w.
+	for i := 0; i < n; i++ {
+		e := ring[i%w]
+		if j := i + w; j < n {
+			stage1(j)
+		}
+		if j := i + lead; j < n {
+			stage2(j)
+		}
+		reqs[i].OK = e.ok
+		if e.ok {
+			reqs[i].Value = t.valueView(e.vw)
 		} else {
 			reqs[i].Value = nil
 		}
@@ -71,24 +105,28 @@ func (h *Handle) GetKVBatch(reqs []KVGet) {
 
 // lookupKVSlot runs the Get algorithm and returns the slot's value word.
 func (t *Table) lookupKVSlot(ix *index, ns uint16, key []byte) (uint64, bool) {
-	wantKW := inlineKeyWord(key)
-	wantCode := keyCodeFor(key)
+	return t.lookupKVSlotAt(ix, ns, key, inlineKeyWord(key), keyCodeFor(key), t.binForKV(ix, key, ns))
+}
+
+// lookupKVSlotAt is lookupKVSlot with the key word, key code and bin
+// precomputed (memoized by the batch pipeline's prefetch stage). A resize
+// redirect invalidates the bin, which is recomputed against the successor
+// index; the key word and code are index-independent and stay valid.
+func (t *Table) lookupKVSlotAt(ix *index, ns uint16, key []byte, wantKW uint64, wantCode int, b uint64) (uint64, bool) {
 	for {
-		b := t.binForKV(ix, key, ns)
-		for {
-			hdr := atomic.LoadUint64(ix.headerAddr(b))
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break
-			}
-			slot, vw := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
-			if slot == scanRetry {
-				continue
-			}
-			if slot == scanMiss {
-				return 0, false
-			}
-			return vw, true
+		hdr := atomic.LoadUint64(ix.headerAddr(b))
+		if nx := ix.redirect(b, hdr); nx != nil {
+			ix = nx
+			b = t.binForKV(ix, key, ns)
+			continue
 		}
+		slot, vw := t.scanBinKV(ix, b, hdr, wantKW, wantCode, ns, key)
+		if slot == scanRetry {
+			continue
+		}
+		if slot == scanMiss {
+			return 0, false
+		}
+		return vw, true
 	}
 }

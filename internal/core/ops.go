@@ -116,23 +116,28 @@ func (h *Handle) Contains(key uint64) bool {
 }
 
 func (t *Table) getIn(ix *index, key uint64) (uint64, bool) {
+	return t.getInAt(ix, key, t.binFor(ix, key))
+}
+
+// getInAt is getIn with the key's bin within ix precomputed (the batch
+// engine memoizes it during the prefetch stage). A resize redirect
+// invalidates b: the op recomputes it against the successor index.
+func (t *Table) getInAt(ix *index, key uint64, b uint64) (uint64, bool) {
 	for {
-		b := t.binFor(ix, key)
-		for {
-			hdr := atomic.LoadUint64(ix.headerAddr(b))
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break // recompute bin in the next index
-			}
-			slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
-			switch slot {
-			case scanRetry:
-				continue
-			case scanMiss:
-				return 0, false
-			default:
-				return v, true
-			}
+		hdr := atomic.LoadUint64(ix.headerAddr(b))
+		if nx := ix.redirect(b, hdr); nx != nil {
+			ix = nx
+			b = t.binFor(ix, key)
+			continue
+		}
+		slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
+		switch slot {
+		case scanRetry:
+			continue
+		case scanMiss:
+			return 0, false
+		default:
+			return v, true
 		}
 	}
 }
@@ -169,32 +174,7 @@ func (h *Handle) CommitShadow(key uint64, commit bool) bool {
 	defer h.leave()
 	h.t.beginUpdate()
 	defer h.t.endUpdate()
-	t := h.t
-	for {
-		b := t.binFor(ix, key)
-		for {
-			hdrAddr := ix.headerAddr(b)
-			hdr := atomic.LoadUint64(hdrAddr)
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break
-			}
-			slot, _, st := ix.scanBin(b, hdr, key, -1, true)
-			if slot == scanRetry {
-				continue
-			}
-			if slot == scanMiss || st != slotShadow {
-				return false
-			}
-			target := slotValid
-			if !commit {
-				target = slotInvalid
-			}
-			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, target))) {
-				return true
-			}
-		}
-	}
+	return h.commitShadowIn(ix, key, commit)
 }
 
 func (h *Handle) insertState(key, val uint64, finalState uint64) (uint64, error) {
@@ -217,69 +197,74 @@ func (h *Handle) insertState(key, val uint64, finalState uint64) (uint64, error)
 // transfer re-enters it while an update is already in flight, and a strong
 // snapshot draining the updater count must not deadlock against it.
 func (t *Table) insertIn(h *Handle, ix *index, key, val uint64, finalState uint64) (uint64, error) {
-indexLoop:
+	return t.insertInAt(h, ix, key, val, finalState, t.binFor(ix, key))
+}
+
+// insertInAt is insertIn with the key's bin within ix precomputed; whenever
+// the op moves to a successor index the memoized bin is recomputed.
+func (t *Table) insertInAt(h *Handle, ix *index, key, val uint64, finalState uint64, b uint64) (uint64, error) {
 	for {
-		b := t.binFor(ix, key)
-		for {
-			hdrAddr := ix.headerAddr(b)
-			hdr := atomic.LoadUint64(hdrAddr)
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				continue indexLoop
+		hdrAddr := ix.headerAddr(b)
+		hdr := atomic.LoadUint64(hdrAddr)
+		if nx := ix.redirect(b, hdr); nx != nil {
+			ix = nx
+			b = t.binFor(ix, key)
+			continue
+		}
+		// Step 2: Get phase — the key must not already exist.
+		slot, v, st := ix.scanBin(b, hdr, key, -1, true)
+		if slot == scanRetry {
+			continue
+		}
+		if slot >= 0 {
+			if st == slotShadow {
+				return 0, ErrShadow
 			}
-			// Step 2: Get phase — the key must not already exist.
-			slot, v, st := ix.scanBin(b, hdr, key, -1, true)
-			if slot == scanRetry {
-				continue
+			return v, ErrExists
+		}
+		// Step 3: pick the first Invalid slot (chaining on demand).
+		i := firstInvalidSlot(hdr, slotsPerBin)
+		if i < 0 {
+			nx, err := t.resizeOrFail(h, ix)
+			if err != nil {
+				return 0, err
 			}
-			if slot >= 0 {
-				if st == slotShadow {
-					return 0, ErrShadow
-				}
-				return v, ErrExists
-			}
-			// Step 3: pick the first Invalid slot (chaining on demand).
-			i := firstInvalidSlot(hdr, slotsPerBin)
-			if i < 0 {
+			ix = nx
+			b = t.binFor(ix, key)
+			continue
+		}
+		// Step 4: claim the slot via header CAS.
+		if !atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotTryInsert))) {
+			continue
+		}
+		// Chain a link bucket if the claimed slot needs one (§3.2.2
+		// "Chaining buckets").
+		meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+		if need, field := slotNeedsChain(meta, i); need {
+			newMeta, ok := t.chainBucket(ix, b, field)
+			if !ok {
+				t.releaseSlot(ix, b, i)
 				nx, err := t.resizeOrFail(h, ix)
 				if err != nil {
 					return 0, err
 				}
 				ix = nx
-				continue indexLoop
-			}
-			// Step 4: claim the slot via header CAS.
-			if !atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, slotTryInsert))) {
+				b = t.binFor(ix, key)
 				continue
 			}
-			// Chain a link bucket if the claimed slot needs one (§3.2.2
-			// "Chaining buckets").
-			meta := atomic.LoadUint64(ix.linkMetaAddr(b))
-			if need, field := slotNeedsChain(meta, i); need {
-				newMeta, ok := t.chainBucket(ix, b, field)
-				if !ok {
-					t.releaseSlot(ix, b, i)
-					nx, err := t.resizeOrFail(h, ix)
-					if err != nil {
-						return 0, err
-					}
-					ix = nx
-					continue indexLoop
-				}
-				meta = newMeta
-			}
-			// Step 4.1: fill the slot while it is invisible.
-			ix.storeSlot(b, meta, i, key, val)
-			// Step 5: publish via a second header CAS.
-			v, err, done := t.finalizeInsert(ix, b, i, key, finalState)
-			if done {
-				return v, err
-			}
-			// Bin was caught by a transfer mid-insert: retry in the next
-			// index; the abandoned TryInsert slot dies with the old index.
-			ix = ix.nextIndex()
-			continue indexLoop
+			meta = newMeta
 		}
+		// Step 4.1: fill the slot while it is invisible.
+		ix.storeSlot(b, meta, i, key, val)
+		// Step 5: publish via a second header CAS.
+		v, err, done := t.finalizeInsert(ix, b, i, key, finalState)
+		if done {
+			return v, err
+		}
+		// Bin was caught by a transfer mid-insert: retry in the next
+		// index; the abandoned TryInsert slot dies with the old index.
+		ix = ix.nextIndex()
+		b = t.binFor(ix, key)
 	}
 }
 
@@ -385,29 +370,32 @@ func (h *Handle) Delete(key uint64) (uint64, bool) {
 }
 
 func (t *Table) deleteIn(h *Handle, ix *index, key uint64) (uint64, bool) {
+	return t.deleteInAt(h, ix, key, t.binFor(ix, key))
+}
+
+// deleteInAt is deleteIn with the key's bin within ix precomputed.
+func (t *Table) deleteInAt(h *Handle, ix *index, key uint64, b uint64) (uint64, bool) {
 	for {
-		b := t.binFor(ix, key)
-		for {
-			hdrAddr := ix.headerAddr(b)
-			hdr := atomic.LoadUint64(hdrAddr)
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break
-			}
-			slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
-			if slot == scanRetry {
-				continue
-			}
-			if slot == scanMiss {
-				return 0, false
-			}
-			// CAS against the header we scanned under: any concurrent
-			// change to the bin (including the slot being deleted and
-			// reused) bumps the version and fails this CAS.
-			if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, slotInvalid))) {
-				t.afterDelete(h, v)
-				return v, true
-			}
+		hdrAddr := ix.headerAddr(b)
+		hdr := atomic.LoadUint64(hdrAddr)
+		if nx := ix.redirect(b, hdr); nx != nil {
+			ix = nx
+			b = t.binFor(ix, key)
+			continue
+		}
+		slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
+		if slot == scanRetry {
+			continue
+		}
+		if slot == scanMiss {
+			return 0, false
+		}
+		// CAS against the header we scanned under: any concurrent
+		// change to the bin (including the slot being deleted and
+		// reused) bumps the version and fails this CAS.
+		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, slotInvalid))) {
+			t.afterDelete(h, v)
+			return v, true
 		}
 	}
 }
@@ -453,30 +441,33 @@ func (h *Handle) Put(key, val uint64) (uint64, bool) {
 }
 
 func (t *Table) putIn(ix *index, key, val uint64) (uint64, bool) {
+	return t.putInAt(ix, key, val, t.binFor(ix, key))
+}
+
+// putInAt is putIn with the key's bin within ix precomputed.
+func (t *Table) putInAt(ix *index, key, val uint64, b uint64) (uint64, bool) {
 	for {
-		b := t.binFor(ix, key)
-		for {
-			hdr := atomic.LoadUint64(ix.headerAddr(b))
-			if nx := ix.redirect(b, hdr); nx != nil {
-				ix = nx
-				break
-			}
-			slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
-			if slot == scanRetry {
-				continue
-			}
-			if slot == scanMiss {
-				return 0, false
-			}
-			// §3.2.4: Puts do not re-read or CAS the header — only the
-			// double-word CAS on the slot. A slot recycled to another key,
-			// or claimed by the resize transfer (its key word becomes a
-			// transfer key), makes this CAS fail and the Put retries.
-			meta := atomic.LoadUint64(ix.linkMetaAddr(b))
-			kw := ix.slotKeyWord(b, meta, slot)
-			if dwcas(kw, key, v, key, val) {
-				return v, true
-			}
+		hdr := atomic.LoadUint64(ix.headerAddr(b))
+		if nx := ix.redirect(b, hdr); nx != nil {
+			ix = nx
+			b = t.binFor(ix, key)
+			continue
+		}
+		slot, v, _ := ix.scanBin(b, hdr, key, -1, false)
+		if slot == scanRetry {
+			continue
+		}
+		if slot == scanMiss {
+			return 0, false
+		}
+		// §3.2.4: Puts do not re-read or CAS the header — only the
+		// double-word CAS on the slot. A slot recycled to another key,
+		// or claimed by the resize transfer (its key word becomes a
+		// transfer key), makes this CAS fail and the Put retries.
+		meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+		kw := ix.slotKeyWord(b, meta, slot)
+		if dwcas(kw, key, v, key, val) {
+			return v, true
 		}
 	}
 }

@@ -8,16 +8,23 @@ package core
 //
 // The structure and algorithms are deliberately identical to the concurrent
 // path (the paper found specialized single-threaded algorithms gained
-// nothing); only the memory operations are downgraded.
+// nothing); only the memory operations are downgraded. Each operation has
+// an *At variant taking the key's precomputed bin, so the windowed batch
+// engine can reuse the hash computed during its prefetch stage; a bin that
+// has been migrated (DoneTransfer) is recomputed against the next index.
 
 func (h *Handle) stGet(key uint64) (uint64, bool) {
+	ix := h.t.current.Load()
+	return h.stGetAt(ix, key, h.t.binFor(ix, key))
+}
+
+func (h *Handle) stGetAt(ix *index, key uint64, b uint64) (uint64, bool) {
 	t := h.t
-	ix := t.current.Load()
 	for {
-		b := t.binFor(ix, key)
 		hdr := *ix.headerAddr(b)
 		if binState(hdr) == binDoneTransfer {
 			ix = ix.next.Load()
+			b = t.binFor(ix, key)
 			continue
 		}
 		meta := *ix.linkMetaAddr(b)
@@ -37,13 +44,17 @@ func (h *Handle) stGet(key uint64) (uint64, bool) {
 }
 
 func (h *Handle) stInsert(key, val uint64, finalState uint64) (uint64, error) {
+	ix := h.t.current.Load()
+	return h.stInsertAt(ix, key, val, finalState, h.t.binFor(ix, key))
+}
+
+func (h *Handle) stInsertAt(ix *index, key, val uint64, finalState uint64, b uint64) (uint64, error) {
 	t := h.t
-	ix := t.current.Load()
 	for {
-		b := t.binFor(ix, key)
 		hdr := *ix.headerAddr(b)
 		if binState(hdr) == binDoneTransfer {
 			ix = ix.next.Load()
+			b = t.binFor(ix, key)
 			continue
 		}
 		meta := *ix.linkMetaAddr(b)
@@ -69,6 +80,7 @@ func (h *Handle) stInsert(key, val uint64, finalState uint64) (uint64, error) {
 				return 0, err
 			}
 			ix = nx
+			b = t.binFor(ix, key)
 			continue
 		}
 		if need, field := slotNeedsChain(meta, i); need {
@@ -79,6 +91,7 @@ func (h *Handle) stInsert(key, val uint64, finalState uint64) (uint64, error) {
 					return 0, err
 				}
 				ix = nx
+				b = t.binFor(ix, key)
 				continue
 			}
 			meta = newMeta
@@ -115,14 +128,18 @@ func (t *Table) stChain(ix *index, b uint64, field int) (uint64, bool) {
 }
 
 func (h *Handle) stDelete(key uint64) (uint64, bool) {
+	ix := h.t.current.Load()
+	return h.stDeleteAt(ix, key, h.t.binFor(ix, key))
+}
+
+func (h *Handle) stDeleteAt(ix *index, key uint64, b uint64) (uint64, bool) {
 	t := h.t
-	ix := t.current.Load()
 	for {
-		b := t.binFor(ix, key)
 		hdrAddr := ix.headerAddr(b)
 		hdr := *hdrAddr
 		if binState(hdr) == binDoneTransfer {
 			ix = ix.next.Load()
+			b = t.binFor(ix, key)
 			continue
 		}
 		meta := *ix.linkMetaAddr(b)
@@ -144,13 +161,17 @@ func (h *Handle) stDelete(key uint64) (uint64, bool) {
 }
 
 func (h *Handle) stPut(key, val uint64) (uint64, bool) {
+	ix := h.t.current.Load()
+	return h.stPutAt(ix, key, val, h.t.binFor(ix, key))
+}
+
+func (h *Handle) stPutAt(ix *index, key, val uint64, b uint64) (uint64, bool) {
 	t := h.t
-	ix := t.current.Load()
 	for {
-		b := t.binFor(ix, key)
 		hdr := *ix.headerAddr(b)
 		if binState(hdr) == binDoneTransfer {
 			ix = ix.next.Load()
+			b = t.binFor(ix, key)
 			continue
 		}
 		meta := *ix.linkMetaAddr(b)
@@ -172,14 +193,18 @@ func (h *Handle) stPut(key, val uint64) (uint64, bool) {
 }
 
 func (h *Handle) stCommitShadow(key uint64, commit bool) bool {
+	ix := h.t.current.Load()
+	return h.stCommitShadowAt(ix, key, commit, h.t.binFor(ix, key))
+}
+
+func (h *Handle) stCommitShadowAt(ix *index, key uint64, commit bool, b uint64) bool {
 	t := h.t
-	ix := t.current.Load()
 	for {
-		b := t.binFor(ix, key)
 		hdrAddr := ix.headerAddr(b)
 		hdr := *hdrAddr
 		if binState(hdr) == binDoneTransfer {
 			ix = ix.next.Load()
+			b = t.binFor(ix, key)
 			continue
 		}
 		meta := *ix.linkMetaAddr(b)

@@ -98,6 +98,14 @@ type Config struct {
 	// SingleThread strips all synchronization (§3.4.5). The table must
 	// then be used from exactly one goroutine.
 	SingleThread bool
+	// PrefetchWindow bounds how far ahead of execution the batch engine's
+	// software prefetches run (§3.3). Exec and GetKVBatch keep at most this
+	// many bins in flight, so a prefetched cache line is touched while it is
+	// still resident instead of being evicted by the tail of a huge batch.
+	// 0 selects the default (16); a negative value disables the bound and
+	// prefetches the whole batch up front (the DRAMHiT-style full-batch
+	// pass, useful as a baseline).
+	PrefetchWindow int
 	// MaxThreads bounds the number of Handles (default 2×GOMAXPROCS).
 	MaxThreads int
 	// ChunkBins is the resize transfer chunk (default 16384, §3.2.5).
@@ -315,6 +323,49 @@ type Handle struct {
 	// byte views returned by GetKV remain valid until the handle's own next
 	// AdvanceEpoch call (§3.2.3's client contract).
 	pinned bool
+
+	// binRing and kvRing are the sliding-window scratch rings of the batch
+	// engine: while a bin is being prefetched its hash-derived coordinates
+	// are memoized here so execution never re-hashes the key. Handles are
+	// single-goroutine, so plain slices suffice; they are sized to the
+	// prefetch window on first use and reused across batches.
+	binRing []uint64
+	kvRing  []kvPipe
+}
+
+// binScratch returns the handle's bin-memoization ring with length w.
+func (h *Handle) binScratch(w int) []uint64 {
+	if cap(h.binRing) < w {
+		h.binRing = make([]uint64, w)
+	}
+	return h.binRing[:w]
+}
+
+// kvScratch returns the handle's KV pipeline ring with length w.
+func (h *Handle) kvScratch(w int) []kvPipe {
+	if cap(h.kvRing) < w {
+		h.kvRing = make([]kvPipe, w)
+	}
+	return h.kvRing[:w]
+}
+
+// defaultPrefetchWindow is the Config.PrefetchWindow=0 distance. Sixteen
+// in-flight lines stay comfortably inside L1 while still overlapping more
+// DRAM latency than out-of-order execution covers on its own.
+const defaultPrefetchWindow = 16
+
+// prefetchWindow resolves the configured window against a batch of n
+// requests: 0 means the default, negative means full-batch, and the result
+// never exceeds n.
+func (t *Table) prefetchWindow(n int) int {
+	w := t.cfg.PrefetchWindow
+	if w == 0 {
+		w = defaultPrefetchWindow
+	}
+	if w < 0 || w > n {
+		w = n
+	}
+	return w
 }
 
 // Handle allocates the next free per-thread handle, preferring ids

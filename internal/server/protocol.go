@@ -4,11 +4,11 @@
 //
 // Clients pipeline fixed-size request frames; the server decodes every
 // frame already pending on a connection into one []dlht.Op batch and
-// executes it through Handle.Exec, so the software-prefetch pass overlaps
-// the DRAM latency of the whole network burst. Responses are written in
-// request order — order preservation is DLHT's batching contract, and here
-// it doubles as the wire protocol's matching rule: the i-th response on a
-// connection answers the i-th request.
+// executes it through Handle.Exec, whose sliding-window software prefetch
+// overlaps the DRAM latency of the network burst however deep it runs.
+// Responses are written in request order — order preservation is DLHT's
+// batching contract, and here it doubles as the wire protocol's matching
+// rule: the i-th response on a connection answers the i-th request.
 //
 // # Wire format
 //

@@ -3,7 +3,6 @@ package server
 import (
 	"bufio"
 	"errors"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -14,21 +13,28 @@ import (
 // Options tunes a Server. The zero value is usable.
 type Options struct {
 	// MaxBatch caps how many pending requests one connection contributes to
-	// a single Exec batch (default 64). Larger batches amortize prefetching
-	// further but delay the first response of the burst.
+	// a single Exec batch. 0 (the default) means no cap: bursts are bounded
+	// only by ReadBuffer, and the table's sliding prefetch window chunks
+	// arbitrarily deep batches without thrashing the cache. Set a positive
+	// value to bound the latency of the burst's first response instead.
 	MaxBatch int
 	// ReadBuffer and WriteBuffer size the per-connection bufio buffers
 	// (default 64 KiB each). The read buffer bounds how much of a pipeline
-	// burst a single syscall can pick up.
+	// burst a single syscall can pick up, and therefore the largest batch
+	// one Exec call sees when MaxBatch is 0.
 	ReadBuffer, WriteBuffer int
 }
 
 func (o *Options) setDefaults() {
-	if o.MaxBatch <= 0 {
-		o.MaxBatch = 64
+	if o.MaxBatch < 0 {
+		o.MaxBatch = 0
 	}
 	if o.ReadBuffer <= 0 {
 		o.ReadBuffer = 64 << 10
+	}
+	if o.ReadBuffer < ReqSize {
+		// Peek(ReqSize) must fit the buffer.
+		o.ReadBuffer = ReqSize
 	}
 	if o.WriteBuffer <= 0 {
 		o.WriteBuffer = 64 << 10
@@ -47,13 +53,25 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// handleFree is closed and replaced each time a connection returns its
+	// table handle, waking every acquireHandle waiting out ErrTooManyHandles
+	// (broadcast semantics; a 1-buffered channel would drop wakeups under
+	// reconnect storms).
+	handleMu   sync.Mutex
+	handleFree chan struct{}
+
 	wg sync.WaitGroup
 }
 
 // New creates a Server for tbl. The table must be in Inlined mode.
 func New(tbl *dlht.Table, opts Options) *Server {
 	opts.setDefaults()
-	return &Server{tbl: tbl, opts: opts, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		tbl:        tbl,
+		opts:       opts,
+		conns:      make(map[net.Conn]struct{}),
+		handleFree: make(chan struct{}),
+	}
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -135,21 +153,47 @@ func (s *Server) Close() error {
 	return err
 }
 
-// acquireHandle takes a table handle, briefly retrying to ride out handle
-// churn: a closing connection releases its handle asynchronously, so a
-// reconnect can transiently observe exhaustion.
+// handleWait bounds how long a new connection waits for a handle to be
+// released before refusing with StatusBusy.
+const handleWait = 200 * time.Millisecond
+
+// acquireHandle takes a table handle. On exhaustion it blocks until a
+// closing connection releases one (releaseHandle broadcasts) instead of
+// sleep-polling, so reconnect storms under handle churn are admitted the
+// moment a handle frees rather than after a fixed poll interval.
 func (s *Server) acquireHandle() (*dlht.Handle, error) {
 	h, err := s.tbl.Handle()
 	if err == nil {
 		return h, nil
 	}
-	for i := 0; i < 200; i++ {
-		time.Sleep(time.Millisecond)
+	timeout := time.NewTimer(handleWait)
+	defer timeout.Stop()
+	for {
+		// Capture the current broadcast channel BEFORE retrying: a release
+		// landing between the retry and the wait then shows up as a closed
+		// channel instead of a lost wakeup.
+		s.handleMu.Lock()
+		ch := s.handleFree
+		s.handleMu.Unlock()
 		if h, err = s.tbl.Handle(); err == nil {
 			return h, nil
 		}
+		select {
+		case <-ch:
+		case <-timeout.C:
+			return nil, err
+		}
 	}
-	return nil, err
+}
+
+// releaseHandle returns a connection's handle to the table and wakes every
+// acquireHandle waiter.
+func (s *Server) releaseHandle(h *dlht.Handle) {
+	h.Close()
+	s.handleMu.Lock()
+	close(s.handleFree)
+	s.handleFree = make(chan struct{})
+	s.handleMu.Unlock()
 }
 
 func (s *Server) removeConn(c net.Conn) {
@@ -160,8 +204,9 @@ func (s *Server) removeConn(c net.Conn) {
 
 // serveConn runs the connection's decode→Exec→encode loop. The loop blocks
 // only on the first frame of a burst; every further frame already buffered
-// joins the same batch, so a deep client pipeline is executed under one
-// prefetch pass and answered with one flush.
+// joins the same batch, decoded zero-copy out of the bufio window, so a
+// deep client pipeline is executed under one sliding-window prefetch pass
+// and answered with one flush.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(c)
@@ -172,45 +217,57 @@ func (s *Server) serveConn(c net.Conn) {
 		// Handle exhaustion: consume the connection's first request so the
 		// refusal obeys the i-th-response-answers-i-th-request rule, then
 		// answer it with StatusBusy and close.
-		frame := make([]byte, ReqSize)
-		if _, err := io.ReadFull(c, frame); err != nil {
+		br := bufio.NewReaderSize(c, ReqSize)
+		if _, err := br.Peek(ReqSize); err != nil {
 			return
 		}
-		c.Write(AppendResponse(nil, Response{Status: StatusBusy}))
+		var buf [RespSize]byte
+		c.Write(AppendResponse(buf[:0], Response{Status: StatusBusy}))
 		return
 	}
-	defer h.Close()
+	defer s.releaseHandle(h)
 
 	br := bufio.NewReaderSize(c, s.opts.ReadBuffer)
 	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
-	frame := make([]byte, ReqSize)
-	ops := make([]dlht.Op, 0, s.opts.MaxBatch)
-	out := make([]byte, 0, s.opts.MaxBatch*RespSize)
+	// Start small and let append grow toward the connection's actual burst
+	// depth: preallocating the ReadBuffer/ReqSize worst case would cost
+	// ~150 KiB per connection whether or not the client ever pipelines.
+	ops := make([]dlht.Op, 0, 64)
+	out := make([]byte, 0, 64*RespSize)
 
 	for {
 		// Block for the head of the next burst.
-		if _, err := io.ReadFull(br, frame); err != nil {
+		if _, err := br.Peek(ReqSize); err != nil {
 			return
 		}
-		req, err := DecodeRequest(frame)
+		// The whole buffered burst is decoded zero-copy from one Peek
+		// window; Discard advances past exactly the frames consumed.
+		nframes := br.Buffered() / ReqSize
+		if s.opts.MaxBatch > 0 && nframes > s.opts.MaxBatch {
+			nframes = s.opts.MaxBatch
+		}
+		burst, err := br.Peek(nframes * ReqSize)
 		if err != nil {
-			bw.Write(AppendResponse(nil, Response{Status: StatusBadRequest}))
-			bw.Flush()
-			return
+			return // cannot fail: fully buffered
 		}
-		ops = append(ops[:0], reqToOp(req))
-		// Drain the rest of the burst without blocking.
-		for len(ops) < s.opts.MaxBatch && br.Buffered() >= ReqSize {
-			io.ReadFull(br, frame) // cannot fail: fully buffered
-			req, err := DecodeRequest(frame)
+		ops = ops[:0]
+		badFrame := false
+		for off := 0; off < len(burst); off += ReqSize {
+			req, err := DecodeRequest(burst[off : off+ReqSize])
 			if err != nil {
-				// Answer the decodable prefix, then the error frame.
-				s.execAndReply(h, ops, &out, bw)
-				bw.Write(AppendResponse(nil, Response{Status: StatusBadRequest}))
-				bw.Flush()
-				return
+				badFrame = true
+				break
 			}
 			ops = append(ops, reqToOp(req))
+		}
+		br.Discard(nframes * ReqSize)
+		if badFrame {
+			// Answer the decodable prefix, then the error frame, and give
+			// up on the connection: byte alignment is no longer trusted.
+			s.execAndReply(h, ops, &out, bw)
+			bw.Write(AppendResponse(out[:0], Response{Status: StatusBadRequest}))
+			bw.Flush()
+			return
 		}
 		s.execAndReply(h, ops, &out, bw)
 		// Flush only when about to block; responses for back-to-back bursts
@@ -226,6 +283,9 @@ func (s *Server) serveConn(c net.Conn) {
 // execAndReply executes the batch in order and buffers one response frame
 // per op.
 func (s *Server) execAndReply(h *dlht.Handle, ops []dlht.Op, out *[]byte, bw *bufio.Writer) {
+	if len(ops) == 0 {
+		return
+	}
 	h.Exec(ops, false)
 	*out = (*out)[:0]
 	for i := range ops {
@@ -250,24 +310,27 @@ func reqToOp(r Request) dlht.Op {
 	return dlht.Op{Kind: k, Key: r.Key, Value: r.Value}
 }
 
-// opToResp maps an executed op's outcome onto a wire response.
+// opToResp maps an executed op's outcome onto a wire response. The batch
+// engine stores its sentinel errors unwrapped, so plain comparisons suffice
+// — an errors.Is chain would walk six wrap chains per failed op on the hot
+// path.
 func opToResp(op *dlht.Op) Response {
 	if op.OK {
 		return Response{Status: StatusOK, Result: op.Result}
 	}
-	switch {
-	case op.Err == nil:
+	switch op.Err {
+	case nil:
 		// Get/Put/Delete miss.
 		return Response{Status: StatusNotFound}
-	case errors.Is(op.Err, dlht.ErrExists):
+	case dlht.ErrExists:
 		return Response{Status: StatusExists, Result: op.Result}
-	case errors.Is(op.Err, dlht.ErrShadow):
+	case dlht.ErrShadow:
 		return Response{Status: StatusShadow}
-	case errors.Is(op.Err, dlht.ErrFull):
+	case dlht.ErrFull:
 		return Response{Status: StatusFull}
-	case errors.Is(op.Err, dlht.ErrReservedKey):
+	case dlht.ErrReservedKey:
 		return Response{Status: StatusReservedKey}
-	case errors.Is(op.Err, dlht.ErrWrongMode):
+	case dlht.ErrWrongMode:
 		return Response{Status: StatusWrongMode}
 	}
 	return Response{Status: StatusBadRequest}

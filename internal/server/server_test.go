@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	dlht "repro"
 )
@@ -238,6 +239,60 @@ func TestBusyWhenHandlesExhausted(t *testing.T) {
 	}
 	if _, err := cl.Recv(); err == nil {
 		t.Fatal("connection still open after BUSY")
+	}
+}
+
+// TestAcquireHandleWaitsForRelease: with the only handle pinned by a live
+// connection, a second connection's request is served the moment the first
+// connection closes — the release notification wakes the waiter instead of
+// it sleep-polling (or giving up with StatusBusy).
+func TestAcquireHandleWaitsForRelease(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 1}, Options{})
+	cl1 := dialT(t, s)
+	if _, inserted, err := cl1.Insert(1, 42); err != nil || !inserted {
+		t.Fatalf("pin conn: inserted=%v err=%v", inserted, err)
+	}
+	// The second connection's serveConn blocks in acquireHandle; its request
+	// sits buffered until the handle frees.
+	cl2 := dialT(t, s)
+	if err := cl2.Send(Request{Op: OpGet, Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let cl2's goroutine reach the wait
+	cl1.Close()
+	if r, err := cl2.Recv(); err != nil || r.Status != StatusOK || r.Result != 42 {
+		t.Fatalf("resp after release = %+v, %v; want OK 42", r, err)
+	}
+}
+
+// TestDeepBurstUncapped pushes a pipeline far deeper than the old 64-op
+// batch cap through a default-options server: the whole burst flows through
+// the sliding-window Exec in read-buffer-sized chunks.
+func TestDeepBurstUncapped(t *testing.T) {
+	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true}, Options{})
+	cl := dialT(t, s)
+	const n = 3000
+	reqs := make([]Request, 0, 2*n)
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, Request{Op: OpInsert, Key: i, Value: i ^ 0xbeef})
+	}
+	for i := uint64(0); i < n; i++ {
+		reqs = append(reqs, Request{Op: OpGet, Key: i})
+	}
+	resps := make([]Response, len(reqs))
+	if err := cl.Do(reqs, resps); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if resps[i].Status != StatusOK {
+			t.Fatalf("insert %d: %v", i, resps[i].Status)
+		}
+		if r := resps[n+i]; r.Status != StatusOK || r.Result != i^0xbeef {
+			t.Fatalf("get %d = %+v", i, r)
+		}
 	}
 }
 
