@@ -176,6 +176,94 @@ func BenchmarkExec(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline measures the streaming Pipeline API on the same
+// out-of-LLC geometry as BenchmarkExec (1M keys, 64 MiB bin array):
+// uniform random Gets enter one at a time and complete through OnComplete
+// once they fall a window behind the enqueue cursor. Work arrives in
+// bursts of 4096 — BenchmarkExec's deepest batch — but the pipeline is
+// deliberately NOT flushed between bursts, so the window stays primed
+// across burst boundaries. ns/op is per request; staying within 5% of
+// BenchmarkExec's inlined ns/op at the same window is the API-overhead
+// target, for both the Inlined engine and the Allocator-mode two-level
+// pipeline.
+func BenchmarkPipeline(b *testing.B) {
+	const keys = 1 << 20
+	const burst = 4096
+	// One table pair serves every window: unlike Config.PrefetchWindow,
+	// the pipeline window is per-pipeline state.
+	t := MustNew(Config{Bins: keys, MaxThreads: 8})
+	h := t.MustHandle()
+	for k := uint64(0); k < keys; k++ {
+		if _, err := h.Insert(k, k+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	kt := MustNew(Config{Mode: Allocator, Bins: keys, MaxThreads: 8, ValueSize: 8})
+	kh := kt.MustHandle()
+	var kbuf [8]byte
+	for k := uint64(0); k < keys; k++ {
+		binary.LittleEndian.PutUint64(kbuf[:], k)
+		if err := kh.InsertKV(0, kbuf[:], kbuf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	for _, w := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("w=%d/inlined/b=%d", w, burst), func(b *testing.B) {
+			misses := 0
+			pl := h.Pipeline(PipelineOpts{Window: w, OnComplete: func(op *Op) {
+				if !op.OK {
+					misses++
+				}
+			}})
+			x := uint64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += burst {
+				for j := 0; j < burst; j++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					pl.Get(x % keys)
+				}
+			}
+			pl.Flush()
+			b.StopTimer()
+			if misses != 0 {
+				b.Fatalf("%d misses on a fully populated table", misses)
+			}
+		})
+
+		b.Run(fmt.Sprintf("w=%d/kv/b=%d", w, burst), func(b *testing.B) {
+			misses := 0
+			pl := kh.KVPipeline(KVPipelineOpts{Window: w, OnComplete: func(r *KVGet) {
+				if !r.OK {
+					misses++
+				}
+			}})
+			// Per-slot key storage: a key must stay valid until its lookup
+			// completes, a window (< burst) later.
+			keyBuf := make([]byte, 8*burst)
+			x := uint64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += burst {
+				for j := 0; j < burst; j++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					kb := keyBuf[8*j : 8*j+8]
+					binary.LittleEndian.PutUint64(kb, x%keys)
+					pl.Get(0, kb)
+				}
+			}
+			pl.Flush()
+			b.StopTimer()
+			if misses != 0 {
+				b.Fatalf("%d misses on a fully populated table", misses)
+			}
+		})
+	}
+}
+
 // Micro-benchmarks of the public API hot paths, complementing the
 // figure-level harnesses above.
 

@@ -12,7 +12,9 @@
 // With -embedded the loadgen starts an in-process dlht-server on a loopback
 // port and drives that, making a single binary sufficient for end-to-end
 // experiments — in particular sweeping -window (the table's prefetch
-// window) against -pipeline (the client-side burst depth it feeds).
+// window) against -pipeline (the client-side burst depth it feeds). With
+// -async each connection drives the client's callback API (GetAsync/
+// PutAsync + RecvOneAsync) instead of explicit Send/Recv pairs.
 //
 // Any transport error or unexpected response status counts as an error;
 // the process exits non-zero if any occurred.
@@ -44,8 +46,9 @@ func main() {
 		readPct  = flag.Int("read-pct", 50, "percentage of GETs (rest are PUTs)")
 		dist     = flag.String("dist", "uniform", "key distribution: uniform|zipf|hot")
 		skipLoad = flag.Bool("skip-load", false, "skip the INSERT prepopulation phase")
+		async    = flag.Bool("async", false, "drive the mixed phase through the async client API (GetAsync/PutAsync callbacks) instead of Send/Recv")
 		embedded = flag.Bool("embedded", false, "start an in-process server on a loopback port (ignores -addr)")
-		window   = flag.Int("window", 0, "embedded server's prefetch window (0 = default, <0 = full batch)")
+		window   = flag.Int("window", 0, "embedded server's prefetch window (0 or <0 = default 16; the server streams, so the full-batch baseline does not apply)")
 		bins     = flag.Uint64("bins", 1<<18, "embedded server's initial bin count")
 	)
 	flag.Parse()
@@ -83,9 +86,13 @@ func main() {
 			m.Ops, m.Elapsed.Round(time.Millisecond), m.MReqs())
 	}
 
-	fmt.Printf("run: %d ops over %d conns × pipeline %d (%d%% GET / %d%% PUT, %s keys)\n",
-		*totalOps, *conns, *pipeline, *readPct, 100-*readPct, *dist)
-	m, lat, errs := run(*addr, *conns, *pipeline, *totalOps, *keys, *readPct, *dist)
+	api := "send/recv"
+	if *async {
+		api = "async"
+	}
+	fmt.Printf("run: %d ops over %d conns × pipeline %d (%d%% GET / %d%% PUT, %s keys, %s API)\n",
+		*totalOps, *conns, *pipeline, *readPct, 100-*readPct, *dist, api)
+	m, lat, errs := run(*addr, *conns, *pipeline, *totalOps, *keys, *readPct, *dist, *async)
 	fmt.Printf("throughput: %.2f M reqs/s (%d ops in %v)\n",
 		m.MReqs(), m.Ops, m.Elapsed.Round(time.Millisecond))
 	fmt.Println(lat)
@@ -166,8 +173,11 @@ func newStream(dist string, seed, keys uint64) keyStream {
 }
 
 // run executes the measured mixed phase and aggregates throughput, latency
-// and error counts across connections.
-func run(addr string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string) (bench.Measurement, bench.LatencySummary, uint64) {
+// and error counts across connections. With async=true each connection
+// drives the callback API (GetAsync/PutAsync + RecvOneAsync) instead of
+// explicit Send/Recv pairs — the client-side mirror of the server's
+// completion-driven pipeline; both keep -pipeline requests in flight.
+func run(addr string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string, async bool) (bench.Measurement, bench.LatencySummary, uint64) {
 	var total, errs atomic.Uint64
 	agg := bench.NewSampler(1 << 20)
 	var aggMu sync.Mutex
@@ -193,6 +203,57 @@ func run(addr string, conns, pipeline int, totalOps, keys uint64, readPct int, d
 			sampler := bench.NewSampler(1 << 17)
 			times := make([]time.Time, pipeline)
 			var sent, recvd uint64
+			if async {
+				// One callback closure serves every request: responses
+				// arrive in request order, so recvd indexes the send-time
+				// ring exactly as the Send/Recv loop below does.
+				ok := true
+				cb := func(r server.Response) {
+					sampler.Add(time.Since(times[recvd%uint64(pipeline)]).Nanoseconds())
+					if r.Status != server.StatusOK {
+						errs.Add(1)
+					}
+					recvd++
+				}
+				for recvd < quota {
+					topped := false
+					for sent < quota && sent-recvd < uint64(pipeline) {
+						k := stream.Key()
+						var err error
+						if int(rng.Uint64n(100)) >= readPct {
+							err = cl.PutAsync(k, rng.Next(), cb)
+						} else {
+							err = cl.GetAsync(k, cb)
+						}
+						if err != nil {
+							errs.Add(quota - recvd)
+							ok = false
+							break
+						}
+						times[sent%uint64(pipeline)] = time.Now()
+						sent++
+						topped = true
+					}
+					if !ok {
+						break
+					}
+					if topped {
+						if err := cl.Flush(); err != nil {
+							errs.Add(quota - recvd)
+							break
+						}
+					}
+					if err := cl.RecvOneAsync(); err != nil {
+						errs.Add(quota - recvd)
+						break
+					}
+				}
+				total.Add(recvd)
+				aggMu.Lock()
+				agg.Merge(sampler)
+				aggMu.Unlock()
+				return
+			}
 			for recvd < quota {
 				topped := false
 				for sent < quota && sent-recvd < uint64(pipeline) {

@@ -1,7 +1,9 @@
 // Command dlht-server exposes a DLHT table over TCP using the pipelined
 // binary protocol of repro/internal/server. Each connection is one
-// goroutine holding one table handle; all requests buffered on a
-// connection are executed as a single prefetched batch (§3.3).
+// goroutine holding one table handle; every request is fed, as it is
+// decoded, into a per-connection streaming pipeline (§3.3) whose
+// completions write the responses — replies stream out while a deep burst
+// is still being decoded.
 //
 // Usage:
 //
@@ -24,10 +26,10 @@ func main() {
 		addr       = flag.String("addr", ":4040", "listen address")
 		bins       = flag.Uint64("bins", 1<<20, "initial bin count (3 slots per bin)")
 		resizable  = flag.Bool("resizable", true, "enable non-blocking resize")
-		maxBatch   = flag.Int("max-batch", 0, "max requests per Exec batch per connection (0 = bounded by read buffer)")
+		maxBatch   = flag.Int("max-batch", 0, "force a pipeline drain+flush every N requests per connection (0 = stream continuously)")
 		maxThreads = flag.Int("max-threads", 4096, "max concurrent connections (table handles)")
 		hashName   = flag.String("hash", "modulo", "bin hash: modulo|wy|xx|murmur3|fnv1a")
-		window     = flag.Int("window", 0, "prefetch window for batch execution (0 = default, <0 = full batch)")
+		window     = flag.Int("window", 0, "prefetch window of the per-connection pipeline (0 or <0 = default 16; the full-batch baseline has no streaming analogue)")
 	)
 	flag.Parse()
 

@@ -44,16 +44,36 @@
 // when it runs no matter how deep the batch is. Tune the window with the
 // measured sweep in the README ("Tuning the prefetch window").
 //
+// # Streaming pipelines
+//
+// The first-class form of the batching engine is the completion-driven
+// Pipeline: requests are issued one at a time and completions are
+// delivered through a callback as soon as their prefetched lines land,
+// not after a caller-assembled slice finishes.
+//
+//	p := h.Pipeline(dlht.PipelineOpts{OnComplete: func(op *dlht.Op) {
+//		// fires in enqueue order, one window behind the newest enqueue
+//	}})
+//	p.Insert(1, 10)
+//	p.Get(1)
+//	p.Flush() // complete the in-flight tail
+//
+// A long-lived pipeline that is not flushed between bursts keeps the
+// prefetch window primed across burst boundaries. Exec and GetKVBatch are
+// batch-at-once adapters over the same engine; Allocator-mode tables get
+// the matching Handle.KVPipeline for streamed lookups.
+//
 // # Batching over the network
 //
-// The batch API is also the unit of network service: repro/internal/server
-// exposes a table over TCP (cmd/dlht-server), decoding every request
-// pipelined on a connection into one []Op batch executed through
-// Handle.Exec. The sliding-window prefetch pass that hides DRAM latency for
-// local batches (§3.3) thereby absorbs network-induced request bursts of
-// any depth, and Exec's order preservation doubles as the protocol's
-// request/response matching rule. Connection-scoped handles are recycled
-// via Handle.Close.
+// The pipeline is also the unit of network service: repro/internal/server
+// exposes a table over TCP (cmd/dlht-server), feeding every request
+// pipelined on a connection straight into a per-connection Pipeline whose
+// completions append wire responses — replies stream out while the burst's
+// tail is still being decoded. The sliding-window prefetch that hides DRAM
+// latency for local batches (§3.3) thereby absorbs network-induced request
+// bursts of any depth, and the pipeline's order preservation doubles as
+// the protocol's request/response matching rule. Connection-scoped handles
+// are recycled via Handle.Close.
 //
 // The implementation lives in repro/internal/core; this package re-exports
 // it as the stable public surface.
@@ -79,7 +99,19 @@ type (
 	Op = core.Op
 	// OpKind tags an Op.
 	OpKind = core.OpKind
-	// KVGet is one request of an Allocator-mode GetKVBatch.
+	// Pipeline is the completion-driven streaming form of the batch API:
+	// enqueue requests one at a time, receive in-order completions through a
+	// callback once each request falls a full prefetch window behind the
+	// newest enqueue. Created via Handle.Pipeline.
+	Pipeline = core.Pipeline
+	// PipelineOpts configures Handle.Pipeline.
+	PipelineOpts = core.PipelineOpts
+	// KVPipeline is the Allocator-mode streaming lookup pipeline. Created
+	// via Handle.KVPipeline.
+	KVPipeline = core.KVPipeline
+	// KVPipelineOpts configures Handle.KVPipeline.
+	KVPipelineOpts = core.KVPipelineOpts
+	// KVGet is one request of an Allocator-mode GetKVBatch or KVPipeline.
 	KVGet = core.KVGet
 	// Entry is an iterator item.
 	Entry = core.Entry

@@ -44,6 +44,26 @@ func ExampleHandle_Exec() {
 	// 0 false
 }
 
+// The streaming Pipeline issues requests one at a time; completions fire
+// in order through a callback once each request falls a full prefetch
+// window behind the newest enqueue. Flush completes the in-flight tail.
+func ExampleHandle_Pipeline() {
+	h := dlht.MustNew(dlht.Config{}).MustHandle()
+	p := h.Pipeline(dlht.PipelineOpts{Window: 2, OnComplete: func(op *dlht.Op) {
+		if op.Kind == dlht.OpGet {
+			fmt.Println("get:", op.Result, op.OK)
+		}
+	}})
+	p.Insert(7, 70)
+	p.Get(7)
+	p.Delete(7)
+	p.Get(7)
+	p.Flush()
+	// Output:
+	// get: 70 true
+	// get: 0 false
+}
+
 // Shadow inserts lock a key for a transaction: hidden from readers until
 // committed, conflicting with other inserts (§3.2.2).
 func ExampleHandle_InsertShadow() {

@@ -1,8 +1,10 @@
 // Hash join: the paper's §5.3.6 OLAP application — a non-partitioned
 // build+probe equi-join written directly against the public DLHT API.
 // The build relation R is inserted in parallel; the probe relation S
-// streams through the order-preserving batch API, where software
-// prefetching overlaps the memory latency of each probe batch.
+// streams through one long-lived Pipeline per worker, whose software
+// prefetching overlaps the memory latency of the probes continuously —
+// there are no batch boundaries to assemble slices around, and the
+// prefetch window never drains until the worker's chunk ends.
 package main
 
 import (
@@ -18,14 +20,13 @@ import (
 const (
 	buildN = 1 << 18 // |R|
 	probeN = buildN * 16
-	batch  = 16
 )
 
 func main() {
 	threads := runtime.GOMAXPROCS(0)
 	build, probe := generate()
 
-	for _, batched := range []bool{true, false} {
+	for _, pipelined := range []bool{true, false} {
 		table := dlht.MustNew(dlht.Config{
 			Bins:       buildN*2/3 + 64,
 			Resizable:  true,
@@ -48,24 +49,16 @@ func main() {
 		parallelChunks(threads, len(probe), func(lo, hi int) {
 			h := table.MustHandle()
 			found := uint64(0)
-			if batched {
-				ops := make([]dlht.Op, batch)
-				for off := lo; off < hi; off += batch {
-					end := off + batch
-					if end > hi {
-						end = hi
+			if pipelined {
+				pipe := h.Pipeline(dlht.PipelineOpts{OnComplete: func(op *dlht.Op) {
+					if op.OK {
+						found++
 					}
-					n := end - off
-					for i := 0; i < n; i++ {
-						ops[i] = dlht.Op{Kind: dlht.OpGet, Key: probe[off+i]}
-					}
-					h.Exec(ops[:n], false)
-					for i := 0; i < n; i++ {
-						if ops[i].OK {
-							found++
-						}
-					}
+				}})
+				for _, k := range probe[lo:hi] {
+					pipe.Get(k)
 				}
+				pipe.Flush()
 			} else {
 				for _, k := range probe[lo:hi] {
 					if _, ok := h.Get(k); ok {
@@ -78,11 +71,11 @@ func main() {
 		probeTime := time.Since(start)
 
 		total := float64(buildN+probeN) / (buildTime + probeTime).Seconds() / 1e6
-		mode := "batched "
-		if !batched {
-			mode = "no batch"
+		mode := "pipelined"
+		if !pipelined {
+			mode = "one-by-one"
 		}
-		fmt.Printf("%s: %6.1f M tuples/s (build %v, probe %v, %d matches)\n",
+		fmt.Printf("%-10s: %6.1f M tuples/s (build %v, probe %v, %d matches)\n",
 			mode, total, buildTime.Round(time.Millisecond),
 			probeTime.Round(time.Millisecond), matches.Load())
 		if matches.Load() != probeN {

@@ -1,10 +1,12 @@
 // Lock manager: the paper's §5.3.3 client — a database lock manager built
 // on DLHT's HashSet mode, using only the public API. Inserting a key locks
 // a record; deleting it unlocks. Transactions acquire their lock sets
-// through the order-preserving batch API with stop-on-fail, which is what
-// makes two-phase locking deadlock free: every transaction attempts its
-// locks in sorted order, and the batch engine guarantees that order is
-// respected (DRAMHiT-style reordering batches could deadlock here).
+// through the order-preserving streaming Pipeline, which is what makes
+// two-phase locking deadlock free: every transaction attempts its locks in
+// sorted order, and the pipeline guarantees completions respect that order
+// (DRAMHiT-style reordering batches could deadlock here). One long-lived
+// pipeline per session keeps the prefetch window primed across
+// transactions instead of restarting cold for every lock set.
 package main
 
 import (
@@ -27,38 +29,54 @@ func newLockTable(records uint64, workers int) *lockTable {
 	})}
 }
 
-// session is the per-worker view.
+// session is the per-worker view: one handle, one lifetime pipeline whose
+// completions record which locks of the current transaction were won.
 type session struct {
-	h   *dlht.Handle
-	ops []dlht.Op
+	h        *dlht.Handle
+	pipe     *dlht.Pipeline
+	acquired []uint64
+	conflict bool
 }
 
-func (lt *lockTable) session() *session { return &session{h: lt.t.MustHandle()} }
+func (lt *lockTable) session() *session {
+	s := &session{h: lt.t.MustHandle()}
+	s.pipe = s.h.Pipeline(dlht.PipelineOpts{OnComplete: func(op *dlht.Op) {
+		if op.Kind != dlht.OpInsert {
+			return // unlock completions need no bookkeeping
+		}
+		if op.OK {
+			s.acquired = append(s.acquired, op.Key)
+		} else {
+			s.conflict = true
+		}
+	}})
+	return s
+}
 
-// lockAll takes every key in sorted order through one batch; on conflict it
-// rolls the acquired prefix back and reports failure.
+// lockAll streams every key's Insert in sorted order; on any conflict it
+// rolls the acquired locks back and reports failure.
 func (s *session) lockAll(keys []uint64) bool {
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	s.ops = s.ops[:0]
+	s.acquired, s.conflict = s.acquired[:0], false
 	for _, k := range keys {
-		s.ops = append(s.ops, dlht.Op{Kind: dlht.OpInsert, Key: k})
+		s.pipe.Insert(k, 0)
 	}
-	done := s.h.Exec(s.ops, true)
-	if done == len(s.ops) && s.ops[done-1].OK {
+	s.pipe.Flush() // the transaction needs its verdict before writing
+	if !s.conflict {
 		return true
 	}
-	for i := 0; i < done-1; i++ {
-		s.h.Delete(s.ops[i].Key)
+	for _, k := range s.acquired {
+		s.pipe.Delete(k)
 	}
+	s.pipe.Flush()
 	return false
 }
 
 func (s *session) unlockAll(keys []uint64) {
-	s.ops = s.ops[:0]
 	for _, k := range keys {
-		s.ops = append(s.ops, dlht.Op{Kind: dlht.OpDelete, Key: k})
+		s.pipe.Delete(k)
 	}
-	s.h.Exec(s.ops, false)
+	s.pipe.Flush()
 }
 
 func main() {

@@ -1,5 +1,6 @@
-// Quickstart: the core DLHT API — Insert/Get/Put/Delete, batching, the
-// iterator and table statistics.
+// Quickstart: the core DLHT API — Insert/Get/Put/Delete, the streaming
+// Pipeline, the batch-slice compat path, the iterator and table
+// statistics.
 package main
 
 import (
@@ -44,16 +45,29 @@ func main() {
 		fmt.Println("Delete(42) returned", v)
 	}
 
-	// Batching (§3.3): one prefetch pass, then in-order execution.
+	// Streaming pipeline (§3.3): requests are issued one at a time, each
+	// prefetching its bin immediately; completions fire in order, one
+	// prefetch window behind the newest enqueue. A long-lived pipeline
+	// keeps the window primed across bursts — no batch slices to assemble.
+	pipe := h.Pipeline(dlht.PipelineOpts{OnComplete: func(op *dlht.Op) {
+		if op.Kind == dlht.OpGet && op.OK {
+			fmt.Printf("pipeline: Get(%d)=%d\n", op.Key, op.Result)
+		}
+	}})
+	pipe.Insert(1, 10)
+	pipe.Insert(2, 20)
+	pipe.Get(1)
+	pipe.Put(2, 21)
+	pipe.Delete(1)
+	pipe.Flush() // complete the in-flight tail
+
+	// Exec is the batch-at-once compat path over the same engine: hand it a
+	// slice, read results back out of the mutated elements.
 	ops := []dlht.Op{
-		{Kind: dlht.OpInsert, Key: 1, Value: 10},
-		{Kind: dlht.OpInsert, Key: 2, Value: 20},
-		{Kind: dlht.OpGet, Key: 1},
-		{Kind: dlht.OpPut, Key: 2, Value: 21},
-		{Kind: dlht.OpDelete, Key: 1},
+		{Kind: dlht.OpGet, Key: 2},
 	}
 	h.Exec(ops, false)
-	fmt.Printf("batch: Get(1)=%d, Put(2) replaced %d\n", ops[2].Result, ops[3].Result)
+	fmt.Printf("batch: Get(2)=%d\n", ops[0].Result)
 
 	// Weakly consistent iteration.
 	h.Range(func(k, v uint64) bool {

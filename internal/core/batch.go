@@ -14,14 +14,14 @@ import (
 // protocols (§5.3.3). The per-request index-GC notifications (enter/leave)
 // are paid once per batch instead of once per request.
 //
-// The prefetch pass is a bounded sliding window rather than a whole-batch
-// sweep: at most Config.PrefetchWindow bins are in flight ahead of
-// execution, so the lines fetched for request i are still cache-resident
-// when request i executes — a whole-batch pass over thousands of requests
-// would evict its own head before use and degenerate into pure overhead.
-// While a bin is prefetched its index is memoized in a per-handle ring, so
-// execution never recomputes the hash; a resize redirect invalidates the
-// memoized bin and the op recomputes it against the successor index.
+// Exec is an adapter over the sliding-window pipe engine in pipeline.go —
+// the same machinery that backs the streaming Pipeline API. It feeds the
+// slice through the engine with at most Config.PrefetchWindow bins in
+// flight ahead of execution, so the lines fetched for request i are still
+// cache-resident when request i executes. While a bin is prefetched its
+// index is memoized in the engine ring, so execution never recomputes the
+// hash; a resize redirect invalidates the memoized bin and the op
+// recomputes it against the successor index.
 
 // OpKind identifies a batched request type.
 type OpKind uint8
@@ -62,51 +62,60 @@ type Op struct {
 // executed. When stopOnFail is true, execution terminates at the first
 // operation whose OK is false — e.g. a lock manager aborting a lock
 // acquisition sequence (§3.3); subsequent ops are left untouched.
+//
+// Exec is the batch-at-once adapter over the streaming pipeline core; for
+// issuing requests incrementally with per-request completions, see
+// Handle.Pipeline.
 func (h *Handle) Exec(ops []Op, stopOnFail bool) int {
 	t := h.t
-	if t.cfg.SingleThread {
-		return h.execST(ops, stopOnFail)
+	n := len(ops)
+	if n == 0 {
+		return 0
 	}
+	st := t.cfg.SingleThread
 	mutates := false
-	for i := range ops {
-		if ops[i].Kind != OpGet {
-			mutates = true
-			break
+	if !st {
+		for i := range ops {
+			if ops[i].Kind != OpGet {
+				mutates = true
+				break
+			}
+		}
+		if mutates {
+			t.beginUpdate()
 		}
 	}
-	if mutates {
-		t.beginUpdate()
-	}
-	ix := h.enter()
-	n := len(ops)
 	w := t.prefetchWindow(n)
-	ring := h.binScratch(w)
-	// Prime the pipeline: prefetch the first w bins, memoizing each.
-	for i := 0; i < w; i++ {
-		b := t.binFor(ix, ops[i].Key)
-		ring[i] = b
-		cpuops.PrefetchUint64(ix.headerAddr(b))
+	p := h.execPipe(w)
+	var ix *index
+	if st {
+		ix = t.current.Load()
+	} else {
+		ix = h.enter()
 	}
-	// Steady state: before executing op i, issue the prefetch for op i+w,
-	// keeping exactly w bins in flight. Op i's memoized bin is read out
-	// first because op i+w reuses its ring slot ((i+w) mod w == i mod w).
 	done := 0
 	for i := 0; i < n; i++ {
-		b := ring[i%w]
-		if j := i + w; j < n {
-			nb := t.binFor(ix, ops[j].Key)
-			ring[i%w] = nb
-			cpuops.PrefetchUint64(ix.headerAddr(nb))
+		p.issue(t, ix, &ops[i])
+		if p.head-p.tail > w {
+			done++
+			if op := h.step(p); stopOnFail && !op.OK {
+				goto out
+			}
 		}
-		h.execOneAt(ix, &ops[i], b)
+	}
+	for p.head > p.tail {
 		done++
-		if stopOnFail && !ops[i].OK {
+		if op := h.step(p); stopOnFail && !op.OK {
 			break
 		}
 	}
-	h.leave()
-	if mutates {
-		t.endUpdate()
+out:
+	p.head, p.tail = 0, 0 // abandon any unexecuted in-flight entries
+	if !st {
+		h.leave()
+		if mutates {
+			t.endUpdate()
+		}
 	}
 	return done
 }
@@ -144,6 +153,31 @@ func (h *Handle) execOneAt(ix *index, op *Op, b uint64) {
 	}
 }
 
+// stExecOneAt is execOneAt for single-thread mode (§3.4.5): the same
+// dispatch with synchronization-free op bodies. Memory-awareness is not
+// stripped — the pipe engine's sliding-window prefetch still overlaps the
+// batch's DRAM latency; §3.4.5 only removes CASes, resize checks and
+// enter/leave notifications.
+func (h *Handle) stExecOneAt(ix *index, op *Op, b uint64) {
+	op.Err = nil
+	switch op.Kind {
+	case OpGet:
+		op.Result, op.OK = h.stGetAt(ix, op.Key, b)
+	case OpPut:
+		op.Result, op.OK = h.stPutAt(ix, op.Key, op.Value, b)
+	case OpInsert:
+		op.Result, op.Err = h.stInsertAt(ix, op.Key, op.Value, slotValid, b)
+		op.OK = op.Err == nil
+	case OpInsertShadow:
+		op.Result, op.Err = h.stInsertAt(ix, op.Key, op.Value, slotShadow, b)
+		op.OK = op.Err == nil
+	case OpDelete:
+		op.Result, op.OK = h.stDeleteAt(ix, op.Key, b)
+	case OpCommitShadow:
+		op.OK = h.stCommitShadowAt(ix, op.Key, op.Value != 0, b)
+	}
+}
+
 // commitShadowIn is CommitShadow against a specific entered index.
 func (h *Handle) commitShadowIn(ix *index, key uint64, commit bool) bool {
 	return h.commitShadowInAt(ix, key, commit, h.t.binFor(ix, key))
@@ -175,55 +209,6 @@ func (h *Handle) commitShadowInAt(ix *index, key uint64, commit bool, b uint64) 
 			return true
 		}
 	}
-}
-
-func (h *Handle) execST(ops []Op, stopOnFail bool) int {
-	// Single-thread mode strips synchronization, not memory-awareness: the
-	// sliding-window prefetch still overlaps the batch's DRAM latency
-	// (§3.4.5 only removes CASes, resize checks and enter/leave
-	// notifications).
-	t := h.t
-	ix := t.current.Load()
-	n := len(ops)
-	w := t.prefetchWindow(n)
-	ring := h.binScratch(w)
-	for i := 0; i < w; i++ {
-		b := t.binFor(ix, ops[i].Key)
-		ring[i] = b
-		cpuops.PrefetchUint64(ix.headerAddr(b))
-	}
-	done := 0
-	for i := 0; i < n; i++ {
-		b := ring[i%w]
-		if j := i + w; j < n {
-			nb := t.binFor(ix, ops[j].Key)
-			ring[i%w] = nb
-			cpuops.PrefetchUint64(ix.headerAddr(nb))
-		}
-		op := &ops[i]
-		op.Err = nil
-		switch op.Kind {
-		case OpGet:
-			op.Result, op.OK = h.stGetAt(ix, op.Key, b)
-		case OpPut:
-			op.Result, op.OK = h.stPutAt(ix, op.Key, op.Value, b)
-		case OpInsert:
-			op.Result, op.Err = h.stInsertAt(ix, op.Key, op.Value, slotValid, b)
-			op.OK = op.Err == nil
-		case OpInsertShadow:
-			op.Result, op.Err = h.stInsertAt(ix, op.Key, op.Value, slotShadow, b)
-			op.OK = op.Err == nil
-		case OpDelete:
-			op.Result, op.OK = h.stDeleteAt(ix, op.Key, b)
-		case OpCommitShadow:
-			op.OK = h.stCommitShadowAt(ix, op.Key, op.Value != 0, b)
-		}
-		done++
-		if stopOnFail && !op.OK {
-			break
-		}
-	}
-	return done
 }
 
 // PrefetchKey issues a software prefetch for the bin of key, the

@@ -2,22 +2,17 @@ package core
 
 import (
 	"sync/atomic"
-	"unsafe"
-
-	"repro/internal/cpuops"
 )
 
-// Allocator-mode batching (§3.3): "Unlike MICA, our pointer-based API also
-// allows us to prefetch the externally stored values in Allocator mode."
-// GetKVBatch runs as one interleaved pipeline with two prefetch stages: the
-// bin-header prefetch runs a full window ahead of execution, the slot
-// lookup (which prefetches the hit's out-of-line block) runs half a window
-// ahead, and the value views materialize last, once their block headers are
-// cached. The previous three-barrier formulation prefetched every bin
-// before touching any — for huge batches the head of the pass was evicted
-// before use. Request order is preserved in the results.
+// Allocator-mode batching (§3.3): GetKVBatch is the batch-at-once adapter
+// over the two-stage kvPipe engine in kvpipeline.go — the same machinery
+// that backs the streaming KVPipeline. The bin-header prefetch runs a full
+// window ahead of completion, the slot lookup (which prefetches the hit's
+// out-of-line block) runs half a window ahead, and the value views
+// materialize last, once their block headers are cached. Request order is
+// preserved in the results.
 
-// KVGet is one request of a GetKVBatch.
+// KVGet is one request of a GetKVBatch (or a streaming KVPipeline).
 type KVGet struct {
 	NS  uint16
 	Key []byte
@@ -28,19 +23,12 @@ type KVGet struct {
 	OK    bool
 }
 
-// kvPipe is one in-flight request of the GetKVBatch pipeline: the hash
-// coordinates memoized by the bin-prefetch stage (kw, code, bin) plus the
-// located slot's value word from the lookup stage.
-type kvPipe struct {
-	bin  uint64
-	kw   uint64
-	vw   uint64
-	code int
-	ok   bool
-}
-
 // GetKVBatch performs a batch of Allocator-mode lookups with two-level
 // sliding-window software prefetching (index bins, then value blocks).
+//
+// GetKVBatch is the batch-at-once adapter over the streaming pipeline
+// core; for issuing lookups incrementally with per-request completions,
+// see Handle.KVPipeline.
 func (h *Handle) GetKVBatch(reqs []KVGet) {
 	t := h.t
 	if t.cfg.Mode != Allocator {
@@ -51,56 +39,20 @@ func (h *Handle) GetKVBatch(reqs []KVGet) {
 
 	n := len(reqs)
 	w := t.prefetchWindow(n)
-	// The lookup stage trails the bin prefetch by half a window and leads
-	// materialization by the other half, splitting the in-flight budget
-	// between the two prefetch levels.
-	lead := (w + 1) / 2
-	ring := h.kvScratch(w)
-
-	// Stage 1: hash the key, memoize its coordinates, prefetch the bin.
-	stage1 := func(j int) {
-		e := &ring[j%w]
-		e.kw = inlineKeyWord(reqs[j].Key)
-		e.code = keyCodeFor(reqs[j].Key)
-		e.bin = t.binForKV(ix, reqs[j].Key, reqs[j].NS)
-		cpuops.PrefetchUint64(ix.headerAddr(e.bin))
-	}
-	// Stage 2: locate the slot (bin now cached) and prefetch the hit's
-	// out-of-line block.
-	stage2 := func(j int) {
-		e := &ring[j%w]
-		e.vw, e.ok = t.lookupKVSlotAt(ix, reqs[j].NS, reqs[j].Key, e.kw, e.code, e.bin)
-		if e.ok {
-			blk := t.cfg.Alloc.Bytes(refOf(e.vw), 1)
-			cpuops.Prefetch(unsafe.Pointer(&blk[0]))
+	lead := kvLead(w)
+	p := h.kvExecPipe(w)
+	for i := range reqs {
+		p.issue(t, ix, &reqs[i])
+		p.advance(t, w, lead)
+		if p.head-p.tail > w {
+			h.kvStep(p)
 		}
 	}
-
-	// Prime both stages (prefetchWindow guarantees lead ≤ w ≤ n).
-	for j := 0; j < w; j++ {
-		stage1(j)
+	for p.head > p.tail {
+		p.advance(t, w, lead)
+		h.kvStep(p)
 	}
-	for j := 0; j < lead; j++ {
-		stage2(j)
-	}
-	// Steady state: request i's ring entry is copied out first because
-	// stage1(i+w) reuses its slot; stage2(i+lead)'s slot is distinct since
-	// 0 < lead ≤ w.
-	for i := 0; i < n; i++ {
-		e := ring[i%w]
-		if j := i + w; j < n {
-			stage1(j)
-		}
-		if j := i + lead; j < n {
-			stage2(j)
-		}
-		reqs[i].OK = e.ok
-		if e.ok {
-			reqs[i].Value = t.valueView(e.vw)
-		} else {
-			reqs[i].Value = nil
-		}
-	}
+	p.head, p.s2, p.tail = 0, 0, 0
 }
 
 // lookupKVSlot runs the Get algorithm and returns the slot's value word.
@@ -109,7 +61,7 @@ func (t *Table) lookupKVSlot(ix *index, ns uint16, key []byte) (uint64, bool) {
 }
 
 // lookupKVSlotAt is lookupKVSlot with the key word, key code and bin
-// precomputed (memoized by the batch pipeline's prefetch stage). A resize
+// precomputed (memoized by the pipeline engine's prefetch stage). A resize
 // redirect invalidates the bin, which is recomputed against the successor
 // index; the key word and code are index-independent and stay valid.
 func (t *Table) lookupKVSlotAt(ix *index, ns uint16, key []byte, wantKW uint64, wantCode int, b uint64) (uint64, bool) {

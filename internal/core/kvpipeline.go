@@ -1,0 +1,262 @@
+package core
+
+import (
+	"unsafe"
+
+	"repro/internal/cpuops"
+)
+
+// Allocator-mode pipelining: the two-level prefetch engine behind
+// GetKVBatch and the streaming KVPipeline. "Unlike MICA, our pointer-based
+// API also allows us to prefetch the externally stored values in Allocator
+// mode" (§3.3): the bin-header prefetch runs a full window ahead of
+// completion, the slot lookup — which prefetches the hit's out-of-line
+// block — runs half a window ahead, and the value views materialize last,
+// once their block headers are cached. Request order is preserved.
+
+// kvPipeEntry is one in-flight request of the KV engine: the hash
+// coordinates memoized at issue time (kw, code, bin, and the index they
+// were computed against) plus the located slot's value word from the
+// lookup stage.
+type kvPipeEntry struct {
+	req  *KVGet
+	ix   *index
+	bin  uint64
+	kw   uint64
+	vw   uint64
+	code int
+	ok   bool
+}
+
+// kvPipe is the two-stage sliding-window engine shared by GetKVBatch and
+// KVPipeline. Three absolute cursors chase each other through a
+// power-of-two ring: head (issue = hash + bin prefetch), s2 (lookup = slot
+// scan + block prefetch) and tail (completion = value view).
+type kvPipe struct {
+	ring []kvPipeEntry
+	mask int
+	head int
+	s2   int
+	tail int
+}
+
+// sizePipe (re)initializes the ring for a window of w in-flight entries.
+func (p *kvPipe) sizePipe(w int) {
+	p.head, p.s2, p.tail = 0, 0, 0
+	if len(p.ring) > w {
+		return
+	}
+	c := 8
+	for c <= w {
+		c <<= 1
+	}
+	p.ring = make([]kvPipeEntry, c)
+	p.mask = c - 1
+}
+
+// grow doubles the ring, preserving in-flight entries.
+func (p *kvPipe) grow() {
+	old := p.ring
+	oldMask := p.mask
+	next := make([]kvPipeEntry, len(old)*2)
+	p.mask = len(next) - 1
+	for i := p.tail; i < p.head; i++ {
+		next[i&p.mask] = old[i&oldMask]
+	}
+	p.ring = next
+}
+
+// issue is stage 1: hash the key, memoize its coordinates against ix, and
+// prefetch the bin header.
+func (p *kvPipe) issue(t *Table, ix *index, req *KVGet) {
+	if p.head-p.tail == len(p.ring) {
+		p.grow()
+	}
+	e := &p.ring[p.head&p.mask]
+	e.req = req
+	e.ix = ix
+	e.kw = inlineKeyWord(req.Key)
+	e.code = keyCodeFor(req.Key)
+	e.bin = t.binForKV(ix, req.Key, req.NS)
+	p.head++
+	cpuops.PrefetchUint64(ix.headerAddr(e.bin))
+}
+
+// locate is stage 2: scan the (now cached) bin for the slot and prefetch
+// the hit's out-of-line block.
+func (t *Table) locate(e *kvPipeEntry) {
+	e.vw, e.ok = t.lookupKVSlotAt(e.ix, e.req.NS, e.req.Key, e.kw, e.code, e.bin)
+	if e.ok {
+		blk := t.cfg.Alloc.Bytes(refOf(e.vw), 1)
+		cpuops.Prefetch(unsafe.Pointer(&blk[0]))
+	}
+}
+
+// advance runs the lookup stage toward its steady-state position: trailing
+// the bin prefetch by half a window and leading completion by the other
+// half, splitting the in-flight budget between the two prefetch levels.
+func (p *kvPipe) advance(t *Table, w, lead int) {
+	for p.s2 < p.head && (p.head-p.s2 > w-lead || p.s2 < p.tail+lead) {
+		t.locate(&p.ring[p.s2&p.mask])
+		p.s2++
+	}
+}
+
+// kvStep completes the oldest in-flight request: materialize the value
+// view (block header now cached) into the caller's KVGet and return it.
+func (h *Handle) kvStep(p *kvPipe) *KVGet {
+	t := h.t
+	if p.s2 == p.tail {
+		t.locate(&p.ring[p.tail&p.mask])
+		p.s2++
+	}
+	e := p.ring[p.tail&p.mask]
+	p.tail++
+	e.req.OK = e.ok
+	if e.ok {
+		e.req.Value = t.valueView(e.vw)
+	} else {
+		e.req.Value = nil
+	}
+	return e.req
+}
+
+// kvExecPipe returns the handle's GetKVBatch engine state sized for w.
+func (h *Handle) kvExecPipe(w int) *kvPipe {
+	if h.kvp == nil {
+		h.kvp = new(kvPipe)
+	}
+	h.kvp.sizePipe(w)
+	return h.kvp
+}
+
+// kvLead splits window w between the two prefetch stages.
+func kvLead(w int) int { return (w + 1) / 2 }
+
+// ---------------------------------------------------------------------------
+// Public streaming surface
+// ---------------------------------------------------------------------------
+
+// KVPipelineOpts configures a KVPipeline.
+type KVPipelineOpts struct {
+	// Window bounds how many lookups are in flight between enqueue and
+	// completion. 0 selects the table's resolved prefetch window
+	// (Config.PrefetchWindow, default 16); other values are clamped to at
+	// least 1.
+	Window int
+	// OnComplete is invoked for every lookup, in enqueue order, as it
+	// completes. The *KVGet (and its Value view) follows the same lifetime
+	// rules as GetKV; the pointer itself is valid only for the duration of
+	// the call. OnComplete may enqueue further lookups into the same
+	// pipeline; calling Flush or Close from inside it is a no-op.
+	OnComplete func(*KVGet)
+}
+
+// KVPipeline is the Allocator-mode streaming form of GetKVBatch: lookups
+// enter one at a time through Get, each issuing its bin prefetch
+// immediately, and complete — firing OnComplete with the value view — once
+// a full window of newer lookups is behind them, with the out-of-line
+// block prefetch running at half-window distance in between. Completions
+// preserve enqueue order. Like Pipeline, it borrows its Handle and
+// inherits its single-goroutine contract.
+type KVPipeline struct {
+	h          *Handle
+	p          kvPipe
+	buf        []KVGet // value slots backing in-flight lookups, ring-aligned
+	w          int
+	lead       int
+	onComplete func(*KVGet)
+	draining   bool
+	closed     bool
+}
+
+// KVPipeline creates a streaming lookup pipeline over h. The table must be
+// in Allocator mode.
+func (h *Handle) KVPipeline(opts KVPipelineOpts) *KVPipeline {
+	if h.t.cfg.Mode != Allocator {
+		panic(ErrWrongMode)
+	}
+	w := opts.Window
+	if w == 0 {
+		if w = h.t.cfg.PrefetchWindow; w <= 0 {
+			w = defaultPrefetchWindow
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	pl := &KVPipeline{h: h, w: w, lead: kvLead(w), onComplete: opts.OnComplete}
+	pl.p.sizePipe(w)
+	pl.buf = make([]KVGet, len(pl.p.ring))
+	return pl
+}
+
+// Window returns the pipeline's resolved completion window.
+func (pl *KVPipeline) Window() int { return pl.w }
+
+// InFlight returns the number of enqueued lookups not yet completed.
+func (pl *KVPipeline) InFlight() int { return pl.p.head - pl.p.tail }
+
+// Get enqueues a lookup of key in namespace ns. The key bytes must stay
+// valid until the lookup completes.
+func (pl *KVPipeline) Get(ns uint16, key []byte) {
+	if pl.closed {
+		panic("dlht: KVPipeline used after Close")
+	}
+	p := &pl.p
+	if p.head-p.tail == len(p.ring) {
+		pl.p.grow()
+		pl.buf = make([]KVGet, len(pl.p.ring))
+	}
+	slot := &pl.buf[p.head&p.mask]
+	*slot = KVGet{NS: ns, Key: key}
+	t := pl.h.t
+	p.issue(t, t.current.Load(), slot)
+	if !pl.draining {
+		pl.drainTo(pl.w)
+	}
+}
+
+// drainTo completes in-flight lookups, oldest first, until at most limit
+// remain, keeping the lookup stage at its lead in between.
+func (pl *KVPipeline) drainTo(limit int) {
+	if pl.draining {
+		return
+	}
+	h := pl.h
+	t := h.t
+	pl.draining = true
+	announced := false
+	for pl.p.head-pl.p.tail > limit || pl.p.head-pl.p.s2 > pl.w-pl.lead {
+		if !announced && t.cfg.Resizable && !t.cfg.SingleThread {
+			h.enter()
+			announced = true
+		}
+		pl.p.advance(t, pl.w, pl.lead)
+		if pl.p.head-pl.p.tail <= limit {
+			break
+		}
+		req := h.kvStep(&pl.p)
+		if pl.onComplete != nil {
+			pl.onComplete(req)
+		}
+	}
+	if announced {
+		h.leave()
+	}
+	pl.draining = false
+}
+
+// Flush completes every in-flight lookup, firing OnComplete for each.
+func (pl *KVPipeline) Flush() { pl.drainTo(0) }
+
+// Close flushes the pipeline and rejects further enqueues. The Handle
+// remains usable. Calling Close from inside OnComplete is a no-op, like
+// Flush: the pipeline stays open and keeps completing.
+func (pl *KVPipeline) Close() {
+	if pl.closed || pl.draining {
+		return
+	}
+	pl.Flush()
+	pl.closed = true
+}

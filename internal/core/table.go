@@ -98,13 +98,15 @@ type Config struct {
 	// SingleThread strips all synchronization (§3.4.5). The table must
 	// then be used from exactly one goroutine.
 	SingleThread bool
-	// PrefetchWindow bounds how far ahead of execution the batch engine's
-	// software prefetches run (§3.3). Exec and GetKVBatch keep at most this
-	// many bins in flight, so a prefetched cache line is touched while it is
-	// still resident instead of being evicted by the tail of a huge batch.
-	// 0 selects the default (16); a negative value disables the bound and
-	// prefetches the whole batch up front (the DRAMHiT-style full-batch
-	// pass, useful as a baseline).
+	// PrefetchWindow bounds how far ahead of execution the pipeline
+	// engine's software prefetches run (§3.3). Exec, GetKVBatch and
+	// pipelines created with Window 0 keep at most this many bins in
+	// flight, so a prefetched cache line is touched while it is still
+	// resident instead of being evicted by the tail of a huge batch. 0
+	// selects the default (16); a negative value disables the bound for
+	// the batch adapters and prefetches the whole batch up front (the
+	// DRAMHiT-style full-batch pass, useful as a baseline; streaming
+	// pipelines resolve it to the default).
 	PrefetchWindow int
 	// MaxThreads bounds the number of Handles (default 2×GOMAXPROCS).
 	MaxThreads int
@@ -324,29 +326,14 @@ type Handle struct {
 	// AdvanceEpoch call (§3.2.3's client contract).
 	pinned bool
 
-	// binRing and kvRing are the sliding-window scratch rings of the batch
-	// engine: while a bin is being prefetched its hash-derived coordinates
-	// are memoized here so execution never re-hashes the key. Handles are
-	// single-goroutine, so plain slices suffice; they are sized to the
-	// prefetch window on first use and reused across batches.
-	binRing []uint64
-	kvRing  []kvPipe
-}
-
-// binScratch returns the handle's bin-memoization ring with length w.
-func (h *Handle) binScratch(w int) []uint64 {
-	if cap(h.binRing) < w {
-		h.binRing = make([]uint64, w)
-	}
-	return h.binRing[:w]
-}
-
-// kvScratch returns the handle's KV pipeline ring with length w.
-func (h *Handle) kvScratch(w int) []kvPipe {
-	if cap(h.kvRing) < w {
-		h.kvRing = make([]kvPipe, w)
-	}
-	return h.kvRing[:w]
+	// xp and kvp are the handle's sliding-window pipeline engines, reused
+	// across Exec and GetKVBatch calls: while a bin is being prefetched its
+	// hash-derived coordinates are memoized in the engine ring so execution
+	// never re-hashes the key. Handles are single-goroutine, so plain state
+	// suffices; the rings are sized to the prefetch window on first use.
+	// (Streaming Pipelines/KVPipelines carry their own engine state.)
+	xp  *pipe
+	kvp *kvPipe
 }
 
 // defaultPrefetchWindow is the Config.PrefetchWindow=0 distance. Sixteen

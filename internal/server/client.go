@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,14 +13,28 @@ import (
 // on the server side).
 //
 // The pipelining surface is Send/Flush/Recv: queue any number of requests,
-// flush, then receive responses in request order. The Get/Put/Insert/Delete
-// helpers are one-request pipelines for convenience and tests.
+// flush, then receive responses in request order. On top of it sit two
+// completion-driven shapes mirroring the server's Pipeline API: callbacks
+// (SendAsync/GetAsync/... + Drain) and futures (DoFuture/GetFuture/... +
+// Future.Wait). The Get/Put/Insert/Delete helpers are one-request pipelines
+// for convenience and tests.
+//
+// The three shapes may be mixed on one connection: every request's
+// completion slot is tracked in order, Recv dispatches any async
+// completions queued ahead of the next plain response, and Drain stops at
+// the first plain response so Recv can claim it.
 type Client struct {
 	c        net.Conn
 	br       *bufio.Reader
 	bw       *bufio.Writer
 	inflight int
-	frame    [ReqSize]byte
+
+	// cbs tracks one completion slot per in-flight request, in request
+	// order: nil for a plain Send (consumed by Recv), non-nil for an async
+	// send (invoked by the next Recv/Drain/Wait that reaches it). A
+	// power-of-two ring addressed by absolute head/tail counters.
+	cbs            []func(Response)
+	cbHead, cbTail int
 }
 
 // Dial connects to a server at addr.
@@ -34,9 +49,10 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection.
 func NewClient(c net.Conn) *Client {
 	return &Client{
-		c:  c,
-		br: bufio.NewReaderSize(c, 64<<10),
-		bw: bufio.NewWriterSize(c, 64<<10),
+		c:   c,
+		br:  bufio.NewReaderSize(c, 64<<10),
+		bw:  bufio.NewWriterSize(c, 64<<10),
+		cbs: make([]func(Response), 16),
 	}
 }
 
@@ -46,27 +62,193 @@ func (cl *Client) Close() error { return cl.c.Close() }
 // Inflight returns the number of requests sent but not yet received.
 func (cl *Client) Inflight() int { return cl.inflight }
 
-// Send queues one request into the write buffer.
-func (cl *Client) Send(r Request) error {
-	b := AppendRequest(cl.frame[:0], r)
-	if _, err := cl.bw.Write(b); err != nil {
+// Send queues one request into the write buffer. The frame is appended
+// directly into the bufio writer's spare capacity (no staging copy).
+func (cl *Client) Send(r Request) error { return cl.send(r, nil) }
+
+// SendAsync queues one request whose response will be delivered to cb by a
+// later Recv, Drain or Future.Wait on this client, in request order. cb
+// must be non-nil.
+func (cl *Client) SendAsync(r Request, cb func(Response)) error {
+	if cb == nil {
+		return errors.New("server: SendAsync: nil callback")
+	}
+	return cl.send(r, cb)
+}
+
+func (cl *Client) send(r Request, cb func(Response)) error {
+	if _, err := cl.bw.Write(AppendRequest(cl.bw.AvailableBuffer(), r)); err != nil {
 		return err
 	}
+	if cl.cbHead-cl.cbTail == len(cl.cbs) {
+		cl.growCBs()
+	}
+	cl.cbs[cl.cbHead&(len(cl.cbs)-1)] = cb
+	cl.cbHead++
 	cl.inflight++
 	return nil
+}
+
+func (cl *Client) growCBs() {
+	next := make([]func(Response), len(cl.cbs)*2)
+	for i := cl.cbTail; i < cl.cbHead; i++ {
+		next[i&(len(next)-1)] = cl.cbs[i&(len(cl.cbs)-1)]
+	}
+	cl.cbs = next
 }
 
 // Flush pushes all queued requests to the wire.
 func (cl *Client) Flush() error { return cl.bw.Flush() }
 
-// Recv reads the next response. Responses arrive in request order.
-func (cl *Client) Recv() (Response, error) {
+// recvOne reads the next response frame and pops its completion slot.
+func (cl *Client) recvOne() (Response, func(Response), error) {
 	var b [RespSize]byte
 	if _, err := io.ReadFull(cl.br, b[:]); err != nil {
-		return Response{}, err
+		return Response{}, nil, err
+	}
+	var cb func(Response)
+	if cl.cbTail < cl.cbHead { // raw callers may Recv more than they Send
+		cb = cl.cbs[cl.cbTail&(len(cl.cbs)-1)]
+		cl.cbs[cl.cbTail&(len(cl.cbs)-1)] = nil
+		cl.cbTail++
 	}
 	cl.inflight--
-	return DecodeResponse(b[:])
+	r, err := DecodeResponse(b[:])
+	return r, cb, err
+}
+
+// Recv returns the next plain (Send) response. Responses arrive in request
+// order; async responses queued ahead of the next plain one are dispatched
+// to their callbacks on the way.
+func (cl *Client) Recv() (Response, error) {
+	for {
+		r, cb, err := cl.recvOne()
+		if err != nil || cb == nil {
+			return r, err
+		}
+		cb(r)
+	}
+}
+
+// Drain flushes queued requests and receives async responses — invoking
+// their callbacks in request order — until none are outstanding. It stops
+// early at a plain Send response, leaving it for Recv.
+func (cl *Client) Drain() error {
+	if err := cl.Flush(); err != nil {
+		return err
+	}
+	for cl.cbTail < cl.cbHead {
+		if cl.cbs[cl.cbTail&(len(cl.cbs)-1)] == nil {
+			return nil // plain response next; Recv owns it
+		}
+		r, cb, err := cl.recvOne()
+		if err != nil {
+			return err
+		}
+		cb(r)
+	}
+	return nil
+}
+
+// RecvOneAsync receives exactly one response — which must belong to an
+// async send — and dispatches its callback. It is the sliding-window
+// primitive for callers bounding in-flight async traffic themselves (Drain
+// collapses the window to zero; this slides it by one).
+func (cl *Client) RecvOneAsync() error {
+	if cl.cbTail < cl.cbHead && cl.cbs[cl.cbTail&(len(cl.cbs)-1)] == nil {
+		return errors.New("server: RecvOneAsync: a plain Send response is queued ahead; Recv it first")
+	}
+	r, cb, err := cl.recvOne()
+	if err != nil {
+		return err
+	}
+	if cb == nil {
+		return errors.New("server: RecvOneAsync: no async request outstanding")
+	}
+	cb(r)
+	return nil
+}
+
+// GetAsync queues a GET whose response is delivered to cb.
+func (cl *Client) GetAsync(key uint64, cb func(Response)) error {
+	return cl.SendAsync(Request{Op: OpGet, Key: key}, cb)
+}
+
+// PutAsync queues a PUT whose response is delivered to cb.
+func (cl *Client) PutAsync(key, val uint64, cb func(Response)) error {
+	return cl.SendAsync(Request{Op: OpPut, Key: key, Value: val}, cb)
+}
+
+// InsertAsync queues an INSERT whose response is delivered to cb.
+func (cl *Client) InsertAsync(key, val uint64, cb func(Response)) error {
+	return cl.SendAsync(Request{Op: OpInsert, Key: key, Value: val}, cb)
+}
+
+// DeleteAsync queues a DELETE whose response is delivered to cb.
+func (cl *Client) DeleteAsync(key uint64, cb func(Response)) error {
+	return cl.SendAsync(Request{Op: OpDelete, Key: key}, cb)
+}
+
+// Future is the handle to one in-flight request's eventual response.
+type Future struct {
+	cl   *Client
+	resp Response
+	done bool
+}
+
+// DoFuture queues r and returns a Future for its response. The request is
+// not flushed; Wait flushes if needed.
+func (cl *Client) DoFuture(r Request) (*Future, error) {
+	f := &Future{cl: cl}
+	if err := cl.SendAsync(r, func(r Response) { f.resp, f.done = r, true }); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// GetFuture queues a GET and returns its Future.
+func (cl *Client) GetFuture(key uint64) (*Future, error) {
+	return cl.DoFuture(Request{Op: OpGet, Key: key})
+}
+
+// PutFuture queues a PUT and returns its Future.
+func (cl *Client) PutFuture(key, val uint64) (*Future, error) {
+	return cl.DoFuture(Request{Op: OpPut, Key: key, Value: val})
+}
+
+// InsertFuture queues an INSERT and returns its Future.
+func (cl *Client) InsertFuture(key, val uint64) (*Future, error) {
+	return cl.DoFuture(Request{Op: OpInsert, Key: key, Value: val})
+}
+
+// DeleteFuture queues a DELETE and returns its Future.
+func (cl *Client) DeleteFuture(key uint64) (*Future, error) {
+	return cl.DoFuture(Request{Op: OpDelete, Key: key})
+}
+
+// Wait blocks until the future's response has been received, receiving and
+// dispatching earlier responses (async callbacks included) along the way.
+// It fails on a plain Send response encountered first — interleave Recv
+// calls in request order when mixing the two styles.
+func (f *Future) Wait() (Response, error) {
+	if f.done {
+		return f.resp, nil
+	}
+	cl := f.cl
+	if err := cl.Flush(); err != nil {
+		return Response{}, err
+	}
+	for !f.done {
+		if cl.cbTail < cl.cbHead && cl.cbs[cl.cbTail&(len(cl.cbs)-1)] == nil {
+			return Response{}, errors.New("server: Future.Wait: a plain Send response is queued ahead; Recv it before waiting")
+		}
+		r, cb, err := cl.recvOne()
+		if err != nil {
+			return Response{}, err
+		}
+		cb(r)
+	}
+	return f.resp, nil
 }
 
 // doWindow bounds Do's in-flight requests. Unbounded pipelining deadlocks

@@ -1,14 +1,17 @@
 // Package server exposes a DLHT table over TCP through a compact binary
-// protocol, turning the paper's batching API (§3.3) into a network request
-// pipeline.
+// protocol, turning the paper's batching design (§3.3) into a network
+// request pipeline.
 //
-// Clients pipeline fixed-size request frames; the server decodes every
-// frame already pending on a connection into one []dlht.Op batch and
-// executes it through Handle.Exec, whose sliding-window software prefetch
-// overlaps the DRAM latency of the network burst however deep it runs.
-// Responses are written in request order — order preservation is DLHT's
-// batching contract, and here it doubles as the wire protocol's matching
-// rule: the i-th response on a connection answers the i-th request.
+// Clients pipeline fixed-size request frames; the server feeds each frame,
+// as it is decoded, straight into a per-connection dlht.Pipeline whose
+// sliding-window software prefetch overlaps the DRAM latency of the
+// network burst however deep it runs. Completions append response frames
+// to the write buffer as they fire, so a deep burst's first replies stream
+// out while its tail is still being decoded, and the window stays primed
+// across bursts. Responses are written in request order — order
+// preservation is DLHT's pipelining contract, and here it doubles as the
+// wire protocol's matching rule: the i-th response on a connection answers
+// the i-th request.
 //
 // # Wire format
 //

@@ -12,16 +12,21 @@ import (
 
 // Options tunes a Server. The zero value is usable.
 type Options struct {
-	// MaxBatch caps how many pending requests one connection contributes to
-	// a single Exec batch. 0 (the default) means no cap: bursts are bounded
-	// only by ReadBuffer, and the table's sliding prefetch window chunks
-	// arbitrarily deep batches without thrashing the cache. Set a positive
-	// value to bound the latency of the burst's first response instead.
+	// MaxBatch bounds how many requests are enqueued into a connection's
+	// pipeline before the server forces the in-flight tail to complete and
+	// flushes the accumulated responses to the wire. 0 (the default) means
+	// no bound: completions stream continuously as requests fall a prefetch
+	// window behind the decode cursor, and the writer is flushed when the
+	// connection runs out of buffered input or the response buffer crosses
+	// its flush threshold. Set a positive value to force a full
+	// drain-and-flush cycle every MaxBatch requests instead.
 	MaxBatch int
 	// ReadBuffer and WriteBuffer size the per-connection bufio buffers
 	// (default 64 KiB each). The read buffer bounds how much of a pipeline
-	// burst a single syscall can pick up, and therefore the largest batch
-	// one Exec call sees when MaxBatch is 0.
+	// burst a single syscall can pick up; the write buffer sets the
+	// streaming-flush threshold — accumulated responses are pushed to the
+	// wire once they exceed half of it, so a deep burst's first responses
+	// reach the client while its tail is still being decoded.
 	ReadBuffer, WriteBuffer int
 }
 
@@ -202,11 +207,21 @@ func (s *Server) removeConn(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// serveConn runs the connection's decode→Exec→encode loop. The loop blocks
+// testFrameDecoded, when non-nil, is invoked after each request frame is
+// decoded and enqueued. Test-only: the streaming test blocks a burst's
+// last frame here to prove earlier responses already reached the wire.
+var testFrameDecoded func(Request)
+
+// serveConn streams the connection through a per-connection Pipeline.
+// Each decoded frame is enqueued immediately — no burst-assembly buffer —
+// and the pipeline's completion callback appends the matching response
+// frame straight into the write buffer, so replies for a deep burst go out
+// while its tail is still being decoded. The pipeline is flushed only when
+// the connection runs out of buffered input (or every Options.MaxBatch
+// requests); between back-to-back bursts it stays primed, so the prefetch
+// window carries over what used to be batch boundaries. The loop blocks
 // only on the first frame of a burst; every further frame already buffered
-// joins the same batch, decoded zero-copy out of the bufio window, so a
-// deep client pipeline is executed under one sliding-window prefetch pass
-// and answered with one flush.
+// is decoded zero-copy out of the bufio window.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(c)
@@ -229,69 +244,83 @@ func (s *Server) serveConn(c net.Conn) {
 
 	br := bufio.NewReaderSize(c, s.opts.ReadBuffer)
 	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
-	// Start small and let append grow toward the connection's actual burst
-	// depth: preallocating the ReadBuffer/ReqSize worst case would cost
-	// ~150 KiB per connection whether or not the client ever pipelines.
-	ops := make([]dlht.Op, 0, 64)
-	out := make([]byte, 0, 64*RespSize)
+	// Responses are pushed to the wire once they fill half the write
+	// buffer, bounding how long a completed request's reply can sit behind
+	// a still-decoding burst; bufio's own flush-on-full is the backstop.
+	flushAt := s.opts.WriteBuffer / 2
+	if flushAt < RespSize {
+		flushAt = RespSize
+	}
+	var wErr error // sticky write error; unwound at the next flush point
+	p := h.Pipeline(dlht.PipelineOpts{OnComplete: func(op *dlht.Op) {
+		if wErr != nil {
+			return
+		}
+		if _, err := bw.Write(AppendResponse(bw.AvailableBuffer(), opToResp(op))); err != nil {
+			wErr = err
+			return
+		}
+		if bw.Buffered() >= flushAt {
+			wErr = bw.Flush()
+		}
+	}})
+	defer p.Close()
 
+	sinceDrain := 0
 	for {
-		// Block for the head of the next burst.
+		// Block for the head of the next burst. Everything decoded so far
+		// has been completed and flushed (see below), so waiting here never
+		// holds responses hostage.
 		if _, err := br.Peek(ReqSize); err != nil {
 			return
 		}
-		// The whole buffered burst is decoded zero-copy from one Peek
-		// window; Discard advances past exactly the frames consumed.
+		// Decode the whole buffered burst zero-copy from one Peek window;
+		// Discard advances past exactly the frames consumed.
 		nframes := br.Buffered() / ReqSize
-		if s.opts.MaxBatch > 0 && nframes > s.opts.MaxBatch {
-			nframes = s.opts.MaxBatch
-		}
 		burst, err := br.Peek(nframes * ReqSize)
 		if err != nil {
 			return // cannot fail: fully buffered
 		}
-		ops = ops[:0]
-		badFrame := false
 		for off := 0; off < len(burst); off += ReqSize {
 			req, err := DecodeRequest(burst[off : off+ReqSize])
 			if err != nil {
-				badFrame = true
-				break
-			}
-			ops = append(ops, reqToOp(req))
-		}
-		br.Discard(nframes * ReqSize)
-		if badFrame {
-			// Answer the decodable prefix, then the error frame, and give
-			// up on the connection: byte alignment is no longer trusted.
-			s.execAndReply(h, ops, &out, bw)
-			bw.Write(AppendResponse(out[:0], Response{Status: StatusBadRequest}))
-			bw.Flush()
-			return
-		}
-		s.execAndReply(h, ops, &out, bw)
-		// Flush only when about to block; responses for back-to-back bursts
-		// share a syscall.
-		if br.Buffered() < ReqSize {
-			if err := bw.Flush(); err != nil {
+				// Answer the decodable prefix, then the error frame, and
+				// give up on the connection: byte alignment is no longer
+				// trusted.
+				br.Discard(off)
+				p.Flush()
+				bw.Write(AppendResponse(bw.AvailableBuffer(), Response{Status: StatusBadRequest}))
+				bw.Flush()
 				return
 			}
+			p.Enqueue(reqToOp(req))
+			if testFrameDecoded != nil {
+				testFrameDecoded(req)
+			}
+			if s.opts.MaxBatch > 0 {
+				if sinceDrain++; sinceDrain >= s.opts.MaxBatch {
+					sinceDrain = 0
+					p.Flush()
+					if wErr == nil {
+						wErr = bw.Flush()
+					}
+				}
+			}
+		}
+		br.Discard(nframes * ReqSize)
+		// Complete the in-flight tail and flush only when about to block;
+		// responses for back-to-back bursts share a syscall and the window
+		// stays primed while input keeps arriving.
+		if br.Buffered() < ReqSize {
+			p.Flush()
+			if wErr == nil {
+				wErr = bw.Flush()
+			}
+		}
+		if wErr != nil {
+			return
 		}
 	}
-}
-
-// execAndReply executes the batch in order and buffers one response frame
-// per op.
-func (s *Server) execAndReply(h *dlht.Handle, ops []dlht.Op, out *[]byte, bw *bufio.Writer) {
-	if len(ops) == 0 {
-		return
-	}
-	h.Exec(ops, false)
-	*out = (*out)[:0]
-	for i := range ops {
-		*out = AppendResponse(*out, opToResp(&ops[i]))
-	}
-	bw.Write(*out)
 }
 
 // reqToOp maps a wire request onto a batch op.

@@ -43,17 +43,30 @@ go test -bench=. -benchtime=100ms -run='^$' ./internal/server >>"$tmp" 2>&1 || {
 	echo "server bench run failed (exit $status); not appending to $out" >&2
 	exit "$status"
 }
-# The sweep runs longer than the smoke suites: it is the before/after
-# record the trajectory is judged on, and 100ms points wobble ±8%.
+# The sweeps run longer than the smoke suites: they are the before/after
+# record the trajectory is judged on, and 100ms points wobble ±8%. The
+# Exec sweep tracks the windowed-pipeline gain over the full-batch pass;
+# the Pipeline sweep (batch 4096, window 8/16/32) tracks the streaming
+# API's overhead against Exec's inlined ns/op at the same window.
 go test -bench='BenchmarkExec/w=(full|16)/' -benchtime=500ms -run='^$' . >>"$tmp" 2>&1 || {
 	status=$?
 	cat "$tmp"
 	echo "window-sweep bench run failed (exit $status); not appending to $out" >&2
 	exit "$status"
 }
+go test -bench='BenchmarkPipeline/w=(8|16|32)/' -benchtime=500ms -run='^$' . >>"$tmp" 2>&1 || {
+	status=$?
+	cat "$tmp"
+	echo "pipeline bench run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
 cat "$tmp"
 grep -q 'BenchmarkExec/w=16/inlined/b=4096' "$tmp" || {
 	echo "window sweep missing its deep-batch case; not appending to $out" >&2
+	exit 1
+}
+grep -q 'BenchmarkPipeline/w=16/inlined/b=4096' "$tmp" || {
+	echo "pipeline sweep missing its deep-batch case; not appending to $out" >&2
 	exit 1
 }
 
