@@ -16,6 +16,13 @@
 // -async each connection drives the client's callback API (GetAsync/
 // PutAsync + RecvOneAsync) instead of explicit Send/Recv pairs.
 //
+// With -addrs host:p1,host:p2,... the loadgen shards the keyspace across
+// several dlht-server processes instead: each worker dials a
+// consistent-hashed Cluster (one pipelined protocol-v2 connection per
+// shard) and drives it through the backend-independent Store surface —
+// synchronous ops by default, the completion-driven Pipe under -async
+// with -pipeline requests in flight per shard.
+//
 // Any transport error or unexpected response status counts as an error;
 // the process exits non-zero if any occurred.
 package main
@@ -26,6 +33,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +47,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:4040", "server address")
+		addrs    = flag.String("addrs", "", "comma-separated shard addresses; enables sharded-cluster mode (overrides -addr/-embedded)")
 		conns    = flag.Int("conns", 8, "concurrent connections")
 		pipeline = flag.Int("pipeline", 16, "requests kept in flight per connection")
 		totalOps = flag.Uint64("ops", 1_000_000, "total measured operations across all connections")
@@ -59,6 +68,11 @@ func main() {
 		// Deeper pipelines can deadlock on kernel socket buffers: the
 		// server blocks writing responses nobody is reading yet.
 		log.Fatal("bad flags: pipeline must be <= 4096")
+	}
+
+	if *addrs != "" {
+		runCluster(strings.Split(*addrs, ","), *conns, *pipeline, *totalOps, *keys, *readPct, *dist, *async, *skipLoad)
+		return
 	}
 
 	if *embedded {
@@ -288,6 +302,194 @@ func run(addr string, conns, pipeline int, totalOps, keys uint64, readPct int, d
 					errs.Add(1)
 				}
 				recvd++
+			}
+			total.Add(recvd)
+			aggMu.Lock()
+			agg.Merge(sampler)
+			aggMu.Unlock()
+		}(c, quota)
+	}
+	wg.Wait()
+	m := bench.Measurement{Ops: total.Load(), Elapsed: time.Since(begin)}
+	return m, agg.Summary(), errs.Load()
+}
+
+// runCluster is the -addrs mode: the measured phases drive a
+// consistent-hashed Cluster per worker through the Store surface, so the
+// identical workload logic scales from one shard to N by changing the
+// address list. It prints the same report shape as the single-server mode
+// and exits non-zero on any error.
+func runCluster(shards []string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string, async, skipLoad bool) {
+	if !skipLoad {
+		m, errs := clusterLoad(shards, conns, pipeline, keys)
+		if errs > 0 {
+			log.Fatalf("load phase: %d errors", errs)
+		}
+		fmt.Printf("loaded %d keys across %d shards in %v (%.2f M inserts/s)\n",
+			m.Ops, len(shards), m.Elapsed.Round(time.Millisecond), m.MReqs())
+	}
+	api := "sync store"
+	if async {
+		api = "async pipe"
+	}
+	fmt.Printf("run: %d ops over %d conns × %d shards (%d%% GET / %d%% PUT, %s keys, %s API, window %d)\n",
+		totalOps, conns, len(shards), readPct, 100-readPct, dist, api, pipeline)
+	m, lat, errs := clusterRun(shards, conns, pipeline, totalOps, keys, readPct, dist, async)
+	fmt.Printf("throughput: %.2f M reqs/s (%d ops in %v)\n",
+		m.MReqs(), m.Ops, m.Elapsed.Round(time.Millisecond))
+	fmt.Println(lat)
+	fmt.Printf("errors: %d\n", errs)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// clusterLoad prepopulates [0, keys) through per-worker cluster pipes,
+// striped across workers; routing sends each insert to its owning shard.
+func clusterLoad(shards []string, conns, pipeline int, keys uint64) (bench.Measurement, uint64) {
+	var errs atomic.Uint64
+	var wg sync.WaitGroup
+	begin := time.Now()
+	per := (keys + uint64(conns) - 1) / uint64(conns)
+	for c := 0; c < conns; c++ {
+		lo := uint64(c) * per
+		hi := lo + per
+		if hi > keys {
+			hi = keys
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			clu, err := dlht.DialCluster(shards, dlht.ClusterOpts{})
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer clu.Close()
+			p, err := clu.Pipe(dlht.PipeOpts{Window: pipeline, OnComplete: func(cp dlht.Completion) {
+				if cp.Err != nil || !cp.OK {
+					errs.Add(1)
+				}
+			}})
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			for k := lo; k < hi; k++ {
+				if err := p.Insert(k, k^0xdead); err != nil {
+					errs.Add(1)
+					return
+				}
+			}
+			if err := p.Close(); err != nil {
+				errs.Add(1)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return bench.Measurement{Ops: keys, Elapsed: time.Since(begin)}, errs.Load()
+}
+
+// clusterRun executes the measured mixed phase against per-worker
+// Clusters. The sync path measures one Store round trip per op; the async
+// path keeps a window of requests in flight per shard and tracks per-op
+// latency through per-shard FIFO timestamp rings — sound because cluster
+// completions arrive in per-shard enqueue order (the Pipe contract).
+func clusterRun(shards []string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string, async bool) (bench.Measurement, bench.LatencySummary, uint64) {
+	var total, errs atomic.Uint64
+	agg := bench.NewSampler(1 << 20)
+	var aggMu sync.Mutex
+	var wg sync.WaitGroup
+	per := totalOps / uint64(conns)
+	begin := time.Now()
+	for c := 0; c < conns; c++ {
+		quota := per
+		if c == 0 {
+			quota += totalOps % uint64(conns) // remainder rides on conn 0
+		}
+		wg.Add(1)
+		go func(c int, quota uint64) {
+			defer wg.Done()
+			clu, err := dlht.DialCluster(shards, dlht.ClusterOpts{})
+			if err != nil {
+				errs.Add(quota)
+				return
+			}
+			defer clu.Close()
+			stream := newStream(dist, uint64(c)*2654435761+7, keys)
+			rng := workload.NewRNG(uint64(c)*7919 + 3)
+			sampler := bench.NewSampler(1 << 17)
+
+			if !async {
+				for done := uint64(0); done < quota; done++ {
+					k := stream.Key()
+					t0 := time.Now()
+					var ok bool
+					var err error
+					if int(rng.Uint64n(100)) >= readPct {
+						_, ok, err = clu.Put(k, rng.Next())
+					} else {
+						_, ok, err = clu.Get(k)
+					}
+					sampler.Add(time.Since(t0).Nanoseconds())
+					// Every key is prepopulated and never deleted.
+					if err != nil || !ok {
+						errs.Add(1)
+					}
+				}
+				total.Add(quota)
+				aggMu.Lock()
+				agg.Merge(sampler)
+				aggMu.Unlock()
+				return
+			}
+
+			// Async: per-shard FIFO rings of send timestamps. The client
+			// pipe holds at most window+1 requests in flight per shard.
+			nsh := clu.NumShards()
+			ring := make([][]time.Time, nsh)
+			head := make([]int, nsh)
+			tail := make([]int, nsh)
+			cap := pipeline + 2
+			for i := range ring {
+				ring[i] = make([]time.Time, cap)
+			}
+			var recvd uint64
+			p, err := clu.Pipe(dlht.PipeOpts{Window: pipeline, OnComplete: func(cp dlht.Completion) {
+				sh := clu.ShardFor(cp.Key)
+				sampler.Add(time.Since(ring[sh][head[sh]%cap]).Nanoseconds())
+				head[sh]++
+				if cp.Err != nil || !cp.OK {
+					errs.Add(1)
+				}
+				recvd++
+			}})
+			if err != nil {
+				errs.Add(quota)
+				return
+			}
+			for sent := uint64(0); sent < quota; sent++ {
+				k := stream.Key()
+				sh := clu.ShardFor(k)
+				ring[sh][tail[sh]%cap] = time.Now()
+				tail[sh]++
+				if int(rng.Uint64n(100)) >= readPct {
+					err = p.Put(k, rng.Next())
+				} else {
+					err = p.Get(k)
+				}
+				if err != nil {
+					errs.Add(quota - recvd)
+					break
+				}
+			}
+			if err == nil {
+				if err := p.Close(); err != nil {
+					errs.Add(quota - recvd)
+				}
 			}
 			total.Add(recvd)
 			aggMu.Lock()

@@ -1,13 +1,20 @@
-// Command dlht-server exposes a DLHT table over TCP using the pipelined
+// Command dlht-server exposes DLHT tables over TCP using the pipelined
 // binary protocol of repro/internal/server. Each connection is one
 // goroutine holding one table handle; every request is fed, as it is
 // decoded, into a per-connection streaming pipeline (§3.3) whose
 // completions write the responses — replies stream out while a deep burst
 // is still being decoded.
 //
+// The process hosts one default table (served to protocol-v1 clients and
+// handshakes with no table selector) plus any number of named tables
+// declared with -tables; protocol-v2 clients pick one in the handshake.
+// Tables in kv mode (Allocator, VariableKV, Namespaces) serve the
+// variable-length KV frames.
+//
 // Usage:
 //
-//	dlht-server -addr :4040 -bins 1048576 -window 16
+//	dlht-server -addr :4040 -bins 1048576 -window 16 \
+//	    -tables users:kv,sessions:inlined -idle-timeout 5m
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	dlht "repro"
@@ -24,12 +32,14 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":4040", "listen address")
-		bins       = flag.Uint64("bins", 1<<20, "initial bin count (3 slots per bin)")
+		bins       = flag.Uint64("bins", 1<<20, "initial bin count per table (3 slots per bin)")
 		resizable  = flag.Bool("resizable", true, "enable non-blocking resize")
 		maxBatch   = flag.Int("max-batch", 0, "force a pipeline drain+flush every N requests per connection (0 = stream continuously)")
-		maxThreads = flag.Int("max-threads", 4096, "max concurrent connections (table handles)")
+		maxThreads = flag.Int("max-threads", 4096, "max concurrent connections per table (table handles)")
 		hashName   = flag.String("hash", "modulo", "bin hash: modulo|wy|xx|murmur3|fnv1a")
 		window     = flag.Int("window", 0, "prefetch window of the per-connection pipeline (0 or <0 = default 16; the full-batch baseline has no streaming analogue)")
+		tables     = flag.String("tables", "", "extra named tables, comma-separated name[:mode] entries with mode inlined (default) or kv (Allocator, variable KV, namespaces)")
+		idle       = flag.Duration("idle-timeout", 0, "close connections idle (unreadable or unwritable) for this long; 0 disables")
 	)
 	flag.Parse()
 
@@ -53,7 +63,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s := server.New(tbl, server.Options{MaxBatch: *maxBatch})
+	s := server.New(tbl, server.Options{MaxBatch: *maxBatch, IdleTimeout: *idle})
+	names := []string{"(default)"}
+	if *tables != "" {
+		for _, spec := range strings.Split(*tables, ",") {
+			name, mode, _ := strings.Cut(spec, ":")
+			if name == "" {
+				log.Fatalf("bad -tables entry %q: empty name", spec)
+			}
+			tcfg := cfg
+			switch mode {
+			case "", "inlined":
+			case "kv":
+				tcfg.Mode = dlht.Allocator
+				tcfg.VariableKV = true
+				tcfg.Namespaces = true
+				// Epoch GC keeps a GetKV value view stable while it is
+				// copied into a response, even against a concurrent
+				// DeleteKV from another connection; the serve loop
+				// refreshes each connection's epoch periodically.
+				tcfg.EpochGC = true
+			default:
+				log.Fatalf("bad -tables entry %q: unknown mode %q (want inlined or kv)", spec, mode)
+			}
+			nt, err := dlht.New(tcfg)
+			if err != nil {
+				log.Fatalf("table %s: %v", name, err)
+			}
+			if err := s.AddTable(name, nt); err != nil {
+				log.Fatalf("table %s: %v", name, err)
+			}
+			names = append(names, spec)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -62,8 +105,8 @@ func main() {
 		s.Close()
 	}()
 
-	log.Printf("dlht-server listening on %s (bins=%d resizable=%v max-batch=%d window=%d)",
-		*addr, *bins, *resizable, *maxBatch, *window)
+	log.Printf("dlht-server listening on %s (bins=%d resizable=%v max-batch=%d window=%d idle-timeout=%v tables=%s)",
+		*addr, *bins, *resizable, *maxBatch, *window, *idle, strings.Join(names, ","))
 	if err := s.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
 		log.Fatal(err)
 	}

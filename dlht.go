@@ -75,14 +75,40 @@
 // the protocol's request/response matching rule. Connection-scoped handles
 // are recycled via Handle.Close.
 //
-// The implementation lives in repro/internal/core; this package re-exports
-// it as the stable public surface.
+// # One API over local, remote, and sharded tables
+//
+// Store is the backend-independent surface: the synchronous ops
+// (Get/Put/Insert/Delete) plus the completion-driven pipelined surface
+// (Store.Pipe). Three backends implement it:
+//
+//	s, _ := table.Store()                  // in-process (a Handle adapter)
+//	s, _ := dlht.Dial("host:4040")         // one dlht-server (protocol v2)
+//	s, _ := dlht.DialCluster(addrs, opts)  // N servers, consistent-hashed
+//
+// Workload drivers written against Store run unmodified whether the table
+// is local, behind one socket, or sharded across a cluster; completions
+// preserve enqueue order per backend shard (and therefore per-key program
+// order everywhere). Remote errors map back onto the same sentinels local
+// tables return, so errors.Is-based handling is backend-independent.
+//
+// The wire protocol is versioned: Dial and DialCluster speak v2 (a
+// handshake with a table selector and variable-length KV frames for
+// Allocator-mode tables); v1 clients — the fixed-frame protocol with no
+// handshake — are auto-detected by the server from their first frame and
+// served unchanged.
+//
+// The implementation lives in repro/internal/core (table engine),
+// repro/internal/server (protocol + network client) and
+// repro/internal/cluster (sharding); this package re-exports them as the
+// stable public surface.
 package dlht
 
 import (
 	"repro/internal/alloc"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hashfn"
+	"repro/internal/server"
 )
 
 // Core types, re-exported.
@@ -117,6 +143,29 @@ type (
 	Entry = core.Entry
 	// Stats is the table counter snapshot.
 	Stats = core.Stats
+
+	// Store is the backend-independent op surface implemented by local
+	// tables ((*Table).Store), network clients (Dial) and sharded clusters
+	// (DialCluster). One Store per goroutine.
+	Store = core.Store
+	// Pipe is a Store's completion-driven pipelined surface.
+	Pipe = core.Pipe
+	// PipeOpts configures Store.Pipe.
+	PipeOpts = core.PipeOpts
+	// Completion is the result of one pipelined Store request.
+	Completion = core.Completion
+	// Cluster consistent-hashes keys across N Stores (one pipelined
+	// protocol-v2 connection per shard when built with DialCluster) and is
+	// itself a Store.
+	Cluster = cluster.Cluster
+	// ClusterOpts configures NewCluster/DialCluster.
+	ClusterOpts = cluster.Opts
+	// Client is the pipelined network client returned by Dial; beyond the
+	// Store surface it exposes the raw protocol (Send/Flush/Recv), async
+	// callbacks, futures, and the KV surface for Allocator-mode tables.
+	Client = server.Client
+	// ClientOpts configures DialTable.
+	ClientOpts = server.ClientOpts
 )
 
 // Modes.
@@ -150,7 +199,8 @@ const (
 	HashFNV1a = hashfn.FNV1a
 )
 
-// Errors, re-exported.
+// Errors, re-exported. Remote backends map wire statuses back onto the
+// same sentinels, so errors.Is works identically against every Store.
 var (
 	ErrExists         = core.ErrExists
 	ErrShadow         = core.ErrShadow
@@ -160,6 +210,17 @@ var (
 	ErrValueSize      = core.ErrValueSize
 	ErrNamespace      = core.ErrNamespace
 	ErrTooManyHandles = core.ErrTooManyHandles
+
+	// Transport-only conditions (no local counterpart).
+
+	// ErrBusy: the server was out of connection handles.
+	ErrBusy = server.ErrBusy
+	// ErrBadRequest: the server rejected a malformed frame.
+	ErrBadRequest = server.ErrBadRequest
+	// ErrUnknownTable: the handshake named a table the server doesn't host.
+	ErrUnknownTable = server.ErrUnknownTable
+	// ErrBadVersion: the server doesn't speak the requested protocol version.
+	ErrBadVersion = server.ErrBadVersion
 )
 
 // MaxNamespace is the largest namespace id (4Ki namespaces, §3.4.2).
@@ -178,3 +239,35 @@ func NewArena() alloc.Allocator { return alloc.NewArena() }
 // NewNaiveAllocator returns the mutex-guarded baseline allocator (the
 // "No mimalloc" configuration of the paper's Fig 14 ablation).
 func NewNaiveAllocator() alloc.Allocator { return alloc.NewNaive() }
+
+// Dial connects to a dlht-server at addr (protocol v2, default table) and
+// returns it as a Store. The concrete type is *Client; use DialTable for a
+// named table, timeouts, or direct access to the client's wider surface.
+func Dial(addr string) (Store, error) {
+	cl, err := server.DialV2(addr, server.ClientOpts{})
+	if err != nil {
+		// Return a bare nil interface, not a typed-nil *Client.
+		return nil, err
+	}
+	return cl, nil
+}
+
+// DialTable connects to a dlht-server with explicit client options —
+// table selector, feature set, read/write deadlines.
+func DialTable(addr string, opts ClientOpts) (*Client, error) {
+	return server.DialV2(addr, opts)
+}
+
+// NewCluster builds a sharded Store over pre-opened member stores; names
+// give the shards their consistent-hash ring identities. Close closes the
+// members.
+func NewCluster(names []string, stores []Store, opts ClusterOpts) (*Cluster, error) {
+	return cluster.New(names, stores, opts)
+}
+
+// DialCluster opens one pipelined protocol-v2 connection per address and
+// consistent-hashes keys across them; the address list is the ring
+// identity, so routing is stable across reconnects.
+func DialCluster(addrs []string, opts ClusterOpts) (*Cluster, error) {
+	return cluster.Dial(addrs, opts)
+}

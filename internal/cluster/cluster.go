@@ -1,0 +1,261 @@
+// Package cluster shards one logical DLHT keyspace across N Stores with
+// consistent hashing, presenting the union as a single Store. Each shard
+// is any dlht Store backend — usually one pipelined protocol-v2 connection
+// per dlht-server process (Dial), but in-process tables and nested
+// clusters compose the same way, since routing only needs the Store
+// surface.
+//
+// Routing is a fixed-point consistent-hash ring built from the shard
+// *names* (not connection state), so a key's shard is stable across
+// reconnects and process restarts as long as the shard set is unchanged,
+// and adding or removing a shard remaps only the ring arcs adjacent to its
+// virtual nodes.
+//
+// The pipelined surface fans each enqueue out to its shard's Pipe and
+// merges completions back in per-shard enqueue order. Because a key always
+// routes to exactly one shard, per-key program order is preserved — the
+// ordering contract that makes DLHT's batch API safe for lock managers
+// (§3.3) survives sharding, weakened only from total order to per-shard
+// order.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/hashfn"
+	"repro/internal/server"
+
+	core "repro/internal/core"
+)
+
+// Opts configures a Cluster.
+type Opts struct {
+	// Table is the named server table Dial selects on every shard
+	// connection ("" = each server's default table).
+	Table string
+	// VNodes is the number of virtual ring points per shard (default 64).
+	// More points smooth the key distribution at the cost of a larger
+	// routing table.
+	VNodes int
+	// Window is the per-shard Pipe window when the cluster's own Pipe is
+	// opened with Window 0.
+	Window int
+	// ReadTimeout/WriteTimeout are passed through to each shard
+	// connection's deadlines (Dial only).
+	ReadTimeout, WriteTimeout time.Duration
+}
+
+const defaultVNodes = 64
+
+// Cluster consistent-hashes keys across its member Stores and implements
+// Store itself. Like every Store, a Cluster is a per-goroutine object.
+type Cluster struct {
+	names  []string
+	stores []core.Store
+	ring   []ringPoint
+	keyh   hashfn.Func64
+	window int
+}
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a shard.
+type ringPoint struct {
+	h     uint64
+	shard int
+}
+
+var _ core.Store = (*Cluster)(nil)
+
+// New builds a Cluster over pre-opened stores. names give the shards their
+// ring identities — routing depends only on them, so reconnecting a shard
+// (or pointing the same name at a replacement store) preserves every
+// key→shard assignment. Close closes the member stores.
+func New(names []string, stores []core.Store, opts Opts) (*Cluster, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("cluster: no shards")
+	}
+	if len(names) != len(stores) {
+		return nil, fmt.Errorf("cluster: %d names for %d stores", len(names), len(stores))
+	}
+	seen := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		if _, dup := seen[n]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", n)
+		}
+		seen[n] = struct{}{}
+	}
+	vnodes := opts.VNodes
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	c := &Cluster{
+		names:  append([]string(nil), names...),
+		stores: append([]core.Store(nil), stores...),
+		ring:   make([]ringPoint, 0, len(names)*vnodes),
+		keyh:   hashfn.For64(hashfn.WyHash),
+		window: opts.Window,
+	}
+	hb := hashfn.ForBytes(hashfn.WyHash)
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			c.ring = append(c.ring, ringPoint{h: hb(fmt.Appendf(nil, "%s#%d", name, v)), shard: i})
+		}
+	}
+	sort.Slice(c.ring, func(a, b int) bool { return c.ring[a].h < c.ring[b].h })
+	return c, nil
+}
+
+// Dial opens one pipelined protocol-v2 connection per address and builds a
+// Cluster with the addresses as shard names.
+func Dial(addrs []string, opts Opts) (*Cluster, error) {
+	stores := make([]core.Store, 0, len(addrs))
+	for _, addr := range addrs {
+		cl, err := server.DialV2(addr, server.ClientOpts{
+			Table:        opts.Table,
+			ReadTimeout:  opts.ReadTimeout,
+			WriteTimeout: opts.WriteTimeout,
+		})
+		if err != nil {
+			for _, s := range stores {
+				s.Close()
+			}
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		stores = append(stores, cl)
+	}
+	c, err := New(addrs, stores, opts)
+	if err != nil {
+		for _, s := range stores {
+			s.Close()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// NumShards returns the number of member stores.
+func (c *Cluster) NumShards() int { return len(c.stores) }
+
+// Names returns the shard names in member order.
+func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+
+// ShardFor returns the index of the shard owning key: the owner of the
+// first ring point at or clockwise of the key's hash.
+func (c *Cluster) ShardFor(key uint64) int {
+	h := c.keyh(key)
+	// Binary search for the first point >= h, wrapping to ring[0].
+	lo, hi := 0, len(c.ring)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.ring[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.ring) {
+		lo = 0
+	}
+	return c.ring[lo].shard
+}
+
+// Shard returns the member store at index i (as returned by ShardFor).
+func (c *Cluster) Shard(i int) core.Store { return c.stores[i] }
+
+func (c *Cluster) Get(key uint64) (uint64, bool, error) {
+	return c.stores[c.ShardFor(key)].Get(key)
+}
+
+func (c *Cluster) Put(key, val uint64) (uint64, bool, error) {
+	return c.stores[c.ShardFor(key)].Put(key, val)
+}
+
+func (c *Cluster) Insert(key, val uint64) (uint64, bool, error) {
+	return c.stores[c.ShardFor(key)].Insert(key, val)
+}
+
+func (c *Cluster) Delete(key uint64) (uint64, bool, error) {
+	return c.stores[c.ShardFor(key)].Delete(key)
+}
+
+// Pipe opens one pipe per shard and routes each enqueue to its key's
+// shard. opts.OnComplete receives every shard's completions through one
+// callback, merged in per-shard enqueue order (per-key program order);
+// completions from different shards may interleave in any order.
+func (c *Cluster) Pipe(opts core.PipeOpts) (core.Pipe, error) {
+	w := opts.Window
+	if w == 0 {
+		w = c.window
+	}
+	pipes := make([]core.Pipe, len(c.stores))
+	for i, s := range c.stores {
+		p, err := s.Pipe(core.PipeOpts{Window: w, OnComplete: opts.OnComplete})
+		if err != nil {
+			for _, q := range pipes[:i] {
+				q.Close()
+			}
+			return nil, fmt.Errorf("cluster: shard %s: %w", c.names[i], err)
+		}
+		pipes[i] = p
+	}
+	return &clusterPipe{c: c, pipes: pipes}, nil
+}
+
+// Close closes every member store, returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, s := range c.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// clusterPipe fans enqueues out to the per-shard pipes.
+type clusterPipe struct {
+	c     *Cluster
+	pipes []core.Pipe
+}
+
+func (p *clusterPipe) Get(key uint64) error {
+	return p.pipes[p.c.ShardFor(key)].Get(key)
+}
+
+func (p *clusterPipe) Put(key, val uint64) error {
+	return p.pipes[p.c.ShardFor(key)].Put(key, val)
+}
+
+func (p *clusterPipe) Insert(key, val uint64) error {
+	return p.pipes[p.c.ShardFor(key)].Insert(key, val)
+}
+
+func (p *clusterPipe) Delete(key uint64) error {
+	return p.pipes[p.c.ShardFor(key)].Delete(key)
+}
+
+// Flush completes every shard's in-flight tail, returning the first error
+// (all shards are still flushed).
+func (p *clusterPipe) Flush() error {
+	var first error
+	for _, q := range p.pipes {
+		if err := q.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes and closes every shard pipe. The Cluster remains usable.
+func (p *clusterPipe) Close() error {
+	var first error
+	for _, q := range p.pipes {
+		if err := q.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

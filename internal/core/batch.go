@@ -126,6 +126,14 @@ out:
 func (h *Handle) execOneAt(ix *index, op *Op, b uint64) {
 	t := h.t
 	op.Err = nil
+	// All inlined ops are rejected on Allocator-mode tables (the KV surface
+	// is that mode's API): slot words there encode block references, so an
+	// inlined write would plant a bogus reference for a later delete to
+	// free, and an inlined read would leak the encoded reference word.
+	if t.cfg.Mode == Allocator {
+		op.OK, op.Err = false, ErrWrongMode
+		return
+	}
 	switch op.Kind {
 	case OpGet:
 		op.Result, op.OK = t.getInAt(ix, op.Key, b)
@@ -160,6 +168,12 @@ func (h *Handle) execOneAt(ix *index, op *Op, b uint64) {
 // enter/leave notifications.
 func (h *Handle) stExecOneAt(ix *index, op *Op, b uint64) {
 	op.Err = nil
+	// Inlined ops are rejected on Allocator-mode tables for the same
+	// reasons as in execOneAt: slot words there are block references.
+	if h.t.cfg.Mode == Allocator {
+		op.OK, op.Err = false, ErrWrongMode
+		return
+	}
 	switch op.Kind {
 	case OpGet:
 		op.Result, op.OK = h.stGetAt(ix, op.Key, b)

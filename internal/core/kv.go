@@ -220,6 +220,17 @@ func (h *Handle) GetKV(ns uint16, key []byte) ([]byte, bool) {
 	return t.valueView(vw), true
 }
 
+// CheckKV validates a KV request against the table's mode and
+// configuration without executing it: ErrWrongMode outside Allocator mode,
+// ErrNamespace for an out-of-range or disabled namespace, ErrEmptyKey, and
+// (for inserts) ErrValueSize on fixed-size tables. GetKV/DeleteKV panic on
+// these conditions — they are local API misuse — so callers relaying
+// untrusted requests (the network server) gate on CheckKV first and turn
+// failures into wire statuses.
+func (t *Table) CheckKV(ns uint16, key, val []byte, isInsert bool) error {
+	return t.checkKV(ns, key, val, isInsert)
+}
+
 // GetKVCopy is GetKV but returns a private copy of the value, for callers
 // that must hold it across epoch advances.
 func (h *Handle) GetKVCopy(ns uint16, key []byte) ([]byte, bool) {

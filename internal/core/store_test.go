@@ -1,0 +1,107 @@
+package core
+
+import "testing"
+
+// TestLocalStoreSyncOps: the Handle adapter preserves the miss/err split of
+// the Store contract — misses are (ok=false, err=nil), duplicates are
+// (existing, false, nil).
+func TestLocalStoreSyncOps(t *testing.T) {
+	tbl := MustNew(Config{Bins: 1 << 8, Resizable: true})
+	s, err := tbl.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, inserted, err := s.Insert(1, 10); err != nil || !inserted {
+		t.Fatalf("Insert = inserted=%v err=%v", inserted, err)
+	}
+	if existing, inserted, err := s.Insert(1, 11); err != nil || inserted || existing != 10 {
+		t.Fatalf("dup Insert = (%d,%v,%v), want (10,false,nil)", existing, inserted, err)
+	}
+	if v, ok, err := s.Get(1); err != nil || !ok || v != 10 {
+		t.Fatalf("Get = (%d,%v,%v)", v, ok, err)
+	}
+	if prev, ok, err := s.Put(1, 12); err != nil || !ok || prev != 10 {
+		t.Fatalf("Put = (%d,%v,%v)", prev, ok, err)
+	}
+	if _, ok, err := s.Put(2, 1); err != nil || ok {
+		t.Fatalf("Put(missing) = ok=%v err=%v, want miss", ok, err)
+	}
+	if prev, ok, err := s.Delete(1); err != nil || !ok || prev != 12 {
+		t.Fatalf("Delete = (%d,%v,%v)", prev, ok, err)
+	}
+	if _, ok, _ := s.Get(1); ok {
+		t.Fatal("Get found a deleted key")
+	}
+}
+
+// TestLocalStorePipe: completions arrive in enqueue order with the same
+// results the sync surface reports.
+func TestLocalStorePipe(t *testing.T) {
+	tbl := MustNew(Config{Bins: 1 << 8, Resizable: true})
+	s := tbl.MustStore()
+	defer s.Close()
+
+	var got []Completion
+	p, err := s.Pipe(PipeOpts{Window: 4, OnComplete: func(c Completion) { got = append(got, c) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		if err := p.Insert(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := p.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Insert(0, 99); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*n+1 {
+		t.Fatalf("completions = %d, want %d", len(got), 2*n+1)
+	}
+	for i := uint64(0); i < n; i++ {
+		if c := got[i]; c.Kind != OpInsert || c.Key != i || !c.OK || c.Err != nil {
+			t.Fatalf("insert completion %d = %+v", i, c)
+		}
+		if c := got[n+i]; c.Kind != OpGet || c.Key != i || !c.OK || c.Value != i*3 {
+			t.Fatalf("get completion %d = %+v", i, c)
+		}
+	}
+	if c := got[2*n]; c.OK || c.Err != ErrExists || c.Value != 0*3 {
+		t.Fatalf("dup insert completion = %+v, want ErrExists with existing value", c)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store stays usable after its pipe closes, and handle ids recycle
+	// through Store.Close.
+	if v, ok, _ := s.Get(5); !ok || v != 15 {
+		t.Fatalf("Get(5) after pipe = (%d,%v)", v, ok)
+	}
+}
+
+// TestStoreHandleRecycling: per-worker Stores return their handles, so far
+// more Stores than MaxThreads can be opened sequentially.
+func TestStoreHandleRecycling(t *testing.T) {
+	tbl := MustNew(Config{Bins: 1 << 8, MaxThreads: 2})
+	for i := 0; i < 64; i++ {
+		s, err := tbl.Store()
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		if _, _, err := s.Insert(uint64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+}

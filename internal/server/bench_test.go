@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"testing"
 
-	dlht "repro"
+	core "repro/internal/core"
 )
 
 // benchServer starts a prepopulated server for the pipeline benchmarks.
 func benchServer(b *testing.B, keys uint64) *Server {
 	b.Helper()
-	s := startServer(b, dlht.Config{Bins: keys*2/3 + 64, Resizable: true}, Options{})
+	s := startServer(b, core.Config{Bins: keys*2/3 + 64, Resizable: true}, Options{})
 	cl := dialT(b, s)
 	reqs := make([]Request, 0, 1024)
 	resps := make([]Response, 1024)

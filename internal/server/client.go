@@ -2,42 +2,81 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
 
 // Client is a pipelined protocol client. It is not safe for concurrent use;
 // open one per goroutine (mirroring the one-handle-per-goroutine contract
 // on the server side).
 //
+// Dial speaks protocol v1 (no handshake, default table, fixed frames);
+// DialV2 performs the v2 handshake, which adds a table selector and the
+// variable-length KV surface (GetKV/InsertKV/DeleteKV) for Allocator-mode
+// tables.
+//
 // The pipelining surface is Send/Flush/Recv: queue any number of requests,
 // flush, then receive responses in request order. On top of it sit two
 // completion-driven shapes mirroring the server's Pipeline API: callbacks
 // (SendAsync/GetAsync/... + Drain) and futures (DoFuture/GetFuture/... +
 // Future.Wait). The Get/Put/Insert/Delete helpers are one-request pipelines
-// for convenience and tests.
+// for convenience and tests. Client also implements the backend-independent
+// dlht Store surface (sync helpers + Pipe), so code written against Store
+// drives a remote table unchanged.
 //
-// The three shapes may be mixed on one connection: every request's
-// completion slot is tracked in order, Recv dispatches any async
-// completions queued ahead of the next plain response, and Drain stops at
-// the first plain response so Recv can claim it.
+// The shapes may be mixed on one connection: every request's completion
+// slot is tracked in order, Recv dispatches any async completions queued
+// ahead of the next plain response, and Drain stops at the first plain
+// response so Recv can claim it.
 type Client struct {
 	c        net.Conn
 	br       *bufio.Reader
 	bw       *bufio.Writer
 	inflight int
 
-	// cbs tracks one completion slot per in-flight request, in request
-	// order: nil for a plain Send (consumed by Recv), non-nil for an async
-	// send (invoked by the next Recv/Drain/Wait that reaches it). A
-	// power-of-two ring addressed by absolute head/tail counters.
-	cbs            []func(Response)
+	v2       bool
+	features uint16
+
+	// readTimeout/writeTimeout, when set, are armed as connection
+	// deadlines around blocking reads and flushes so a stalled server
+	// cannot wedge the caller forever.
+	readTimeout, writeTimeout time.Duration
+
+	// pend tracks one completion slot per in-flight request, in request
+	// order: a zero slot for a plain Send (consumed by Recv), cb for an
+	// async fixed-frame send, kvcb for a KV send. A power-of-two ring
+	// addressed by absolute head/tail counters.
+	pend           []pending
 	cbHead, cbTail int
 }
 
-// Dial connects to a server at addr.
+// pending is one in-flight request's completion slot. At most one of the
+// callbacks is non-nil; it also encodes the response frame shape (kvcb
+// non-nil means the next response is variable-length).
+type pending struct {
+	cb   func(Response)
+	kvcb func(KVResponse)
+}
+
+// ClientOpts configures DialV2/NewClientV2.
+type ClientOpts struct {
+	// Table selects the named server table this connection operates on
+	// ("" = the default table).
+	Table string
+	// Features is the requested feature set; 0 requests everything this
+	// client build supports (currently FeatureKV). The granted set is
+	// available via Features().
+	Features uint16
+	// ReadTimeout/WriteTimeout bound blocking reads and flushes. 0
+	// disables the respective deadline.
+	ReadTimeout, WriteTimeout time.Duration
+}
+
+// Dial connects to a server at addr speaking protocol v1.
 func Dial(addr string) (*Client, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -46,14 +85,68 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(c), nil
 }
 
-// NewClient wraps an established connection.
+// DialV2 connects to a server at addr and performs the protocol v2
+// handshake.
+func DialV2(addr string, opts ClientOpts) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := NewClientV2(c, opts)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// NewClient wraps an established connection as a v1 client.
 func NewClient(c net.Conn) *Client {
 	return &Client{
-		c:   c,
-		br:  bufio.NewReaderSize(c, 64<<10),
-		bw:  bufio.NewWriterSize(c, 64<<10),
-		cbs: make([]func(Response), 16),
+		c:    c,
+		br:   bufio.NewReaderSize(c, 64<<10),
+		bw:   bufio.NewWriterSize(c, 64<<10),
+		pend: make([]pending, 16),
 	}
+}
+
+// NewClientV2 wraps an established connection and performs the v2
+// handshake on it. On a non-OK handshake reply the returned error is the
+// status's sentinel (ErrUnknownTable, ErrBadVersion, ...) and the
+// connection is left to the caller to close.
+func NewClientV2(c net.Conn, opts ClientOpts) (*Client, error) {
+	cl := NewClient(c)
+	cl.readTimeout, cl.writeTimeout = opts.ReadTimeout, opts.WriteTimeout
+	features := opts.Features
+	if features == 0 {
+		features = supportedFeatures
+	}
+	hello, err := AppendHello(nil, Hello{Version: ProtocolV2, Features: features, Table: opts.Table})
+	if err != nil {
+		return nil, err
+	}
+	cl.armWrite()
+	if _, err := c.Write(hello); err != nil {
+		return nil, err
+	}
+	var buf [HelloRespSize]byte
+	cl.armRead()
+	if _, err := io.ReadFull(cl.br, buf[:]); err != nil {
+		return nil, err
+	}
+	resp, err := DecodeHelloResp(buf[:])
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, resp.Status.Err()
+	}
+	if resp.Version != ProtocolV2 {
+		return nil, fmt.Errorf("%w: server granted version %d", ErrBadVersion, resp.Version)
+	}
+	cl.v2 = true
+	cl.features = resp.Features
+	return cl, nil
 }
 
 // Close closes the underlying connection.
@@ -61,6 +154,30 @@ func (cl *Client) Close() error { return cl.c.Close() }
 
 // Inflight returns the number of requests sent but not yet received.
 func (cl *Client) Inflight() int { return cl.inflight }
+
+// Features returns the feature set granted by the v2 handshake (0 on v1
+// connections).
+func (cl *Client) Features() uint16 { return cl.features }
+
+// SetTimeouts sets the read/write deadlines applied around blocking reads
+// and flushes (0 disables). DialV2 callers usually set them via ClientOpts.
+func (cl *Client) SetTimeouts(read, write time.Duration) {
+	cl.readTimeout, cl.writeTimeout = read, write
+}
+
+// armRead arms the connection read deadline from ReadTimeout.
+func (cl *Client) armRead() {
+	if cl.readTimeout > 0 {
+		cl.c.SetReadDeadline(time.Now().Add(cl.readTimeout))
+	}
+}
+
+// armWrite arms the connection write deadline from WriteTimeout.
+func (cl *Client) armWrite() {
+	if cl.writeTimeout > 0 {
+		cl.c.SetWriteDeadline(time.Now().Add(cl.writeTimeout))
+	}
+}
 
 // Send queues one request into the write buffer. The frame is appended
 // directly into the bufio writer's spare capacity (no staging copy).
@@ -80,41 +197,131 @@ func (cl *Client) send(r Request, cb func(Response)) error {
 	if _, err := cl.bw.Write(AppendRequest(cl.bw.AvailableBuffer(), r)); err != nil {
 		return err
 	}
-	if cl.cbHead-cl.cbTail == len(cl.cbs) {
-		cl.growCBs()
-	}
-	cl.cbs[cl.cbHead&(len(cl.cbs)-1)] = cb
-	cl.cbHead++
-	cl.inflight++
+	cl.push(pending{cb: cb})
 	return nil
 }
 
-func (cl *Client) growCBs() {
-	next := make([]func(Response), len(cl.cbs)*2)
-	for i := cl.cbTail; i < cl.cbHead; i++ {
-		next[i&(len(next)-1)] = cl.cbs[i&(len(cl.cbs)-1)]
+// SendKV queues one variable-length KV request whose response will be
+// delivered to cb in request order, like SendAsync. Requires a v2
+// connection with FeatureKV granted.
+func (cl *Client) SendKV(r KVRequest, cb func(KVResponse)) error {
+	if cb == nil {
+		return errors.New("server: SendKV: nil callback")
 	}
-	cl.cbs = next
+	if !cl.v2 || cl.features&FeatureKV == 0 {
+		return fmt.Errorf("%w: KV frames (use DialV2)", ErrFeature)
+	}
+	frame, err := AppendKVRequest(cl.bw.AvailableBuffer(), r)
+	if err != nil {
+		return err
+	}
+	if _, err := cl.bw.Write(frame); err != nil {
+		return err
+	}
+	cl.push(pending{kvcb: cb})
+	return nil
+}
+
+// push appends one completion slot to the pending ring.
+func (cl *Client) push(p pending) {
+	if cl.cbHead-cl.cbTail == len(cl.pend) {
+		cl.growPend()
+	}
+	cl.pend[cl.cbHead&(len(cl.pend)-1)] = p
+	cl.cbHead++
+	cl.inflight++
+}
+
+func (cl *Client) growPend() {
+	next := make([]pending, len(cl.pend)*2)
+	for i := cl.cbTail; i < cl.cbHead; i++ {
+		next[i&(len(next)-1)] = cl.pend[i&(len(cl.pend)-1)]
+	}
+	cl.pend = next
 }
 
 // Flush pushes all queued requests to the wire.
-func (cl *Client) Flush() error { return cl.bw.Flush() }
+func (cl *Client) Flush() error {
+	cl.armWrite()
+	return cl.bw.Flush()
+}
 
-// recvOne reads the next response frame and pops its completion slot.
-func (cl *Client) recvOne() (Response, func(Response), error) {
-	var b [RespSize]byte
-	if _, err := io.ReadFull(cl.br, b[:]); err != nil {
-		return Response{}, nil, err
+// headPending returns the oldest in-flight request's completion slot (the
+// zero slot when raw callers Recv more than they Send).
+func (cl *Client) headPending() pending {
+	if cl.cbTail < cl.cbHead {
+		return cl.pend[cl.cbTail&(len(cl.pend)-1)]
 	}
-	var cb func(Response)
-	if cl.cbTail < cl.cbHead { // raw callers may Recv more than they Send
-		cb = cl.cbs[cl.cbTail&(len(cl.cbs)-1)]
-		cl.cbs[cl.cbTail&(len(cl.cbs)-1)] = nil
+	return pending{}
+}
+
+// headIsPlain reports whether the next response belongs to a plain Send.
+func (cl *Client) headIsPlain() bool {
+	p := cl.headPending()
+	return p.cb == nil && p.kvcb == nil
+}
+
+// popPending consumes the oldest completion slot.
+func (cl *Client) popPending() {
+	if cl.cbTail < cl.cbHead {
+		cl.pend[cl.cbTail&(len(cl.pend)-1)] = pending{}
 		cl.cbTail++
 	}
 	cl.inflight--
-	r, err := DecodeResponse(b[:])
-	return r, cb, err
+}
+
+// recvStep receives exactly one response frame — fixed or variable-length,
+// per the oldest slot's shape — and dispatches it if it belongs to an
+// async send. plain is true when the response belongs to a plain Send and
+// is returned to the caller instead.
+func (cl *Client) recvStep() (r Response, plain bool, err error) {
+	head := cl.headPending()
+	if head.kvcb != nil {
+		kr, err := cl.readKVResponse()
+		if err != nil {
+			return Response{}, false, err
+		}
+		cl.popPending()
+		head.kvcb(kr)
+		return Response{}, false, nil
+	}
+	var b [RespSize]byte
+	cl.armRead()
+	if _, err := io.ReadFull(cl.br, b[:]); err != nil {
+		return Response{}, false, err
+	}
+	cl.popPending()
+	r, err = DecodeResponse(b[:])
+	if err != nil {
+		return r, false, err
+	}
+	if head.cb != nil {
+		head.cb(r)
+		return Response{}, false, nil
+	}
+	return r, true, nil
+}
+
+// readKVResponse reads one variable-length response frame.
+func (cl *Client) readKVResponse() (KVResponse, error) {
+	var hdr [KVRespHdrSize]byte
+	cl.armRead()
+	if _, err := io.ReadFull(cl.br, hdr[:]); err != nil {
+		return KVResponse{}, err
+	}
+	vlen := int(binary.LittleEndian.Uint32(hdr[1:5]))
+	if vlen > MaxKVValue {
+		return KVResponse{}, fmt.Errorf("%w: value length %d exceeds %d", ErrBadFrame, vlen, MaxKVValue)
+	}
+	r := KVResponse{Status: Status(hdr[0])}
+	if vlen > 0 {
+		r.Value = make([]byte, vlen)
+		cl.armRead()
+		if _, err := io.ReadFull(cl.br, r.Value); err != nil {
+			return KVResponse{}, err
+		}
+	}
+	return r, nil
 }
 
 // Recv returns the next plain (Send) response. Responses arrive in request
@@ -122,11 +329,10 @@ func (cl *Client) recvOne() (Response, func(Response), error) {
 // to their callbacks on the way.
 func (cl *Client) Recv() (Response, error) {
 	for {
-		r, cb, err := cl.recvOne()
-		if err != nil || cb == nil {
+		r, plain, err := cl.recvStep()
+		if err != nil || plain {
 			return r, err
 		}
-		cb(r)
 	}
 }
 
@@ -138,14 +344,12 @@ func (cl *Client) Drain() error {
 		return err
 	}
 	for cl.cbTail < cl.cbHead {
-		if cl.cbs[cl.cbTail&(len(cl.cbs)-1)] == nil {
+		if cl.headIsPlain() {
 			return nil // plain response next; Recv owns it
 		}
-		r, cb, err := cl.recvOne()
-		if err != nil {
+		if _, _, err := cl.recvStep(); err != nil {
 			return err
 		}
-		cb(r)
 	}
 	return nil
 }
@@ -155,18 +359,14 @@ func (cl *Client) Drain() error {
 // primitive for callers bounding in-flight async traffic themselves (Drain
 // collapses the window to zero; this slides it by one).
 func (cl *Client) RecvOneAsync() error {
-	if cl.cbTail < cl.cbHead && cl.cbs[cl.cbTail&(len(cl.cbs)-1)] == nil {
-		return errors.New("server: RecvOneAsync: a plain Send response is queued ahead; Recv it first")
-	}
-	r, cb, err := cl.recvOne()
-	if err != nil {
-		return err
-	}
-	if cb == nil {
+	if cl.cbTail == cl.cbHead {
 		return errors.New("server: RecvOneAsync: no async request outstanding")
 	}
-	cb(r)
-	return nil
+	if cl.headIsPlain() {
+		return errors.New("server: RecvOneAsync: a plain Send response is queued ahead; Recv it first")
+	}
+	_, _, err := cl.recvStep()
+	return err
 }
 
 // GetAsync queues a GET whose response is delivered to cb.
@@ -239,14 +439,12 @@ func (f *Future) Wait() (Response, error) {
 		return Response{}, err
 	}
 	for !f.done {
-		if cl.cbTail < cl.cbHead && cl.cbs[cl.cbTail&(len(cl.cbs)-1)] == nil {
+		if cl.headIsPlain() {
 			return Response{}, errors.New("server: Future.Wait: a plain Send response is queued ahead; Recv it before waiting")
 		}
-		r, cb, err := cl.recvOne()
-		if err != nil {
+		if _, _, err := cl.recvStep(); err != nil {
 			return Response{}, err
 		}
-		cb(r)
 	}
 	return f.resp, nil
 }
@@ -302,21 +500,41 @@ func (cl *Client) do(r Request) (Response, error) {
 	return cl.Recv()
 }
 
-// Get reads key; ok reports whether it was present.
+// Get reads key; ok reports whether it was present. Statuses other than OK
+// and NOT_FOUND surface as their sentinel errors (ErrBusy, core.ErrWrongMode,
+// ...), so error handling matches the local Store surface.
 func (cl *Client) Get(key uint64) (val uint64, ok bool, err error) {
 	r, err := cl.do(Request{Op: OpGet, Key: key})
-	return r.Result, r.Status == StatusOK, err
+	if err != nil {
+		return 0, false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return r.Result, true, nil
+	case StatusNotFound:
+		return 0, false, nil
+	}
+	return 0, false, r.Status.Err()
 }
 
 // Put overwrites an existing key and returns its previous value; ok is
 // false when the key was absent.
 func (cl *Client) Put(key, val uint64) (prev uint64, ok bool, err error) {
 	r, err := cl.do(Request{Op: OpPut, Key: key, Value: val})
-	return r.Result, r.Status == StatusOK, err
+	if err != nil {
+		return 0, false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return r.Result, true, nil
+	case StatusNotFound:
+		return 0, false, nil
+	}
+	return 0, false, r.Status.Err()
 }
 
 // Insert adds a new key. A StatusExists reply surfaces as (existing, false,
-// nil); other non-OK statuses become errors.
+// nil); other non-OK statuses map to their sentinel errors.
 func (cl *Client) Insert(key, val uint64) (existing uint64, inserted bool, err error) {
 	r, err := cl.do(Request{Op: OpInsert, Key: key, Value: val})
 	if err != nil {
@@ -328,12 +546,89 @@ func (cl *Client) Insert(key, val uint64) (existing uint64, inserted bool, err e
 	case StatusExists:
 		return r.Result, false, nil
 	}
-	return 0, false, fmt.Errorf("server: insert: %v", r.Status)
+	return 0, false, fmt.Errorf("server: insert: %w", r.Status.Err())
 }
 
 // Delete removes key and returns its previous value; ok is false when the
 // key was absent.
 func (cl *Client) Delete(key uint64) (prev uint64, ok bool, err error) {
 	r, err := cl.do(Request{Op: OpDelete, Key: key})
-	return r.Result, r.Status == StatusOK, err
+	if err != nil {
+		return 0, false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return r.Result, true, nil
+	case StatusNotFound:
+		return 0, false, nil
+	}
+	return 0, false, r.Status.Err()
+}
+
+// doKV runs a one-request KV pipeline, draining any async completions
+// queued ahead of it.
+func (cl *Client) doKV(r KVRequest) (KVResponse, error) {
+	var resp KVResponse
+	done := false
+	if err := cl.SendKV(r, func(kr KVResponse) { resp, done = kr, true }); err != nil {
+		return KVResponse{}, err
+	}
+	if err := cl.Flush(); err != nil {
+		return KVResponse{}, err
+	}
+	for !done {
+		if cl.headIsPlain() {
+			return KVResponse{}, errors.New("server: KV request: a plain Send response is queued ahead; Recv it first")
+		}
+		if _, _, err := cl.recvStep(); err != nil {
+			return KVResponse{}, err
+		}
+	}
+	return resp, nil
+}
+
+// GetKV reads the byte key under namespace ns; ok reports whether it was
+// present. The returned slice is freshly allocated and owned by the caller.
+func (cl *Client) GetKV(ns uint16, key []byte) (val []byte, ok bool, err error) {
+	r, err := cl.doKV(KVRequest{Op: OpGetKV, NS: ns, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return r.Value, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, r.Status.Err()
+}
+
+// InsertKV adds a byte key/value pair under namespace ns; failures map to
+// the same sentinels the local KV surface returns (core.ErrExists,
+// core.ErrValueSize, ...).
+func (cl *Client) InsertKV(ns uint16, key, val []byte) error {
+	r, err := cl.doKV(KVRequest{Op: OpInsertKV, NS: ns, Key: key, Value: val})
+	if err != nil {
+		return err
+	}
+	if r.Status == StatusOK {
+		return nil
+	}
+	return r.Status.Err()
+}
+
+// DeleteKV removes the byte key under namespace ns; ok reports whether it
+// was present.
+func (cl *Client) DeleteKV(ns uint16, key []byte) (ok bool, err error) {
+	r, err := cl.doKV(KVRequest{Op: OpDeleteKV, NS: ns, Key: key})
+	if err != nil {
+		return false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	}
+	return false, r.Status.Err()
 }

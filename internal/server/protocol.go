@@ -15,23 +15,34 @@
 //
 // # Wire format
 //
-// All integers are little-endian. A request is 17 bytes:
+// The protocol has two versions. All integers are little-endian.
+//
+// Version 1 has no handshake: the connection's first byte is already an
+// opcode. A v1 request is 17 bytes:
 //
 //	offset 0   1 byte   opcode (OpGet, OpPut, OpInsert, OpDelete)
 //	offset 1   8 bytes  key
 //	offset 9   8 bytes  value (ignored by Get and Delete)
 //
-// A response is 9 bytes:
+// A v1 response is 9 bytes:
 //
 //	offset 0   1 byte   status
 //	offset 1   8 bytes  result (read value, previous value, or existing
 //	                    value on StatusExists; 0 otherwise)
 //
-// There is no handshake and no framing beyond the fixed sizes; a malformed
-// opcode elicits a single StatusBadRequest response after which the server
-// closes the connection, since byte alignment can no longer be trusted. A
-// server out of connection handles answers the connection's first request
-// with StatusBusy and closes.
+// Version 2 opens with a handshake (see protocol_v2.go): the client's
+// first byte is HelloMagic, which can never be a valid v1 opcode — that is
+// how the server tells the two apart and keeps serving v1 clients
+// unchanged. The handshake negotiates the protocol version, a feature set,
+// and the named table the connection operates on; after it, v2 connections
+// interleave the fixed 17-byte frames above with variable-length KV frames
+// (AppendKVRequest) that make Allocator-mode tables — byte-slice keys and
+// values, namespaces — servable.
+//
+// In both versions a malformed frame elicits a single StatusBadRequest
+// response after which the server closes the connection, since byte
+// alignment can no longer be trusted. A server out of connection handles
+// answers the connection's first request with StatusBusy and closes.
 package server
 
 import (
@@ -92,7 +103,20 @@ const (
 	StatusReservedKey
 	// StatusWrongMode: the operation is not available in the table's mode.
 	StatusWrongMode
+	// StatusValueSize: a KV insert's value size differs from the table's
+	// fixed ValueSize (VariableKV disabled). Protocol v2 only.
+	StatusValueSize
+	// StatusNamespace: a KV namespace id out of range or used on a table
+	// without Namespaces enabled. Protocol v2 only.
+	StatusNamespace
 
+	// StatusBadVersion: the handshake requested a protocol version the
+	// server does not speak; the granted-version byte of the handshake
+	// response carries what it does. The server closes after sending.
+	StatusBadVersion Status = 252
+	// StatusUnknownTable: the handshake named a table the server does not
+	// host. The server closes after sending.
+	StatusUnknownTable Status = 253
 	// StatusBusy: the server is out of connection handles. Sent as the
 	// reply to the connection's first request, after which the server
 	// closes the connection; retry later or on another connection.
@@ -119,6 +143,14 @@ func (s Status) String() string {
 		return "RESERVED_KEY"
 	case StatusWrongMode:
 		return "WRONG_MODE"
+	case StatusValueSize:
+		return "VALUE_SIZE"
+	case StatusNamespace:
+		return "NAMESPACE"
+	case StatusBadVersion:
+		return "BAD_VERSION"
+	case StatusUnknownTable:
+		return "UNKNOWN_TABLE"
 	case StatusBusy:
 		return "BUSY"
 	case StatusBadRequest:

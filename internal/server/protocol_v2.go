@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol v2 (see the package comment for the version story): a handshake
+// exchanged once per connection, plus variable-length KV frames that make
+// Allocator-mode tables servable. Fixed 17-byte v1 frames remain the wire
+// form of Inlined operations on v2 connections; the two frame families are
+// distinguished by the opcode byte.
+
+// Protocol versions.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+)
+
+// HelloMagic is the first byte of a v2 handshake. It is deliberately
+// outside the v1 opcode space (0..3): the first byte of a connection is
+// either a v1 opcode or this magic, which is how the server auto-detects
+// v1 clients and serves them unchanged.
+const HelloMagic = 0xD7
+
+// Feature bits negotiated by the handshake. The client requests a set; the
+// server grants the intersection with what it supports.
+const (
+	// FeatureKV enables the variable-length KV frames (OpGetKV,
+	// OpInsertKV, OpDeleteKV) on the connection.
+	FeatureKV uint16 = 1 << 0
+
+	// supportedFeatures is what this server build grants.
+	supportedFeatures = FeatureKV
+)
+
+// Handshake frame sizes.
+const (
+	// HelloFixedSize is the fixed prefix of the client hello; the table
+	// name (up to MaxTableName bytes) follows it.
+	//
+	//	offset 0   1 byte   HelloMagic
+	//	offset 1   1 byte   requested protocol version
+	//	offset 2   2 bytes  requested feature bits
+	//	offset 4   1 byte   table name length n (0 = default table)
+	//	offset 5   n bytes  table name
+	HelloFixedSize = 5
+	// HelloRespSize is the server's fixed handshake reply.
+	//
+	//	offset 0   1 byte   HelloMagic
+	//	offset 1   1 byte   granted protocol version
+	//	offset 2   2 bytes  granted feature bits
+	//	offset 4   1 byte   status (StatusOK, StatusBadVersion,
+	//	                    StatusUnknownTable); on non-OK the server
+	//	                    closes the connection
+	HelloRespSize = 5
+	// MaxTableName bounds the table selector (it must fit the 1-byte
+	// length field).
+	MaxTableName = 255
+)
+
+// Hello is the decoded client handshake.
+type Hello struct {
+	Version  uint8
+	Features uint16
+	Table    string
+}
+
+// HelloResp is the decoded server handshake reply.
+type HelloResp struct {
+	Version  uint8
+	Features uint16
+	Status   Status
+}
+
+// AppendHello appends the handshake encoding of h to dst.
+func AppendHello(dst []byte, h Hello) ([]byte, error) {
+	if len(h.Table) > MaxTableName {
+		return nil, fmt.Errorf("%w: table name %d bytes (max %d)", ErrBadFrame, len(h.Table), MaxTableName)
+	}
+	dst = append(dst, HelloMagic, h.Version)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Features)
+	dst = append(dst, byte(len(h.Table)))
+	return append(dst, h.Table...), nil
+}
+
+// DecodeHello decodes a handshake at the start of b, returning it together
+// with the number of bytes consumed.
+func DecodeHello(b []byte) (Hello, int, error) {
+	if len(b) < HelloFixedSize {
+		return Hello{}, 0, ErrShortFrame
+	}
+	if b[0] != HelloMagic {
+		return Hello{}, 0, fmt.Errorf("%w: not a handshake (first byte %#x)", ErrBadFrame, b[0])
+	}
+	n := int(b[4])
+	if len(b) < HelloFixedSize+n {
+		return Hello{}, 0, ErrShortFrame
+	}
+	return Hello{
+		Version:  b[1],
+		Features: binary.LittleEndian.Uint16(b[2:4]),
+		Table:    string(b[HelloFixedSize : HelloFixedSize+n]),
+	}, HelloFixedSize + n, nil
+}
+
+// AppendHelloResp appends the handshake-reply encoding of r to dst.
+func AppendHelloResp(dst []byte, r HelloResp) []byte {
+	dst = append(dst, HelloMagic, r.Version)
+	dst = binary.LittleEndian.AppendUint16(dst, r.Features)
+	return append(dst, byte(r.Status))
+}
+
+// DecodeHelloResp decodes the fixed handshake reply at the start of b.
+func DecodeHelloResp(b []byte) (HelloResp, error) {
+	if len(b) < HelloRespSize {
+		return HelloResp{}, ErrShortFrame
+	}
+	if b[0] != HelloMagic {
+		return HelloResp{}, fmt.Errorf("%w: not a handshake reply (first byte %#x)", ErrBadFrame, b[0])
+	}
+	return HelloResp{
+		Version:  b[1],
+		Features: binary.LittleEndian.Uint16(b[2:4]),
+		Status:   Status(b[4]),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// KV frames
+// ---------------------------------------------------------------------------
+
+// KV opcodes, valid on v2 connections with FeatureKV granted. Values are
+// wire format — do not reorder. They continue the v1 opcode space so one
+// byte dispatches both frame families.
+const (
+	// OpGetKV reads a byte key under a namespace.
+	OpGetKV OpCode = opCodeEnd + iota
+	// OpInsertKV adds a byte key/value pair under a namespace.
+	OpInsertKV
+	// OpDeleteKV removes a byte key under a namespace.
+	OpDeleteKV
+	kvOpCodeEnd // first invalid v2 opcode
+)
+
+// KV frame geometry.
+const (
+	// KVReqHdrSize is the fixed header of a KV request; key and value
+	// bytes follow.
+	//
+	//	offset 0   1 byte   opcode (OpGetKV, OpInsertKV, OpDeleteKV)
+	//	offset 1   2 bytes  namespace
+	//	offset 3   2 bytes  key length (1..65535)
+	//	offset 5   4 bytes  value length (0 except OpInsertKV)
+	//	offset 9   key bytes, then value bytes
+	KVReqHdrSize = 9
+	// KVRespHdrSize is the fixed header of a KV response; value bytes
+	// follow.
+	//
+	//	offset 0   1 byte   status
+	//	offset 1   4 bytes  value length (0 except StatusOK GetKV replies)
+	//	offset 5   value bytes
+	KVRespHdrSize = 5
+	// MaxKVValue bounds a value's wire size; a header announcing more is
+	// rejected as malformed before any allocation happens.
+	MaxKVValue = 16 << 20
+)
+
+// isKVOp reports whether op is a v2 KV opcode.
+func isKVOp(op OpCode) bool { return op >= OpGetKV && op < kvOpCodeEnd }
+
+// KVRequest is one decoded variable-length request frame. Key and Value
+// alias the decode input.
+type KVRequest struct {
+	Op    OpCode
+	NS    uint16
+	Key   []byte
+	Value []byte
+}
+
+// KVResponse is one decoded variable-length response frame. Value aliases
+// the decode input.
+type KVResponse struct {
+	Status Status
+	Value  []byte
+}
+
+// AppendKVRequest appends the variable-length encoding of r to dst.
+func AppendKVRequest(dst []byte, r KVRequest) ([]byte, error) {
+	if !isKVOp(r.Op) {
+		return nil, fmt.Errorf("%w: %d is not a KV opcode", ErrBadOpCode, r.Op)
+	}
+	if len(r.Key) == 0 || len(r.Key) > 0xffff {
+		return nil, fmt.Errorf("%w: key length %d (want 1..65535)", ErrBadFrame, len(r.Key))
+	}
+	if len(r.Value) > MaxKVValue {
+		return nil, fmt.Errorf("%w: value length %d exceeds %d", ErrBadFrame, len(r.Value), MaxKVValue)
+	}
+	if r.Op != OpInsertKV && len(r.Value) != 0 {
+		return nil, fmt.Errorf("%w: %v carries a value", ErrBadFrame, r.Op)
+	}
+	dst = append(dst, byte(r.Op))
+	dst = binary.LittleEndian.AppendUint16(dst, r.NS)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Value)))
+	dst = append(dst, r.Key...)
+	return append(dst, r.Value...), nil
+}
+
+// DecodeKVRequest decodes the KV request frame at the start of b, returning
+// it together with the number of bytes consumed. Key and Value alias b.
+func DecodeKVRequest(b []byte) (KVRequest, int, error) {
+	if len(b) < KVReqHdrSize {
+		return KVRequest{}, 0, ErrShortFrame
+	}
+	op := OpCode(b[0])
+	if !isKVOp(op) {
+		return KVRequest{}, 0, fmt.Errorf("%w: %d", ErrBadOpCode, b[0])
+	}
+	ns := binary.LittleEndian.Uint16(b[1:3])
+	klen := int(binary.LittleEndian.Uint16(b[3:5]))
+	vlen := int(binary.LittleEndian.Uint32(b[5:9]))
+	if klen == 0 {
+		return KVRequest{}, 0, fmt.Errorf("%w: empty key", ErrBadFrame)
+	}
+	if vlen > MaxKVValue {
+		return KVRequest{}, 0, fmt.Errorf("%w: value length %d exceeds %d", ErrBadFrame, vlen, MaxKVValue)
+	}
+	if op != OpInsertKV && vlen != 0 {
+		return KVRequest{}, 0, fmt.Errorf("%w: %v carries a value", ErrBadFrame, op)
+	}
+	total := KVReqHdrSize + klen + vlen
+	if len(b) < total {
+		return KVRequest{}, 0, ErrShortFrame
+	}
+	r := KVRequest{Op: op, NS: ns, Key: b[KVReqHdrSize : KVReqHdrSize+klen]}
+	if vlen > 0 {
+		r.Value = b[KVReqHdrSize+klen : total]
+	}
+	return r, total, nil
+}
+
+// AppendKVResponse appends the variable-length encoding of r to dst.
+func AppendKVResponse(dst []byte, r KVResponse) []byte {
+	dst = append(dst, byte(r.Status))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Value)))
+	return append(dst, r.Value...)
+}
+
+// DecodeKVResponse decodes the KV response frame at the start of b,
+// returning it together with the number of bytes consumed. Value aliases b.
+func DecodeKVResponse(b []byte) (KVResponse, int, error) {
+	if len(b) < KVRespHdrSize {
+		return KVResponse{}, 0, ErrShortFrame
+	}
+	vlen := int(binary.LittleEndian.Uint32(b[1:5]))
+	if vlen > MaxKVValue {
+		return KVResponse{}, 0, fmt.Errorf("%w: value length %d exceeds %d", ErrBadFrame, vlen, MaxKVValue)
+	}
+	if len(b) < KVRespHdrSize+vlen {
+		return KVResponse{}, 0, ErrShortFrame
+	}
+	r := KVResponse{Status: Status(b[0])}
+	if vlen > 0 {
+		r.Value = b[KVRespHdrSize : KVRespHdrSize+vlen]
+	}
+	return r, KVRespHdrSize + vlen, nil
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
-	dlht "repro"
+	core "repro/internal/core"
 )
 
 // Options tunes a Server. The zero value is usable.
@@ -28,6 +31,13 @@ type Options struct {
 	// wire once they exceed half of it, so a deep burst's first responses
 	// reach the client while its tail is still being decoded.
 	ReadBuffer, WriteBuffer int
+	// IdleTimeout bounds how long a connection may sit without completing
+	// a read or write before the server closes it, so a stalled or
+	// vanished peer cannot wedge a connection goroutine (and its table
+	// handle) forever. It is applied as a read deadline while waiting for
+	// the next frame and as a write deadline around response flushes.
+	// 0 (the default) disables it.
+	IdleTimeout time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -46,14 +56,20 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Server serves a DLHT table over TCP. Each accepted connection is owned by
-// one goroutine holding one dlht.Handle (the paper's one-handle-per-thread
-// contract); the handle is recycled when the connection closes.
+// DefaultTable is the name v1 connections (which cannot select a table)
+// and handshakes with an empty table selector resolve to.
+const DefaultTable = ""
+
+// Server serves one or more named DLHT tables over TCP. Each accepted
+// connection is owned by one goroutine holding one handle on its selected
+// table (the paper's one-handle-per-thread contract); the handle is
+// recycled when the connection closes. v1 connections operate on the
+// default table; v2 connections pick a table in the handshake.
 type Server struct {
-	tbl  *dlht.Table
 	opts Options
 
 	mu     sync.Mutex
+	tables map[string]*core.Table
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -68,15 +84,35 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// New creates a Server for tbl. The table must be in Inlined mode.
-func New(tbl *dlht.Table, opts Options) *Server {
+// New creates a Server serving tbl as its default table. Register further
+// named tables with AddTable before calling Serve.
+func New(tbl *core.Table, opts Options) *Server {
 	opts.setDefaults()
 	return &Server{
-		tbl:        tbl,
 		opts:       opts,
+		tables:     map[string]*core.Table{DefaultTable: tbl},
 		conns:      make(map[net.Conn]struct{}),
 		handleFree: make(chan struct{}),
 	}
+}
+
+// AddTable registers tbl under name, making it selectable by a v2
+// handshake. Registering DefaultTable replaces the table New installed.
+func (s *Server) AddTable(name string, tbl *core.Table) error {
+	if len(name) > MaxTableName {
+		return fmt.Errorf("%w: table name %d bytes (max %d)", ErrBadFrame, len(name), MaxTableName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = tbl
+	return nil
+}
+
+// Table returns the table registered under name, or nil.
+func (s *Server) Table(name string) *core.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[name]
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -162,12 +198,12 @@ func (s *Server) Close() error {
 // released before refusing with StatusBusy.
 const handleWait = 200 * time.Millisecond
 
-// acquireHandle takes a table handle. On exhaustion it blocks until a
+// acquireHandle takes a handle on tbl. On exhaustion it blocks until a
 // closing connection releases one (releaseHandle broadcasts) instead of
 // sleep-polling, so reconnect storms under handle churn are admitted the
 // moment a handle frees rather than after a fixed poll interval.
-func (s *Server) acquireHandle() (*dlht.Handle, error) {
-	h, err := s.tbl.Handle()
+func (s *Server) acquireHandle(tbl *core.Table) (*core.Handle, error) {
+	h, err := tbl.Handle()
 	if err == nil {
 		return h, nil
 	}
@@ -180,7 +216,7 @@ func (s *Server) acquireHandle() (*dlht.Handle, error) {
 		s.handleMu.Lock()
 		ch := s.handleFree
 		s.handleMu.Unlock()
-		if h, err = s.tbl.Handle(); err == nil {
+		if h, err = tbl.Handle(); err == nil {
 			return h, nil
 		}
 		select {
@@ -191,9 +227,9 @@ func (s *Server) acquireHandle() (*dlht.Handle, error) {
 	}
 }
 
-// releaseHandle returns a connection's handle to the table and wakes every
+// releaseHandle returns a connection's handle to its table and wakes every
 // acquireHandle waiter.
-func (s *Server) releaseHandle(h *dlht.Handle) {
+func (s *Server) releaseHandle(h *core.Handle) {
 	h.Close()
 	s.handleMu.Lock()
 	close(s.handleFree)
@@ -207,70 +243,225 @@ func (s *Server) removeConn(c net.Conn) {
 	s.mu.Unlock()
 }
 
+// kvScratchRetain bounds the KV staging buffer a connection keeps between
+// requests; kvEpochEvery (a power of two) is how many KV requests a
+// connection serves between epoch refreshes on EpochGC tables.
+const (
+	kvScratchRetain = 1 << 20
+	kvEpochEvery    = 1 << 10
+)
+
 // testFrameDecoded, when non-nil, is invoked after each request frame is
 // decoded and enqueued. Test-only: the streaming test blocks a burst's
 // last frame here to prove earlier responses already reached the wire.
 var testFrameDecoded func(Request)
 
-// serveConn streams the connection through a per-connection Pipeline.
-// Each decoded frame is enqueued immediately — no burst-assembly buffer —
-// and the pipeline's completion callback appends the matching response
-// frame straight into the write buffer, so replies for a deep burst go out
-// while its tail is still being decoded. The pipeline is flushed only when
-// the connection runs out of buffered input (or every Options.MaxBatch
-// requests); between back-to-back bursts it stays primed, so the prefetch
-// window carries over what used to be batch boundaries. The loop blocks
-// only on the first frame of a burst; every further frame already buffered
-// is decoded zero-copy out of the bufio window.
+// armIdle arms the connection's read deadline so a peer that stops sending
+// mid-frame (or never sends) cannot pin the goroutine. No-op without
+// Options.IdleTimeout.
+func (s *Server) armIdle(c net.Conn) {
+	if s.opts.IdleTimeout > 0 {
+		c.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+}
+
+// armWrite arms the write deadline before a response flush, the mirror
+// guard for a peer that stops reading.
+func (s *Server) armWrite(c net.Conn) {
+	if s.opts.IdleTimeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+}
+
+// serveConn classifies the connection by its first byte — HelloMagic opens
+// a v2 handshake, anything else is a v1 client's first opcode — selects
+// the table, acquires its handle, and hands off to the per-version request
+// loop.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(c)
 	defer c.Close()
 
-	h, err := s.acquireHandle()
+	br := bufio.NewReaderSize(c, s.opts.ReadBuffer)
+	s.armIdle(c)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	tbl := s.Table(DefaultTable)
+	v2 := false
+	var features uint16
+	if first[0] == HelloMagic {
+		hello, err := readHello(br)
+		if err != nil {
+			return // truncated or unreadable handshake: nothing sane to answer
+		}
+		resp := HelloResp{Version: ProtocolV2, Status: StatusOK}
+		if hello.Version != ProtocolV2 {
+			resp.Status = StatusBadVersion
+		} else if tbl = s.Table(hello.Table); tbl == nil {
+			resp.Status = StatusUnknownTable
+		} else {
+			resp.Features = hello.Features & supportedFeatures
+		}
+		s.armWrite(c)
+		var buf [HelloRespSize]byte
+		if _, err := c.Write(AppendHelloResp(buf[:0], resp)); err != nil || resp.Status != StatusOK {
+			return
+		}
+		v2 = true
+		features = resp.Features
+	}
+
+	h, err := s.acquireHandle(tbl)
 	if err != nil {
 		// Handle exhaustion: consume the connection's first request so the
 		// refusal obeys the i-th-response-answers-i-th-request rule, then
-		// answer it with StatusBusy and close.
-		br := bufio.NewReaderSize(c, ReqSize)
-		if _, err := br.Peek(ReqSize); err != nil {
+		// answer it with StatusBusy — in the shape the request asked for —
+		// and close.
+		op, err := br.Peek(1)
+		if err != nil {
 			return
 		}
-		var buf [RespSize]byte
-		c.Write(AppendResponse(buf[:0], Response{Status: StatusBusy}))
+		s.armWrite(c)
+		var buf [KVRespHdrSize]byte
+		if v2 && isKVOp(OpCode(op[0])) {
+			c.Write(AppendKVResponse(buf[:0], KVResponse{Status: StatusBusy}))
+		} else {
+			c.Write(AppendResponse(buf[:0], Response{Status: StatusBusy}))
+		}
 		return
 	}
 	defer s.releaseHandle(h)
 
-	br := bufio.NewReaderSize(c, s.opts.ReadBuffer)
-	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
-	// Responses are pushed to the wire once they fill half the write
-	// buffer, bounding how long a completed request's reply can sit behind
-	// a still-decoding burst; bufio's own flush-on-full is the backstop.
-	flushAt := s.opts.WriteBuffer / 2
-	if flushAt < RespSize {
-		flushAt = RespSize
+	if v2 {
+		s.serveV2(c, br, tbl, h, features)
+	} else {
+		s.serveV1(c, br, h)
 	}
-	var wErr error // sticky write error; unwound at the next flush point
-	p := h.Pipeline(dlht.PipelineOpts{OnComplete: func(op *dlht.Op) {
-		if wErr != nil {
+}
+
+// readHello reads the variable-length client handshake off the buffered
+// reader.
+func readHello(br *bufio.Reader) (Hello, error) {
+	var fixed [HelloFixedSize]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return Hello{}, err
+	}
+	name := make([]byte, int(fixed[4]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return Hello{}, err
+	}
+	h, _, err := DecodeHello(append(fixed[:], name...))
+	return h, err
+}
+
+// connState carries the per-connection streaming machinery shared by the
+// v1 and v2 loops: the response writer, the pipeline whose completions
+// append response frames, and the sticky write error.
+type connState struct {
+	s       *Server
+	c       net.Conn
+	bw      *bufio.Writer
+	p       *core.Pipeline
+	wErr    error
+	flushAt int
+	// sinceDrain counts enqueues toward Options.MaxBatch.
+	sinceDrain int
+}
+
+// newConnState builds the writer and pipeline for a connection. The
+// pipeline's completion callback appends the matching response frame
+// straight into the write buffer, so replies for a deep burst go out while
+// its tail is still being decoded; responses are pushed to the wire once
+// they fill half the write buffer, bounding how long a completed request's
+// reply can sit behind a still-decoding burst.
+func (s *Server) newConnState(c net.Conn, h *core.Handle) *connState {
+	cs := &connState{s: s, c: c, bw: bufio.NewWriterSize(c, s.opts.WriteBuffer)}
+	cs.flushAt = s.opts.WriteBuffer / 2
+	if cs.flushAt < RespSize {
+		cs.flushAt = RespSize
+	}
+	cs.p = h.Pipeline(core.PipelineOpts{OnComplete: func(op *core.Op) {
+		if cs.wErr != nil {
 			return
 		}
-		if _, err := bw.Write(AppendResponse(bw.AvailableBuffer(), opToResp(op))); err != nil {
-			wErr = err
+		if _, err := cs.bw.Write(AppendResponse(cs.bw.AvailableBuffer(), opToResp(op))); err != nil {
+			cs.wErr = err
 			return
 		}
-		if bw.Buffered() >= flushAt {
-			wErr = bw.Flush()
+		if cs.bw.Buffered() >= cs.flushAt {
+			cs.flush()
 		}
 	}})
-	defer p.Close()
+	return cs
+}
 
-	sinceDrain := 0
+// flush pushes buffered responses to the wire under the write deadline.
+func (cs *connState) flush() {
+	if cs.wErr != nil {
+		return
+	}
+	cs.s.armWrite(cs.c)
+	cs.wErr = cs.bw.Flush()
+}
+
+// enqueue admits one decoded request into the pipeline, honoring the
+// Options.MaxBatch drain bound.
+func (cs *connState) enqueue(req Request) {
+	cs.p.Enqueue(reqToOp(req))
+	if testFrameDecoded != nil {
+		testFrameDecoded(req)
+	}
+	if mb := cs.s.opts.MaxBatch; mb > 0 {
+		if cs.sinceDrain++; cs.sinceDrain >= mb {
+			cs.sinceDrain = 0
+			cs.p.Flush()
+			cs.flush()
+		}
+	}
+}
+
+// drainIfIdle completes the in-flight tail and flushes when the read
+// buffer holds no complete further frame — i.e. when the loop is about to
+// block. Responses for back-to-back bursts share a syscall and the window
+// stays primed while input keeps arriving.
+func (cs *connState) drainIfIdle(br *bufio.Reader, need int) {
+	if br.Buffered() < need {
+		cs.p.Flush()
+		cs.flush()
+	}
+}
+
+// badRequest answers the decodable prefix, then the error frame, and gives
+// up on the connection: byte alignment is no longer trusted.
+func (cs *connState) badRequest() {
+	cs.p.Flush()
+	cs.bw.Write(AppendResponse(cs.bw.AvailableBuffer(), Response{Status: StatusBadRequest}))
+	cs.flush()
+}
+
+// serveV1 streams a v1 connection through its pipeline: fixed 17-byte
+// frames only, decoded zero-copy out of the bufio window a whole buffered
+// burst at a time. Each decoded frame is enqueued immediately — no
+// burst-assembly buffer — and the pipeline's completion callback appends
+// the matching response frame straight into the write buffer, so replies
+// for a deep burst go out while its tail is still being decoded. The
+// pipeline is flushed only when the connection runs out of buffered input
+// (or every Options.MaxBatch requests); between back-to-back bursts it
+// stays primed, so the prefetch window carries over what used to be batch
+// boundaries. The loop blocks only on the first frame of a burst; every
+// further frame already buffered is decoded zero-copy out of the bufio
+// window.
+func (s *Server) serveV1(c net.Conn, br *bufio.Reader, h *core.Handle) {
+	cs := s.newConnState(c, h)
+	defer cs.p.Close()
+
 	for {
 		// Block for the head of the next burst. Everything decoded so far
-		// has been completed and flushed (see below), so waiting here never
-		// holds responses hostage.
+		// has been completed and flushed (see drainIfIdle), so waiting here
+		// never holds responses hostage.
+		s.armIdle(c)
 		if _, err := br.Peek(ReqSize); err != nil {
 			return
 		}
@@ -284,66 +475,197 @@ func (s *Server) serveConn(c net.Conn) {
 		for off := 0; off < len(burst); off += ReqSize {
 			req, err := DecodeRequest(burst[off : off+ReqSize])
 			if err != nil {
-				// Answer the decodable prefix, then the error frame, and
-				// give up on the connection: byte alignment is no longer
-				// trusted.
 				br.Discard(off)
-				p.Flush()
-				bw.Write(AppendResponse(bw.AvailableBuffer(), Response{Status: StatusBadRequest}))
-				bw.Flush()
+				cs.badRequest()
 				return
 			}
-			p.Enqueue(reqToOp(req))
-			if testFrameDecoded != nil {
-				testFrameDecoded(req)
-			}
-			if s.opts.MaxBatch > 0 {
-				if sinceDrain++; sinceDrain >= s.opts.MaxBatch {
-					sinceDrain = 0
-					p.Flush()
-					if wErr == nil {
-						wErr = bw.Flush()
-					}
-				}
-			}
+			cs.enqueue(req)
 		}
 		br.Discard(nframes * ReqSize)
-		// Complete the in-flight tail and flush only when about to block;
-		// responses for back-to-back bursts share a syscall and the window
-		// stays primed while input keeps arriving.
-		if br.Buffered() < ReqSize {
-			p.Flush()
-			if wErr == nil {
-				wErr = bw.Flush()
-			}
-		}
-		if wErr != nil {
+		cs.drainIfIdle(br, ReqSize)
+		if cs.wErr != nil {
 			return
 		}
 	}
 }
 
+// serveV2 streams a v2 connection: runs of fixed frames take the same
+// zero-copy burst path as v1 and flow through the pipeline; KV frames
+// first flush the pipeline — responses must stay in request order, and KV
+// requests execute synchronously — then execute against the handle's KV
+// surface and append their variable-length response.
+func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.Handle, features uint16) {
+	cs := s.newConnState(c, h)
+	defer cs.p.Close()
+
+	var scratch []byte // KV payload staging, reused across requests
+	var kvOps int      // served KV requests, for the epoch-advance cadence
+	for {
+		s.armIdle(c)
+		head, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		switch op := OpCode(head[0]); {
+		case op < opCodeEnd:
+			// A run of fixed frames: decode as much of the buffered burst
+			// as stays fixed-framed, stopping at the first KV opcode.
+			// Before blocking for a partially buffered frame, complete and
+			// flush what's pending — the peer may be waiting for those
+			// responses before it sends the rest.
+			cs.drainIfIdle(br, ReqSize)
+			if cs.wErr != nil {
+				return
+			}
+			if _, err := br.Peek(ReqSize); err != nil {
+				return
+			}
+			nframes := br.Buffered() / ReqSize
+			if nframes == 0 {
+				nframes = 1
+			}
+			burst, err := br.Peek(nframes * ReqSize)
+			if err != nil {
+				return
+			}
+			consumed := 0
+			for off := 0; off+ReqSize <= len(burst); off += ReqSize {
+				if b0 := OpCode(burst[off]); b0 >= opCodeEnd {
+					break // KV or garbage: outer loop re-dispatches
+				}
+				req, _ := DecodeRequest(burst[off : off+ReqSize])
+				cs.enqueue(req)
+				consumed = off + ReqSize
+			}
+			br.Discard(consumed)
+		case isKVOp(op) && features&FeatureKV != 0:
+			// Order barrier: all pipelined fixed-frame responses precede
+			// this KV response on the wire. Completing them now also means
+			// any blocking read below never holds finished replies hostage.
+			cs.p.Flush()
+			if br.Buffered() < KVReqHdrSize {
+				cs.flush()
+				if cs.wErr != nil {
+					return
+				}
+			}
+			hdr, err := br.Peek(KVReqHdrSize)
+			if err != nil {
+				return
+			}
+			// Header-level validation via the codec: with only the header
+			// in hand the sole acceptable outcome is "frame incomplete".
+			if _, _, err := DecodeKVRequest(hdr); err != nil && !errors.Is(err, ErrShortFrame) {
+				cs.badRequest()
+				return
+			}
+			ns := binary.LittleEndian.Uint16(hdr[1:3])
+			klen := int(binary.LittleEndian.Uint16(hdr[3:5]))
+			vlen := int(binary.LittleEndian.Uint32(hdr[5:9]))
+			br.Discard(KVReqHdrSize)
+			need := klen + vlen
+			if cap(scratch) < need {
+				scratch = make([]byte, need)
+			}
+			if br.Buffered() < need {
+				cs.flush()
+				if cs.wErr != nil {
+					return
+				}
+			}
+			if _, err := io.ReadFull(br, scratch[:need]); err != nil {
+				return
+			}
+			req := KVRequest{Op: op, NS: ns, Key: scratch[:klen]}
+			if vlen > 0 {
+				req.Value = scratch[klen : klen+vlen]
+			}
+			if cs.wErr == nil {
+				if _, err := cs.bw.Write(AppendKVResponse(cs.bw.AvailableBuffer(), execKV(tbl, h, req))); err != nil {
+					cs.wErr = err
+				} else if cs.bw.Buffered() >= cs.flushAt {
+					cs.flush()
+				}
+			}
+			// Don't let one outsized payload pin a connection-lifetime
+			// buffer; anything above the retain bound is per-request.
+			if cap(scratch) > kvScratchRetain {
+				scratch = nil
+			}
+			// Periodically refresh this handle's epoch (no-op without
+			// EpochGC) so blocks deleted by other connections reclaim.
+			// Safe here: the response bytes — including any GetKV value
+			// view — were copied into the write buffer above, and advancing
+			// is what keeps a view returned *before* the copy from being
+			// freed mid-copy by a concurrent DeleteKV (served kv tables
+			// enable EpochGC for exactly this reason).
+			if kvOps++; kvOps&(kvEpochEvery-1) == 0 {
+				h.AdvanceEpoch()
+			}
+		default:
+			cs.badRequest()
+			return
+		}
+		cs.drainIfIdle(br, 1)
+		if cs.wErr != nil {
+			return
+		}
+	}
+}
+
+// execKV runs one KV request against the connection's handle. Values
+// returned by GetKV are views into the table; they are appended into the
+// write buffer before the next request can invalidate them, and the
+// connection handle's epoch pin keeps a concurrent DeleteKV from another
+// connection from freeing the block mid-copy — which is why Allocator
+// tables served over the network should enable Config.EpochGC (dlht-server
+// kv tables do). Without it the core contract applies: a view is only
+// stable until the key is deleted. CheckKV gates every request first: the
+// local KV surface panics on mode and namespace misuse (API-misuse
+// contract), but over the wire those are just statuses.
+func execKV(tbl *core.Table, h *core.Handle, req KVRequest) KVResponse {
+	if err := tbl.CheckKV(req.NS, req.Key, req.Value, req.Op == OpInsertKV); err != nil {
+		return KVResponse{Status: errToStatus(err)}
+	}
+	switch req.Op {
+	case OpGetKV:
+		v, ok := h.GetKV(req.NS, req.Key)
+		if !ok {
+			return KVResponse{Status: StatusNotFound}
+		}
+		return KVResponse{Status: StatusOK, Value: v}
+	case OpInsertKV:
+		return KVResponse{Status: errToStatus(h.InsertKV(req.NS, req.Key, req.Value))}
+	case OpDeleteKV:
+		if !h.DeleteKV(req.NS, req.Key) {
+			return KVResponse{Status: StatusNotFound}
+		}
+		return KVResponse{Status: StatusOK}
+	}
+	return KVResponse{Status: StatusBadRequest}
+}
+
 // reqToOp maps a wire request onto a batch op.
-func reqToOp(r Request) dlht.Op {
-	var k dlht.OpKind
+func reqToOp(r Request) core.Op {
+	var k core.OpKind
 	switch r.Op {
 	case OpGet:
-		k = dlht.OpGet
+		k = core.OpGet
 	case OpPut:
-		k = dlht.OpPut
+		k = core.OpPut
 	case OpInsert:
-		k = dlht.OpInsert
+		k = core.OpInsert
 	case OpDelete:
-		k = dlht.OpDelete
+		k = core.OpDelete
 	}
-	return dlht.Op{Kind: k, Key: r.Key, Value: r.Value}
+	return core.Op{Kind: k, Key: r.Key, Value: r.Value}
 }
 
 // opToResp maps an executed op's outcome onto a wire response. The batch
 // engine stores its sentinel errors unwrapped, so plain comparisons suffice
 // — an errors.Is chain would walk six wrap chains per failed op on the hot
 // path.
-func opToResp(op *dlht.Op) Response {
+func opToResp(op *core.Op) Response {
 	if op.OK {
 		return Response{Status: StatusOK, Result: op.Result}
 	}
@@ -351,15 +673,15 @@ func opToResp(op *dlht.Op) Response {
 	case nil:
 		// Get/Put/Delete miss.
 		return Response{Status: StatusNotFound}
-	case dlht.ErrExists:
+	case core.ErrExists:
 		return Response{Status: StatusExists, Result: op.Result}
-	case dlht.ErrShadow:
+	case core.ErrShadow:
 		return Response{Status: StatusShadow}
-	case dlht.ErrFull:
+	case core.ErrFull:
 		return Response{Status: StatusFull}
-	case dlht.ErrReservedKey:
+	case core.ErrReservedKey:
 		return Response{Status: StatusReservedKey}
-	case dlht.ErrWrongMode:
+	case core.ErrWrongMode:
 		return Response{Status: StatusWrongMode}
 	}
 	return Response{Status: StatusBadRequest}

@@ -6,18 +6,18 @@ import (
 	"testing"
 	"time"
 
-	dlht "repro"
+	core "repro/internal/core"
 )
 
 // startServer spins up a server on a loopback port and tears it down with
 // the test.
-func startServer(t testing.TB, cfg dlht.Config, opts Options) *Server {
+func startServer(t testing.TB, cfg core.Config, opts Options) *Server {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(dlht.MustNew(cfg), opts)
+	s := New(core.MustNew(cfg), opts)
 	s.ln = ln // publish the address before Serve's goroutine runs
 	go s.Serve(ln)
 	t.Cleanup(func() { s.Close() })
@@ -37,7 +37,7 @@ func dialT(t testing.TB, s *Server) *Client {
 // TestRoundTripAllOps drives all four op kinds end to end over TCP — the
 // acceptance-criteria round-trip test.
 func TestRoundTripAllOps(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true}, Options{})
 	cl := dialT(t, s)
 
 	// INSERT fresh key.
@@ -79,7 +79,7 @@ func TestRoundTripAllOps(t *testing.T) {
 // TestPipelinedBatch pushes a deep pipeline in one flush and checks every
 // in-order response, exercising the server's burst batching path.
 func TestPipelinedBatch(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16})
+	s := startServer(t, core.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16})
 	cl := dialT(t, s)
 
 	const n = 256 // 16x the server batch cap: forces multiple Exec batches
@@ -114,7 +114,7 @@ func TestPipelinedBatch(t *testing.T) {
 // once; each owns a disjoint key range, and cross-connection visibility is
 // checked at the end.
 func TestConcurrentConnections(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true, MaxThreads: 64}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 12, Resizable: true, MaxThreads: 64}, Options{})
 	const conns, perConn = 8, 500
 	var wg sync.WaitGroup
 	errs := make(chan error, conns)
@@ -165,7 +165,7 @@ func TestConcurrentConnections(t *testing.T) {
 // TestMalformedFrameClosesConnection: a bad opcode elicits StatusBadRequest
 // and a connection close, with earlier pipelined requests still answered.
 func TestMalformedFrameClosesConnection(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true}, Options{})
 	c, err := net.Dial("tcp", s.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestMalformedFrameClosesConnection(t *testing.T) {
 // TestHandleRecycling cycles far more connections than MaxThreads; without
 // Handle.Close recycling the server would run out of handles.
 func TestHandleRecycling(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4}, Options{})
 	for i := 0; i < 64; i++ {
 		cl, err := Dial(s.Addr().String())
 		if err != nil {
@@ -219,7 +219,7 @@ func TestHandleRecycling(t *testing.T) {
 // and the connection is closed — after consuming the request, so the
 // response-matching rule holds.
 func TestBusyWhenHandlesExhausted(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 2}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 2}, Options{})
 	// Pin both handles with live connections.
 	for i := 0; i < 2; i++ {
 		cl := dialT(t, s)
@@ -247,7 +247,7 @@ func TestBusyWhenHandlesExhausted(t *testing.T) {
 // connection closes — the release notification wakes the waiter instead of
 // it sleep-polling (or giving up with StatusBusy).
 func TestAcquireHandleWaitsForRelease(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 1}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 1}, Options{})
 	cl1 := dialT(t, s)
 	if _, inserted, err := cl1.Insert(1, 42); err != nil || !inserted {
 		t.Fatalf("pin conn: inserted=%v err=%v", inserted, err)
@@ -272,7 +272,7 @@ func TestAcquireHandleWaitsForRelease(t *testing.T) {
 // batch cap through a default-options server: the whole burst flows through
 // the sliding-window Exec in read-buffer-sized chunks.
 func TestDeepBurstUncapped(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 12, Resizable: true}, Options{})
 	cl := dialT(t, s)
 	const n = 3000
 	reqs := make([]Request, 0, 2*n)
@@ -301,7 +301,7 @@ func TestServerClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(dlht.MustNew(dlht.Config{Bins: 1 << 8}), Options{})
+	s := New(core.MustNew(core.Config{Bins: 1 << 8}), Options{})
 	done := make(chan error, 1)
 	go func() { done <- s.Serve(ln) }()
 	cl, err := Dial(ln.Addr().String())

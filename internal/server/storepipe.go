@@ -1,0 +1,141 @@
+package server
+
+import (
+	"errors"
+
+	core "repro/internal/core"
+)
+
+// Client as a dlht Store: the sync helpers (Get/Put/Insert/Delete/Close)
+// already match the Store surface; Pipe supplies the completion-driven
+// pipelined half over the client's async callback API. Together they make
+// a remote table indistinguishable, API-wise, from a local Handle.
+
+var _ core.Store = (*Client)(nil)
+
+// clientDefaultWindow is the Pipe window when PipeOpts.Window is 0 — the
+// same default distance as the table-side prefetch window, here bounding
+// in-flight wire requests instead of in-flight cache lines.
+const clientDefaultWindow = 16
+
+// Pipe opens the completion-driven pipelined surface over this client.
+// Each enqueue appends a wire frame; once more than the window is in
+// flight, the oldest response is received (flushing first), so the window
+// also bounds the kernel-socket-buffer footprint — a Pipe can absorb
+// arbitrarily deep enqueue runs without the deadlock risk of raw
+// Send/Flush pipelining. While the Pipe is open the client's synchronous
+// methods must not be called (their plain responses would interleave with
+// the pipe's async ones).
+func (cl *Client) Pipe(opts core.PipeOpts) (core.Pipe, error) {
+	w := opts.Window
+	if w <= 0 {
+		w = clientDefaultWindow
+	}
+	return &clientPipe{cl: cl, w: w, onc: opts.OnComplete}, nil
+}
+
+// clientPipe implements core.Pipe over the client's SendAsync/RecvOneAsync
+// machinery. Completions are delivered in enqueue order — the wire
+// protocol's matching rule is the same order-preservation contract the
+// local pipeline engine provides.
+type clientPipe struct {
+	cl      *Client
+	w       int
+	onc     func(core.Completion)
+	enqd    int // requests enqueued (absolute)
+	out     int // enqueued but not yet completed
+	flushed int // requests known to be on the wire (absolute watermark)
+	closed  bool
+}
+
+func (p *clientPipe) enq(kind core.OpKind, r Request) error {
+	if p.closed {
+		return errors.New("server: Pipe used after Close")
+	}
+	key := r.Key
+	err := p.cl.SendAsync(r, func(resp Response) {
+		p.out--
+		if p.onc != nil {
+			p.onc(completionOf(kind, key, resp))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	p.enqd++
+	p.out++
+	if p.out > p.w {
+		// Slide the window: receive the oldest in-flight response before
+		// admitting more. Flush only when that response's request is still
+		// sitting in the write buffer — the watermark turns per-enqueue
+		// flushes into one flush (and so one syscall) per window. bufio's
+		// own flush-on-full may put frames on the wire ahead of the
+		// watermark; that only makes the occasional Flush here a no-op.
+		if oldest := p.enqd - p.out; p.flushed <= oldest {
+			if err := p.cl.Flush(); err != nil {
+				return err
+			}
+			p.flushed = p.enqd
+		}
+		return p.cl.RecvOneAsync()
+	}
+	return nil
+}
+
+func (p *clientPipe) Get(key uint64) error { return p.enq(core.OpGet, Request{Op: OpGet, Key: key}) }
+
+func (p *clientPipe) Put(key, val uint64) error {
+	return p.enq(core.OpPut, Request{Op: OpPut, Key: key, Value: val})
+}
+
+func (p *clientPipe) Insert(key, val uint64) error {
+	return p.enq(core.OpInsert, Request{Op: OpInsert, Key: key, Value: val})
+}
+
+func (p *clientPipe) Delete(key uint64) error {
+	return p.enq(core.OpDelete, Request{Op: OpDelete, Key: key})
+}
+
+// Flush completes every in-flight request, firing OnComplete for each.
+func (p *clientPipe) Flush() error {
+	if err := p.cl.Drain(); err != nil {
+		return err
+	}
+	p.flushed = p.enqd
+	if p.out != 0 {
+		// A plain Send response is interleaved with the pipe's traffic;
+		// the exclusivity contract was violated.
+		return errors.New("server: Pipe.Flush: plain responses interleaved with pipe traffic")
+	}
+	return nil
+}
+
+// Close flushes the pipe and rejects further enqueues. The Client remains
+// usable.
+func (p *clientPipe) Close() error {
+	if p.closed {
+		return nil
+	}
+	err := p.Flush()
+	p.closed = true
+	return err
+}
+
+// completionOf maps a wire response onto the backend-independent
+// Completion, with the same OK/Err split the local engine produces: a miss
+// (or duplicate-insert NOT inserted) keeps Err nil/sentinel exactly as
+// core does — StatusExists becomes core.ErrExists with the existing value,
+// StatusNotFound a plain miss, and transport-only statuses their server
+// sentinels.
+func completionOf(kind core.OpKind, key uint64, r Response) core.Completion {
+	c := core.Completion{Kind: kind, Key: key, Value: r.Result}
+	switch r.Status {
+	case StatusOK:
+		c.OK = true
+	case StatusNotFound:
+		// miss: OK=false, Err=nil
+	default:
+		c.Err = r.Status.Err()
+	}
+	return c
+}

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	dlht "repro"
+	core "repro/internal/core"
 )
 
 // TestStreamingRepliesBeforeTailDecode is the streaming-reply regression
@@ -35,7 +35,7 @@ func TestStreamingRepliesBeforeTailDecode(t *testing.T) {
 	t.Cleanup(func() { testFrameDecoded = nil }) // registered first: runs after Close
 	// A large read buffer lets the whole 68 KiB burst join one decode
 	// chunk; a small write buffer gives an early streaming-flush threshold.
-	s := startServer(t, dlht.Config{Bins: 1 << 13},
+	s := startServer(t, core.Config{Bins: 1 << 13},
 		Options{ReadBuffer: 128 << 10, WriteBuffer: 1 << 10})
 
 	load := dialT(t, s)
@@ -103,7 +103,7 @@ func TestStreamingRepliesBeforeTailDecode(t *testing.T) {
 // sends complete in request order through Drain, and mixing plain Send
 // in between leaves its response for Recv.
 func TestClientAsyncCallbacks(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true}, Options{})
 	cl := dialT(t, s)
 
 	var order []uint64
@@ -199,7 +199,7 @@ func TestClientAsyncCallbacks(t *testing.T) {
 // TestClientFutures pins the future helpers: pipelined futures resolve in
 // any Wait order, Wait flushes lazily, and results match the table.
 func TestClientFutures(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 10, Resizable: true}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true}, Options{})
 	cl := dialT(t, s)
 
 	fi, err := cl.InsertFuture(7, 70)
@@ -260,7 +260,7 @@ func TestClientFutures(t *testing.T) {
 // drained and flushed every MaxBatch requests — the configured bound on
 // response latency — and still answers everything in order.
 func TestMaxBatchForcesPeriodicDrain(t *testing.T) {
-	s := startServer(t, dlht.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16})
+	s := startServer(t, core.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16})
 	cl := dialT(t, s)
 	const n = 1000
 	reqs := make([]Request, 0, 2*n)

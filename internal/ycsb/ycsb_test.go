@@ -1,10 +1,15 @@
 package ycsb
 
 import (
+	"net"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/server"
 	"repro/internal/workload"
+
+	core "repro/internal/core"
 )
 
 func TestDriverRunsAllMixes(t *testing.T) {
@@ -22,6 +27,9 @@ func TestDriverRunsAllMixes(t *testing.T) {
 		}
 		if r.MReqs() <= 0 {
 			t.Fatalf("%s: zero throughput", mix.Name())
+		}
+		if r.Errs != 0 {
+			t.Fatalf("%s: %d errors", mix.Name(), r.Errs)
 		}
 	}
 }
@@ -41,5 +49,64 @@ func TestDriverRepeatedRunsShareTable(t *testing.T) {
 		if r := d.Run(workload.YCSBC, 1, 10*time.Millisecond); r.Ops == 0 {
 			t.Fatalf("run %d: no ops", i)
 		}
+	}
+}
+
+// startServers launches n in-process dlht-servers and returns their
+// addresses.
+func startServers(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		tbl := core.MustNew(core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 128})
+		s := server.New(tbl, server.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(ln)
+		t.Cleanup(func() { s.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// TestDriverRunsOverAllStoreBackends is the redesign's acceptance test:
+// the identical mix loop (Run) drives an in-process table, a single
+// dlht-server, and a 3-shard cluster — only the Store opener differs.
+func TestDriverRunsOverAllStoreBackends(t *testing.T) {
+	const records = 512
+	tbl := core.MustNew(core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 128})
+	single := startServers(t, 1)
+	sharded := startServers(t, 3)
+
+	type backend struct {
+		name string
+		open func() (core.Store, error)
+	}
+	backends := []backend{
+		{"handle", tbl.Store},
+		{"client", func() (core.Store, error) {
+			return server.DialV2(single[0], server.ClientOpts{})
+		}},
+		{"cluster-3", func() (core.Store, error) {
+			return cluster.Dial(sharded, cluster.Opts{})
+		}},
+	}
+
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			d, err := NewOver(b.open, records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := d.Run(workload.YCSBA, 2, 30*time.Millisecond)
+			if r.Ops == 0 {
+				t.Fatalf("no ops over %s", b.name)
+			}
+			if r.Errs != 0 {
+				t.Fatalf("%d errors over %s", r.Errs, b.name)
+			}
+		})
 	}
 }

@@ -1,0 +1,78 @@
+#!/bin/sh
+# cluster_smoke.sh — 3-shard sharded-cluster smoke for CI and local runs.
+#
+# Launches three dlht-server processes, drives them with
+# `dlht-loadgen -addrs` (the consistent-hashed Cluster Store) in both the
+# synchronous and the pipelined (-async) API shapes, and appends one JSON
+# line per invocation to BENCH_ci.json recording the measured throughputs:
+#
+#	{"commit":"...","date":"...","go":"...","cluster_smoke":
+#	  {"shards":3,"sync_mreqs":0.05,"async_mreqs":0.22}}
+#
+# Any loadgen error (transport failure, unexpected status, missing key)
+# fails the script, so this doubles as an end-to-end correctness gate for
+# the protocol v2 handshake, shard routing, and per-shard completion
+# ordering.
+#
+# Usage: scripts/cluster_smoke.sh [output-file]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ci.json}"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+gover=$(go env GOVERSION)
+
+bindir=$(mktemp -d)
+synclog="$bindir/sync.log"
+asynclog="$bindir/async.log"
+
+go build -o "$bindir/dlht-server" ./cmd/dlht-server
+go build -o "$bindir/dlht-loadgen" ./cmd/dlht-loadgen
+
+"$bindir/dlht-server" -addr 127.0.0.1:14141 -bins 262144 >"$bindir/s1.log" 2>&1 &
+P1=$!
+"$bindir/dlht-server" -addr 127.0.0.1:14142 -bins 262144 >"$bindir/s2.log" 2>&1 &
+P2=$!
+"$bindir/dlht-server" -addr 127.0.0.1:14143 -bins 262144 >"$bindir/s3.log" 2>&1 &
+P3=$!
+cleanup() {
+	kill "$P1" "$P2" "$P3" 2>/dev/null || true
+	rm -rf "$bindir"
+}
+trap cleanup EXIT
+sleep 1
+
+addrs=127.0.0.1:14141,127.0.0.1:14142,127.0.0.1:14143
+
+# Output goes to a file first, then cat — a pipe into tee would replace
+# the loadgen's exit status with tee's under POSIX sh (no pipefail), and
+# the loadgen's non-zero exit on any error is this gate's whole point.
+"$bindir/dlht-loadgen" -addrs "$addrs" -conns 4 -pipeline 64 \
+	-ops 200000 -keys 100000 -read-pct 50 >"$synclog" 2>&1 || {
+	status=$?
+	cat "$synclog"
+	echo "sync cluster run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
+cat "$synclog"
+"$bindir/dlht-loadgen" -addrs "$addrs" -conns 4 -pipeline 64 \
+	-ops 200000 -keys 100000 -read-pct 50 -skip-load -async >"$asynclog" 2>&1 || {
+	status=$?
+	cat "$asynclog"
+	echo "async cluster run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
+cat "$asynclog"
+
+# "throughput: 12.34 M reqs/s (...)" → 12.34
+sync_m=$(awk '/^throughput:/ {print $2}' "$synclog")
+async_m=$(awk '/^throughput:/ {print $2}' "$asynclog")
+[ -n "$sync_m" ] && [ -n "$async_m" ] || {
+	echo "could not parse throughput; not appending to $out" >&2
+	exit 1
+}
+
+printf '{"commit":"%s","date":"%s","go":"%s","cluster_smoke":{"shards":3,"sync_mreqs":%s,"async_mreqs":%s}}\n' \
+	"$commit" "$stamp" "$gover" "$sync_m" "$async_m" >>"$out"
+echo "appended cluster smoke (sync=$sync_m M/s async=$async_m M/s) to $out"
