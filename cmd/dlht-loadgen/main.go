@@ -59,6 +59,7 @@ func main() {
 		embedded = flag.Bool("embedded", false, "start an in-process server on a loopback port (ignores -addr)")
 		window   = flag.Int("window", 0, "embedded server's prefetch window (0 or <0 = default 16; the server streams, so the full-batch baseline does not apply)")
 		bins     = flag.Uint64("bins", 1<<18, "embedded server's initial bin count")
+		execName = flag.String("exec", "shared", "embedded server's execution model: shared|partitioned|conn")
 	)
 	flag.Parse()
 	if *conns < 1 || *pipeline < 1 || *readPct < 0 || *readPct > 100 {
@@ -76,11 +77,15 @@ func main() {
 	}
 
 	if *embedded {
+		execMode, ok := server.ParseExecMode(*execName)
+		if !ok {
+			log.Fatalf("unknown -exec %q (want shared|partitioned|conn)", *execName)
+		}
 		tbl, err := dlht.New(dlht.Config{Bins: *bins, Resizable: true, MaxThreads: 4096, PrefetchWindow: *window})
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv := server.New(tbl, server.Options{})
+		srv := server.New(tbl, server.Options{Exec: execMode})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -88,7 +93,7 @@ func main() {
 		go srv.Serve(ln)
 		defer srv.Close()
 		*addr = ln.Addr().String()
-		fmt.Printf("embedded server on %s (bins=%d window=%d)\n", *addr, *bins, *window)
+		fmt.Printf("embedded server on %s (bins=%d window=%d exec=%s)\n", *addr, *bins, *window, execMode)
 	}
 
 	if !*skipLoad {

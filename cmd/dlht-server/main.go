@@ -11,15 +11,27 @@
 // Tables in kv mode (Allocator, VariableKV, Namespaces) serve the
 // variable-length KV frames.
 //
+// Requests execute on the shared sharded executor by default (-exec
+// shared): connection readers enqueue decoded frames into per-core
+// executor shards, each owning one table handle and a long-lived pipeline,
+// so the paper's batching win applies across a fleet of synchronous
+// clients, not just within one deeply-pipelined connection. -exec
+// partitioned routes by key hash instead (per-key serialization, disjoint
+// bins per shard), and -exec conn restores the goroutine-per-connection
+// model for A/B comparison.
+//
 // Usage:
 //
 //	dlht-server -addr :4040 -bins 1048576 -window 16 \
+//	    -exec shared -pprof 127.0.0.1:6060 \
 //	    -tables users:kv,sessions:inlined -idle-timeout 5m
 package main
 
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,8 +52,29 @@ func main() {
 		window     = flag.Int("window", 0, "prefetch window of the per-connection pipeline (0 or <0 = default 16; the full-batch baseline has no streaming analogue)")
 		tables     = flag.String("tables", "", "extra named tables, comma-separated name[:mode] entries with mode inlined (default) or kv (Allocator, variable KV, namespaces)")
 		idle       = flag.Duration("idle-timeout", 0, "close connections idle (unreadable or unwritable) for this long; 0 disables")
+		execName   = flag.String("exec", "shared", "execution model: shared (sharded executor), partitioned (executor with key-hash routing), conn (goroutine per connection)")
+		execShards = flag.Int("exec-shards", 0, "executor shards per table (0 = GOMAXPROCS; ignored with -exec=conn)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+	execMode, ok := server.ParseExecMode(*execName)
+	if !ok {
+		log.Fatalf("unknown -exec %q (want shared|partitioned|conn)", *execName)
+	}
+	if *maxBatch > 0 && execMode != server.ExecConn {
+		log.Printf("warning: -max-batch applies only to -exec=conn; ignored under -exec=%s (executor responses always stream)", execMode)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers; executor
+			// shard hotspots are inspectable on the live server via
+			// `go tool pprof http://<addr>/debug/pprof/profile?seconds=10`.
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	cfg := dlht.Config{Bins: *bins, Resizable: *resizable, MaxThreads: *maxThreads, PrefetchWindow: *window}
 	switch *hashName {
@@ -63,7 +96,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s := server.New(tbl, server.Options{MaxBatch: *maxBatch, IdleTimeout: *idle})
+	s := server.New(tbl, server.Options{
+		MaxBatch: *maxBatch, IdleTimeout: *idle,
+		Exec: execMode, ExecShards: *execShards,
+	})
 	names := []string{"(default)"}
 	if *tables != "" {
 		for _, spec := range strings.Split(*tables, ",") {
@@ -105,8 +141,8 @@ func main() {
 		s.Close()
 	}()
 
-	log.Printf("dlht-server listening on %s (bins=%d resizable=%v max-batch=%d window=%d idle-timeout=%v tables=%s)",
-		*addr, *bins, *resizable, *maxBatch, *window, *idle, strings.Join(names, ","))
+	log.Printf("dlht-server listening on %s (bins=%d resizable=%v exec=%s max-batch=%d window=%d idle-timeout=%v tables=%s)",
+		*addr, *bins, *resizable, execMode, *maxBatch, *window, *idle, strings.Join(names, ","))
 	if err := s.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
 		log.Fatal(err)
 	}

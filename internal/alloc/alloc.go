@@ -53,6 +53,10 @@ type Allocator interface {
 	Bytes(r Ref, n int) []byte
 	// Free returns the block to the allocator. Double frees are undefined.
 	Free(r Ref)
+	// MaxAlloc returns the largest n Alloc can serve, or 0 when
+	// unbounded. Callers relaying untrusted sizes (the network server's
+	// KV path) gate on it instead of discovering the bound as a panic.
+	MaxAlloc() int
 	// Stats returns cumulative counters.
 	Stats() Stats
 }
@@ -260,6 +264,9 @@ func (a *Arena) Free(r Ref) {
 	}
 }
 
+// MaxAlloc implements Allocator: the Arena serves at most MaxBlock bytes.
+func (a *Arena) MaxAlloc() int { return MaxBlock }
+
 // Stats implements Allocator.
 func (a *Arena) Stats() Stats {
 	regions := len(*a.regions.Load())
@@ -350,6 +357,9 @@ func (m *Naive) Free(r Ref) {
 	}
 	m.mu.Unlock()
 }
+
+// MaxAlloc implements Allocator: fresh Go allocations have no block bound.
+func (m *Naive) MaxAlloc() int { return 0 }
 
 // Stats implements Allocator.
 func (m *Naive) Stats() Stats {

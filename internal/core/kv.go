@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/alloc"
@@ -35,7 +36,9 @@ const kvBlockHeader = 8
 // Errors specific to Allocator mode.
 var (
 	// ErrValueSize flags a value whose size differs from Config.ValueSize
-	// on a table without VariableKV.
+	// on a table without VariableKV, or a key+value pair too large for
+	// one block of the configured allocator (the slab Arena serves at
+	// most alloc.MaxBlock bytes).
 	ErrValueSize = errors.New("dlht: value size differs from Config.ValueSize (enable VariableKV)")
 	// ErrNamespace flags a namespace id out of range or used on a table
 	// without Namespaces enabled.
@@ -75,11 +78,7 @@ func keyCodeFor(key []byte) int {
 
 // binForKV maps a byte key (plus namespace salt) to a bin.
 func (t *Table) binForKV(ix *index, key []byte, ns uint16) uint64 {
-	hv := t.hashB(key)
-	if ns != 0 {
-		hv ^= (uint64(ns) + 1) * 0x9e3779b97f4a7c15
-	}
-	return hv % ix.numBins
+	return t.HashOfKV(ns, key) % ix.numBins
 }
 
 // checkKV validates mode, namespace and value size for the KV API.
@@ -93,8 +92,18 @@ func (t *Table) checkKV(ns uint16, key []byte, val []byte, isInsert bool) error 
 	if ns != 0 && (!t.cfg.Namespaces || ns > MaxNamespace) {
 		return ErrNamespace
 	}
-	if isInsert && !t.cfg.VariableKV && len(val) != t.cfg.ValueSize {
-		return ErrValueSize
+	if isInsert {
+		if !t.cfg.VariableKV && len(val) != t.cfg.ValueSize {
+			return ErrValueSize
+		}
+		// The pair must fit one allocator block; without this gate an
+		// oversized wire insert would surface as an allocator panic
+		// instead of a status.
+		if max := t.cfg.Alloc.MaxAlloc(); max > 0 {
+			if size, _ := t.blockGeometry(len(key), len(val)); size > max {
+				return fmt.Errorf("%w: key+value block of %d bytes exceeds the allocator's %d-byte max", ErrValueSize, size, max)
+			}
+		}
 	}
 	return nil
 }

@@ -69,6 +69,12 @@ func (p *kvPipe) grow() {
 // issue is stage 1: hash the key, memoize its coordinates against ix, and
 // prefetch the bin header.
 func (p *kvPipe) issue(t *Table, ix *index, req *KVGet) {
+	p.issueHashed(t, ix, req, t.HashOfKV(req.NS, req.Key))
+}
+
+// issueHashed is issue with the key's hash — Table.HashOfKV — precomputed
+// by the caller.
+func (p *kvPipe) issueHashed(t *Table, ix *index, req *KVGet, hash uint64) {
 	if p.head-p.tail == len(p.ring) {
 		p.grow()
 	}
@@ -77,7 +83,7 @@ func (p *kvPipe) issue(t *Table, ix *index, req *KVGet) {
 	e.ix = ix
 	e.kw = inlineKeyWord(req.Key)
 	e.code = keyCodeFor(req.Key)
-	e.bin = t.binForKV(ix, req.Key, req.NS)
+	e.bin = hash % ix.numBins
 	p.head++
 	cpuops.PrefetchUint64(ix.headerAddr(e.bin))
 }
@@ -200,6 +206,14 @@ func (pl *KVPipeline) InFlight() int { return pl.p.head - pl.p.tail }
 // Get enqueues a lookup of key in namespace ns. The key bytes must stay
 // valid until the lookup completes.
 func (pl *KVPipeline) Get(ns uint16, key []byte) {
+	pl.GetHashed(ns, key, pl.h.t.HashOfKV(ns, key))
+}
+
+// GetHashed is Get with the key's hash — as returned by Table.HashOfKV —
+// precomputed by the caller, so routers that already hashed the key for
+// shard selection don't hash it a second time for the bin mapping. A
+// resize redirect still recomputes the bin from the key.
+func (pl *KVPipeline) GetHashed(ns uint16, key []byte, hash uint64) {
 	if pl.closed {
 		panic("dlht: KVPipeline used after Close")
 	}
@@ -211,7 +225,7 @@ func (pl *KVPipeline) Get(ns uint16, key []byte) {
 	slot := &pl.buf[p.head&p.mask]
 	*slot = KVGet{NS: ns, Key: key}
 	t := pl.h.t
-	p.issue(t, t.current.Load(), slot)
+	p.issueHashed(t, t.current.Load(), slot, hash)
 	if !pl.draining {
 		pl.drainTo(pl.w)
 	}

@@ -186,10 +186,23 @@ func (pl *Pipeline) InFlight() int { return pl.p.head - pl.p.tail }
 // ignored) into the pipeline.
 func (pl *Pipeline) Enqueue(op Op) { pl.enq(op.Kind, op.Key, op.Value) }
 
+// EnqueueHashed is Enqueue with the key's hash — as returned by
+// Table.HashOf — precomputed by the caller. Routers that already hashed
+// the key to pick an executor shard hand the hash through so the bin
+// mapping does not hash a second time (the same hash-once discipline the
+// engine ring applies between prefetch and execution).
+func (pl *Pipeline) EnqueueHashed(op Op, hash uint64) {
+	pl.enqHashed(op.Kind, op.Key, op.Value, hash)
+}
+
 // enq is the shared enqueue hot path: scalar arguments stay in registers
 // and the issue stage is written out inline, so a streamed request costs
 // what one iteration of Exec's loop costs.
 func (pl *Pipeline) enq(kind OpKind, key, val uint64) {
+	pl.enqHashed(kind, key, val, pl.h.t.hash64(key))
+}
+
+func (pl *Pipeline) enqHashed(kind OpKind, key, val, hash uint64) {
 	if pl.closed {
 		panic("dlht: Pipeline used after Close")
 	}
@@ -202,7 +215,7 @@ func (pl *Pipeline) enq(kind OpKind, key, val uint64) {
 	slot.Result, slot.OK, slot.Err = 0, false, nil
 	t := pl.h.t
 	ix := t.current.Load()
-	b := t.binFor(ix, key)
+	b := hash % ix.numBins
 	p.ring[p.head&p.mask] = pipeEntry{op: slot, ix: ix, bin: b}
 	p.head++
 	cpuops.PrefetchUint64(ix.headerAddr(b))

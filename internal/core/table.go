@@ -296,6 +296,26 @@ func (t *Table) binFor(ix *index, key uint64) uint64 {
 	return t.hash64(key) % ix.numBins
 }
 
+// HashOf returns the table's bin hash for key — the value bin mapping
+// derives from (bin = hash % numBins per index), stable across resizes.
+// Callers that route requests by key (the sharded executor) compute it
+// once and hand it to Pipeline.EnqueueHashed, so routing and execution
+// share one hash.
+func (t *Table) HashOf(key uint64) uint64 { return t.hash64(key) }
+
+// HashOfKV is HashOf for Allocator-mode byte keys under namespace ns.
+func (t *Table) HashOfKV(ns uint16, key []byte) uint64 {
+	hv := t.hashB(key)
+	if ns != 0 {
+		hv ^= (uint64(ns) + 1) * 0x9e3779b97f4a7c15
+	}
+	return hv
+}
+
+// SingleThread reports whether the table was configured single-threaded
+// (§3.4.5) and must therefore only ever be driven from one goroutine.
+func (t *Table) SingleThread() bool { return t.cfg.SingleThread }
+
 // isReserved reports whether k collides with a transfer key.
 func isReserved(k uint64) bool {
 	return k == TransferKeyEven || k == TransferKeyOdd

@@ -1,0 +1,623 @@
+// Package exec implements the server's shared sharded executor: the piece
+// that turns DLHT's memory-aware batching (§3.3) from a per-connection
+// property into a per-server one.
+//
+// The goroutine-per-connection serving model only realizes the paper's
+// batching win when a single connection pipelines deeply — each connection
+// owns its own Handle, so a fleet of synchronous clients (many users, one
+// request in flight each) executes one op at a time with zero prefetch
+// overlap. The executor inverts that: N shards — each a goroutine owning
+// one core.Handle and a long-lived Handle.Pipeline (plus a KVPipeline for
+// Allocator-mode reads) — are fed by multi-producer rings that aggregate
+// decoded requests from every connection. Batching depth now comes from
+// connection *count*, the MICA-style partitioned-queue idea (see
+// internal/baselines/mica), so sixty-four one-op-deep clients fill a
+// shard's prefetch window just as well as one sixty-four-deep client.
+//
+// Two routing modes:
+//
+//   - Shared: each Session (connection) is bound to one shard at creation,
+//     least-loaded first. Every request of a connection executes on one
+//     shard in submission order, so per-connection program order is
+//     preserved exactly as in the goroutine-per-connection model; the
+//     shards' handles operate concurrently on the whole table (CREW).
+//   - Partitioned: each request routes by key hash, so all operations on a
+//     key — from every connection — serialize through one shard. The shard
+//     count is clamped to a power of two in this mode, so with the default
+//     power-of-two bin counts (bins a multiple of shards) two keys in the
+//     same bin always route to the same shard and each shard touches a
+//     disjoint bin subset (EREW, the MICA partitioning analogue); with a
+//     bin count not divisible by the shard count, routing is still
+//     correct, just no longer bin-disjoint. Per-key program order is
+//     preserved (the same contract the sharded Cluster documents);
+//     cross-key requests from one connection may execute out of order, but
+//     responses are still delivered in request order.
+//
+// Completions carry a (session, seq) tag. Because a shard's pipeline
+// completes in enqueue order, tags ride a plain FIFO alongside the
+// pipeline; each completion is posted into its Session's seq-indexed
+// reorder ring, and the session's consumer (the connection writer) takes
+// responses strictly in submission order. Lock traffic is batched at both
+// ends: SubmitBatch moves a whole decoded burst into a shard ring under
+// one lock, and shards deliver completions to sessions in contiguous
+// per-session runs. The routing hash of a fixed op is computed once, at
+// submission, and handed to the shard's pipeline via
+// Pipeline.EnqueueHashed (KVPipeline.GetHashed for partitioned KV reads),
+// so routing and bin mapping share one hash; KV mutations rehash inside
+// the core KV surface.
+package exec
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	core "repro/internal/core"
+)
+
+// Mode selects how requests are routed to executor shards.
+type Mode uint8
+
+const (
+	// Shared binds each session to one shard (least-loaded at session
+	// creation); shard handles stay concurrent on the whole table.
+	Shared Mode = iota
+	// Partitioned routes each request by key hash, serializing all
+	// operations on one key through one shard.
+	Partitioned
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "shared"
+	case Partitioned:
+		return "partitioned"
+	}
+	return "unknown"
+}
+
+// ErrClosed is reported for sessions and submissions on a closed Executor.
+var ErrClosed = errors.New("exec: executor closed")
+
+// Options tunes an Executor. The zero value is usable.
+type Options struct {
+	// Shards is the number of executor shards (goroutine + Handle +
+	// pipeline each). 0 selects GOMAXPROCS. Clamped to the table handles
+	// actually available, to 1 on single-thread tables, and — in
+	// Partitioned mode — down to a power of two so that with power-of-two
+	// bin counts shards own disjoint bin subsets.
+	Shards int
+	// Mode selects Shared (default) or Partitioned routing.
+	Mode Mode
+	// Window is each shard pipeline's completion window; 0 inherits the
+	// table's prefetch window (default 16).
+	Window int
+	// Ring is the per-shard request ring capacity (rounded up to a power
+	// of two, default 1024). Submissions block while a ring is full.
+	Ring int
+	// SessionWindow bounds each session's in-flight requests (the reorder
+	// ring capacity, rounded up to a power of two, default 4096).
+	// Submissions block while a session is at its bound.
+	SessionWindow int
+	// SessionKVInflight and SessionKVBytes bound a session's in-flight
+	// variable-length ops by count (default 32) and by payload bytes
+	// (request key+value at submission, plus read values as they
+	// materialize; default 8 MiB). Fixed ops are 32 bytes each and ride
+	// on SessionWindow alone; KV payloads are owned per in-flight op, so
+	// without these bounds one connection pipelining protocol-max values
+	// could pin SessionWindow × 16 MiB. A single op larger than the byte
+	// budget is admitted when it is the only one in flight.
+	SessionKVInflight int
+	SessionKVBytes    int
+}
+
+// kvEpochEvery is how many KV requests a shard serves between epoch
+// refreshes on EpochGC tables (power of two).
+const kvEpochEvery = 1 << 10
+
+// Executor is a shared execution service over one table. Create with New,
+// register one Session per connection, and Close to drain: Close returns
+// only after every shard has flushed its pipeline and exited, so no
+// completion fires afterwards.
+type Executor struct {
+	tbl     *core.Table
+	mode    Mode
+	shards  []*shard
+	sessW   int
+	kvOps   int // per-session in-flight KV op bound
+	kvBytes int // per-session in-flight KV payload bound
+
+	mu     sync.Mutex // guards closed and shared-mode session placement
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds an executor over tbl, acquiring one table handle per shard.
+// It fails only when the table has no handles left at all; with fewer
+// handles than requested shards it runs narrower.
+func New(tbl *core.Table, opts Options) (*Executor, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if tbl.SingleThread() {
+		n = 1
+	}
+	if opts.Mode == Partitioned {
+		// Power-of-two shard counts keep hash%shards consistent with
+		// bin%shards on power-of-two bin counts: same bin → same shard
+		// (the EREW property).
+		n = floorPow2(n)
+	}
+	ring := ceilPow2(opts.Ring, 1024)
+	sessW := ceilPow2(opts.SessionWindow, 4096)
+	kvOps := opts.SessionKVInflight
+	if kvOps <= 0 {
+		kvOps = 32
+	}
+	kvBytes := opts.SessionKVBytes
+	if kvBytes <= 0 {
+		kvBytes = 8 << 20
+	}
+	e := &Executor{tbl: tbl, mode: opts.Mode, sessW: sessW, kvOps: kvOps, kvBytes: kvBytes}
+	handles := make([]*core.Handle, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := tbl.Handle()
+		if err != nil {
+			if i == 0 {
+				return nil, err
+			}
+			break
+		}
+		handles = append(handles, h)
+	}
+	if opts.Mode == Partitioned {
+		// Handle exhaustion may have narrowed us below the requested
+		// count; re-clamp so the shard count stays a power of two (the
+		// EREW routing property) and return the surplus handles.
+		for keep := floorPow2(len(handles)); len(handles) > keep; {
+			handles[len(handles)-1].Close()
+			handles = handles[:len(handles)-1]
+		}
+	}
+	for i, h := range handles {
+		e.shards = append(e.shards, newShard(e, i, h, opts.Window, ring))
+	}
+	e.wg.Add(len(e.shards))
+	for _, sh := range e.shards {
+		go sh.run()
+	}
+	return e, nil
+}
+
+// ceilPow2 rounds v (or def when v<=0) up to a power of two.
+func ceilPow2(v, def int) int {
+	if v <= 0 {
+		v = def
+	}
+	c := 1
+	for c < v {
+		c <<= 1
+	}
+	return c
+}
+
+// floorPow2 rounds v down to a power of two (minimum 1).
+func floorPow2(v int) int {
+	c := 1
+	for c*2 <= v {
+		c <<= 1
+	}
+	return c
+}
+
+// NumShards returns the number of live executor shards.
+func (e *Executor) NumShards() int { return len(e.shards) }
+
+// Mode returns the executor's routing mode.
+func (e *Executor) Mode() Mode { return e.mode }
+
+// Close stops the shards and joins them. Every request already accepted by
+// a shard ring is executed and its completion delivered first; submissions
+// racing Close fail their ops with ErrClosed (still delivered in order).
+// After Close returns no completion callback is running or will run.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, sh := range e.shards {
+		sh.close()
+	}
+	e.wg.Wait()
+}
+
+// NewSession registers a request producer (one per connection). In Shared
+// mode the session is bound to the shard with the fewest live sessions.
+func (e *Executor) NewSession() (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	s := &Session{e: e}
+	s.cond.L = &s.mu
+	s.prod.L = &s.mu
+	s.ring = make([]doneSlot, 64)
+	if e.mode == Shared {
+		min := e.shards[0]
+		for _, sh := range e.shards[1:] {
+			if sh.sessions < min.sessions {
+				min = sh
+			}
+		}
+		min.sessions++
+		s.shard = min
+	}
+	return s, nil
+}
+
+// detachSession undoes shared-mode placement accounting.
+func (e *Executor) detachSession(s *Session) {
+	if s.shard == nil {
+		return
+	}
+	e.mu.Lock()
+	s.shard.sessions--
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+// item is one routed request in a shard ring: the fixed op (or KV op) plus
+// its session/seq completion tag and the memoized routing hash. Fixed-op
+// items are pure values — the multi-producer enqueue path allocates
+// nothing.
+type item struct {
+	sess *Session
+	seq  uint64
+	hash uint64
+	op   core.Op
+	kv   *KVOp
+}
+
+// tag is one in-flight pipeline entry's completion address.
+type tag struct {
+	sess *Session
+	seq  uint64
+	kv   *KVOp
+}
+
+// shard is one executor lane: a goroutine owning a table handle and its
+// long-lived pipelines, consuming a multi-producer ring.
+type shard struct {
+	e  *Executor
+	id int
+	h  *core.Handle
+
+	mu         sync.Mutex
+	notEmpty   sync.Cond
+	notFull    sync.Cond
+	ring       []item
+	mask       uint64
+	head, tail uint64 // absolute produce/consume cursors
+	closed     bool
+	sessions   int // shared-mode placement count (under e.mu)
+
+	// Consumer-side state, touched only by the shard goroutine.
+	pl      *core.Pipeline
+	kvp     *core.KVPipeline // lazily, Allocator tables only
+	kvpW    int
+	scratch []item
+	tags    tagRing     // fixed-op pipeline completion tags, FIFO
+	kvTags  tagRing     // KV read pipeline completion tags, FIFO
+	pending []doneEntry // completions staged between deliveries
+	kvOps   int         // KV ops since the last epoch advance
+	dirty   bool        // executed something since the last idle flush
+}
+
+// doneEntry is one staged completion awaiting delivery to its session.
+// Staging lets the shard post a whole batch's completions with one
+// session lock per contiguous same-session run instead of one per op.
+type doneEntry struct {
+	sess *Session
+	seq  uint64
+	op   core.Op
+	kv   *KVOp
+}
+
+func newShard(e *Executor, id int, h *core.Handle, window, ring int) *shard {
+	sh := &shard{e: e, id: id, h: h}
+	sh.notEmpty.L = &sh.mu
+	sh.notFull.L = &sh.mu
+	sh.ring = make([]item, ring)
+	sh.mask = uint64(ring - 1)
+	sh.scratch = make([]item, ring)
+	sh.pl = h.Pipeline(core.PipelineOpts{Window: window, OnComplete: sh.completeFixed})
+	sh.kvpW = window
+	sh.tags.init(sh.pl.Window() + 2)
+	return sh
+}
+
+// enqueue admits one item, blocking while the ring is full. It reports
+// false when the executor has been closed — the caller then completes the
+// item itself with ErrClosed so sequence accounting stays intact.
+func (sh *shard) enqueue(it item) bool {
+	sh.mu.Lock()
+	for sh.head-sh.tail == uint64(len(sh.ring)) && !sh.closed {
+		sh.notFull.Wait()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.ring[sh.head&sh.mask] = it
+	sh.head++
+	if sh.head-sh.tail == 1 {
+		sh.notEmpty.Signal()
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// enqueueBatch admits a run of items under one ring lock, waiting out full
+// windows in chunks. It returns how many items were accepted; fewer than
+// len(items) means the executor closed mid-batch and the caller completes
+// the rest with ErrClosed.
+func (sh *shard) enqueueBatch(items []item) int {
+	done := 0
+	sh.mu.Lock()
+	for done < len(items) {
+		for sh.head-sh.tail == uint64(len(sh.ring)) && !sh.closed {
+			sh.notFull.Wait()
+		}
+		if sh.closed {
+			break
+		}
+		n := len(sh.ring) - int(sh.head-sh.tail)
+		if rest := len(items) - done; n > rest {
+			n = rest
+		}
+		wasEmpty := sh.head == sh.tail
+		for i := 0; i < n; i++ {
+			sh.ring[(sh.head+uint64(i))&sh.mask] = items[done+i]
+		}
+		sh.head += uint64(n)
+		done += n
+		if wasEmpty {
+			sh.notEmpty.Signal()
+		}
+	}
+	sh.mu.Unlock()
+	return done
+}
+
+// close marks the shard closed and wakes the consumer and any blocked
+// producers. The consumer drains what the ring already holds, flushes its
+// pipelines and exits.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closed = true
+	sh.notEmpty.Signal()
+	sh.notFull.Broadcast()
+	sh.mu.Unlock()
+}
+
+// run is the shard goroutine: drain the ring in batches, execute, and —
+// when the ring empties — flush the pipelines so tails complete while the
+// shard would otherwise sleep. Between back-to-back batches the pipelines
+// stay primed, which is how cross-connection traffic inherits the
+// window-carries-over property of the streaming server loop.
+func (sh *shard) run() {
+	defer sh.e.wg.Done()
+	for {
+		sh.mu.Lock()
+		for sh.head == sh.tail && !sh.closed {
+			if sh.dirty {
+				// About to idle with work in flight: complete it first.
+				// flushIdle runs unlocked so completions (which take
+				// session locks) never nest inside the ring lock.
+				sh.mu.Unlock()
+				sh.flushIdle()
+				sh.mu.Lock()
+				continue
+			}
+			sh.notEmpty.Wait()
+		}
+		if sh.head == sh.tail { // closed and drained
+			sh.mu.Unlock()
+			break
+		}
+		n := sh.head - sh.tail
+		if n > uint64(len(sh.scratch)) {
+			n = uint64(len(sh.scratch))
+		}
+		wasFull := sh.head-sh.tail == uint64(len(sh.ring))
+		for i := uint64(0); i < n; i++ {
+			j := (sh.tail + i) & sh.mask
+			sh.scratch[i] = sh.ring[j]
+			sh.ring[j] = item{} // drop session/KV references
+		}
+		sh.tail += n
+		if wasFull {
+			sh.notFull.Broadcast()
+		}
+		sh.mu.Unlock()
+		for i := range sh.scratch[:n] {
+			sh.exec(&sh.scratch[i])
+			sh.scratch[i] = item{}
+		}
+		sh.deliver()
+		sh.dirty = true
+	}
+	sh.flushIdle()
+	sh.pl.Close()
+	if sh.kvp != nil {
+		sh.kvp.Close()
+	}
+	sh.h.Close()
+}
+
+// flushIdle completes everything in flight, delivers it, and refreshes the
+// handle's epoch (a no-op off EpochGC tables) so views freed by other
+// handles reclaim even on a shard that then sleeps.
+func (sh *shard) flushIdle() {
+	if sh.kvp != nil && sh.kvp.InFlight() > 0 {
+		sh.kvp.Flush()
+	}
+	if sh.pl.InFlight() > 0 {
+		sh.pl.Flush()
+	}
+	sh.deliver()
+	if sh.kvOps > 0 {
+		sh.h.AdvanceEpoch()
+		sh.kvOps = 0
+	}
+	sh.dirty = false
+}
+
+// deliver posts the staged completions to their sessions, one lock per
+// contiguous same-session run.
+func (sh *shard) deliver() {
+	pend := sh.pending
+	for i := 0; i < len(pend); {
+		j := i + 1
+		for j < len(pend) && pend[j].sess == pend[i].sess {
+			j++
+		}
+		pend[i].sess.completeRun(pend[i:j])
+		i = j
+	}
+	for i := range pend {
+		pend[i] = doneEntry{} // drop session/KV references
+	}
+	sh.pending = pend[:0]
+}
+
+// exec feeds one item into the shard's execution surfaces.
+func (sh *shard) exec(it *item) {
+	if it.kv != nil {
+		sh.execKV(it)
+		return
+	}
+	sh.tags.push(tag{sess: it.sess, seq: it.seq})
+	sh.pl.EnqueueHashed(it.op, it.hash)
+}
+
+// completeFixed is the fixed-op pipeline's completion callback: pop the
+// oldest tag (completions fire in enqueue order) and stage the result for
+// the next delivery.
+func (sh *shard) completeFixed(op *core.Op) {
+	t := sh.tags.pop()
+	sh.pending = append(sh.pending, doneEntry{sess: t.sess, seq: t.seq, op: *op})
+}
+
+// execKV runs one variable-length op. Reads stream through the shard's
+// KVPipeline (two-level bin+block prefetch); mutations flush it first so
+// per-key read-then-write order holds, then execute synchronously.
+func (sh *shard) execKV(it *item) {
+	kv := it.kv
+	t := sh.e.tbl
+	if err := t.CheckKV(kv.NS, kv.Key, kv.Value, kv.Kind == KVInsert); err != nil {
+		kv.Err = err
+		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
+		return
+	}
+	switch kv.Kind {
+	case KVGet:
+		if sh.kvp == nil {
+			sh.kvp = sh.h.KVPipeline(core.KVPipelineOpts{Window: sh.kvpW, OnComplete: sh.completeKV})
+			sh.kvTags.init(sh.kvp.Window() + 2)
+		}
+		sh.kvTags.push(tag{sess: it.sess, seq: it.seq, kv: kv})
+		if sh.e.mode == Partitioned {
+			// it.hash is the routing hash SubmitKV already computed.
+			sh.kvp.GetHashed(kv.NS, kv.Key, it.hash)
+		} else {
+			sh.kvp.Get(kv.NS, kv.Key)
+		}
+	case KVInsert:
+		if sh.kvp != nil && sh.kvp.InFlight() > 0 {
+			sh.kvp.Flush()
+		}
+		kv.Err = sh.h.InsertKV(kv.NS, kv.Key, kv.Value)
+		kv.OK = kv.Err == nil
+		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
+	case KVDelete:
+		if sh.kvp != nil && sh.kvp.InFlight() > 0 {
+			sh.kvp.Flush()
+		}
+		kv.OK = sh.h.DeleteKV(kv.NS, kv.Key)
+		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
+	default:
+		kv.Err = ErrClosed
+		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
+	}
+	// Periodic epoch refresh keeps deleted blocks reclaiming under
+	// sustained load; flush reads first so no in-flight view spans the
+	// advance.
+	if sh.kvOps++; sh.kvOps >= kvEpochEvery {
+		if sh.kvp != nil && sh.kvp.InFlight() > 0 {
+			sh.kvp.Flush()
+		}
+		sh.h.AdvanceEpoch()
+		sh.kvOps = 0
+	}
+}
+
+// completeKV is the KV read pipeline's completion callback. The value view
+// is copied immediately — while the shard handle's epoch pin still covers
+// it — into a buffer the KVOp owns.
+func (sh *shard) completeKV(g *core.KVGet) {
+	t := sh.kvTags.pop()
+	kv := t.kv
+	kv.OK = g.OK
+	if g.OK {
+		kv.Out = append(kv.Out[:0], g.Value...)
+	}
+	sh.pending = append(sh.pending, doneEntry{sess: t.sess, seq: t.seq, kv: kv})
+}
+
+// tagRing is a single-goroutine FIFO of completion tags, sized to the
+// pipeline it shadows (in-flight entries never exceed window+1).
+type tagRing struct {
+	buf        []tag
+	mask       int
+	head, tail int
+}
+
+func (r *tagRing) init(capacity int) {
+	c := ceilPow2(capacity, 8)
+	r.buf = make([]tag, c)
+	r.mask = c - 1
+}
+
+func (r *tagRing) push(t tag) {
+	if r.head-r.tail == len(r.buf) {
+		// Cannot happen while the ring shadows a bounded pipeline; grow
+		// anyway rather than corrupt the FIFO.
+		next := make([]tag, len(r.buf)*2)
+		for i := r.tail; i < r.head; i++ {
+			next[i&(len(next)-1)] = r.buf[i&r.mask]
+		}
+		r.buf = next
+		r.mask = len(next) - 1
+	}
+	r.buf[r.head&r.mask] = t
+	r.head++
+}
+
+func (r *tagRing) pop() tag {
+	t := r.buf[r.tail&r.mask]
+	r.buf[r.tail&r.mask] = tag{}
+	r.tail++
+	return t
+}

@@ -474,7 +474,7 @@ func TestSentinelErrorsAcrossBackends(t *testing.T) {
 // first request is a KV frame receives a KV-shaped BUSY response, keeping
 // the response-matching rule intact.
 func TestBusyKVShaped(t *testing.T) {
-	s := startServer(t, core.Config{Mode: core.Allocator, Bins: 1 << 8, VariableKV: true, MaxThreads: 1}, Options{})
+	s := startServer(t, core.Config{Mode: core.Allocator, Bins: 1 << 8, VariableKV: true, MaxThreads: 1}, Options{Exec: ExecConn})
 	// Pin the only handle.
 	pin := dialV2T(t, s, ClientOpts{})
 	if err := pin.InsertKV(0, []byte("pin"), []byte("v")); err != nil {

@@ -3,15 +3,19 @@
 // request pipeline.
 //
 // Clients pipeline fixed-size request frames; the server feeds each frame,
-// as it is decoded, straight into a per-connection dlht.Pipeline whose
-// sliding-window software prefetch overlaps the DRAM latency of the
-// network burst however deep it runs. Completions append response frames
-// to the write buffer as they fire, so a deep burst's first replies stream
-// out while its tail is still being decoded, and the window stays primed
-// across bursts. Responses are written in request order — order
-// preservation is DLHT's pipelining contract, and here it doubles as the
-// wire protocol's matching rule: the i-th response on a connection answers
-// the i-th request.
+// as it is decoded, straight into a dlht.Pipeline whose sliding-window
+// software prefetch overlaps the DRAM latency of the network burst however
+// deep it runs. By default the pipelines belong to the shared sharded
+// executor (internal/exec, Options.Exec): requests from every connection
+// aggregate into per-core shard pipelines, so batching depth comes from
+// connection count as well as per-connection pipeline depth; with
+// Options.Exec = ExecConn each connection owns its pipeline as before.
+// Completions append response frames to the write buffer as they fire, so
+// a deep burst's first replies stream out while its tail is still being
+// decoded, and the window stays primed across bursts. Responses are
+// written in request order — order preservation is DLHT's pipelining
+// contract, and here it doubles as the wire protocol's matching rule: the
+// i-th response on a connection answers the i-th request.
 //
 // # Wire format
 //

@@ -11,7 +11,61 @@ import (
 	"time"
 
 	core "repro/internal/core"
+	"repro/internal/exec"
 )
+
+// ExecMode selects how a Server executes decoded requests.
+type ExecMode int
+
+const (
+	// ExecShared (the default) runs requests on the shared sharded
+	// executor: connection readers decode frames and enqueue them into
+	// per-core executor shards, each owning one table handle and a
+	// long-lived pipeline, so batching depth — and with it the prefetch
+	// overlap of §3.3 — comes from connection count rather than from how
+	// deeply any single connection pipelines. Each connection is bound to
+	// one shard, preserving per-connection execution order.
+	ExecShared ExecMode = iota
+	// ExecPartitioned is the executor with key-hash routing: every
+	// operation on a key serializes through one shard (per-key program
+	// order, the sharded-Cluster contract), and with power-of-two bin
+	// counts shards touch disjoint bins (EREW). Cross-key requests from
+	// one connection may execute out of order; responses are still
+	// delivered in request order.
+	ExecPartitioned
+	// ExecConn is the goroutine-per-connection escape hatch: each
+	// connection owns a table handle and executes its own requests, as
+	// before the executor existed. Batching then only comes from
+	// per-connection pipelining. Kept for A/B comparison.
+	ExecConn
+)
+
+// String returns the mode name.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecShared:
+		return "shared"
+	case ExecPartitioned:
+		return "partitioned"
+	case ExecConn:
+		return "conn"
+	}
+	return "unknown"
+}
+
+// ParseExecMode maps a mode name (the -exec flag vocabulary: "shared",
+// "partitioned", "conn") onto its ExecMode.
+func ParseExecMode(name string) (ExecMode, bool) {
+	switch name {
+	case "shared":
+		return ExecShared, true
+	case "partitioned":
+		return ExecPartitioned, true
+	case "conn":
+		return ExecConn, true
+	}
+	return 0, false
+}
 
 // Options tunes a Server. The zero value is usable.
 type Options struct {
@@ -38,6 +92,14 @@ type Options struct {
 	// the next frame and as a write deadline around response flushes.
 	// 0 (the default) disables it.
 	IdleTimeout time.Duration
+	// Exec selects the execution model: ExecShared (default),
+	// ExecPartitioned, or the goroutine-per-connection ExecConn. In the
+	// executor modes MaxBatch does not apply (responses always stream as
+	// completions fire).
+	Exec ExecMode
+	// ExecShards is the number of executor shards per served table in the
+	// executor modes (0 = GOMAXPROCS).
+	ExecShards int
 }
 
 func (o *Options) setDefaults() {
@@ -81,6 +143,11 @@ type Server struct {
 	handleMu   sync.Mutex
 	handleFree chan struct{}
 
+	// execs holds the per-table shared executors (executor modes only),
+	// created lazily when the first connection selects a table and drained
+	// by Close after the connection goroutines exit. Guarded by mu.
+	execs map[*core.Table]*exec.Executor
+
 	wg sync.WaitGroup
 }
 
@@ -93,6 +160,7 @@ func New(tbl *core.Table, opts Options) *Server {
 		tables:     map[string]*core.Table{DefaultTable: tbl},
 		conns:      make(map[net.Conn]struct{}),
 		handleFree: make(chan struct{}),
+		execs:      make(map[*core.Table]*exec.Executor),
 	}
 }
 
@@ -172,8 +240,10 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops the listener, closes every live connection and waits for the
-// connection goroutines to drain.
+// Close stops the listener, closes every live connection, waits for the
+// connection goroutines (readers and response writers) to drain, then
+// flushes and joins the executor shards. No request completion fires and
+// no table handle stays acquired after Close returns.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -191,7 +261,37 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	execs := s.execs
+	s.execs = nil
+	s.mu.Unlock()
+	for _, ex := range execs {
+		ex.Close()
+	}
 	return err
+}
+
+// executorFor returns (creating on first use) the shared executor serving
+// tbl.
+func (s *Server) executorFor(tbl *core.Table) (*exec.Executor, error) {
+	mode := exec.Shared
+	if s.opts.Exec == ExecPartitioned {
+		mode = exec.Partitioned
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.execs == nil {
+		return nil, ErrServerClosed
+	}
+	if ex := s.execs[tbl]; ex != nil {
+		return ex, nil
+	}
+	ex, err := exec.New(tbl, exec.Options{Shards: s.opts.ExecShards, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	s.execs[tbl] = ex
+	return ex, nil
 }
 
 // handleWait bounds how long a new connection waits for a handle to be
@@ -313,23 +413,14 @@ func (s *Server) serveConn(c net.Conn) {
 		features = resp.Features
 	}
 
+	if s.opts.Exec != ExecConn {
+		s.serveExec(c, br, tbl, v2, features)
+		return
+	}
+
 	h, err := s.acquireHandle(tbl)
 	if err != nil {
-		// Handle exhaustion: consume the connection's first request so the
-		// refusal obeys the i-th-response-answers-i-th-request rule, then
-		// answer it with StatusBusy — in the shape the request asked for —
-		// and close.
-		op, err := br.Peek(1)
-		if err != nil {
-			return
-		}
-		s.armWrite(c)
-		var buf [KVRespHdrSize]byte
-		if v2 && isKVOp(OpCode(op[0])) {
-			c.Write(AppendKVResponse(buf[:0], KVResponse{Status: StatusBusy}))
-		} else {
-			c.Write(AppendResponse(buf[:0], Response{Status: StatusBusy}))
-		}
+		s.refuseBusy(c, br, v2)
 		return
 	}
 	defer s.releaseHandle(h)
@@ -338,6 +429,24 @@ func (s *Server) serveConn(c net.Conn) {
 		s.serveV2(c, br, tbl, h, features)
 	} else {
 		s.serveV1(c, br, h)
+	}
+}
+
+// refuseBusy consumes the connection's first request so the refusal obeys
+// the i-th-response-answers-i-th-request rule, then answers it with
+// StatusBusy — in the shape the request asked for — and gives up on the
+// connection.
+func (s *Server) refuseBusy(c net.Conn, br *bufio.Reader, v2 bool) {
+	op, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	s.armWrite(c)
+	var buf [KVRespHdrSize]byte
+	if v2 && isKVOp(OpCode(op[0])) {
+		c.Write(AppendKVResponse(buf[:0], KVResponse{Status: StatusBusy}))
+	} else {
+		c.Write(AppendResponse(buf[:0], Response{Status: StatusBusy}))
 	}
 }
 
@@ -549,20 +658,14 @@ func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.
 					return
 				}
 			}
-			hdr, err := br.Peek(KVReqHdrSize)
-			if err != nil {
-				return
-			}
-			// Header-level validation via the codec: with only the header
-			// in hand the sole acceptable outcome is "frame incomplete".
-			if _, _, err := DecodeKVRequest(hdr); err != nil && !errors.Is(err, ErrShortFrame) {
+			ns, klen, vlen, err := readKVHeader(br)
+			if err == errMalformedKVHeader {
 				cs.badRequest()
 				return
 			}
-			ns := binary.LittleEndian.Uint16(hdr[1:3])
-			klen := int(binary.LittleEndian.Uint16(hdr[3:5]))
-			vlen := int(binary.LittleEndian.Uint32(hdr[5:9]))
-			br.Discard(KVReqHdrSize)
+			if err != nil {
+				return
+			}
 			need := klen + vlen
 			if cap(scratch) < need {
 				scratch = make([]byte, need)
@@ -613,6 +716,32 @@ func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.
 	}
 }
 
+// errMalformedKVHeader is readKVHeader's it-will-never-parse verdict, as
+// opposed to an I/O error; the caller answers StatusBadRequest and gives
+// up on the connection's byte alignment.
+var errMalformedKVHeader = errors.New("server: malformed KV request header")
+
+// readKVHeader reads and validates one KV request header off the buffered
+// reader, returning its fields with the header bytes consumed. It is the
+// single place the KV header layout is decoded on the serve side, shared
+// by the connection-owned and executor-mode loops.
+func readKVHeader(br *bufio.Reader) (ns uint16, klen, vlen int, err error) {
+	hdr, err := br.Peek(KVReqHdrSize)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Header-level validation via the codec: with only the header in
+	// hand the sole acceptable outcome is "frame incomplete".
+	if _, _, err := DecodeKVRequest(hdr); err != nil && !errors.Is(err, ErrShortFrame) {
+		return 0, 0, 0, errMalformedKVHeader
+	}
+	ns = binary.LittleEndian.Uint16(hdr[1:3])
+	klen = int(binary.LittleEndian.Uint16(hdr[3:5]))
+	vlen = int(binary.LittleEndian.Uint32(hdr[5:9]))
+	br.Discard(KVReqHdrSize)
+	return ns, klen, vlen, nil
+}
+
 // execKV runs one KV request against the connection's handle. Values
 // returned by GetKV are views into the table; they are appended into the
 // write buffer before the next request can invalidate them, and the
@@ -643,6 +772,264 @@ func execKV(tbl *core.Table, h *core.Handle, req KVRequest) KVResponse {
 		return KVResponse{Status: StatusOK}
 	}
 	return KVResponse{Status: StatusBadRequest}
+}
+
+// ---------------------------------------------------------------------------
+// Executor-mode serving
+// ---------------------------------------------------------------------------
+
+// serveExec runs a connection over the shared sharded executor: this
+// goroutine becomes the connection reader (decode frames, submit them into
+// executor shards) and a second goroutine drains the session's in-order
+// completions into the socket. Responses still hit the wire in request
+// order — the session's reorder ring restores it — but execution overlaps
+// across connections inside the shard pipelines, which is where the
+// many-small-clients batching win comes from.
+func (s *Server) serveExec(c net.Conn, br *bufio.Reader, tbl *core.Table, v2 bool, features uint16) {
+	ex, err := s.executorFor(tbl)
+	if err != nil {
+		s.refuseBusy(c, br, v2)
+		return
+	}
+	sess, err := ex.NewSession()
+	if err != nil {
+		s.refuseBusy(c, br, v2)
+		return
+	}
+	done := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(done)
+		s.connWriter(c, sess)
+	}()
+	if v2 {
+		s.execReadV2(c, br, sess, features)
+	} else {
+		s.execReadV1(c, br, sess)
+	}
+	sess.FinishSubmit()
+	// Wait for the writer to deliver every submitted request's response
+	// (or its write error) before serveConn closes the connection.
+	<-done
+}
+
+// connWriter drains a session's in-order completions into the connection.
+// Responses accumulate in the write buffer and are pushed out when they
+// cross the streaming-flush threshold or when no further completion is
+// immediately ready (the drain-before-blocking discipline of the
+// per-connection pipeline loop). The first write error closes the
+// connection — so the reader stops feeding a peer that will never see
+// another response, matching the conn-mode loops' exit-on-write-error —
+// after which the writer keeps consuming completions without writing
+// (the reader may be blocked on the session's in-flight bound) until the
+// session drains.
+func (s *Server) connWriter(c net.Conn, sess *exec.Session) {
+	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
+	flushAt := s.opts.WriteBuffer / 2
+	if flushAt < RespSize {
+		flushAt = RespSize
+	}
+	var wErr error
+	fail := func(err error) {
+		wErr = err
+		c.Close() // unblocks and errors the reader
+	}
+	flush := func() {
+		if wErr == nil && bw.Buffered() > 0 {
+			s.armWrite(c)
+			if err := bw.Flush(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	buf := make([]exec.Done, 0, 256)
+	for {
+		run, ok := sess.Await(buf[:0], flush)
+		if !ok {
+			break
+		}
+		buf = run[:0]
+		for i := range run {
+			if wErr != nil {
+				continue
+			}
+			d := &run[i]
+			var err error
+			if d.KV != nil {
+				_, err = bw.Write(AppendKVResponse(bw.AvailableBuffer(), kvDoneToResp(d.KV)))
+			} else {
+				_, err = bw.Write(AppendResponse(bw.AvailableBuffer(), opToResp(&d.Op)))
+			}
+			if err != nil {
+				fail(err)
+			} else if bw.Buffered() >= flushAt {
+				flush()
+			}
+		}
+	}
+	flush()
+}
+
+// execReadV1 is the executor-mode v1 reader: the same zero-copy burst
+// decode as serveV1, but whole decoded bursts are submitted to the
+// executor (one batched hand-off, not a lock per frame) instead of a
+// connection-owned pipeline. Blocking for input never delays responses —
+// the writer goroutine flushes independently.
+func (s *Server) execReadV1(c net.Conn, br *bufio.Reader, sess *exec.Session) {
+	var ops []core.Op // decoded burst staging, reused across bursts
+	for {
+		s.armIdle(c)
+		if _, err := br.Peek(ReqSize); err != nil {
+			return
+		}
+		nframes := br.Buffered() / ReqSize
+		burst, err := br.Peek(nframes * ReqSize)
+		if err != nil {
+			return
+		}
+		ops = ops[:0]
+		bad := false
+		decoded := 0
+		for off := 0; off < len(burst); off += ReqSize {
+			req, err := DecodeRequest(burst[off : off+ReqSize])
+			if err != nil {
+				bad = true
+				break
+			}
+			ops = append(ops, reqToOp(req))
+			decoded = off + ReqSize
+		}
+		if err := sess.SubmitBatch(ops); err != nil {
+			return
+		}
+		if testFrameDecoded != nil {
+			for _, op := range ops {
+				testFrameDecoded(opToReq(op))
+			}
+		}
+		if bad {
+			br.Discard(decoded)
+			sess.Fail(ErrBadRequest)
+			return
+		}
+		br.Discard(nframes * ReqSize)
+	}
+}
+
+// execReadV2 is the executor-mode v2 reader: fixed-frame runs take the v1
+// burst path; KV frames are copied out of the read buffer (the executor
+// owns the bytes until completion) and submitted alongside. Unlike the
+// connection-owned loop, a KV request needs no pipeline barrier — the
+// session's reorder ring restores response order, so KV and fixed ops
+// overlap freely.
+func (s *Server) execReadV2(c net.Conn, br *bufio.Reader, sess *exec.Session, features uint16) {
+	var ops []core.Op // decoded fixed-frame run staging, reused
+	for {
+		s.armIdle(c)
+		head, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		switch op := OpCode(head[0]); {
+		case op < opCodeEnd:
+			if _, err := br.Peek(ReqSize); err != nil {
+				return
+			}
+			nframes := br.Buffered() / ReqSize
+			if nframes == 0 {
+				nframes = 1
+			}
+			burst, err := br.Peek(nframes * ReqSize)
+			if err != nil {
+				return
+			}
+			consumed := 0
+			ops = ops[:0]
+			for off := 0; off+ReqSize <= len(burst); off += ReqSize {
+				if b0 := OpCode(burst[off]); b0 >= opCodeEnd {
+					break // KV or garbage: outer loop re-dispatches
+				}
+				req, _ := DecodeRequest(burst[off : off+ReqSize])
+				ops = append(ops, reqToOp(req))
+				consumed = off + ReqSize
+			}
+			if err := sess.SubmitBatch(ops); err != nil {
+				return
+			}
+			if testFrameDecoded != nil {
+				for _, op := range ops {
+					testFrameDecoded(opToReq(op))
+				}
+			}
+			br.Discard(consumed)
+		case isKVOp(op) && features&FeatureKV != 0:
+			ns, klen, vlen, err := readKVHeader(br)
+			if err == errMalformedKVHeader {
+				sess.Fail(ErrBadRequest)
+				return
+			}
+			if err != nil {
+				return
+			}
+			// The executor holds the key/value bytes until the op
+			// completes, so each in-flight KV op owns its buffer.
+			payload := make([]byte, klen+vlen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return
+			}
+			kv := &exec.KVOp{Kind: kvKindOf(op), NS: ns, Key: payload[:klen]}
+			if vlen > 0 {
+				kv.Value = payload[klen:]
+			}
+			if err := sess.SubmitKV(kv); err != nil {
+				return
+			}
+		default:
+			sess.Fail(ErrBadRequest)
+			return
+		}
+	}
+}
+
+// kvKindOf maps a KV opcode onto the executor's op kind.
+func kvKindOf(op OpCode) exec.KVKind {
+	switch op {
+	case OpInsertKV:
+		return exec.KVInsert
+	case OpDeleteKV:
+		return exec.KVDelete
+	}
+	return exec.KVGet
+}
+
+// kvDoneToResp maps a completed executor KV op onto its wire response,
+// with the same status mapping as the connection-owned execKV path.
+func kvDoneToResp(kv *exec.KVOp) KVResponse {
+	if kv.Err != nil {
+		return KVResponse{Status: errToStatus(kv.Err)}
+	}
+	if !kv.OK {
+		return KVResponse{Status: StatusNotFound}
+	}
+	return KVResponse{Status: StatusOK, Value: kv.Out}
+}
+
+// opToReq maps a batch op back onto its wire request; used to feed the
+// test-only decode hook from the batched submit path.
+func opToReq(op core.Op) Request {
+	var o OpCode
+	switch op.Kind {
+	case core.OpGet:
+		o = OpGet
+	case core.OpPut:
+		o = OpPut
+	case core.OpInsert:
+		o = OpInsert
+	case core.OpDelete:
+		o = OpDelete
+	}
+	return Request{Op: o, Key: op.Key, Value: op.Value}
 }
 
 // reqToOp maps a wire request onto a batch op.

@@ -199,9 +199,11 @@ func TestMalformedFrameClosesConnection(t *testing.T) {
 }
 
 // TestHandleRecycling cycles far more connections than MaxThreads; without
-// Handle.Close recycling the server would run out of handles.
+// Handle.Close recycling the server would run out of handles. Handle churn
+// is a property of the goroutine-per-connection model (executor shards
+// hold their handles for the server's lifetime), so this pins ExecConn.
 func TestHandleRecycling(t *testing.T) {
-	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 4}, Options{Exec: ExecConn})
 	for i := 0; i < 64; i++ {
 		cl, err := Dial(s.Addr().String())
 		if err != nil {
@@ -219,7 +221,7 @@ func TestHandleRecycling(t *testing.T) {
 // and the connection is closed — after consuming the request, so the
 // response-matching rule holds.
 func TestBusyWhenHandlesExhausted(t *testing.T) {
-	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 2}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 2}, Options{Exec: ExecConn})
 	// Pin both handles with live connections.
 	for i := 0; i < 2; i++ {
 		cl := dialT(t, s)
@@ -247,7 +249,7 @@ func TestBusyWhenHandlesExhausted(t *testing.T) {
 // connection closes — the release notification wakes the waiter instead of
 // it sleep-polling (or giving up with StatusBusy).
 func TestAcquireHandleWaitsForRelease(t *testing.T) {
-	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 1}, Options{})
+	s := startServer(t, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 1}, Options{Exec: ExecConn})
 	cl1 := dialT(t, s)
 	if _, inserted, err := cl1.Insert(1, 42); err != nil || !inserted {
 		t.Fatalf("pin conn: inserted=%v err=%v", inserted, err)

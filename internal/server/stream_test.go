@@ -258,9 +258,10 @@ func TestClientFutures(t *testing.T) {
 
 // TestMaxBatchForcesPeriodicDrain: with MaxBatch set, a long burst is
 // drained and flushed every MaxBatch requests — the configured bound on
-// response latency — and still answers everything in order.
+// response latency — and still answers everything in order. MaxBatch only
+// applies to the goroutine-per-connection model, so this pins ExecConn.
 func TestMaxBatchForcesPeriodicDrain(t *testing.T) {
-	s := startServer(t, core.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16})
+	s := startServer(t, core.Config{Bins: 1 << 12, Resizable: true}, Options{MaxBatch: 16, Exec: ExecConn})
 	cl := dialT(t, s)
 	const n = 1000
 	reqs := make([]Request, 0, 2*n)

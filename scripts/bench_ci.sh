@@ -37,10 +37,21 @@ go test -bench='^Benchmark(Fig|Table|Op|Occupancy|CXL|Ablations)' \
 	echo "bench run failed (exit $status); not appending to $out" >&2
 	exit "$status"
 }
-go test -bench=. -benchtime=100ms -run='^$' ./internal/server >>"$tmp" 2>&1 || {
+go test -bench='^Benchmark(Pipelined|EncodeDecode)' -benchtime=100ms -run='^$' ./internal/server >>"$tmp" 2>&1 || {
 	status=$?
 	cat "$tmp"
 	echo "server bench run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
+# The sync-conns sweep is the executor's before/after record: conns
+# synchronous connections (one request in flight each) against the
+# goroutine-per-connection baseline and both executor routing modes. It
+# runs at 200ms separately from the smoke suite above because each mode
+# spins up and prepopulates its own out-of-LLC server.
+go test -bench='BenchmarkServerSyncConns' -benchtime=200ms -run='^$' ./internal/server >>"$tmp" 2>&1 || {
+	status=$?
+	cat "$tmp"
+	echo "sync-conns sweep failed (exit $status); not appending to $out" >&2
 	exit "$status"
 }
 # The sweeps run longer than the smoke suites: they are the before/after
@@ -67,6 +78,10 @@ grep -q 'BenchmarkExec/w=16/inlined/b=4096' "$tmp" || {
 }
 grep -q 'BenchmarkPipeline/w=16/inlined/b=4096' "$tmp" || {
 	echo "pipeline sweep missing its deep-batch case; not appending to $out" >&2
+	exit 1
+}
+grep -q 'BenchmarkServerSyncConns/exec=shared/conns=64' "$tmp" || {
+	echo "sync-conns sweep missing its 64-connection case; not appending to $out" >&2
 	exit 1
 }
 

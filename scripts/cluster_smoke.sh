@@ -1,13 +1,14 @@
 #!/bin/sh
 # cluster_smoke.sh — 3-shard sharded-cluster smoke for CI and local runs.
 #
-# Launches three dlht-server processes, drives them with
-# `dlht-loadgen -addrs` (the consistent-hashed Cluster Store) in both the
-# synchronous and the pipelined (-async) API shapes, and appends one JSON
-# line per invocation to BENCH_ci.json recording the measured throughputs:
+# Launches three dlht-server processes (shared-executor default), drives
+# them with `dlht-loadgen -addrs` (the consistent-hashed Cluster Store) in
+# the synchronous shape at two connection counts — 4, and the
+# many-small-clients regime at 64 — plus the pipelined (-async) shape, and
+# appends one JSON line per invocation to BENCH_ci.json:
 #
 #	{"commit":"...","date":"...","go":"...","cluster_smoke":
-#	  {"shards":3,"sync_mreqs":0.05,"async_mreqs":0.22}}
+#	  {"shards":3,"sync_mreqs":0.05,"sync64_mreqs":0.11,"async_mreqs":0.22}}
 #
 # Any loadgen error (transport failure, unexpected status, missing key)
 # fails the script, so this doubles as an end-to-end correctness gate for
@@ -25,6 +26,7 @@ gover=$(go env GOVERSION)
 
 bindir=$(mktemp -d)
 synclog="$bindir/sync.log"
+sync64log="$bindir/sync64.log"
 asynclog="$bindir/async.log"
 
 go build -o "$bindir/dlht-server" ./cmd/dlht-server
@@ -56,6 +58,17 @@ addrs=127.0.0.1:14141,127.0.0.1:14142,127.0.0.1:14143
 	exit "$status"
 }
 cat "$synclog"
+# The many-small-clients case: 64 synchronous connections, one request in
+# flight each — the regime the shared executor serves by aggregating the
+# fleet into per-shard pipelines.
+"$bindir/dlht-loadgen" -addrs "$addrs" -conns 64 -pipeline 1 \
+	-ops 200000 -keys 100000 -read-pct 50 -skip-load >"$sync64log" 2>&1 || {
+	status=$?
+	cat "$sync64log"
+	echo "sync conns=64 cluster run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
+cat "$sync64log"
 "$bindir/dlht-loadgen" -addrs "$addrs" -conns 4 -pipeline 64 \
 	-ops 200000 -keys 100000 -read-pct 50 -skip-load -async >"$asynclog" 2>&1 || {
 	status=$?
@@ -67,12 +80,13 @@ cat "$asynclog"
 
 # "throughput: 12.34 M reqs/s (...)" → 12.34
 sync_m=$(awk '/^throughput:/ {print $2}' "$synclog")
+sync64_m=$(awk '/^throughput:/ {print $2}' "$sync64log")
 async_m=$(awk '/^throughput:/ {print $2}' "$asynclog")
-[ -n "$sync_m" ] && [ -n "$async_m" ] || {
+[ -n "$sync_m" ] && [ -n "$sync64_m" ] && [ -n "$async_m" ] || {
 	echo "could not parse throughput; not appending to $out" >&2
 	exit 1
 }
 
-printf '{"commit":"%s","date":"%s","go":"%s","cluster_smoke":{"shards":3,"sync_mreqs":%s,"async_mreqs":%s}}\n' \
-	"$commit" "$stamp" "$gover" "$sync_m" "$async_m" >>"$out"
-echo "appended cluster smoke (sync=$sync_m M/s async=$async_m M/s) to $out"
+printf '{"commit":"%s","date":"%s","go":"%s","cluster_smoke":{"shards":3,"sync_mreqs":%s,"sync64_mreqs":%s,"async_mreqs":%s}}\n' \
+	"$commit" "$stamp" "$gover" "$sync_m" "$sync64_m" "$async_m" >>"$out"
+echo "appended cluster smoke (sync=$sync_m M/s sync64=$sync64_m M/s async=$async_m M/s) to $out"
