@@ -1,0 +1,215 @@
+// Command dlht-crash is the two halves of the crash-recovery smoke test
+// (scripts/crash_smoke.sh): a writer that hammers a durable dlht-server
+// through the pipelined Store surface while keeping a client-side oracle
+// of what was issued and what was acknowledged, and a verifier that
+// replays the oracle against the restarted server.
+//
+// The property under test is exactly the WAL's durability contract:
+//
+//	acked ≤ recovered ≤ issued   (per key)
+//
+// No acknowledged write may be lost across kill -9 (acked ≤ recovered),
+// and nothing may surface that was never sent (recovered ≤ issued).
+//
+// Writer: every key carries a monotone round counter as its value — round
+// 1 is an Insert, later rounds are Puts — so the recovered value of a key
+// IS the round the server durably applied, and the oracle needs only two
+// numbers per key. When the transport fails (the harness kill -9s the
+// server mid-burst) the writer dumps the oracle as JSON and exits 0; a
+// writer that is never interrupted exits 0 after -seconds with the oracle
+// marked clean.
+//
+// Usage:
+//
+//	dlht-crash -mode write  -addr tcp://127.0.0.1:4041 -oracle /tmp/oracle.json
+//	dlht-crash -mode verify -addr tcp://127.0.0.1:4041 -oracle /tmp/oracle.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	dlht "repro"
+)
+
+// keyState is one key's oracle entry. Rounds are monotone from 1; 0 means
+// "never".
+type keyState struct {
+	// Issued is the highest round submitted (possibly unacknowledged).
+	Issued uint64 `json:"issued"`
+	// Acked is the highest round whose response arrived. The server must
+	// not lose it, ever.
+	Acked uint64 `json:"acked"`
+}
+
+// oracle is the writer's dump, keyed by decimal key id.
+type oracle struct {
+	// Clean is true when the writer finished its time budget without a
+	// transport error — i.e. the harness never killed the server.
+	Clean bool                `json:"clean"`
+	Keys  map[string]keyState `json:"keys"`
+}
+
+func main() {
+	var (
+		mode    = flag.String("mode", "", "write or verify")
+		addr    = flag.String("addr", "tcp://127.0.0.1:4040", "server spec for dlht.Open")
+		oraPath = flag.String("oracle", "", "oracle JSON file (written by -mode write, read by -mode verify)")
+		keys    = flag.Int("keys", 512, "distinct keys in the workload")
+		window  = flag.Int("window", 64, "pipe window (write mode)")
+		seconds = flag.Int("seconds", 60, "write mode gives up cleanly after this long without a crash")
+		seed    = flag.Int64("seed", 1, "workload PRNG seed")
+	)
+	flag.Parse()
+	if *oraPath == "" {
+		log.Fatal("-oracle is required")
+	}
+	switch *mode {
+	case "write":
+		runWrite(*addr, *oraPath, *keys, *window, *seconds, *seed)
+	case "verify":
+		runVerify(*addr, *oraPath)
+	default:
+		log.Fatalf("unknown -mode %q (want write or verify)", *mode)
+	}
+}
+
+func runWrite(addr, oraPath string, keys, window, seconds int, seed int64) {
+	s, err := dlht.Open(addr, dlht.WithClientOpts(dlht.ClientOpts{
+		ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second,
+	}))
+	if err != nil {
+		log.Fatalf("open %s: %v", addr, err)
+	}
+	state := make([]keyState, keys+1) // 1-based
+	p, err := s.Pipe(dlht.PipeOpts{Window: window, OnComplete: func(c dlht.Completion) {
+		if c.Err != nil || !c.OK {
+			return // unacknowledged; the oracle's lower bound stays put
+		}
+		ks := &state[c.Key]
+		switch c.Kind {
+		case dlht.OpInsert:
+			if ks.Acked < 1 {
+				ks.Acked = 1
+			}
+		case dlht.OpPut:
+			// Completion.Value is the overwritten (previous) value, so the
+			// round just made durable is one past it.
+			if r := c.Value + 1; r > ks.Acked {
+				ks.Acked = r
+			}
+		}
+	}})
+	if err != nil {
+		log.Fatalf("pipe: %v", err)
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	deadline := time.Now().Add(time.Duration(seconds) * time.Second)
+	clean := false
+	ops := 0
+	for {
+		if time.Now().After(deadline) {
+			// Never crashed; flush so acked catches up, then dump clean.
+			if err := p.Flush(); err == nil {
+				clean = true
+			}
+			break
+		}
+		k := uint64(r.Intn(keys)) + 1
+		ks := &state[k]
+		round := ks.Issued + 1
+		// Count the round as issued before touching the transport: an
+		// enqueue that fails can still have pushed the op onto the wire, so
+		// recording after the fact would undercount the upper bound.
+		ks.Issued = round
+		var werr error
+		if round == 1 {
+			werr = p.Insert(k, round)
+		} else {
+			werr = p.Put(k, round)
+		}
+		if werr != nil {
+			break // transport down: the crash happened mid-burst
+		}
+		if ops++; ops%499 == 0 {
+			if err := p.Flush(); err != nil {
+				break
+			}
+		}
+	}
+
+	dump := oracle{Clean: clean, Keys: make(map[string]keyState, keys)}
+	for k := 1; k <= keys; k++ {
+		if state[k].Issued > 0 {
+			dump.Keys[fmt.Sprint(k)] = state[k]
+		}
+	}
+	f, err := os.Create(oraPath)
+	if err != nil {
+		log.Fatalf("oracle: %v", err)
+	}
+	if err := json.NewEncoder(f).Encode(&dump); err != nil {
+		log.Fatalf("oracle: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("oracle: %v", err)
+	}
+	log.Printf("writer done: %d ops issued over %d keys (clean=%v)", ops, len(dump.Keys), clean)
+}
+
+func runVerify(addr, oraPath string) {
+	raw, err := os.ReadFile(oraPath)
+	if err != nil {
+		log.Fatalf("oracle: %v", err)
+	}
+	var ora oracle
+	if err := json.Unmarshal(raw, &ora); err != nil {
+		log.Fatalf("oracle: %v", err)
+	}
+	s, err := dlht.Open(addr, dlht.WithClientOpts(dlht.ClientOpts{
+		ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second,
+	}))
+	if err != nil {
+		log.Fatalf("open %s: %v", addr, err)
+	}
+	defer s.Close()
+
+	bad := 0
+	var checked, ackedTotal, recoveredTotal int
+	for id, ks := range ora.Keys {
+		var k uint64
+		if _, err := fmt.Sscan(id, &k); err != nil {
+			log.Fatalf("oracle key %q: %v", id, err)
+		}
+		v, ok, err := s.Get(k)
+		if err != nil {
+			log.Fatalf("Get %d: %v", k, err)
+		}
+		recovered := uint64(0)
+		if ok {
+			recovered = v
+		}
+		if recovered < ks.Acked {
+			log.Printf("LOST ACKED WRITE: key %d recovered round %d < acked %d", k, recovered, ks.Acked)
+			bad++
+		}
+		if recovered > ks.Issued {
+			log.Printf("PHANTOM WRITE: key %d recovered round %d > issued %d", k, recovered, ks.Issued)
+			bad++
+		}
+		checked++
+		ackedTotal += int(ks.Acked)
+		recoveredTotal += int(recovered)
+	}
+	if bad > 0 {
+		log.Fatalf("verify FAILED: %d violations over %d keys", bad, checked)
+	}
+	log.Printf("verify OK: %d keys, acked rounds %d, recovered rounds %d (clean=%v)",
+		checked, ackedTotal, recoveredTotal, ora.Clean)
+}

@@ -11,6 +11,12 @@
 // Tables in kv mode (Allocator, VariableKV, Namespaces) serve the
 // variable-length KV frames.
 //
+// Any table can be durable: -durable DIR backs the default table with a
+// group-commit WAL in DIR, and a -tables entry takes a durable=DIR
+// segment (name:kv:durable=/path). Durable tables recover their state
+// from the directory on startup and withhold each response until a group
+// commit covers its mutation, so an acknowledged write survives kill -9.
+//
 // Requests execute on the shared sharded executor by default (-exec
 // shared): connection readers enqueue decoded frames into per-core
 // executor shards, each owning one table handle and a long-lived pipeline,
@@ -24,7 +30,8 @@
 //
 //	dlht-server -addr :4040 -bins 1048576 -window 16 \
 //	    -exec shared -pprof 127.0.0.1:6060 \
-//	    -tables users:kv,sessions:inlined -idle-timeout 5m
+//	    -tables users:kv:durable=/var/lib/dlht/users,sessions:inlined \
+//	    -idle-timeout 5m
 package main
 
 import (
@@ -50,7 +57,8 @@ func main() {
 		maxThreads = flag.Int("max-threads", 4096, "max concurrent connections per table (table handles)")
 		hashName   = flag.String("hash", "modulo", "bin hash: modulo|wy|xx|murmur3|fnv1a")
 		window     = flag.Int("window", 0, "prefetch window of the per-connection pipeline (0 or <0 = default 16; the full-batch baseline has no streaming analogue)")
-		tables     = flag.String("tables", "", "extra named tables, comma-separated name[:mode] entries with mode inlined (default) or kv (Allocator, variable KV, namespaces)")
+		tables     = flag.String("tables", "", "extra named tables, comma-separated name[:mode][:durable=dir] entries with mode inlined (default) or kv (Allocator, variable KV, namespaces); durable=dir backs the table with a group-commit WAL in dir")
+		durableDir = flag.String("durable", "", "back the default table with a group-commit WAL in this directory (empty = RAM only)")
 		idle       = flag.Duration("idle-timeout", 0, "close connections idle (unreadable or unwritable) for this long; 0 disables")
 		execName   = flag.String("exec", "shared", "execution model: shared (sharded executor), partitioned (executor with key-hash routing), conn (goroutine per connection)")
 		execShards = flag.Int("exec-shards", 0, "executor shards per table (0 = GOMAXPROCS; ignored with -exec=conn)")
@@ -91,43 +99,83 @@ func main() {
 	default:
 		log.Fatalf("unknown -hash %q", *hashName)
 	}
-	tbl, err := dlht.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	// Durable stores stay open past server.Close (connections gate their
+	// last responses on the log); they are closed, in order, on the way out.
+	var durables []*dlht.DurableStore
+	openDurable := func(what, dir string, tcfg dlht.Config) *dlht.DurableStore {
+		ds, err := dlht.OpenDurable(dir, tcfg, dlht.WALOptions{})
+		if err != nil {
+			log.Fatalf("%s: open durable dir %s: %v", what, dir, err)
+		}
+		rs := ds.RecoverStats()
+		log.Printf("%s: recovered %s (snapshot: %d records; log: %d segments, %d records; torn tail: %d bytes truncated)",
+			what, dir, rs.SnapshotRecords, rs.Segments, rs.Records, rs.TornBytes)
+		durables = append(durables, ds)
+		return ds
+	}
+
+	var tbl *dlht.Table
+	var defaultDS *dlht.DurableStore
+	if *durableDir != "" {
+		defaultDS = openDurable("default table", *durableDir, cfg)
+		tbl = defaultDS.Table()
+	} else {
+		var err error
+		tbl, err = dlht.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	s := server.New(tbl, server.Options{
 		MaxBatch: *maxBatch, IdleTimeout: *idle,
 		Exec: execMode, ExecShards: *execShards,
 	})
+	if defaultDS != nil {
+		if err := s.AddDurable(server.DefaultTable, defaultDS); err != nil {
+			log.Fatal(err)
+		}
+	}
 	names := []string{"(default)"}
 	if *tables != "" {
 		for _, spec := range strings.Split(*tables, ",") {
-			name, mode, _ := strings.Cut(spec, ":")
+			parts := strings.Split(spec, ":")
+			name := parts[0]
 			if name == "" {
 				log.Fatalf("bad -tables entry %q: empty name", spec)
 			}
-			tcfg := cfg
-			switch mode {
-			case "", "inlined":
-			case "kv":
-				tcfg.Mode = dlht.Allocator
-				tcfg.VariableKV = true
-				tcfg.Namespaces = true
-				// Epoch GC keeps a GetKV value view stable while it is
-				// copied into a response, even against a concurrent
-				// DeleteKV from another connection; the serve loop
-				// refreshes each connection's epoch periodically.
-				tcfg.EpochGC = true
-			default:
-				log.Fatalf("bad -tables entry %q: unknown mode %q (want inlined or kv)", spec, mode)
+			tcfg, dir := cfg, ""
+			for _, p := range parts[1:] {
+				switch {
+				case p == "inlined":
+				case p == "kv":
+					tcfg.Mode = dlht.Allocator
+					tcfg.VariableKV = true
+					tcfg.Namespaces = true
+					// Epoch GC keeps a GetKV value view stable while it is
+					// copied into a response, even against a concurrent
+					// DeleteKV from another connection; the serve loop
+					// refreshes each connection's epoch periodically.
+					tcfg.EpochGC = true
+				case strings.HasPrefix(p, "durable="):
+					dir = strings.TrimPrefix(p, "durable=")
+				default:
+					log.Fatalf("bad -tables entry %q: unknown segment %q (want inlined, kv or durable=dir)", spec, p)
+				}
 			}
-			nt, err := dlht.New(tcfg)
-			if err != nil {
-				log.Fatalf("table %s: %v", name, err)
-			}
-			if err := s.AddTable(name, nt); err != nil {
-				log.Fatalf("table %s: %v", name, err)
+			if dir != "" {
+				ds := openDurable("table "+name, dir, tcfg)
+				if err := s.AddDurable(name, ds); err != nil {
+					log.Fatalf("table %s: %v", name, err)
+				}
+			} else {
+				nt, err := dlht.New(tcfg)
+				if err != nil {
+					log.Fatalf("table %s: %v", name, err)
+				}
+				if err := s.AddTable(name, nt); err != nil {
+					log.Fatalf("table %s: %v", name, err)
+				}
 			}
 			names = append(names, spec)
 		}
@@ -145,6 +193,13 @@ func main() {
 		*addr, *bins, *resizable, execMode, *maxBatch, *window, *idle, strings.Join(names, ","))
 	if err := s.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
 		log.Fatal(err)
+	}
+	// Server.Close has drained every connection; now seal the logs so the
+	// final state is recoverable from a clean tail.
+	for _, ds := range durables {
+		if err := ds.Close(); err != nil {
+			log.Printf("closing durable store: %v", err)
+		}
 	}
 	st := tbl.Stats()
 	log.Printf("final: %d/%d slots occupied (%.1f%%), %d resizes",

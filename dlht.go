@@ -75,21 +75,34 @@
 // the protocol's request/response matching rule. Connection-scoped handles
 // are recycled via Handle.Close.
 //
-// # One API over local, remote, and sharded tables
+// # One API over local, remote, sharded, and durable tables
 //
 // Store is the backend-independent surface: the synchronous ops
 // (Get/Put/Insert/Delete) plus the completion-driven pipelined surface
-// (Store.Pipe). Three backends implement it:
+// (Store.Pipe). Four backends implement it, all reachable through one
+// spec-string entry point:
 //
-//	s, _ := table.Store()                  // in-process (a Handle adapter)
-//	s, _ := dlht.Dial("host:4040")         // one dlht-server (protocol v2)
-//	s, _ := dlht.DialCluster(addrs, opts)  // N servers, consistent-hashed
+//	s, _ := dlht.Open("mem:")                        // in-process (a Handle adapter)
+//	s, _ := dlht.Open("tcp://host:4040/users")       // one dlht-server (protocol v2)
+//	s, _ := dlht.Open("cluster:a:4040,b:4040")       // N servers, consistent-hashed
+//	s, _ := dlht.Open("wal:/var/lib/dlht/users")     // durable (group-commit WAL)
 //
 // Workload drivers written against Store run unmodified whether the table
-// is local, behind one socket, or sharded across a cluster; completions
-// preserve enqueue order per backend shard (and therefore per-key program
-// order everywhere). Remote errors map back onto the same sentinels local
-// tables return, so errors.Is-based handling is backend-independent.
+// is volatile or durable, local, behind one socket, or sharded across a
+// cluster; completions preserve enqueue order per backend shard (and
+// therefore per-key program order everywhere). Remote errors map back onto
+// the same sentinels local tables return, so errors.Is-based handling is
+// backend-independent; Open's own failures wrap ErrBadSpec or the
+// backend's dial error. The concrete constructors (Table.Store, Dial,
+// DialTable, NewCluster, DialCluster, OpenDurable) remain for callers that
+// want a wider concrete surface than the Store interface.
+//
+// The wal: backend executes every mutation in memory first and appends a
+// CRC-framed redo record; the synchronous ops return — and pipelined
+// completions fire — only once a group commit (one fsync covering
+// everything staged while the previous fsync was in flight) covers their
+// record. See the README's "Durability" section for the on-disk format and
+// recovery semantics.
 //
 // The wire protocol is versioned: Dial and DialCluster speak v2 (a
 // handshake with a table selector and variable-length KV frames for
@@ -241,8 +254,9 @@ func NewArena() alloc.Allocator { return alloc.NewArena() }
 func NewNaiveAllocator() alloc.Allocator { return alloc.NewNaive() }
 
 // Dial connects to a dlht-server at addr (protocol v2, default table) and
-// returns it as a Store. The concrete type is *Client; use DialTable for a
-// named table, timeouts, or direct access to the client's wider surface.
+// returns it as a Store — an alias of Open("tcp://"+addr). The concrete
+// type is *Client; use DialTable for a named table, timeouts, or direct
+// access to the client's wider surface.
 func Dial(addr string) (Store, error) {
 	cl, err := server.DialV2(addr, server.ClientOpts{})
 	if err != nil {
@@ -253,7 +267,9 @@ func Dial(addr string) (Store, error) {
 }
 
 // DialTable connects to a dlht-server with explicit client options —
-// table selector, feature set, read/write deadlines.
+// table selector, feature set, read/write deadlines. It is the
+// concrete-typed form of Open("tcp://host:port/table",
+// WithClientOpts(opts)).
 func DialTable(addr string, opts ClientOpts) (*Client, error) {
 	return server.DialV2(addr, opts)
 }
@@ -267,7 +283,8 @@ func NewCluster(names []string, stores []Store, opts ClusterOpts) (*Cluster, err
 
 // DialCluster opens one pipelined protocol-v2 connection per address and
 // consistent-hashes keys across them; the address list is the ring
-// identity, so routing is stable across reconnects.
+// identity, so routing is stable across reconnects. It is the
+// concrete-typed form of Open("cluster:a,b,c", WithClusterOpts(opts)).
 func DialCluster(addrs []string, opts ClusterOpts) (*Cluster, error) {
 	return cluster.Dial(addrs, opts)
 }

@@ -85,6 +85,128 @@ func (t *Table) collectBin(ix *index, b uint64, out []Entry, depth int) []Entry 
 	}
 }
 
+// KVEntry is one namespace/key/value triple produced by RangeKV. The byte
+// slices are private copies owned by the callback.
+type KVEntry struct {
+	NS    uint16
+	Key   []byte
+	Value []byte
+}
+
+// RangeKV is Range for Allocator-mode tables: it iterates over all live
+// out-of-line pairs, calling fn with the namespace and private copies of
+// the key and value bytes until fn returns false. The same weak
+// consistency as Range applies, and each bin's entries are copied inside
+// its seqlock window, so a pair deleted (and its block reclaimed)
+// mid-read is discarded and retried rather than observed torn. Returns
+// ErrWrongMode outside Allocator mode.
+func (h *Handle) RangeKV(fn func(ns uint16, key, val []byte) bool) error {
+	t := h.t
+	if t.cfg.Mode != Allocator {
+		return ErrWrongMode
+	}
+	ix := h.enter()
+	defer h.leave()
+	var buf []KVEntry
+	for b := uint64(0); b < ix.numBins; b++ {
+		buf = t.collectBinKV(ix, b, buf[:0], 0)
+		for i := range buf {
+			if !fn(buf[i].NS, buf[i].Key, buf[i].Value) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// collectBinKV gathers bin b's live KV pairs with seqlock validation,
+// copying key and value bytes before the final header check so a
+// concurrent delete-and-reuse of a block forces a retry instead of a torn
+// copy. Block reads racing a free are safe — the arena keeps the memory
+// mapped (see scanBinKV) — but their contents are untrusted until the
+// header validates, so block-derived lengths are bounds-checked before
+// use.
+func (t *Table) collectBinKV(ix *index, b uint64, out []KVEntry, depth int) []KVEntry {
+	maxBlock := t.cfg.Alloc.MaxAlloc()
+	if maxBlock <= 0 {
+		maxBlock = 64 << 20
+	}
+	hdrAddr := ix.headerAddr(b)
+	for attempt := 0; ; attempt++ {
+		hdr := atomic.LoadUint64(hdrAddr)
+		switch binState(hdr) {
+		case binInTransfer:
+			ix.waitBinTransferred(b)
+			continue
+		case binDoneTransfer:
+			if depth > 8 {
+				return out
+			}
+			nx := ix.nextIndex()
+			factor := nx.numBins / ix.numBins
+			if factor == 0 {
+				factor = 1
+			}
+			for j := uint64(0); j < factor; j++ {
+				out = t.collectBinKV(nx, b+j*ix.numBins, out, depth+1)
+			}
+			return out
+		}
+		meta := atomic.LoadUint64(ix.linkMetaAddr(b))
+		limit := slotLimit(meta)
+		start := len(out)
+		sane := true
+		for i := 0; i < limit && sane; i++ {
+			if slotState(hdr, i) != slotValid {
+				continue
+			}
+			kw, vw := ix.loadSlot(b, meta, i)
+			code := keyCodeOf(vw)
+			ref := refOf(vw)
+			var key, val []byte
+			if code != bigKeyCode {
+				if code == 0 {
+					sane = false // torn slot pair; header check will retry
+					break
+				}
+				key = make([]byte, code)
+				for j := range key {
+					key[j] = byte(kw >> (8 * uint(j)))
+				}
+			}
+			hasHdr := t.cfg.VariableKV || code == bigKeyCode
+			if !hasHdr {
+				val = append([]byte(nil), t.cfg.Alloc.Bytes(ref, t.cfg.ValueSize)...)
+			} else {
+				bh := t.cfg.Alloc.Bytes(ref, kvBlockHeader)
+				klen := int(getU32(bh[0:]))
+				vlen := int(getU32(bh[4:]))
+				if klen <= 0 || vlen < 0 || klen+vlen+kvBlockHeader > maxBlock {
+					sane = false
+					break
+				}
+				valOff := kvBlockHeader
+				if klen > 8 {
+					valOff += klen
+				}
+				blk := t.cfg.Alloc.Bytes(ref, valOff+vlen)
+				if code == bigKeyCode {
+					key = append([]byte(nil), blk[kvBlockHeader:kvBlockHeader+klen]...)
+				}
+				val = append([]byte(nil), blk[valOff:]...)
+			}
+			out = append(out, KVEntry{NS: nsOf(vw), Key: key, Value: val})
+		}
+		if sane && atomic.LoadUint64(hdrAddr) == hdr {
+			return out
+		}
+		out = out[:start]
+		if attempt > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // Snapshot returns a strongly consistent copy of all entries. It requires
 // Config.StrongSnapshots and blocks all mutating operations (but not Gets)
 // while it runs, matching the paper's "temporarily stalls updates"

@@ -269,19 +269,27 @@ func (h *Handle) UpdateKV(ns uint16, key []byte, fn func(val []byte)) bool {
 // present, ErrFull when out of room on a non-resizable table, ErrValueSize
 // on fixed-size tables with a mismatched value.
 func (h *Handle) InsertKV(ns uint16, key, val []byte) error {
+	return h.InsertKVHashed(ns, key, val, h.t.HashOfKV(ns, key))
+}
+
+// InsertKVHashed is InsertKV with the key's hash — as returned by
+// Table.HashOfKV — precomputed by the caller. Routing layers that already
+// hashed the key to pick a shard pass the hash down instead of paying it
+// again; the hash stays valid across resizes (only the modulus changes).
+func (h *Handle) InsertKVHashed(ns uint16, key, val []byte, hash uint64) error {
 	t := h.t
 	if err := t.checkKV(ns, key, val, true); err != nil {
 		return err
 	}
 	t.beginUpdate()
 	ix := h.enter()
-	err := t.insertKVIn(h, ix, ns, key, val)
+	err := t.insertKVIn(h, ix, ns, key, val, hash)
 	h.leave()
 	t.endUpdate()
 	return err
 }
 
-func (t *Table) insertKVIn(h *Handle, ix *index, ns uint16, key, val []byte) error {
+func (t *Table) insertKVIn(h *Handle, ix *index, ns uint16, key, val []byte, hash uint64) error {
 	wantKW := inlineKeyWord(key)
 	wantCode := keyCodeFor(key)
 	// The block is allocated once and reused across retries; freed on any
@@ -295,7 +303,7 @@ func (t *Table) insertKVIn(h *Handle, ix *index, ns uint16, key, val []byte) err
 	}
 indexLoop:
 	for {
-		b := t.binForKV(ix, key, ns)
+		b := hash % ix.numBins
 		for {
 			hdrAddr := ix.headerAddr(b)
 			hdr := atomic.LoadUint64(hdrAddr)
@@ -387,23 +395,29 @@ func (t *Table) finalizeInsertKV(ix *index, b uint64, i int, wantKW uint64, want
 // DeleteKV removes key under namespace ns, reclaiming the slot instantly
 // and the out-of-line block immediately or via the epoch GC.
 func (h *Handle) DeleteKV(ns uint16, key []byte) bool {
+	return h.DeleteKVHashed(ns, key, h.t.HashOfKV(ns, key))
+}
+
+// DeleteKVHashed is DeleteKV with the key's hash — as returned by
+// Table.HashOfKV — precomputed by the caller; see InsertKVHashed.
+func (h *Handle) DeleteKVHashed(ns uint16, key []byte, hash uint64) bool {
 	t := h.t
 	if err := t.checkKV(ns, key, nil, false); err != nil {
 		panic(err)
 	}
 	t.beginUpdate()
 	ix := h.enter()
-	ok := t.deleteKVIn(h, ix, ns, key)
+	ok := t.deleteKVIn(h, ix, ns, key, hash)
 	h.leave()
 	t.endUpdate()
 	return ok
 }
 
-func (t *Table) deleteKVIn(h *Handle, ix *index, ns uint16, key []byte) bool {
+func (t *Table) deleteKVIn(h *Handle, ix *index, ns uint16, key []byte, hash uint64) bool {
 	wantKW := inlineKeyWord(key)
 	wantCode := keyCodeFor(key)
 	for {
-		b := t.binForKV(ix, key, ns)
+		b := hash % ix.numBins
 		for {
 			hdrAddr := ix.headerAddr(b)
 			hdr := atomic.LoadUint64(hdrAddr)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestKVHashedVariants: the Hashed mutation forms are exactly their
+// hashing counterparts when fed Table.HashOfKV, including across a resize
+// (the memoized hash only changes modulus).
+func TestKVHashedVariants(t *testing.T) {
+	tb, h := newKV(t, Config{Bins: 8, VariableKV: true, Resizable: true})
+	defer h.Close()
+	const n = 2000 // force several resizes from 8 bins
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%d-with-some-length", i)) }
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
+		if err := h.InsertKVHashed(0, k, []byte{byte(i)}, tb.HashOfKV(0, k)); err != nil {
+			t.Fatalf("InsertKVHashed %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
+		if v, ok := h.GetKV(0, k); !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("GetKV %d = %x,%v", i, v, ok)
+		}
+	}
+	if err := h.InsertKVHashed(0, keyOf(7), nil, tb.HashOfKV(0, keyOf(7))); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate InsertKVHashed: %v", err)
+	}
+	for i := 0; i < n; i += 2 {
+		k := keyOf(i)
+		if !h.DeleteKVHashed(0, k, tb.HashOfKV(0, k)) {
+			t.Fatalf("DeleteKVHashed %d missed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := h.GetKV(0, keyOf(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	if h.DeleteKVHashed(0, keyOf(0), tb.HashOfKV(0, keyOf(0))) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestKVPipelineMutations: pipeline mutations barrier the in-flight reads
+// (completions fire before the mutation applies) and land through the
+// hashed path.
+func TestKVPipelineMutations(t *testing.T) {
+	tb, h := newKV(t, Config{Bins: 64, VariableKV: true, Resizable: true})
+	defer h.Close()
+	var completed []string
+	pl := h.KVPipeline(KVPipelineOpts{Window: 8, OnComplete: func(g *KVGet) {
+		completed = append(completed, fmt.Sprintf("%s=%s,%v", g.Key, g.Value, g.OK))
+	}})
+	defer pl.Close()
+
+	if err := pl.Insert(0, []byte("a"), []byte("1")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := pl.InsertHashed(0, []byte("b"), []byte("2"), tb.HashOfKV(0, []byte("b"))); err != nil {
+		t.Fatalf("InsertHashed: %v", err)
+	}
+	// Enqueue reads, then mutate: the mutation must flush them first.
+	pl.Get(0, []byte("a"))
+	pl.Get(0, []byte("b"))
+	if err := pl.PutHashed(0, []byte("a"), []byte("one"), tb.HashOfKV(0, []byte("a"))); err != nil {
+		t.Fatalf("PutHashed: %v", err)
+	}
+	if len(completed) != 2 || completed[0] != "a=1,true" || completed[1] != "b=2,true" {
+		t.Fatalf("reads did not complete before the mutation: %q", completed)
+	}
+	if v, ok := h.GetKV(0, []byte("a")); !ok || string(v) != "one" {
+		t.Fatalf("after PutHashed: %q,%v", v, ok)
+	}
+	// Put on an absent key inserts.
+	if err := pl.Put(0, []byte("c"), []byte("3")); err != nil {
+		t.Fatalf("Put insert: %v", err)
+	}
+	if v, ok := h.GetKV(0, []byte("c")); !ok || string(v) != "3" {
+		t.Fatalf("Put-inserted: %q,%v", v, ok)
+	}
+	if !pl.DeleteHashed(0, []byte("b"), tb.HashOfKV(0, []byte("b"))) {
+		t.Fatal("DeleteHashed missed")
+	}
+	if pl.Delete(0, []byte("b")) {
+		t.Fatal("second Delete succeeded")
+	}
+	if err := pl.Insert(0, []byte("a"), []byte("dup")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate pipeline Insert: %v", err)
+	}
+}

@@ -402,6 +402,9 @@ func (t *Table) Handle() (*Handle, error) {
 	return h, nil
 }
 
+// Table returns the table this handle operates on.
+func (h *Handle) Table() *Table { return h.t }
+
 // MustHandle is Handle that panics on exhaustion.
 func (t *Table) MustHandle() *Handle {
 	h, err := t.Handle()

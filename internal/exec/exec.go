@@ -42,9 +42,9 @@
 // one lock, and shards deliver completions to sessions in contiguous
 // per-session runs. The routing hash of a fixed op is computed once, at
 // submission, and handed to the shard's pipeline via
-// Pipeline.EnqueueHashed (KVPipeline.GetHashed for partitioned KV reads),
-// so routing and bin mapping share one hash; KV mutations rehash inside
-// the core KV surface.
+// Pipeline.EnqueueHashed (KVPipeline.GetHashed / InsertHashed /
+// DeleteHashed for partitioned KV ops), so routing and bin mapping share
+// one hash.
 package exec
 
 import (
@@ -111,6 +111,30 @@ type Options struct {
 	// budget is admitted when it is the only one in flight.
 	SessionKVInflight int
 	SessionKVBytes    int
+	// WAL, when non-nil, makes shards append every effective mutation to
+	// the durable table's redo log and stamp the sequence into the op's
+	// Done, so consumers can gate acknowledgements on group commits.
+	WAL WAL
+}
+
+// WAL is the executor's hook into a durable table's redo log (*wal.Log
+// implements it; an interface here keeps exec free of the wal package).
+// When set, every effective mutation a shard completes is appended and its
+// Done carries the log sequence; the connection writer gates its wire
+// flush on SyncWait so no response reaches the socket before the covering
+// group commit. Appends from shard goroutines are safe — the log is
+// multi-producer.
+type WAL interface {
+	// LogOp appends the redo record of an effective fixed mutation,
+	// returning its sequence; returns 0 for ops that need no record
+	// (reads, misses, failed inserts).
+	LogOp(op *core.Op) (uint64, error)
+	// LogKVInsert and LogKVDelete append Allocator-mode records.
+	LogKVInsert(ns uint16, key, val []byte) (uint64, error)
+	LogKVDelete(ns uint16, key []byte) (uint64, error)
+	// SyncWait blocks until a group commit covers seq (0 is an error
+	// check: it returns immediately with the log's sticky failure if any).
+	SyncWait(seq uint64) error
 }
 
 // kvEpochEvery is how many KV requests a shard serves between epoch
@@ -124,6 +148,7 @@ const kvEpochEvery = 1 << 10
 type Executor struct {
 	tbl     *core.Table
 	mode    Mode
+	wal     WAL
 	shards  []*shard
 	sessW   int
 	kvOps   int // per-session in-flight KV op bound
@@ -161,7 +186,7 @@ func New(tbl *core.Table, opts Options) (*Executor, error) {
 	if kvBytes <= 0 {
 		kvBytes = 8 << 20
 	}
-	e := &Executor{tbl: tbl, mode: opts.Mode, sessW: sessW, kvOps: kvOps, kvBytes: kvBytes}
+	e := &Executor{tbl: tbl, mode: opts.Mode, wal: opts.WAL, sessW: sessW, kvOps: kvOps, kvBytes: kvBytes}
 	handles := make([]*core.Handle, 0, n)
 	for i := 0; i < n; i++ {
 		h, err := tbl.Handle()
@@ -328,10 +353,11 @@ type shard struct {
 // Staging lets the shard post a whole batch's completions with one
 // session lock per contiguous same-session run instead of one per op.
 type doneEntry struct {
-	sess *Session
-	seq  uint64
-	op   core.Op
-	kv   *KVOp
+	sess   *Session
+	seq    uint64
+	walSeq uint64 // redo-log sequence of the op's record (0: none)
+	op     core.Op
+	kv     *KVOp
 }
 
 func newShard(e *Executor, id int, h *core.Handle, window, ring int) *shard {
@@ -513,16 +539,39 @@ func (sh *shard) exec(it *item) {
 }
 
 // completeFixed is the fixed-op pipeline's completion callback: pop the
-// oldest tag (completions fire in enqueue order) and stage the result for
-// the next delivery.
+// oldest tag (completions fire in enqueue order), append the durable
+// table's redo record, and stage the result for the next delivery. An
+// append failure surfaces as the op's error — it executed in memory but
+// its durability can no longer be promised.
 func (sh *shard) completeFixed(op *core.Op) {
 	t := sh.tags.pop()
-	sh.pending = append(sh.pending, doneEntry{sess: t.sess, seq: t.seq, op: *op})
+	var wseq uint64
+	if w := sh.e.wal; w != nil {
+		var err error
+		if wseq, err = w.LogOp(op); err != nil {
+			op.OK, op.Err = false, err
+		}
+	}
+	sh.pending = append(sh.pending, doneEntry{sess: t.sess, seq: t.seq, walSeq: wseq, op: *op})
+}
+
+// ensureKVP lazily builds the shard's KVPipeline (Allocator tables only).
+func (sh *shard) ensureKVP() *core.KVPipeline {
+	if sh.kvp == nil {
+		sh.kvp = sh.h.KVPipeline(core.KVPipelineOpts{Window: sh.kvpW, OnComplete: sh.completeKV})
+		sh.kvTags.init(sh.kvp.Window() + 2)
+	}
+	return sh.kvp
 }
 
 // execKV runs one variable-length op. Reads stream through the shard's
-// KVPipeline (two-level bin+block prefetch); mutations flush it first so
-// per-key read-then-write order holds, then execute synchronously.
+// KVPipeline (two-level bin+block prefetch); mutations go through the
+// pipeline's mutation surface, which barriers in-flight reads so per-key
+// read-then-write order holds. In Partitioned mode the routing hash
+// SubmitKV computed doubles as the bin-mapping hash — reads and mutations
+// both take the Hashed path, so a partitioned KV op hashes exactly once.
+// Effective mutations of a durable table are appended to the redo log and
+// their Done carries the sequence.
 func (sh *shard) execKV(it *item) {
 	kv := it.kv
 	t := sh.e.tbl
@@ -531,32 +580,39 @@ func (sh *shard) execKV(it *item) {
 		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
 		return
 	}
+	var wseq uint64
 	switch kv.Kind {
 	case KVGet:
-		if sh.kvp == nil {
-			sh.kvp = sh.h.KVPipeline(core.KVPipelineOpts{Window: sh.kvpW, OnComplete: sh.completeKV})
-			sh.kvTags.init(sh.kvp.Window() + 2)
-		}
+		kvp := sh.ensureKVP()
 		sh.kvTags.push(tag{sess: it.sess, seq: it.seq, kv: kv})
 		if sh.e.mode == Partitioned {
-			// it.hash is the routing hash SubmitKV already computed.
-			sh.kvp.GetHashed(kv.NS, kv.Key, it.hash)
+			kvp.GetHashed(kv.NS, kv.Key, it.hash)
 		} else {
-			sh.kvp.Get(kv.NS, kv.Key)
+			kvp.Get(kv.NS, kv.Key)
 		}
 	case KVInsert:
-		if sh.kvp != nil && sh.kvp.InFlight() > 0 {
-			sh.kvp.Flush()
+		kvp := sh.ensureKVP()
+		if sh.e.mode == Partitioned {
+			kv.Err = kvp.InsertHashed(kv.NS, kv.Key, kv.Value, it.hash)
+		} else {
+			kv.Err = kvp.Insert(kv.NS, kv.Key, kv.Value)
 		}
-		kv.Err = sh.h.InsertKV(kv.NS, kv.Key, kv.Value)
 		kv.OK = kv.Err == nil
-		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
-	case KVDelete:
-		if sh.kvp != nil && sh.kvp.InFlight() > 0 {
-			sh.kvp.Flush()
+		if kv.OK {
+			wseq = sh.logKV(kv)
 		}
-		kv.OK = sh.h.DeleteKV(kv.NS, kv.Key)
-		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
+		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, walSeq: wseq, kv: kv})
+	case KVDelete:
+		kvp := sh.ensureKVP()
+		if sh.e.mode == Partitioned {
+			kv.OK = kvp.DeleteHashed(kv.NS, kv.Key, it.hash)
+		} else {
+			kv.OK = kvp.Delete(kv.NS, kv.Key)
+		}
+		if kv.OK {
+			wseq = sh.logKV(kv)
+		}
+		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, walSeq: wseq, kv: kv})
 	default:
 		kv.Err = ErrClosed
 		sh.pending = append(sh.pending, doneEntry{sess: it.sess, seq: it.seq, kv: kv})
@@ -571,6 +627,27 @@ func (sh *shard) execKV(it *item) {
 		sh.h.AdvanceEpoch()
 		sh.kvOps = 0
 	}
+}
+
+// logKV appends the redo record of an effective KV mutation; on failure
+// the op's success is withdrawn (applied in memory, not durable).
+func (sh *shard) logKV(kv *KVOp) uint64 {
+	w := sh.e.wal
+	if w == nil {
+		return 0
+	}
+	var seq uint64
+	var err error
+	if kv.Kind == KVInsert {
+		seq, err = w.LogKVInsert(kv.NS, kv.Key, kv.Value)
+	} else {
+		seq, err = w.LogKVDelete(kv.NS, kv.Key)
+	}
+	if err != nil {
+		kv.OK, kv.Err = false, err
+		return 0
+	}
+	return seq
 }
 
 // completeKV is the KV read pipeline's completion callback. The value view

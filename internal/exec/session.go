@@ -41,10 +41,14 @@ type KVOp struct {
 
 // Done is one completed request, delivered by Await in submission order.
 // KV is non-nil for variable-length ops; otherwise Op carries the fixed
-// op's result fields.
+// op's result fields. On an executor with a WAL, WALSeq is the redo-log
+// sequence of the op's record (0 when the op logged nothing); before
+// acknowledging the op externally the consumer must WAL.SyncWait a
+// sequence ≥ the highest WALSeq it acknowledges.
 type Done struct {
-	Op core.Op
-	KV *KVOp
+	Op     core.Op
+	KV     *KVOp
+	WALSeq uint64
 }
 
 // doneSlot is one reorder-ring cell.
@@ -302,7 +306,7 @@ func (s *Session) completeRun(es []doneEntry) {
 			s.kvBytes += len(kv.Out)
 		}
 		slot := &s.ring[es[i].seq&mask]
-		slot.d = Done{Op: es[i].op, KV: es[i].kv}
+		slot.d = Done{Op: es[i].op, KV: es[i].kv, WALSeq: es[i].walSeq}
 		slot.filled = true
 	}
 	if s.next < s.submitted && s.ring[s.next&mask].filled {

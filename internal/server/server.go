@@ -12,6 +12,7 @@ import (
 
 	core "repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/wal"
 )
 
 // ExecMode selects how a Server executes decoded requests.
@@ -130,11 +131,12 @@ const DefaultTable = ""
 type Server struct {
 	opts Options
 
-	mu     sync.Mutex
-	tables map[string]*core.Table
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu      sync.Mutex
+	tables  map[string]*core.Table
+	walLogs map[*core.Table]*wal.Log // durable tables' redo logs
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
 
 	// handleFree is closed and replaced each time a connection returns its
 	// table handle, waking every acquireHandle waiting out ErrTooManyHandles
@@ -158,6 +160,7 @@ func New(tbl *core.Table, opts Options) *Server {
 	return &Server{
 		opts:       opts,
 		tables:     map[string]*core.Table{DefaultTable: tbl},
+		walLogs:    make(map[*core.Table]*wal.Log),
 		conns:      make(map[net.Conn]struct{}),
 		handleFree: make(chan struct{}),
 		execs:      make(map[*core.Table]*exec.Executor),
@@ -174,6 +177,29 @@ func (s *Server) AddTable(name string, tbl *core.Table) error {
 	defer s.mu.Unlock()
 	s.tables[name] = tbl
 	return nil
+}
+
+// AddDurable registers ds's table under name (DefaultTable replaces the
+// table New installed) and pairs it with ds's redo log, so every serving
+// path — connection-owned handles and executor shards alike — appends
+// effective mutations and withholds response bytes from the socket until a
+// group commit covers them. The caller keeps ownership of ds: close it
+// after the server's Close returns.
+func (s *Server) AddDurable(name string, ds *wal.Store) error {
+	if err := s.AddTable(name, ds.Table()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.walLogs[ds.Table()] = ds.Log()
+	return nil
+}
+
+// walFor returns the redo log paired with tbl, or nil for RAM tables.
+func (s *Server) walFor(tbl *core.Table) *wal.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walLogs[tbl]
 }
 
 // Table returns the table registered under name, or nil.
@@ -286,7 +312,11 @@ func (s *Server) executorFor(tbl *core.Table) (*exec.Executor, error) {
 	if ex := s.execs[tbl]; ex != nil {
 		return ex, nil
 	}
-	ex, err := exec.New(tbl, exec.Options{Shards: s.opts.ExecShards, Mode: mode})
+	var w exec.WAL
+	if l := s.walLogs[tbl]; l != nil {
+		w = l // assign only when non-nil: a typed-nil WAL would pass != nil checks
+	}
+	ex, err := exec.New(tbl, exec.Options{Shards: s.opts.ExecShards, Mode: mode, WAL: w})
 	if err != nil {
 		return nil, err
 	}
@@ -425,10 +455,11 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 	defer s.releaseHandle(h)
 
+	wlog := s.walFor(tbl)
 	if v2 {
-		s.serveV2(c, br, tbl, h, features)
+		s.serveV2(c, br, tbl, h, features, wlog)
 	} else {
-		s.serveV1(c, br, h)
+		s.serveV1(c, br, h, wlog)
 	}
 }
 
@@ -473,6 +504,8 @@ type connState struct {
 	c       net.Conn
 	bw      *bufio.Writer
 	p       *core.Pipeline
+	log     *wal.Log // durable table's redo log; nil for RAM tables
+	needSeq uint64   // highest log sequence buffered responses depend on
 	wErr    error
 	flushAt int
 	// sinceDrain counts enqueues toward Options.MaxBatch.
@@ -484,9 +517,12 @@ type connState struct {
 // straight into the write buffer, so replies for a deep burst go out while
 // its tail is still being decoded; responses are pushed to the wire once
 // they fill half the write buffer, bounding how long a completed request's
-// reply can sit behind a still-decoding burst.
-func (s *Server) newConnState(c net.Conn, h *core.Handle) *connState {
-	cs := &connState{s: s, c: c, bw: bufio.NewWriterSize(c, s.opts.WriteBuffer)}
+// reply can sit behind a still-decoding burst. On a durable table each
+// effective mutation is appended to the redo log at completion and flush
+// waits out the covering group commit first, so no acknowledgement reaches
+// the socket before its record is fsynced.
+func (s *Server) newConnState(c net.Conn, h *core.Handle, log *wal.Log) *connState {
+	cs := &connState{s: s, c: c, bw: bufio.NewWriterSize(c, s.opts.WriteBuffer), log: log}
 	cs.flushAt = s.opts.WriteBuffer / 2
 	if cs.flushAt < RespSize {
 		cs.flushAt = RespSize
@@ -494,6 +530,16 @@ func (s *Server) newConnState(c net.Conn, h *core.Handle) *connState {
 	cs.p = h.Pipeline(core.PipelineOpts{OnComplete: func(op *core.Op) {
 		if cs.wErr != nil {
 			return
+		}
+		if cs.log != nil {
+			seq, err := cs.log.LogOp(op)
+			if err != nil {
+				cs.wErr = err
+				return
+			}
+			if seq > cs.needSeq {
+				cs.needSeq = seq
+			}
 		}
 		if _, err := cs.bw.Write(AppendResponse(cs.bw.AvailableBuffer(), opToResp(op))); err != nil {
 			cs.wErr = err
@@ -506,8 +552,23 @@ func (s *Server) newConnState(c net.Conn, h *core.Handle) *connState {
 	return cs
 }
 
-// flush pushes buffered responses to the wire under the write deadline.
+// syncPending waits out the group commit covering every buffered response
+// (no-op for RAM tables). Called before any byte may reach the socket.
+func (cs *connState) syncPending() {
+	if cs.log == nil || cs.wErr != nil {
+		return
+	}
+	if err := cs.log.SyncWait(cs.needSeq); err != nil {
+		cs.wErr = err
+		return
+	}
+	cs.needSeq = 0
+}
+
+// flush pushes buffered responses to the wire under the write deadline,
+// after their covering group commit.
 func (cs *connState) flush() {
+	cs.syncPending()
 	if cs.wErr != nil {
 		return
 	}
@@ -562,8 +623,8 @@ func (cs *connState) badRequest() {
 // boundaries. The loop blocks only on the first frame of a burst; every
 // further frame already buffered is decoded zero-copy out of the bufio
 // window.
-func (s *Server) serveV1(c net.Conn, br *bufio.Reader, h *core.Handle) {
-	cs := s.newConnState(c, h)
+func (s *Server) serveV1(c net.Conn, br *bufio.Reader, h *core.Handle, wlog *wal.Log) {
+	cs := s.newConnState(c, h, wlog)
 	defer cs.p.Close()
 
 	for {
@@ -603,8 +664,8 @@ func (s *Server) serveV1(c net.Conn, br *bufio.Reader, h *core.Handle) {
 // first flush the pipeline — responses must stay in request order, and KV
 // requests execute synchronously — then execute against the handle's KV
 // surface and append their variable-length response.
-func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.Handle, features uint16) {
-	cs := s.newConnState(c, h)
+func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.Handle, features uint16, wlog *wal.Log) {
+	cs := s.newConnState(c, h, wlog)
 	defer cs.p.Close()
 
 	var scratch []byte // KV payload staging, reused across requests
@@ -684,7 +745,35 @@ func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.
 				req.Value = scratch[klen : klen+vlen]
 			}
 			if cs.wErr == nil {
-				if _, err := cs.bw.Write(AppendKVResponse(cs.bw.AvailableBuffer(), execKV(tbl, h, req))); err != nil {
+				resp := execKV(tbl, h, req)
+				if cs.log != nil {
+					// Log the effective mutation and raise the sync bar;
+					// then sync everything buffered BEFORE writing, because
+					// a response larger than the write buffer's free space
+					// makes bufio push older (possibly unsynced) bytes to
+					// the socket mid-Write.
+					if resp.Status == StatusOK && op != OpGetKV {
+						var seq uint64
+						var lerr error
+						if op == OpInsertKV {
+							seq, lerr = cs.log.LogKVInsert(req.NS, req.Key, req.Value)
+						} else {
+							seq, lerr = cs.log.LogKVDelete(req.NS, req.Key)
+						}
+						if lerr != nil {
+							cs.wErr = lerr
+							return
+						}
+						if seq > cs.needSeq {
+							cs.needSeq = seq
+						}
+					}
+					cs.syncPending()
+					if cs.wErr != nil {
+						return
+					}
+				}
+				if _, err := cs.bw.Write(AppendKVResponse(cs.bw.AvailableBuffer(), resp)); err != nil {
 					cs.wErr = err
 				} else if cs.bw.Buffered() >= cs.flushAt {
 					cs.flush()
@@ -797,11 +886,12 @@ func (s *Server) serveExec(c net.Conn, br *bufio.Reader, tbl *core.Table, v2 boo
 		return
 	}
 	done := make(chan struct{})
+	wlog := s.walFor(tbl)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer close(done)
-		s.connWriter(c, sess)
+		s.connWriter(c, sess, wlog)
 	}()
 	if v2 {
 		s.execReadV2(c, br, sess, features)
@@ -824,19 +914,32 @@ func (s *Server) serveExec(c net.Conn, br *bufio.Reader, tbl *core.Table, v2 boo
 // after which the writer keeps consuming completions without writing
 // (the reader may be blocked on the session's in-flight bound) until the
 // session drains.
-func (s *Server) connWriter(c net.Conn, sess *exec.Session) {
+//
+// On a durable table (wlog non-nil) each completion carries the redo-log
+// sequence its record got from the executor shard; the writer tracks the
+// highest buffered one and waits out the covering group commit before any
+// flush, so acknowledgements never reach the socket ahead of their fsync.
+func (s *Server) connWriter(c net.Conn, sess *exec.Session, wlog *wal.Log) {
 	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
 	flushAt := s.opts.WriteBuffer / 2
 	if flushAt < RespSize {
 		flushAt = RespSize
 	}
 	var wErr error
+	var needSeq uint64
 	fail := func(err error) {
 		wErr = err
 		c.Close() // unblocks and errors the reader
 	}
 	flush := func() {
 		if wErr == nil && bw.Buffered() > 0 {
+			if wlog != nil {
+				if err := wlog.SyncWait(needSeq); err != nil {
+					fail(err)
+					return
+				}
+				needSeq = 0
+			}
 			s.armWrite(c)
 			if err := bw.Flush(); err != nil {
 				fail(err)
@@ -855,6 +958,20 @@ func (s *Server) connWriter(c net.Conn, sess *exec.Session) {
 				continue
 			}
 			d := &run[i]
+			if wlog != nil {
+				if d.WALSeq > needSeq {
+					needSeq = d.WALSeq
+				}
+				// A response larger than the buffer's free space makes
+				// bufio push older bytes to the socket mid-Write; sync
+				// first so nothing unsynced can leak that way.
+				if d.KV != nil && bw.Available() < KVRespHdrSize+len(d.KV.Out) {
+					flush()
+					if wErr != nil {
+						continue
+					}
+				}
+			}
 			var err error
 			if d.KV != nil {
 				_, err = bw.Write(AppendKVResponse(bw.AvailableBuffer(), kvDoneToResp(d.KV)))

@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"testing"
+
+	core "repro/internal/core"
+)
+
+// BenchmarkWAL compares the three write paths the README's durability
+// numbers come from: group — the pipelined surface, one fsync covering a
+// window of completions; perop — the synchronous surface, one fsync per
+// mutation (the bitdb-style baseline); ram — the same pipeline with no log
+// at all, the ceiling.
+func BenchmarkWAL(b *testing.B) {
+	cfg := core.Config{Bins: 1 << 16, Resizable: true}
+
+	b.Run("group", func(b *testing.B) {
+		s, err := Open(b.TempDir(), cfg, Options{SnapshotBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		p, err := s.Pipe(core.PipeOpts{Window: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Insert(uint64(i)+1, uint64(i))
+		}
+		if err := p.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("perop", func(b *testing.B) {
+		s, err := Open(b.TempDir(), cfg, Options{SnapshotBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Insert(uint64(i)+1, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ram", func(b *testing.B) {
+		tbl, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := tbl.MustHandle()
+		defer h.Close()
+		p := h.Pipeline(core.PipelineOpts{Window: 64})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Insert(uint64(i)+1, uint64(i))
+		}
+		p.Flush()
+		p.Close()
+	})
+}

@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	core "repro/internal/core"
+)
+
+// segName formats a segment file name; snapName a snapshot covering every
+// segment numbered below seg.
+func segName(seg uint64) string  { return fmt.Sprintf("wal-%016x.seg", seg) }
+func snapName(seg uint64) string { return fmt.Sprintf("snap-%016x.snap", seg) }
+
+// Log is the append side of the WAL: a current segment file behind a
+// buffered writer, a monotone record sequence, and a sync goroutine that
+// group-commits. Append never fsyncs (except segment rotation); instead
+// every append kicks the syncer, which flushes the buffer and issues one
+// fsync covering everything appended since the last one — while it runs,
+// further appends pile up and ride the next fsync. SyncWait(seq) blocks
+// until seq is covered.
+//
+// Append and the Log* helpers are safe for concurrent use from any number
+// of pipes and connections; the sequence numbers they return are totally
+// ordered across the process.
+type Log struct {
+	dir      string
+	segLimit int64
+
+	mu       sync.Mutex
+	dirtyC   sync.Cond // syncer waits for unsynced appends
+	syncedC  sync.Cond // SyncWait waiters
+	f        *os.File
+	buf      []byte // encode scratch + write buffer, flushed by the syncer
+	seg      uint64 // current segment number
+	segBytes int64
+	seq      uint64 // last assigned record sequence
+	synced   uint64 // highest sequence covered by fsync
+	appended int64  // total bytes appended since open (snapshot trigger)
+	err      error  // sticky; poisons every subsequent append and wait
+	closed   bool
+
+	done chan struct{} // syncer exit
+}
+
+// defaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is zero.
+const defaultSegmentBytes = 64 << 20
+
+// openLog creates a Log writing to a fresh segment numbered seg.
+func openLog(dir string, seg uint64, segLimit int64) (*Log, error) {
+	if segLimit <= 0 {
+		segLimit = defaultSegmentBytes
+	}
+	l := &Log{dir: dir, segLimit: segLimit, seg: seg, done: make(chan struct{})}
+	l.dirtyC.L = &l.mu
+	l.syncedC.L = &l.mu
+	f, err := os.OpenFile(filepath.Join(dir, segName(seg)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	go l.syncLoop()
+	return l, nil
+}
+
+// syncDir fsyncs a directory so created/renamed/removed entries are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// append frames payload (already encoded by an encode closure) and
+// assigns it the next sequence number. The frame goes into the in-memory
+// buffer; the syncer flushes and fsyncs it. Rotation happens inline when
+// the segment limit is crossed, fsyncing the outgoing segment so a
+// segment file on disk is always fully synced once it is not current.
+func (l *Log) append(enc func(dst []byte) []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	before := len(l.buf)
+	l.buf = enc(l.buf)
+	n := int64(len(l.buf) - before)
+	l.seq++
+	l.segBytes += n
+	l.appended += n
+	if l.segBytes >= l.segLimit {
+		if err := l.rotateLocked(); err != nil {
+			l.fail(err)
+			return 0, err
+		}
+	}
+	l.dirtyC.Signal()
+	return l.seq, nil
+}
+
+// rotateLocked flushes and fsyncs the current segment, then opens the
+// next one. Records buffered at rotation are covered by the rotation
+// fsync itself; l.synced still advances only via the syncer, which next
+// syncs the new (empty-so-far) segment — correct, merely conservative.
+func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seg++
+	l.segBytes = 0
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seg)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	return syncDir(l.dir)
+}
+
+// flushLocked writes the buffered frames to the current segment file.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// fail records the sticky error and wakes everyone.
+func (l *Log) fail(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	l.dirtyC.Signal()
+	l.syncedC.Broadcast()
+}
+
+// syncLoop is the group-commit goroutine: wait for unsynced appends,
+// flush the buffer, fsync outside the lock, advance the synced watermark
+// to everything the flush captured, and wake the waiters. Appends landing
+// during the fsync accumulate and are covered by the next iteration — the
+// natural group-commit window.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	l.mu.Lock()
+	for {
+		for l.seq == l.synced && !l.closed && l.err == nil {
+			l.dirtyC.Wait()
+		}
+		if l.err != nil || (l.closed && l.seq == l.synced) {
+			l.mu.Unlock()
+			return
+		}
+		target := l.seq
+		seg := l.seg
+		if err := l.flushLocked(); err != nil {
+			l.fail(err)
+			l.mu.Unlock()
+			return
+		}
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		if err != nil && seg == l.seg && l.err == nil {
+			// A rotation between unlock and Sync closed f; its records
+			// were covered by the rotation fsync, so only a same-segment
+			// failure poisons the log.
+			l.fail(err)
+			l.mu.Unlock()
+			return
+		}
+		if l.synced < target {
+			l.synced = target
+		}
+		l.syncedC.Broadcast()
+	}
+}
+
+// ErrClosed is reported for appends and waits on a closed Log.
+var ErrClosed = fmt.Errorf("wal: log closed")
+
+// Synced returns the highest record sequence covered by an fsync.
+func (l *Log) Synced() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Err returns the log's sticky error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Appended returns the total bytes appended since the log was opened.
+func (l *Log) Appended() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// SyncWait blocks until record sequence seq is covered by an fsync. seq 0
+// (no record) returns immediately with the sticky error state, so callers
+// can pass the max sequence they observed without special-casing "nothing
+// to wait for".
+func (l *Log) SyncWait(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.synced < seq && l.err == nil && !l.closed {
+		l.syncedC.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.synced < seq {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Rotate forces a segment rotation and returns the new segment's number:
+// every record appended so far lives in segments below it and is fsynced.
+// The snapshotter calls this to establish a snapshot boundary.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.fail(err)
+		return 0, err
+	}
+	// Everything appended before the rotation is now fsynced.
+	if l.synced < l.seq {
+		l.synced = l.seq
+		l.syncedC.Broadcast()
+	}
+	return l.seg, nil
+}
+
+// Close flushes and fsyncs everything appended, stops the sync goroutine
+// and closes the segment. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.err
+	}
+	l.closed = true
+	var err error
+	if l.err == nil {
+		if err = l.flushLocked(); err == nil {
+			err = l.f.Sync()
+		}
+		if err != nil {
+			l.fail(err)
+		} else {
+			l.synced = l.seq
+		}
+	}
+	l.dirtyC.Signal()
+	l.syncedC.Broadcast()
+	f := l.f
+	l.mu.Unlock()
+	<-l.done
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err == nil {
+		err = l.err
+	}
+	return err
+}
+
+// crash abandons the log the way kill -9 would: buffered frames are
+// dropped unflushed, the segment is closed without fsync, and every
+// waiter fails. Test hook for crash-recovery properties.
+func (l *Log) crash() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.closed = true
+	l.buf = nil
+	l.fail(ErrClosed)
+	f := l.f
+	l.mu.Unlock()
+	<-l.done
+	f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Typed append helpers
+// ---------------------------------------------------------------------------
+
+// LogOp appends the redo record for a completed fixed op and returns its
+// sequence, or 0 when the op needs no record: reads, misses, failed
+// inserts (Op.OK is the effective-mutation bit — a Put/Delete miss or a
+// duplicate Insert changed nothing).
+func (l *Log) LogOp(op *core.Op) (uint64, error) {
+	if !op.OK {
+		return 0, nil
+	}
+	switch op.Kind {
+	case core.OpPut:
+		return l.append(func(dst []byte) []byte { return appendFixed(dst, recPut, op.Key, op.Value) })
+	case core.OpInsert:
+		return l.append(func(dst []byte) []byte { return appendFixed(dst, recInsert, op.Key, op.Value) })
+	case core.OpInsertShadow:
+		return l.append(func(dst []byte) []byte { return appendFixed(dst, recInsertShadow, op.Key, op.Value) })
+	case core.OpDelete:
+		return l.append(func(dst []byte) []byte { return appendDelete(dst, op.Key) })
+	case core.OpCommitShadow:
+		commit := op.Value != 0
+		return l.append(func(dst []byte) []byte { return appendCommitShadow(dst, op.Key, commit) })
+	}
+	return 0, nil
+}
+
+// LogKVInsert appends a KV insert record. The key/value bytes are copied
+// into the log buffer before it returns.
+func (l *Log) LogKVInsert(ns uint16, key, val []byte) (uint64, error) {
+	return l.append(func(dst []byte) []byte { return appendInsertKV(dst, ns, key, val) })
+}
+
+// LogKVDelete appends a KV delete record.
+func (l *Log) LogKVDelete(ns uint16, key []byte) (uint64, error) {
+	return l.append(func(dst []byte) []byte { return appendDeleteKV(dst, ns, key) })
+}

@@ -71,7 +71,32 @@ go test -bench='BenchmarkPipeline/w=(8|16|32)/' -benchtime=500ms -run='^$' . >>"
 	echo "pipeline bench run failed (exit $status); not appending to $out" >&2
 	exit "$status"
 }
+# Durability trio: the group-committed pipelined surface vs one fsync per
+# op vs the RAM pipeline on the same table shape. The group/perop ratio is
+# the WAL's whole argument, so it is gated below — group commit must be at
+# least 10x the per-op-fsync baseline (it lands orders of magnitude
+# higher; 10x only catches a broken gate, e.g. an accidental sync per op).
+go test -bench='^BenchmarkWAL' -benchtime=100ms -run='^$' ./internal/wal >>"$tmp" 2>&1 || {
+	status=$?
+	cat "$tmp"
+	echo "wal bench run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
 cat "$tmp"
+group_ns=$(awk '$1 ~ /^BenchmarkWAL\/group/ && $4 == "ns/op" {print $3}' "$tmp")
+perop_ns=$(awk '$1 ~ /^BenchmarkWAL\/perop/ && $4 == "ns/op" {print $3}' "$tmp")
+[ -n "$group_ns" ] && [ -n "$perop_ns" ] || {
+	echo "wal bench missing group/perop results; not appending to $out" >&2
+	exit 1
+}
+awk -v g="$group_ns" -v p="$perop_ns" 'BEGIN {
+	ratio = p / g
+	printf "wal group-commit speedup over per-op fsync: %.1fx (group %.1f ns/op, perop %.1f ns/op)\n", ratio, g, p
+	exit (ratio >= 10) ? 0 : 1
+}' || {
+	echo "group commit under 10x the per-op fsync baseline; not appending to $out" >&2
+	exit 1
+}
 grep -q 'BenchmarkExec/w=16/inlined/b=4096' "$tmp" || {
 	echo "window sweep missing its deep-batch case; not appending to $out" >&2
 	exit 1
