@@ -23,11 +23,23 @@
 // synchronous ops by default, the completion-driven Pipe under -async
 // with -pipeline requests in flight per shard.
 //
-// Any transport error or unexpected response status counts as an error;
-// the process exits non-zero if any occurred.
+// Cluster mode understands replication: -replicas R fans every write to
+// R ring-successor shards, -write-quorum W acks once W have applied, and
+// shard connections transparently redial with backoff. Errors no longer
+// abort a worker — each op's outcome is counted and classified
+// (retryable transport failures vs terminal refusals vs misses) and the
+// run reports an availability line; -max-error-rate sets the tolerated
+// percentage (default 0: any error still fails the run, as before).
+// -verify re-reads the whole keyspace afterwards and fails on any
+// missing key — the zero-lost-acked-writes check the failover smoke
+// leans on.
+//
+// In single-server mode any transport error or unexpected response
+// status counts as an error; the process exits non-zero if any occurred.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -60,6 +72,11 @@ func main() {
 		window   = flag.Int("window", 0, "embedded server's prefetch window (0 or <0 = default 16; the server streams, so the full-batch baseline does not apply)")
 		bins     = flag.Uint64("bins", 1<<18, "embedded server's initial bin count")
 		execName = flag.String("exec", "shared", "embedded server's execution model: shared|partitioned|conn")
+
+		replicas    = flag.Int("replicas", 0, "cluster mode: copies per key (0/1 = no replication)")
+		writeQuorum = flag.Int("write-quorum", 0, "cluster mode: acks required per write (0 = replicas)")
+		maxErrRate  = flag.Float64("max-error-rate", 0, "cluster mode: tolerated error percentage before exiting non-zero (0 = strict)")
+		verify      = flag.Bool("verify", false, "cluster mode: after the run, read back every loaded key and fail on any missing")
 	)
 	flag.Parse()
 	if *conns < 1 || *pipeline < 1 || *readPct < 0 || *readPct > 100 {
@@ -72,7 +89,21 @@ func main() {
 	}
 
 	if *addrs != "" {
-		runCluster(strings.Split(*addrs, ","), *conns, *pipeline, *totalOps, *keys, *readPct, *dist, *async, *skipLoad)
+		runCluster(clusterConfig{
+			shards:      strings.Split(*addrs, ","),
+			conns:       *conns,
+			pipeline:    *pipeline,
+			totalOps:    *totalOps,
+			keys:        *keys,
+			readPct:     *readPct,
+			dist:        *dist,
+			async:       *async,
+			skipLoad:    *skipLoad,
+			replicas:    *replicas,
+			writeQuorum: *writeQuorum,
+			maxErrRate:  *maxErrRate,
+			verify:      *verify,
+		})
 		return
 	}
 
@@ -319,48 +350,141 @@ func run(addr string, conns, pipeline int, totalOps, keys uint64, readPct int, d
 	return m, agg.Summary(), errs.Load()
 }
 
+// clusterConfig bundles the -addrs mode's knobs.
+type clusterConfig struct {
+	shards                []string
+	conns, pipeline       int
+	totalOps, keys        uint64
+	readPct               int
+	dist                  string
+	async, skipLoad       bool
+	replicas, writeQuorum int
+	maxErrRate            float64
+	verify                bool
+}
+
+func (cfg clusterConfig) clusterOpts() dlht.ClusterOpts {
+	return dlht.ClusterOpts{Replicas: cfg.replicas, WriteQuorum: cfg.writeQuorum}
+}
+
+// errCounts classifies per-op failures. Retryable errors are transport
+// blips the retry/failover machinery could not absorb in time, terminal
+// errors are semantic refusals (protocol or table level), and misses are
+// absent keys — under replication with W < R a read racing a failover
+// can legitimately miss until the lagging replica converges.
+type errCounts struct {
+	retryable, terminal, miss atomic.Uint64
+}
+
+// note classifies one op outcome and reports whether it was an error.
+// ErrExists is success: a retried Insert finding its key (at-least-once
+// delivery after an indeterminate failure) means the data is there.
+func (e *errCounts) note(err error, ok bool) bool {
+	switch {
+	case err == nil && ok:
+		return false
+	case errors.Is(err, dlht.ErrExists):
+		return false
+	case err == nil:
+		e.miss.Add(1)
+	case server.IsRetryable(err):
+		e.retryable.Add(1)
+	default:
+		e.terminal.Add(1)
+	}
+	return true
+}
+
+func (e *errCounts) total() uint64 {
+	return e.retryable.Load() + e.terminal.Load() + e.miss.Load()
+}
+
 // runCluster is the -addrs mode: the measured phases drive a
-// consistent-hashed Cluster per worker through the Store surface, so the
-// identical workload logic scales from one shard to N by changing the
-// address list. It prints the same report shape as the single-server mode
-// and exits non-zero on any error.
-func runCluster(shards []string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string, async, skipLoad bool) {
-	if !skipLoad {
-		m, errs := clusterLoad(shards, conns, pipeline, keys)
-		if errs > 0 {
-			log.Fatalf("load phase: %d errors", errs)
+// consistent-hashed (optionally replicated) Cluster per worker through
+// the Store surface, so the identical workload logic scales from one
+// shard to N by changing the address list. Transient errors are counted,
+// not fatal: the run reports error-rate and availability lines and exits
+// non-zero only when the error rate exceeds -max-error-rate (or, with
+// -verify, when a loaded key went missing).
+func runCluster(cfg clusterConfig) {
+	if !cfg.skipLoad {
+		m, errs := clusterLoad(cfg)
+		if n := errs.total(); n > 0 {
+			// The load phase seeds the verify oracle; it stays strict.
+			log.Fatalf("load phase: %d errors (retryable %d, terminal %d, missing %d)",
+				n, errs.retryable.Load(), errs.terminal.Load(), errs.miss.Load())
 		}
 		fmt.Printf("loaded %d keys across %d shards in %v (%.2f M inserts/s)\n",
-			m.Ops, len(shards), m.Elapsed.Round(time.Millisecond), m.MReqs())
+			m.Ops, len(cfg.shards), m.Elapsed.Round(time.Millisecond), m.MReqs())
 	}
 	api := "sync store"
-	if async {
+	if cfg.async {
 		api = "async pipe"
 	}
-	fmt.Printf("run: %d ops over %d conns × %d shards (%d%% GET / %d%% PUT, %s keys, %s API, window %d)\n",
-		totalOps, conns, len(shards), readPct, 100-readPct, dist, api, pipeline)
-	m, lat, errs := clusterRun(shards, conns, pipeline, totalOps, keys, readPct, dist, async)
+	rep := ""
+	if cfg.replicas > 1 {
+		rep = fmt.Sprintf(", R=%d W=%d", cfg.replicas, cfg.writeQuorum)
+	}
+	fmt.Printf("run: %d ops over %d conns × %d shards (%d%% GET / %d%% PUT, %s keys, %s API, window %d%s)\n",
+		cfg.totalOps, cfg.conns, len(cfg.shards), cfg.readPct, 100-cfg.readPct, cfg.dist, api, cfg.pipeline, rep)
+	m, lat, errs := clusterRun(cfg)
 	fmt.Printf("throughput: %.2f M reqs/s (%d ops in %v)\n",
 		m.MReqs(), m.Ops, m.Elapsed.Round(time.Millisecond))
 	fmt.Println(lat)
-	fmt.Printf("errors: %d\n", errs)
-	if errs > 0 {
+	nerr := errs.total()
+	rate := 0.0
+	if cfg.totalOps > 0 {
+		rate = float64(nerr) / float64(cfg.totalOps) * 100
+	}
+	fmt.Printf("errors: %d (retryable %d, terminal %d, missing %d)\n",
+		nerr, errs.retryable.Load(), errs.terminal.Load(), errs.miss.Load())
+	fmt.Printf("availability: %.4f%% (%d/%d ops acked)\n", 100-rate, cfg.totalOps-nerr, cfg.totalOps)
+
+	failed := rate > cfg.maxErrRate || (nerr > 0 && cfg.maxErrRate == 0)
+	if cfg.verify {
+		missing := clusterVerify(cfg)
+		fmt.Printf("verify: %d/%d loaded keys present, %d missing\n", cfg.keys-missing, cfg.keys, missing)
+		if missing > 0 {
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
 
+// clusterVerify reads back every loaded key through one (replicated,
+// retrying) cluster connection and returns how many are missing — acked
+// inserts that survived neither any replica nor its WAL.
+func clusterVerify(cfg clusterConfig) uint64 {
+	clu, err := dlht.DialCluster(cfg.shards, cfg.clusterOpts())
+	if err != nil {
+		log.Fatalf("verify: dial: %v", err)
+	}
+	defer clu.Close()
+	var missing uint64
+	for k := uint64(0); k < cfg.keys; k++ {
+		if _, ok, err := clu.Get(k); err != nil || !ok {
+			missing++
+		}
+	}
+	return missing
+}
+
 // clusterLoad prepopulates [0, keys) through per-worker cluster pipes,
-// striped across workers; routing sends each insert to its owning shard.
-func clusterLoad(shards []string, conns, pipeline int, keys uint64) (bench.Measurement, uint64) {
-	var errs atomic.Uint64
+// striped across workers; routing sends each insert to its replica set.
+// Insert completions are the acks the -verify pass holds the cluster to.
+func clusterLoad(cfg clusterConfig) (bench.Measurement, *errCounts) {
+	errs := &errCounts{}
 	var wg sync.WaitGroup
 	begin := time.Now()
-	per := (keys + uint64(conns) - 1) / uint64(conns)
+	conns := cfg.conns
+	per := (cfg.keys + uint64(conns) - 1) / uint64(conns)
 	for c := 0; c < conns; c++ {
 		lo := uint64(c) * per
 		hi := lo + per
-		if hi > keys {
-			hi = keys
+		if hi > cfg.keys {
+			hi = cfg.keys
 		}
 		if lo >= hi {
 			continue
@@ -368,82 +492,86 @@ func clusterLoad(shards []string, conns, pipeline int, keys uint64) (bench.Measu
 		wg.Add(1)
 		go func(lo, hi uint64) {
 			defer wg.Done()
-			clu, err := dlht.DialCluster(shards, dlht.ClusterOpts{})
+			clu, err := dlht.DialCluster(cfg.shards, cfg.clusterOpts())
 			if err != nil {
-				errs.Add(1)
+				errs.note(err, false)
 				return
 			}
 			defer clu.Close()
-			p, err := clu.Pipe(dlht.PipeOpts{Window: pipeline, OnComplete: func(cp dlht.Completion) {
-				if cp.Err != nil || !cp.OK {
-					errs.Add(1)
-				}
+			p, err := clu.Pipe(dlht.PipeOpts{Window: cfg.pipeline, OnComplete: func(cp dlht.Completion) {
+				errs.note(cp.Err, cp.OK)
 			}})
 			if err != nil {
-				errs.Add(1)
+				errs.note(err, false)
 				return
 			}
 			for k := lo; k < hi; k++ {
 				if err := p.Insert(k, k^0xdead); err != nil {
-					errs.Add(1)
+					errs.note(err, false)
 					return
 				}
 			}
 			if err := p.Close(); err != nil {
-				errs.Add(1)
+				errs.note(err, false)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return bench.Measurement{Ops: keys, Elapsed: time.Since(begin)}, errs.Load()
+	return bench.Measurement{Ops: cfg.keys, Elapsed: time.Since(begin)}, errs
 }
 
 // clusterRun executes the measured mixed phase against per-worker
 // Clusters. The sync path measures one Store round trip per op; the async
 // path keeps a window of requests in flight per shard and tracks per-op
 // latency through per-shard FIFO timestamp rings — sound because cluster
-// completions arrive in per-shard enqueue order (the Pipe contract).
-func clusterRun(shards []string, conns, pipeline int, totalOps, keys uint64, readPct int, dist string, async bool) (bench.Measurement, bench.LatencySummary, uint64) {
-	var total, errs atomic.Uint64
+// completions arrive in per-primary enqueue order (the Pipe contract,
+// replicated or not). Errors never abort a worker: each op counts once,
+// classified, so a mid-run shard kill shows up as an availability dip
+// (and failover latency in the tail percentiles) instead of a dead run.
+func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *errCounts) {
+	var total atomic.Uint64
+	errs := &errCounts{}
 	agg := bench.NewSampler(1 << 20)
 	var aggMu sync.Mutex
 	var wg sync.WaitGroup
-	per := totalOps / uint64(conns)
+	conns := cfg.conns
+	per := cfg.totalOps / uint64(conns)
 	begin := time.Now()
 	for c := 0; c < conns; c++ {
 		quota := per
 		if c == 0 {
-			quota += totalOps % uint64(conns) // remainder rides on conn 0
+			quota += cfg.totalOps % uint64(conns) // remainder rides on conn 0
 		}
 		wg.Add(1)
 		go func(c int, quota uint64) {
 			defer wg.Done()
-			clu, err := dlht.DialCluster(shards, dlht.ClusterOpts{})
+			clu, err := dlht.DialCluster(cfg.shards, cfg.clusterOpts())
 			if err != nil {
-				errs.Add(quota)
+				for i := uint64(0); i < quota; i++ {
+					errs.note(err, false)
+				}
 				return
 			}
 			defer clu.Close()
-			stream := newStream(dist, uint64(c)*2654435761+7, keys)
+			stream := newStream(cfg.dist, uint64(c)*2654435761+7, cfg.keys)
 			rng := workload.NewRNG(uint64(c)*7919 + 3)
 			sampler := bench.NewSampler(1 << 17)
 
-			if !async {
+			if !cfg.async {
 				for done := uint64(0); done < quota; done++ {
 					k := stream.Key()
 					t0 := time.Now()
 					var ok bool
 					var err error
-					if int(rng.Uint64n(100)) >= readPct {
+					if int(rng.Uint64n(100)) >= cfg.readPct {
 						_, ok, err = clu.Put(k, rng.Next())
 					} else {
 						_, ok, err = clu.Get(k)
 					}
 					sampler.Add(time.Since(t0).Nanoseconds())
-					// Every key is prepopulated and never deleted.
-					if err != nil || !ok {
-						errs.Add(1)
-					}
+					// Every key is prepopulated and never deleted; a miss
+					// is a replica that has not converged yet.
+					errs.note(err, ok)
 				}
 				total.Add(quota)
 				aggMu.Lock()
@@ -458,22 +586,22 @@ func clusterRun(shards []string, conns, pipeline int, totalOps, keys uint64, rea
 			ring := make([][]time.Time, nsh)
 			head := make([]int, nsh)
 			tail := make([]int, nsh)
-			cap := pipeline + 2
+			cap := cfg.pipeline + 2
 			for i := range ring {
 				ring[i] = make([]time.Time, cap)
 			}
 			var recvd uint64
-			p, err := clu.Pipe(dlht.PipeOpts{Window: pipeline, OnComplete: func(cp dlht.Completion) {
+			p, err := clu.Pipe(dlht.PipeOpts{Window: cfg.pipeline, OnComplete: func(cp dlht.Completion) {
 				sh := clu.ShardFor(cp.Key)
 				sampler.Add(time.Since(ring[sh][head[sh]%cap]).Nanoseconds())
 				head[sh]++
-				if cp.Err != nil || !cp.OK {
-					errs.Add(1)
-				}
+				errs.note(cp.Err, cp.OK)
 				recvd++
 			}})
 			if err != nil {
-				errs.Add(quota)
+				for i := uint64(0); i < quota; i++ {
+					errs.note(err, false)
+				}
 				return
 			}
 			for sent := uint64(0); sent < quota; sent++ {
@@ -481,20 +609,21 @@ func clusterRun(shards []string, conns, pipeline int, totalOps, keys uint64, rea
 				sh := clu.ShardFor(k)
 				ring[sh][tail[sh]%cap] = time.Now()
 				tail[sh]++
-				if int(rng.Uint64n(100)) >= readPct {
+				if int(rng.Uint64n(100)) >= cfg.readPct {
 					err = p.Put(k, rng.Next())
 				} else {
 					err = p.Get(k)
 				}
 				if err != nil {
-					errs.Add(quota - recvd)
-					break
+					// The frame was never accepted: no completion will
+					// come. Count the op once and keep going — the pipe
+					// heals on redial.
+					tail[sh]--
+					errs.note(err, false)
 				}
 			}
-			if err == nil {
-				if err := p.Close(); err != nil {
-					errs.Add(quota - recvd)
-				}
+			if err := p.Close(); err != nil {
+				errs.note(err, false)
 			}
 			total.Add(recvd)
 			aggMu.Lock()
@@ -504,5 +633,5 @@ func clusterRun(shards []string, conns, pipeline int, totalOps, keys uint64, rea
 	}
 	wg.Wait()
 	m := bench.Measurement{Ops: total.Load(), Elapsed: time.Since(begin)}
-	return m, agg.Summary(), errs.Load()
+	return m, agg.Summary(), errs
 }

@@ -104,6 +104,22 @@
 // record. See the README's "Durability" section for the on-disk format and
 // recovery semantics.
 //
+// # Fault tolerance
+//
+// The cluster: backend can replicate: with ClusterOpts.Replicas = R every
+// key lives on R successor shards of the consistent-hash ring, writes
+// complete after WriteQuorum acks (default write-all), and reads fail
+// over replica by replica on retryable errors. Each shard connection
+// transparently redials with capped exponential backoff (ClusterOpts.
+// Retry / ClientOpts.Retry), a failure detector sidelines shards after
+// consecutive retryable failures and re-admits them via background
+// probes, and a dead transport fails every pending pipelined completion
+// with its error instead of hanging. IsRetryable is the shared
+// classification: transport conditions retry, table refusals do not.
+// With W = R an acked write survives any single-shard loss — a kill -9'd
+// shard restarted from its WAL rejoins with no client restart. See the
+// README's "Fault tolerance" section for the semantics and knobs.
+//
 // The wire protocol is versioned: Dial and DialCluster speak v2 (a
 // handshake with a table selector and variable-length KV frames for
 // Allocator-mode tables); v1 clients — the fixed-frame protocol with no
@@ -179,7 +195,26 @@ type (
 	Client = server.Client
 	// ClientOpts configures DialTable.
 	ClientOpts = server.ClientOpts
+	// RetryPolicy bounds a connection's transparent redial-and-retry
+	// behavior on retryable failures: attempt budget plus capped
+	// exponential backoff with deterministic jitter. Used by
+	// ClientOpts.Retry and ClusterOpts.Retry.
+	RetryPolicy = server.RetryPolicy
 )
+
+// DefaultRetry is the redial-and-retry policy a replicated cluster uses
+// when ClusterOpts.Retry is the zero value: a small bounded budget with
+// capped exponential backoff. Set RetryPolicy.Max < 0 to disable retries.
+var DefaultRetry = server.DefaultRetry
+
+// IsRetryable classifies an error from any Store backend: true for
+// transient transport conditions worth retrying on the same or another
+// replica (connection loss, resets, timeouts, ErrBusy), false for
+// terminal refusals the table itself issued (ErrExists, ErrWrongMode,
+// ErrValueSize, ...) — retrying those would return the same answer.
+// Cluster failover, client redial, and the loadgen's error accounting
+// all branch on this one predicate.
+func IsRetryable(err error) bool { return server.IsRetryable(err) }
 
 // Modes.
 const (

@@ -46,18 +46,58 @@ type Opts struct {
 	// ReadTimeout/WriteTimeout are passed through to each shard
 	// connection's deadlines (Dial only).
 	ReadTimeout, WriteTimeout time.Duration
+
+	// Replicas is the number of copies of each key: the key's arc owner
+	// plus the next Replicas-1 distinct shards clockwise on the ring.
+	// 0 or 1 means no replication (the pre-replication behavior, byte for
+	// byte). Must not exceed the shard count.
+	Replicas int
+	// WriteQuorum is how many replica acks a write needs before it
+	// completes (0 = Replicas, i.e. write-all). With W = Replicas an
+	// acked write survives any single-shard loss and reads never observe
+	// a lost update after failover; with W < Replicas writes stay
+	// available through Replicas-W shard failures at the cost of replica
+	// divergence until the laggards catch up (there is no read repair).
+	WriteQuorum int
+	// DownAfter is the failure detector's threshold: a shard is marked
+	// down after this many consecutive retryable failures (default 3).
+	// Down shards are skipped by read failover and write fan-out until a
+	// background probe re-admits them.
+	DownAfter int
+	// ProbeInterval is the cadence at which down shards are probed for
+	// re-admission (default 250ms).
+	ProbeInterval time.Duration
+	// Probe overrides the re-admission probe, keyed by shard name. For
+	// Dial clusters the default dials the shard address and closes; for
+	// New clusters the default is half-open — a down shard is
+	// optimistically re-admitted after one interval and the next real
+	// operation is its probe.
+	Probe func(name string) error
+	// Retry is each shard connection's transparent redial-and-retry
+	// policy (Dial only). The zero value selects server.DefaultRetry —
+	// replication is pointless over connections that stay broken after a
+	// blip — set Max < 0 to disable retries entirely.
+	Retry server.RetryPolicy
 }
 
-const defaultVNodes = 64
+const (
+	defaultVNodes        = 64
+	defaultDownAfter     = 3
+	defaultProbeInterval = 250 * time.Millisecond
+)
 
 // Cluster consistent-hashes keys across its member Stores and implements
 // Store itself. Like every Store, a Cluster is a per-goroutine object.
 type Cluster struct {
-	names  []string
-	stores []core.Store
-	ring   []ringPoint
-	keyh   hashfn.Func64
-	window int
+	names    []string
+	stores   []core.Store
+	ring     []ringPoint
+	keyh     hashfn.Func64
+	window   int
+	replicas int
+	wq       int
+	det      *detector
+	scratch  []int // replica-set buffer for the sync ops
 }
 
 // ringPoint is one virtual node: a position on the 64-bit hash circle
@@ -91,13 +131,35 @@ func New(names []string, stores []core.Store, opts Opts) (*Cluster, error) {
 	if vnodes <= 0 {
 		vnodes = defaultVNodes
 	}
-	c := &Cluster{
-		names:  append([]string(nil), names...),
-		stores: append([]core.Store(nil), stores...),
-		ring:   make([]ringPoint, 0, len(names)*vnodes),
-		keyh:   hashfn.For64(hashfn.WyHash),
-		window: opts.Window,
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = 1
 	}
+	if replicas > len(stores) {
+		return nil, fmt.Errorf("cluster: Replicas %d > %d shards", replicas, len(stores))
+	}
+	wq := opts.WriteQuorum
+	if wq <= 0 {
+		wq = replicas
+	}
+	if wq > replicas {
+		return nil, fmt.Errorf("cluster: WriteQuorum %d > Replicas %d", wq, replicas)
+	}
+	c := &Cluster{
+		names:    append([]string(nil), names...),
+		stores:   append([]core.Store(nil), stores...),
+		ring:     make([]ringPoint, 0, len(names)*vnodes),
+		keyh:     hashfn.For64(hashfn.WyHash),
+		window:   opts.Window,
+		replicas: replicas,
+		wq:       wq,
+	}
+	var probe func(i int) error
+	if opts.Probe != nil {
+		byName := opts.Probe
+		probe = func(i int) error { return byName(c.names[i]) }
+	}
+	c.det = newDetector(len(stores), opts.DownAfter, opts.ProbeInterval, probe)
 	hb := hashfn.ForBytes(hashfn.WyHash)
 	for i, name := range names {
 		for v := 0; v < vnodes; v++ {
@@ -109,14 +171,37 @@ func New(names []string, stores []core.Store, opts Opts) (*Cluster, error) {
 }
 
 // Dial opens one pipelined protocol-v2 connection per address and builds a
-// Cluster with the addresses as shard names.
+// Cluster with the addresses as shard names. Connections carry a retry
+// policy (default server.DefaultRetry; Opts.Retry overrides, Max < 0
+// disables): a shard that dies and comes back — same address, state
+// recovered from its WAL — is transparently redialed, so no client
+// restart is needed for a shard restart.
 func Dial(addrs []string, opts Opts) (*Cluster, error) {
+	retry := opts.Retry
+	if retry.Max == 0 {
+		retry = server.DefaultRetry
+	} else if retry.Max < 0 {
+		retry = server.RetryPolicy{}
+	}
+	if opts.Probe == nil {
+		// Default probe: the shard is back when its listener accepts.
+		// server.DialTCP, not net.Dial: a raw dial to a dead local port
+		// can self-connect and re-admit a shard that is still down.
+		opts.Probe = func(addr string) error {
+			conn, err := server.DialTCP(addr, time.Second)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		}
+	}
 	stores := make([]core.Store, 0, len(addrs))
 	for _, addr := range addrs {
 		cl, err := server.DialV2(addr, server.ClientOpts{
 			Table:        opts.Table,
 			ReadTimeout:  opts.ReadTimeout,
 			WriteTimeout: opts.WriteTimeout,
+			Retry:        retry,
 		})
 		if err != nil {
 			for _, s := range stores {
@@ -142,11 +227,9 @@ func (c *Cluster) NumShards() int { return len(c.stores) }
 // Names returns the shard names in member order.
 func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
 
-// ShardFor returns the index of the shard owning key: the owner of the
-// first ring point at or clockwise of the key's hash.
-func (c *Cluster) ShardFor(key uint64) int {
-	h := c.keyh(key)
-	// Binary search for the first point >= h, wrapping to ring[0].
+// ringSearch returns the index of the first ring point at or clockwise
+// of h, wrapping to ring[0].
+func (c *Cluster) ringSearch(h uint64) int {
 	lo, hi := 0, len(c.ring)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -159,36 +242,171 @@ func (c *Cluster) ShardFor(key uint64) int {
 	if lo == len(c.ring) {
 		lo = 0
 	}
-	return c.ring[lo].shard
+	return lo
+}
+
+// ShardFor returns the index of the shard owning key: the owner of the
+// first ring point at or clockwise of the key's hash. With replication
+// this is the key's primary — the first element of its replica set.
+func (c *Cluster) ShardFor(key uint64) int {
+	return c.ring[c.ringSearch(c.keyh(key))].shard
+}
+
+// replicasFor appends key's replica set to buf[:0] and returns it: the
+// first Replicas DISTINCT shards found walking the ring clockwise from
+// the key's hash point. Rank 0 is the primary (== ShardFor). The set
+// depends only on shard names and the ring geometry — never on liveness —
+// so every client, across reconnects and shard restarts, agrees on where
+// a key's copies live.
+func (c *Cluster) replicasFor(key uint64, buf []int) []int {
+	buf = buf[:0]
+	start := c.ringSearch(c.keyh(key))
+	for i := 0; i < len(c.ring) && len(buf) < c.replicas; i++ {
+		s := c.ring[(start+i)%len(c.ring)].shard
+		dup := false
+		for _, b := range buf {
+			if b == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, s)
+		}
+	}
+	return buf
 }
 
 // Shard returns the member store at index i (as returned by ShardFor).
 func (c *Cluster) Shard(i int) core.Store { return c.stores[i] }
 
 func (c *Cluster) Get(key uint64) (uint64, bool, error) {
-	return c.stores[c.ShardFor(key)].Get(key)
+	if c.replicas == 1 {
+		return c.stores[c.ShardFor(key)].Get(key)
+	}
+	return c.read(key)
 }
 
 func (c *Cluster) Put(key, val uint64) (uint64, bool, error) {
-	return c.stores[c.ShardFor(key)].Put(key, val)
+	if c.replicas == 1 {
+		return c.stores[c.ShardFor(key)].Put(key, val)
+	}
+	return c.write(key, func(s core.Store) (uint64, bool, error) { return s.Put(key, val) })
 }
 
 func (c *Cluster) Insert(key, val uint64) (uint64, bool, error) {
-	return c.stores[c.ShardFor(key)].Insert(key, val)
+	if c.replicas == 1 {
+		return c.stores[c.ShardFor(key)].Insert(key, val)
+	}
+	return c.write(key, func(s core.Store) (uint64, bool, error) { return s.Insert(key, val) })
 }
 
 func (c *Cluster) Delete(key uint64) (uint64, bool, error) {
-	return c.stores[c.ShardFor(key)].Delete(key)
+	if c.replicas == 1 {
+		return c.stores[c.ShardFor(key)].Delete(key)
+	}
+	return c.write(key, func(s core.Store) (uint64, bool, error) { return s.Delete(key) })
+}
+
+// read tries the key's replicas in rank order — primary first — failing
+// over to the next on retryable errors. A terminal (table-level) answer
+// from any replica returns immediately: it IS the answer. Down shards
+// are deferred to a last-resort second pass in case the detector is
+// stale.
+func (c *Cluster) read(key uint64) (uint64, bool, error) {
+	cands := c.replicasFor(key, c.scratch)
+	c.scratch = cands
+	var lastErr error
+	var tried uint64
+	for pass := 0; pass < 2; pass++ {
+		for ci, s := range cands {
+			if pass == 0 && c.det.isDown(s) {
+				continue
+			}
+			if tried&(1<<ci) != 0 {
+				continue
+			}
+			tried |= 1 << ci
+			v, ok, err := c.stores[s].Get(key)
+			if err == nil {
+				c.det.ok(s)
+				return v, ok, nil
+			}
+			if !server.IsRetryable(err) {
+				return v, ok, err
+			}
+			c.det.fail(s)
+			lastErr = err
+		}
+	}
+	return 0, false, fmt.Errorf("cluster: all %d replicas of key failed: %w", len(cands), lastErr)
+}
+
+// write fans op out to every replica of key, in rank order, and succeeds
+// once WriteQuorum replicas have acked. The result reported is the
+// primary-most ack (rank order is attempt order). A terminal refusal
+// from any replica returns immediately. Down shards are skipped unless
+// the up ones cannot reach quorum, in which case they get a second
+// chance.
+func (c *Cluster) write(key uint64, op func(core.Store) (uint64, bool, error)) (uint64, bool, error) {
+	cands := c.replicasFor(key, c.scratch)
+	c.scratch = cands
+	acks := 0
+	var val uint64
+	var okv, haveRes bool
+	var lastErr error
+	var tried uint64
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 && acks >= c.wq {
+			break // quorum reached; don't resurrect down shards needlessly
+		}
+		for ci, s := range cands {
+			if pass == 0 && c.det.isDown(s) {
+				continue
+			}
+			if tried&(1<<ci) != 0 {
+				continue
+			}
+			tried |= 1 << ci
+			v, o, err := op(c.stores[s])
+			if err == nil {
+				c.det.ok(s)
+				acks++
+				if !haveRes {
+					val, okv, haveRes = v, o, true
+				}
+			} else if !server.IsRetryable(err) {
+				return v, o, err
+			} else {
+				c.det.fail(s)
+				lastErr = err
+			}
+		}
+	}
+	if acks >= c.wq {
+		return val, okv, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("replicas unreachable")
+	}
+	return 0, false, fmt.Errorf("cluster: write quorum %d/%d: %w", acks, c.wq, lastErr)
 }
 
 // Pipe opens one pipe per shard and routes each enqueue to its key's
 // shard. opts.OnComplete receives every shard's completions through one
-// callback, merged in per-shard enqueue order (per-key program order);
-// completions from different shards may interleave in any order.
+// callback, merged in per-primary enqueue order (per-key program order);
+// completions for keys with different primaries may interleave in any
+// order. With Replicas > 1 each write is fanned to the key's replica set
+// and completes once WriteQuorum replicas ack; reads fail over replica
+// to replica on retryable errors. Enqueues into the returned pipe must
+// not be made from inside OnComplete.
 func (c *Cluster) Pipe(opts core.PipeOpts) (core.Pipe, error) {
 	w := opts.Window
 	if w == 0 {
 		w = c.window
+	}
+	if c.replicas > 1 {
+		return c.newRepPipe(w, opts.OnComplete)
 	}
 	pipes := make([]core.Pipe, len(c.stores))
 	for i, s := range c.stores {
@@ -206,6 +424,7 @@ func (c *Cluster) Pipe(opts core.PipeOpts) (core.Pipe, error) {
 
 // Close closes every member store, returning the first error.
 func (c *Cluster) Close() error {
+	c.det.close()
 	var first error
 	for _, s := range c.stores {
 		if err := s.Close(); err != nil && first == nil {

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// detector is the cluster's per-shard failure detector: K consecutive
+// retryable failures mark a shard down, a background prober re-admits it
+// once a probe succeeds. Down shards are skipped by reads (failover goes
+// to the next replica) and by write fan-out (the write proceeds if the
+// remaining replicas still reach quorum), so a dead shard costs one
+// failed attempt per K operations instead of a timeout per operation.
+//
+// Any successful real operation against a shard also revives it
+// immediately — the prober is the push half, live traffic the pull half.
+//
+// detector is internally locked: it is the one piece of Cluster state
+// shared between the caller's goroutine and the prober goroutine.
+type detector struct {
+	mu    sync.Mutex
+	fails []int  // consecutive retryable failures per shard
+	down  []bool // shard currently considered down
+
+	k        int           // failures before down (DownAfter)
+	interval time.Duration // probe cadence
+	probe    func(i int) error
+	proberUp bool
+	stop     chan struct{}
+	closed   bool
+}
+
+// newDetector builds a detector over n shards. probe may be nil: then a
+// down shard is optimistically re-admitted after one interval (half-open
+// — the next real operation is the probe). k <= 0 selects the default.
+func newDetector(n, k int, interval time.Duration, probe func(i int) error) *detector {
+	if k <= 0 {
+		k = defaultDownAfter
+	}
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	return &detector{
+		fails:    make([]int, n),
+		down:     make([]bool, n),
+		k:        k,
+		interval: interval,
+		probe:    probe,
+		stop:     make(chan struct{}),
+	}
+}
+
+// ok records a successful operation against shard i, resetting its
+// failure streak and reviving it if it was down.
+func (d *detector) ok(i int) {
+	d.mu.Lock()
+	d.fails[i] = 0
+	d.down[i] = false
+	d.mu.Unlock()
+}
+
+// fail records a retryable failure against shard i. After k consecutive
+// failures the shard is marked down and the prober is (re)started.
+func (d *detector) fail(i int) {
+	d.mu.Lock()
+	d.fails[i]++
+	if d.fails[i] >= d.k && !d.down[i] {
+		d.down[i] = true
+		if !d.proberUp && !d.closed {
+			d.proberUp = true
+			go d.prober()
+		}
+	}
+	d.mu.Unlock()
+}
+
+// isDown reports whether shard i is currently considered down.
+func (d *detector) isDown(i int) bool {
+	d.mu.Lock()
+	v := d.down[i]
+	d.mu.Unlock()
+	return v
+}
+
+// anyDown reports whether any shard is currently down.
+func (d *detector) anyDown() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, v := range d.down {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// prober periodically probes every down shard and re-admits the ones
+// that answer. It exits when nothing is down (fail restarts it) or when
+// the detector closes.
+func (d *detector) prober() {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+		}
+		d.mu.Lock()
+		var targets []int
+		for i, dn := range d.down {
+			if dn {
+				targets = append(targets, i)
+			}
+		}
+		if len(targets) == 0 || d.closed {
+			// Nothing left to probe: park until the next down event.
+			d.proberUp = false
+			d.mu.Unlock()
+			return
+		}
+		probe := d.probe
+		d.mu.Unlock()
+
+		for _, i := range targets {
+			if probe == nil || probe(i) == nil {
+				// Half-open (nil probe) or a successful probe: re-admit.
+				// The next real operation re-tests the shard for real; a
+				// failure streak will take it straight back down.
+				d.ok(i)
+			}
+		}
+	}
+}
+
+// close stops the prober. Idempotent.
+func (d *detector) close() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.stop)
+	}
+	d.mu.Unlock()
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+
+	core "repro/internal/core"
+)
+
+// durableShard is a restartable dlht-server over a WAL-backed table: the
+// in-process stand-in for a shard process that can be killed and
+// restarted on the same address with the same directory. (The smoke
+// script exercises the literal kill -9; this covers the same client-side
+// machinery — redial, failover, re-admission — deterministically and
+// under -race.)
+type durableShard struct {
+	addr string
+	dir  string
+	srv  *server.Server
+	ds   *wal.Store
+}
+
+func startDurableShard(t *testing.T, addr, dir string) *durableShard {
+	t.Helper()
+	ds, err := wal.Open(dir, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 64}, wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open(%s): %v", dir, err)
+	}
+	srv := server.New(ds.Table(), server.Options{})
+	if err := srv.AddDurable(server.DefaultTable, ds); err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	go srv.Serve(ln)
+	return &durableShard{addr: ln.Addr().String(), dir: dir, srv: srv, ds: ds}
+}
+
+func (sh *durableShard) stop() {
+	sh.srv.Close()
+	sh.ds.Close()
+}
+
+// TestFailoverNoLostAckedWrites is the pipeline-vs-oracle property test:
+// a replicated R=2 W=2 cluster pipe runs a key-value workload while one
+// durable shard is stopped mid-run and later restarted from its WAL on
+// the same address. Invariants checked:
+//
+//   - every enqueued op gets EXACTLY one completion (none lost, none
+//     duplicated), in per-key program order;
+//   - every successful read returns a value the per-key oracle allows:
+//     the last acked write, or any indeterminate (error-completed) write
+//     issued since it;
+//   - after the shard rejoins, the final value of every key is the last
+//     acked write or a trailing indeterminate one — with W=R=2 an acked
+//     write reached both replicas, so the restart loses nothing;
+//   - the cluster heals with no client restart: the same pipe object
+//     carries acked writes again after the shard returns.
+func TestFailoverNoLostAckedWrites(t *testing.T) {
+	shards := make([]*durableShard, 3)
+	addrs := make([]string, 3)
+	for i := range shards {
+		shards[i] = startDurableShard(t, "", t.TempDir())
+		addrs[i] = shards[i].addr
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.stop()
+		}
+	}()
+
+	clu, err := Dial(addrs, Opts{
+		Replicas:      2,
+		WriteQuorum:   2,
+		Retry:         server.RetryPolicy{Max: 3, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 7},
+		DownAfter:     2,
+		ProbeInterval: 20 * time.Millisecond,
+		ReadTimeout:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+
+	const nkeys = 128
+	// Oracle state, all driven from the single test goroutine (completions
+	// fire inline during enq/Flush).
+	type keyState struct {
+		pending []uint64 // enqueued writes awaiting completion (program order)
+		reads   int      // enqueued reads awaiting completion
+		acked   uint64   // last acked value
+		hasAck  bool
+		indet   map[uint64]bool // error-completed writes since the last ack
+	}
+	ks := make([]*keyState, nkeys)
+	for i := range ks {
+		ks[i] = &keyState{indet: map[uint64]bool{}}
+	}
+	completions, enqueued := 0, 0
+
+	trace := make([][]string, nkeys) // debug: per-key event log
+	ev := func(k uint64, format string, args ...any) {
+		trace[k] = append(trace[k], fmt.Sprintf(format, args...))
+	}
+	dump := func(k uint64) {
+		for _, e := range trace[k] {
+			t.Logf("  key %d: %s", k, e)
+		}
+	}
+
+	p, err := clu.Pipe(core.PipeOpts{Window: 8, OnComplete: func(cc core.Completion) {
+		completions++
+		st := ks[cc.Key]
+		switch cc.Kind {
+		case core.OpInsert, core.OpPut:
+			ev(cc.Key, "comp %v err=%v ok=%v val=%d", cc.Kind, cc.Err, cc.OK, cc.Value)
+			if len(st.pending) == 0 {
+				t.Errorf("key %d: write completion with no pending write (dup or reorder)", cc.Key)
+				dump(cc.Key)
+				t.FailNow()
+			}
+			v := st.pending[0]
+			st.pending = st.pending[1:] // per-key program order
+			if cc.Err == nil {
+				st.acked, st.hasAck = v, true
+				st.indet = map[uint64]bool{}
+			} else {
+				st.indet[v] = true
+			}
+		case core.OpGet:
+			ev(cc.Key, "comp Get err=%v ok=%v val=%d", cc.Err, cc.OK, cc.Value)
+			if st.reads <= 0 {
+				t.Errorf("key %d: read completion with no pending read", cc.Key)
+				return
+			}
+			st.reads--
+			if cc.Err == nil && cc.OK {
+				// Allowed: the last acked write, an indeterminate
+				// (error-completed) one, or a still-pending write — a read
+				// that failed over can observe a write enqueued after it,
+				// because the retried read frame reaches the replica after
+				// that write's fan-out frame. Never anything older than the
+				// last ack, and never a value that was never issued.
+				explainable := (st.hasAck && cc.Value == st.acked) || st.indet[cc.Value]
+				for _, v := range st.pending {
+					if v == cc.Value {
+						explainable = true
+						break
+					}
+				}
+				if !explainable {
+					t.Errorf("key %d (replicas %v): read %d not explainable (acked %d, %d indeterminate, %d pending)",
+						cc.Key, clu.replicasFor(cc.Key, nil), cc.Value, st.acked, len(st.indet), len(st.pending))
+					dump(cc.Key)
+					t.FailNow()
+				}
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var seq uint64 = 1
+	step := func() {
+		k := next(nkeys)
+		st := ks[k]
+		// Oracle state is recorded BEFORE the pipe call: completions may
+		// fire inline during the enqueue itself (window-slide, fail-all)
+		// and must find this op already accounted for.
+		enqueued++
+		if next(100) < 40 {
+			st.reads++
+			ev(k, "enq Get (era %d)", seq)
+			if err := p.Get(k); err != nil {
+				t.Fatalf("Get enq: %v", err)
+			}
+		} else {
+			seq++
+			st.pending = append(st.pending, seq)
+			var err error
+			if len(st.pending) == 1 && !st.hasAck {
+				ev(k, "enq Insert %d", seq)
+				err = p.Insert(k, seq)
+			} else {
+				ev(k, "enq Put %d", seq)
+				err = p.Put(k, seq)
+			}
+			if err != nil {
+				t.Fatalf("write enq: %v", err)
+			}
+		}
+	}
+
+	for i := 0; i < 3000; i++ {
+		step()
+	}
+	// Stop one shard with requests possibly in flight.
+	shards[1].stop()
+	for i := 0; i < 3000; i++ {
+		step()
+	}
+	// Restart it from the same WAL dir on the same address.
+	shards[1] = startDurableShard(t, addrs[1], shards[1].dir)
+	// Heal: same pipe, no client restart — drive until a write acks again
+	// on every key's replica set (re-dial + detector re-admission).
+	deadline := time.Now().Add(10 * time.Second)
+	healed := false
+	for !healed {
+		if time.Now().After(deadline) {
+			npend, nreads := 0, 0
+			for _, st := range ks {
+				npend += len(st.pending)
+				nreads += st.reads
+			}
+			t.Fatalf("cluster did not heal within 10s of the shard restarting (pending %d, reads %d, down %v/%v/%v)",
+				npend, nreads, clu.det.isDown(0), clu.det.isDown(1), clu.det.isDown(2))
+		}
+		for i := 0; i < 200; i++ {
+			step()
+		}
+		if err := p.Flush(); err != nil {
+			// Transient while the shard is still coming back.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		healed = true
+		for _, st := range ks {
+			if len(st.pending) != 0 || st.reads != 0 {
+				healed = false
+			}
+		}
+		if healed && clu.det.anyDown() {
+			healed = false
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// A post-heal round of writes must all ack cleanly.
+	for k := uint64(0); k < nkeys; k++ {
+		seq++
+		if err := p.Put(k, seq); err != nil {
+			t.Fatalf("post-heal Put enq: %v", err)
+		}
+		ks[k].pending = append(ks[k].pending, seq)
+		enqueued++
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("post-heal flush: %v", err)
+	}
+	for k, st := range ks {
+		if len(st.pending) != 0 {
+			t.Fatalf("key %d: %d writes never completed", k, len(st.pending))
+		}
+		if !st.hasAck || len(st.indet) != 0 {
+			t.Fatalf("key %d: post-heal write did not ack cleanly (hasAck=%v, indet=%d)", k, st.hasAck, len(st.indet))
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if completions != enqueued {
+		t.Fatalf("%d completions for %d enqueued ops", completions, enqueued)
+	}
+
+	// Final state: every key holds its last acked write (indet sets are
+	// empty after the clean post-heal round), on BOTH replicas — the
+	// W=R=2 guarantee that a single shard loss cannot lose an acked
+	// write.
+	for k := uint64(0); k < nkeys; k++ {
+		v, ok, err := clu.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("final Get(%d) = (%v,%v)", k, ok, err)
+		}
+		if v != ks[k].acked {
+			t.Fatalf("key %d: final value %d, want last acked %d", k, v, ks[k].acked)
+		}
+	}
+}
+
+// TestRestartedShardServesItsWAL: an acked W=2 write survives stopping
+// BOTH its replicas once they restart from their WALs — the durability
+// half of the failover story, without failover masking it.
+func TestRestartedShardServesItsWAL(t *testing.T) {
+	shards := make([]*durableShard, 3)
+	addrs := make([]string, 3)
+	dirs := make([]string, 3)
+	for i := range shards {
+		dirs[i] = t.TempDir()
+		shards[i] = startDurableShard(t, "", dirs[i])
+		addrs[i] = shards[i].addr
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.stop()
+		}
+	}()
+
+	clu, err := Dial(addrs, Opts{Replicas: 2, WriteQuorum: 2,
+		Retry: server.RetryPolicy{Max: 5, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		if _, ins, err := clu.Insert(k, k*3+1); err != nil || !ins {
+			t.Fatalf("Insert(%d): (%v,%v)", k, ins, err)
+		}
+	}
+	// Full cluster bounce, every shard restarted from its WAL.
+	for i := range shards {
+		shards[i].stop()
+		shards[i] = startDurableShard(t, addrs[i], dirs[i])
+	}
+	missing := 0
+	for k := uint64(0); k < n; k++ {
+		v, ok, err := clu.Get(k)
+		if err != nil || !ok || v != k*3+1 {
+			missing++
+			if missing < 4 {
+				t.Errorf("Get(%d) after full restart = (%d,%v,%v), want (%d,true,nil)", k, v, ok, err, k*3+1)
+			}
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d of %d acked writes lost across the restart", missing, n)
+	}
+}

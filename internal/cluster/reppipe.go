@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/server"
+
+	core "repro/internal/core"
+)
+
+// repPipe is the replicated pipelined surface: each write enqueue fans
+// out to the key's replica set over the per-shard pipes and its user
+// completion fires once WriteQuorum replicas have acked; each read
+// enqueue goes to the primary and fails over, replica by replica, on
+// retryable errors. User completions for ops sharing a primary are
+// delivered strictly in enqueue order — per-key program order — even
+// when a middle op's quorum is slow or a read is bouncing between
+// replicas: a resolved op waits behind its queue predecessors.
+//
+// Ordering across replicas holds for acked ops: writes to a key are
+// enqueued to every replica's pipe in program order, and each pipe
+// preserves its own enqueue order end to end. An op that completes WITH
+// an error after a transport failure is indeterminate — it may have
+// applied on some replicas (even late, after the failure was reported) —
+// the standard at-most-once-ack, at-least-zero-apply shape of a
+// distributed write.
+//
+// Like every Pipe, repPipe is single-goroutine; the only concurrency is
+// the detector's prober, which is internally locked.
+type repPipe struct {
+	c     *Cluster
+	pipes []core.Pipe
+	onc   func(core.Completion)
+
+	dq []opQueue // per PRIMARY shard: user ops in enqueue (delivery) order
+	aq []opQueue // per shard: ops with a completion outstanding THERE, in arrival order
+
+	inflight int // user ops enqueued, not yet delivered
+	free     *repOp
+	closed   bool
+}
+
+// repOp is one user operation in flight across its replica set.
+type repOp struct {
+	kind    core.OpKind
+	key     uint64
+	val     uint64
+	primary int
+	cands   []int // replica set, rank order (cands[0] == primary)
+
+	need      int // acks required to resolve OK (writes: W; reads: 1)
+	acks      int
+	remaining int // shard completions still outstanding
+	nextCand  int // reads: next rank to try on retryable failure
+
+	res       core.Completion
+	haveRes   bool
+	errc      error // last retryable failure seen
+	resolved  bool
+	delivered bool
+	retired   bool
+	fanning   bool // write fan-out in progress: failure settlement deferred
+
+	next *repOp // freelist link
+}
+
+// opQueue is a FIFO of op pointers with an amortized-compacting head.
+type opQueue struct {
+	ops  []*repOp
+	head int
+}
+
+func (q *opQueue) push(op *repOp) { q.ops = append(q.ops, op) }
+
+func (q *opQueue) empty() bool { return q.head == len(q.ops) }
+
+func (q *opQueue) peek() *repOp { return q.ops[q.head] }
+
+func (q *opQueue) pop() *repOp {
+	op := q.ops[q.head]
+	q.ops[q.head] = nil
+	q.head++
+	if q.head >= 64 && q.head*2 >= len(q.ops) {
+		n := copy(q.ops, q.ops[q.head:])
+		for i := n; i < len(q.ops); i++ {
+			q.ops[i] = nil
+		}
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
+	return op
+}
+
+// removeLast removes the most recent occurrence of op (used to undo a
+// push when the shard pipe rejected the frame outright; nested inline
+// completions may have pushed entries after ours, so search backward).
+func (q *opQueue) removeLast(op *repOp) {
+	for i := len(q.ops) - 1; i >= q.head; i-- {
+		if q.ops[i] == op {
+			copy(q.ops[i:], q.ops[i+1:])
+			q.ops = q.ops[:len(q.ops)-1]
+			return
+		}
+	}
+}
+
+func (c *Cluster) newRepPipe(w int, onc func(core.Completion)) (core.Pipe, error) {
+	p := &repPipe{
+		c:     c,
+		pipes: make([]core.Pipe, len(c.stores)),
+		onc:   onc,
+		dq:    make([]opQueue, len(c.stores)),
+		aq:    make([]opQueue, len(c.stores)),
+	}
+	for i, s := range c.stores {
+		i := i
+		sp, err := s.Pipe(core.PipeOpts{Window: w, OnComplete: func(sc core.Completion) {
+			p.onShard(i, sc)
+		}})
+		if err != nil {
+			for _, q := range p.pipes[:i] {
+				if q != nil {
+					q.Close()
+				}
+			}
+			return nil, fmt.Errorf("cluster: shard %s: %w", c.names[i], err)
+		}
+		p.pipes[i] = sp
+	}
+	return p, nil
+}
+
+func (p *repPipe) getOp() *repOp {
+	op := p.free
+	if op == nil {
+		op = &repOp{}
+	} else {
+		p.free = op.next
+	}
+	cands := op.cands[:0]
+	*op = repOp{cands: cands}
+	return op
+}
+
+// maybeRetire returns a fully drained, delivered op to the freelist.
+// The retired guard makes it idempotent: nested inline completion chains
+// can reach a drained op through more than one stack frame.
+func (p *repPipe) maybeRetire(op *repOp) {
+	if !op.retired && op.delivered && op.remaining == 0 {
+		op.retired = true
+		op.next = p.free
+		p.free = op
+	}
+}
+
+func (p *repPipe) Get(key uint64) error      { return p.enq(core.OpGet, key, 0) }
+func (p *repPipe) Put(key, val uint64) error { return p.enq(core.OpPut, key, val) }
+func (p *repPipe) Insert(key, val uint64) error {
+	return p.enq(core.OpInsert, key, val)
+}
+func (p *repPipe) Delete(key uint64) error { return p.enq(core.OpDelete, key, 0) }
+
+func (p *repPipe) enq(kind core.OpKind, key, val uint64) error {
+	if p.closed {
+		return errors.New("cluster: Pipe used after Close")
+	}
+	op := p.getOp()
+	op.kind, op.key, op.val = kind, key, val
+	op.cands = p.c.replicasFor(key, op.cands)
+	op.primary = op.cands[0]
+	p.inflight++
+	// Queue for delivery BEFORE any shard enqueue: an inline completion
+	// burst during the fan-out must find this op at the queue tail.
+	p.dq[op.primary].push(op)
+
+	if kind == core.OpGet {
+		op.need = 1
+		p.tryNextReplica(op)
+	} else {
+		op.need = p.c.wq
+		op.nextCand = len(op.cands)
+		// An inline error completion mid-fan-out would see a transiently
+		// empty in-flight set and mis-settle the op as quorum-impossible;
+		// hold failure settlement until every replica has been attempted.
+		op.fanning = true
+		var attempted uint64
+		for r, s := range op.cands {
+			if p.c.det.isDown(s) {
+				continue
+			}
+			attempted |= 1 << r
+			p.enqShard(s, op)
+		}
+		if op.acks+op.remaining < op.need {
+			// Second chance: the up replicas cannot reach quorum, so the
+			// known-down ones are worth a (possibly redialing) attempt.
+			for r, s := range op.cands {
+				if attempted&(1<<r) == 0 {
+					p.enqShard(s, op)
+				}
+			}
+		}
+		op.fanning = false
+	}
+	p.settle(op)
+	p.deliver(op.primary)
+	p.maybeRetire(op)
+	return nil
+}
+
+// enqShard enqueues op on shard s's pipe, tracking the outstanding
+// completion in s's arrival queue. Reports whether a completion is now
+// owed (the pipe accepted the frame — or already completed it inline).
+func (p *repPipe) enqShard(s int, op *repOp) bool {
+	// Push BEFORE the pipe call: a transport failure inside it delivers
+	// error completions inline for everything outstanding on that pipe —
+	// including, per the clientPipe contract, this very op when its frame
+	// was accepted before the failure.
+	p.aq[s].push(op)
+	op.remaining++
+	var err error
+	switch op.kind {
+	case core.OpGet:
+		err = p.pipes[s].Get(op.key)
+	case core.OpPut:
+		err = p.pipes[s].Put(op.key, op.val)
+	case core.OpInsert:
+		err = p.pipes[s].Insert(op.key, op.val)
+	case core.OpDelete:
+		err = p.pipes[s].Delete(op.key)
+	}
+	if err != nil {
+		// Frame never sent; no completion will come. Undo the push (by
+		// identity — inline completions may have reshaped the queue).
+		p.aq[s].removeLast(op)
+		op.remaining--
+		op.errc = err
+		p.c.det.fail(s)
+		return false
+	}
+	return true
+}
+
+// tryNextReplica enqueues a read on its next untried replica, preferring
+// up shards but falling back to a down one when nothing better remains.
+// Reports whether an attempt is now in flight.
+func (p *repPipe) tryNextReplica(op *repOp) bool {
+	for {
+		r := -1
+		for i := op.nextCand; i < len(op.cands); i++ {
+			if !p.c.det.isDown(op.cands[i]) {
+				r = i
+				break
+			}
+		}
+		if r < 0 && op.nextCand < len(op.cands) {
+			r = op.nextCand // all remaining are down: last resort, in rank order
+		}
+		if r < 0 {
+			return false
+		}
+		op.nextCand = r + 1
+		if p.enqShard(op.cands[r], op) {
+			return true
+		}
+	}
+}
+
+// onShard is every shard pipe's completion callback: it pops the op the
+// completion belongs to (arrival order == that pipe's enqueue order),
+// folds the outcome into the op's quorum state, drives read failover,
+// and delivers whatever the op's primary queue now has ready.
+func (p *repPipe) onShard(s int, sc core.Completion) {
+	op := p.aq[s].pop()
+	op.remaining--
+	if sc.Err != nil && server.IsRetryable(sc.Err) {
+		p.c.det.fail(s)
+		op.errc = sc.Err
+		if op.kind == core.OpGet && !op.resolved && p.tryNextReplica(op) {
+			return // failover attempt in flight; not settled yet
+		}
+	} else {
+		// Success or a terminal refusal: the shard processed the op
+		// either way, which counts toward the quorum. Prefer the first
+		// non-error result; a terminal refusal stands only if no replica
+		// plainly succeeded.
+		p.c.det.ok(s)
+		op.acks++
+		// A resolved op's outcome is frozen: once settle declared quorum
+		// failure, a straggler ack (reachable-but-late replica) must not
+		// flip the reported result to success — the write is already
+		// indeterminate from the caller's point of view.
+		if !op.resolved && (!op.haveRes || (op.res.Err != nil && sc.Err == nil)) {
+			op.res = sc
+			op.haveRes = true
+		}
+	}
+	p.settle(op)
+	p.deliver(op.primary)
+	p.maybeRetire(op)
+}
+
+// settle resolves op once its outcome is decided: quorum reached, or no
+// longer reachable even if every outstanding attempt succeeds.
+func (p *repPipe) settle(op *repOp) {
+	if op.resolved {
+		return
+	}
+	if op.acks >= op.need {
+		op.resolved = true
+		if !op.haveRes {
+			op.res = core.Completion{Kind: op.kind, Key: op.key}
+		}
+		return
+	}
+	if op.acks+op.remaining < op.need && !op.fanning {
+		op.resolved = true
+		err := op.errc
+		if err == nil {
+			err = errors.New("replicas unreachable")
+		}
+		op.res = core.Completion{
+			Kind: op.kind, Key: op.key,
+			Err: fmt.Errorf("cluster: quorum %d/%d: %w", op.acks, op.need, err),
+		}
+	}
+}
+
+// deliver fires user completions for the resolved prefix of primary's
+// delivery queue, preserving enqueue order per primary.
+func (p *repPipe) deliver(primary int) {
+	q := &p.dq[primary]
+	for !q.empty() && q.peek().resolved {
+		op := q.pop()
+		op.delivered = true
+		p.inflight--
+		if p.onc != nil {
+			p.onc(op.res)
+		}
+		p.maybeRetire(op)
+	}
+}
+
+// Flush drives every shard pipe until all user completions have fired.
+// Read failovers enqueued while draining need further passes; the rank
+// walk bounds them by the replica count. Flush never leaves an op
+// undelivered — on total shard loss every op completes with the
+// transport error.
+func (p *repPipe) Flush() error {
+	var first error
+	for pass := 0; p.inflight > 0 && pass <= p.c.replicas+2; pass++ {
+		for _, q := range p.pipes {
+			if err := q.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if p.inflight > 0 {
+		// Defensive: should be unreachable (every aq drain settles its
+		// ops), but the no-hang contract must hold regardless.
+		err := first
+		if err == nil {
+			err = errors.New("cluster: pipe flush stalled")
+		}
+		for i := range p.dq {
+			for q := &p.dq[i]; !q.empty(); {
+				op := q.peek()
+				if !op.resolved {
+					op.resolved = true
+					op.res = core.Completion{Kind: op.kind, Key: op.key, Err: err}
+				}
+				p.deliver(i)
+			}
+		}
+	}
+	return first
+}
+
+// Close flushes and closes every shard pipe. The Cluster remains usable.
+func (p *repPipe) Close() error {
+	if p.closed {
+		return nil
+	}
+	first := p.Flush()
+	for _, q := range p.pipes {
+		if err := q.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.closed = true
+	return first
+}

@@ -1,0 +1,274 @@
+// Package faultconn wraps net.Conn and net.Listener with deterministic,
+// seedable fault programs for testing transport resilience: connections
+// that die after N bytes, black holes that swallow reads, injected
+// latency, and connection resets. The faults are byte-count- and
+// seed-driven — never wall-clock-scheduled — so a test that fails under a
+// program fails the same way every run.
+//
+// The wrappers are plumbing-faithful: deadlines set through the usual
+// net.Conn surface keep working (a blackholed Read still honors the read
+// deadline and returns a net.Error with Timeout() == true), Close unblocks
+// blackholed readers, and errors injected by the program are the same
+// shapes real kernels produce (io.EOF for a remote close, ECONNRESET for
+// a reset), so retry classifiers exercise their production paths.
+package faultconn
+
+import (
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Program is one connection's deterministic fault schedule. The zero value
+// injects no faults. Byte thresholds count bytes actually transferred
+// through this wrapper (before the fault fires), so programs compose with
+// any buffering layered above.
+type Program struct {
+	// DropAfterRead, when > 0, makes every Read after n total bytes have
+	// been read fail. The connection behaves as if the peer vanished: the
+	// failing Read returns io.EOF (or ECONNRESET with Reset), and the
+	// underlying conn is closed.
+	DropAfterRead int64
+	// DropAfterWrite, when > 0, makes every Write after n total bytes have
+	// been written fail with EPIPE (or ECONNRESET with Reset) and closes
+	// the underlying conn.
+	DropAfterWrite int64
+	// BlackholeAfterRead, when > 0, makes every Read after n total bytes
+	// block forever — bytes keep arriving from the peer but are never
+	// delivered — until the read deadline expires (os.ErrDeadlineExceeded,
+	// a timeout net.Error) or the conn is closed. This models a hung peer
+	// or a one-way partition, the failure shape TCP itself never reports.
+	BlackholeAfterRead int64
+	// Reset switches the Drop* faults from clean-close shapes (io.EOF /
+	// EPIPE) to syscall.ECONNRESET, the shape of an RST from a kill -9'd
+	// peer.
+	Reset bool
+	// ReadDelay adds a fixed latency before every Read is attempted;
+	// Jitter adds a seed-deterministic extra in [0, Jitter).
+	ReadDelay time.Duration
+	// WriteDelay adds a fixed latency before every Write is attempted.
+	WriteDelay time.Duration
+	// Jitter bounds the per-op pseudo-random extra delay added on top of
+	// ReadDelay/WriteDelay. Zero Seed with non-zero Jitter still yields a
+	// fixed (all-zero-seeded) sequence — determinism is the point.
+	Jitter time.Duration
+	// Seed selects the jitter sequence.
+	Seed uint64
+}
+
+// Conn wraps a net.Conn with a fault Program. Concurrency contract matches
+// net.Conn: one reader and one writer may use it simultaneously.
+type Conn struct {
+	inner net.Conn
+	prog  Program
+
+	mu           sync.Mutex
+	readBytes    int64
+	writtenBytes int64
+	rng          uint64
+	closed       chan struct{}
+	closeOnce    sync.Once
+	readDeadline time.Time
+}
+
+// Wrap returns c with the fault program applied.
+func Wrap(c net.Conn, p Program) *Conn {
+	return &Conn{inner: c, prog: p, rng: p.Seed | 1, closed: make(chan struct{})}
+}
+
+// nextJitter advances the xorshift64 state and maps it onto [0, Jitter).
+func (c *Conn) nextJitter() time.Duration {
+	if c.prog.Jitter <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	c.mu.Unlock()
+	return time.Duration(x % uint64(c.prog.Jitter))
+}
+
+// sleep pauses for d (+ jitter), cut short by Close.
+func (c *Conn) sleep(d time.Duration) {
+	d += c.nextJitter()
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+// dropErr is the error shape of a Drop* fault.
+func (c *Conn) dropErr(write bool) error {
+	if c.prog.Reset {
+		return &net.OpError{Op: opName(write), Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	if write {
+		return &net.OpError{Op: "write", Net: "tcp", Err: syscall.EPIPE}
+	}
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+func opName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// blackhole blocks until the read deadline or Close, returning the same
+// error net.Conn reads return on an expired deadline.
+func (c *Conn) blackhole() error {
+	c.mu.Lock()
+	dl := c.readDeadline
+	c.mu.Unlock()
+	if dl.IsZero() {
+		<-c.closed
+		return net.ErrClosed
+	}
+	t := time.NewTimer(time.Until(dl))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return &net.OpError{Op: "read", Net: "tcp", Err: os.ErrDeadlineExceeded}
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.prog.ReadDelay > 0 || c.prog.Jitter > 0 {
+		c.sleep(c.prog.ReadDelay)
+	}
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	c.mu.Lock()
+	read := c.readBytes
+	c.mu.Unlock()
+	if c.prog.BlackholeAfterRead > 0 && read >= c.prog.BlackholeAfterRead {
+		return 0, c.blackhole()
+	}
+	if c.prog.DropAfterRead > 0 && read >= c.prog.DropAfterRead {
+		c.inner.Close()
+		return 0, c.dropErr(false)
+	}
+	// Clamp so the byte that crosses a threshold is the last delivered.
+	max := int64(len(b))
+	if c.prog.BlackholeAfterRead > 0 && read+max > c.prog.BlackholeAfterRead {
+		max = c.prog.BlackholeAfterRead - read
+	}
+	if c.prog.DropAfterRead > 0 && read+max > c.prog.DropAfterRead {
+		max = c.prog.DropAfterRead - read
+	}
+	n, err := c.inner.Read(b[:max])
+	c.mu.Lock()
+	c.readBytes += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.prog.WriteDelay > 0 || c.prog.Jitter > 0 {
+		c.sleep(c.prog.WriteDelay)
+	}
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	c.mu.Lock()
+	written := c.writtenBytes
+	c.mu.Unlock()
+	if c.prog.DropAfterWrite > 0 && written >= c.prog.DropAfterWrite {
+		c.inner.Close()
+		return 0, c.dropErr(true)
+	}
+	max := int64(len(b))
+	short := false
+	if c.prog.DropAfterWrite > 0 && written+max > c.prog.DropAfterWrite {
+		max = c.prog.DropAfterWrite - written
+		short = true
+	}
+	n, err := c.inner.Write(b[:max])
+	c.mu.Lock()
+	c.writtenBytes += int64(n)
+	c.mu.Unlock()
+	if err == nil && short {
+		// The tail of b crossed the drop threshold: report a short,
+		// failed write, like a send() cut off by a vanished peer.
+		c.inner.Close()
+		return n, c.dropErr(true)
+	}
+	return n, err
+}
+
+// Close closes the wrapper and the underlying conn, waking any blackholed
+// or delayed operation.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener, applying a per-connection Program chosen
+// by ProgramFor to every accepted conn.
+type Listener struct {
+	net.Listener
+	// ProgramFor picks the fault program for the i-th accepted connection
+	// (0-based). A nil ProgramFor applies the zero Program to every conn.
+	ProgramFor func(i int) Program
+
+	mu       sync.Mutex
+	accepted int
+}
+
+// WrapListener returns ln with programFor applied to each accepted conn.
+func WrapListener(ln net.Listener, programFor func(i int) Program) *Listener {
+	return &Listener{Listener: ln, ProgramFor: programFor}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.accepted
+	l.accepted++
+	l.mu.Unlock()
+	var p Program
+	if l.ProgramFor != nil {
+		p = l.ProgramFor(i)
+	}
+	return Wrap(c, p), nil
+}

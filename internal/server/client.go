@@ -46,6 +46,22 @@ type Client struct {
 	// cannot wedge the caller forever.
 	readTimeout, writeTimeout time.Duration
 
+	// Redial state. addr is the original dial target ("" when the client
+	// was built over a caller-supplied conn and cannot redial); broken is
+	// the sticky transport error after a connection failure — the next
+	// use redials when the retry policy allows. Redial attempts are
+	// rate-limited by the policy's backoff schedule (redialFails /
+	// nextRedial) so a dead shard costs one dial per backoff step, not
+	// one per operation.
+	addr        string
+	dialOpts    ClientOpts
+	dialV2      bool
+	retry       RetryPolicy
+	broken      error
+	rng         uint64
+	redialFails int
+	nextRedial  time.Time
+
 	// pend tracks one completion slot per in-flight request, in request
 	// order: a zero slot for a plain Send (consumed by Recv), cb for an
 	// async fixed-frame send, kvcb for a KV send. A power-of-two ring
@@ -74,21 +90,55 @@ type ClientOpts struct {
 	// ReadTimeout/WriteTimeout bound blocking reads and flushes. 0
 	// disables the respective deadline.
 	ReadTimeout, WriteTimeout time.Duration
+	// Retry enables transparent redial and bounded per-operation retry
+	// for the synchronous helpers (Get/Put/Insert/Delete and the KV
+	// forms) on retryable failures — see IsRetryable. The zero value
+	// disables retries; DefaultRetry is a sensible starting point.
+	// Retried writes are at-least-once: a retried Insert whose first
+	// attempt was applied but whose ack was lost reports the key as
+	// already present.
+	Retry RetryPolicy
+}
+
+// DialTCP dials addr, rejecting TCP self-connections. On Linux, dialing
+// a dead port on the local host can succeed via TCP simultaneous-open
+// when the kernel assigns the socket an ephemeral source port equal to
+// the destination port: the socket connects to ITSELF, and every read
+// returns the caller's own bytes — which this protocol's symmetric hello
+// would happily accept as a server. All client dial paths (including
+// redial and the cluster's failure-detector probe) must go through this
+// guard; a crashed shard whose port lands in the ephemeral range would
+// otherwise yield phantom acks instead of a connection error.
+func DialTCP(addr string, timeout time.Duration) (net.Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	c, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.LocalAddr().String() == c.RemoteAddr().String() {
+		c.Close()
+		return nil, fmt.Errorf("dial tcp %s: self-connected socket (no listener)", addr)
+	}
+	return c, nil
 }
 
 // Dial connects to a server at addr speaking protocol v1.
 func Dial(addr string) (*Client, error) {
-	c, err := net.Dial("tcp", addr)
+	c, err := DialTCP(addr, 0)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(c), nil
+	cl := NewClient(c)
+	cl.addr = addr
+	return cl, nil
 }
 
 // DialV2 connects to a server at addr and performs the protocol v2
-// handshake.
+// handshake. With opts.Retry.Max > 0 the client remembers addr and opts
+// and transparently redials (re-running the handshake) after a transport
+// failure, with the policy's capped exponential backoff.
 func DialV2(addr string, opts ClientOpts) (*Client, error) {
-	c, err := net.Dial("tcp", addr)
+	c, err := DialTCP(addr, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +147,9 @@ func DialV2(addr string, opts ClientOpts) (*Client, error) {
 		c.Close()
 		return nil, err
 	}
+	cl.addr = addr
+	cl.dialOpts = opts
+	cl.dialV2 = true
 	return cl, nil
 }
 
@@ -117,40 +170,119 @@ func NewClient(c net.Conn) *Client {
 func NewClientV2(c net.Conn, opts ClientOpts) (*Client, error) {
 	cl := NewClient(c)
 	cl.readTimeout, cl.writeTimeout = opts.ReadTimeout, opts.WriteTimeout
+	cl.retry = opts.Retry
+	cl.rng = opts.Retry.Seed
+	if cl.rng == 0 {
+		cl.rng = uint64(time.Now().UnixNano())
+	}
+	if err := cl.handshake(opts); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// handshake runs the v2 hello exchange on the current connection.
+func (cl *Client) handshake(opts ClientOpts) error {
 	features := opts.Features
 	if features == 0 {
 		features = supportedFeatures
 	}
 	hello, err := AppendHello(nil, Hello{Version: ProtocolV2, Features: features, Table: opts.Table})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cl.armWrite()
-	if _, err := c.Write(hello); err != nil {
-		return nil, err
+	if _, err := cl.c.Write(hello); err != nil {
+		return err
 	}
 	var buf [HelloRespSize]byte
 	cl.armRead()
 	if _, err := io.ReadFull(cl.br, buf[:]); err != nil {
-		return nil, err
+		return err
 	}
 	resp, err := DecodeHelloResp(buf[:])
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if resp.Status != StatusOK {
-		return nil, resp.Status.Err()
+		return resp.Status.Err()
 	}
 	if resp.Version != ProtocolV2 {
-		return nil, fmt.Errorf("%w: server granted version %d", ErrBadVersion, resp.Version)
+		return fmt.Errorf("%w: server granted version %d", ErrBadVersion, resp.Version)
 	}
 	cl.v2 = true
 	cl.features = resp.Features
-	return cl, nil
+	return nil
 }
 
-// Close closes the underlying connection.
-func (cl *Client) Close() error { return cl.c.Close() }
+// Err returns the sticky transport error that broke the connection, nil
+// while it is healthy. A broken redialable client heals on its next use.
+func (cl *Client) Err() error { return cl.broken }
+
+// abort marks the connection dead with a sticky error, closes it, and
+// drops every in-flight completion slot — after a transport failure no
+// further response can be matched, so the slots are unrecoverable.
+// Pipelined users (clientPipe) deliver failure completions for their
+// outstanding requests themselves before calling abort.
+func (cl *Client) abort(err error) {
+	if cl.broken == nil {
+		cl.broken = err
+	}
+	cl.c.Close()
+	cl.cbHead, cl.cbTail, cl.inflight = 0, 0, 0
+	for i := range cl.pend {
+		cl.pend[i] = pending{}
+	}
+}
+
+// ensureConn redials a broken connection when the retry policy allows.
+// Attempts are rate-limited by the policy's backoff schedule: a dead
+// shard costs one dial per backoff step, and every suppressed call
+// returns the sticky error immediately.
+func (cl *Client) ensureConn() error {
+	if cl.broken == nil {
+		return nil
+	}
+	if cl.addr == "" || cl.retry.Max == 0 {
+		return cl.broken
+	}
+	if !cl.nextRedial.IsZero() && time.Now().Before(cl.nextRedial) {
+		return cl.broken
+	}
+	pol := cl.retry.norm()
+	c, err := DialTCP(cl.addr, pol.DialTimeout)
+	if err == nil && cl.dialV2 {
+		cl.c = c
+		cl.br.Reset(c)
+		cl.bw.Reset(c)
+		if herr := cl.handshake(cl.dialOpts); herr != nil {
+			c.Close()
+			err = herr
+		}
+	} else if err == nil {
+		cl.c = c
+		cl.br.Reset(c)
+		cl.bw.Reset(c)
+	}
+	if err != nil {
+		cl.redialFails++
+		cl.nextRedial = time.Now().Add(pol.backoff(cl.redialFails, &cl.rng))
+		return err
+	}
+	cl.broken = nil
+	cl.redialFails = 0
+	cl.nextRedial = time.Time{}
+	return nil
+}
+
+// Close closes the underlying connection and disables redial.
+func (cl *Client) Close() error {
+	cl.addr = ""
+	if cl.broken == nil {
+		cl.broken = net.ErrClosed
+	}
+	return cl.c.Close()
+}
 
 // Inflight returns the number of requests sent but not yet received.
 func (cl *Client) Inflight() int { return cl.inflight }
@@ -194,7 +326,11 @@ func (cl *Client) SendAsync(r Request, cb func(Response)) error {
 }
 
 func (cl *Client) send(r Request, cb func(Response)) error {
+	if cl.broken != nil {
+		return cl.broken
+	}
 	if _, err := cl.bw.Write(AppendRequest(cl.bw.AvailableBuffer(), r)); err != nil {
+		cl.abort(err)
 		return err
 	}
 	cl.push(pending{cb: cb})
@@ -211,11 +347,15 @@ func (cl *Client) SendKV(r KVRequest, cb func(KVResponse)) error {
 	if !cl.v2 || cl.features&FeatureKV == 0 {
 		return fmt.Errorf("%w: KV frames (use DialV2)", ErrFeature)
 	}
+	if cl.broken != nil {
+		return cl.broken
+	}
 	frame, err := AppendKVRequest(cl.bw.AvailableBuffer(), r)
 	if err != nil {
 		return err
 	}
 	if _, err := cl.bw.Write(frame); err != nil {
+		cl.abort(err)
 		return err
 	}
 	cl.push(pending{kvcb: cb})
@@ -242,8 +382,15 @@ func (cl *Client) growPend() {
 
 // Flush pushes all queued requests to the wire.
 func (cl *Client) Flush() error {
+	if cl.broken != nil {
+		return cl.broken
+	}
 	cl.armWrite()
-	return cl.bw.Flush()
+	if err := cl.bw.Flush(); err != nil {
+		cl.abort(err)
+		return err
+	}
+	return nil
 }
 
 // headPending returns the oldest in-flight request's completion slot (the
@@ -275,10 +422,14 @@ func (cl *Client) popPending() {
 // async send. plain is true when the response belongs to a plain Send and
 // is returned to the caller instead.
 func (cl *Client) recvStep() (r Response, plain bool, err error) {
+	if cl.broken != nil {
+		return Response{}, false, cl.broken
+	}
 	head := cl.headPending()
 	if head.kvcb != nil {
 		kr, err := cl.readKVResponse()
 		if err != nil {
+			cl.abort(err)
 			return Response{}, false, err
 		}
 		cl.popPending()
@@ -288,11 +439,15 @@ func (cl *Client) recvStep() (r Response, plain bool, err error) {
 	var b [RespSize]byte
 	cl.armRead()
 	if _, err := io.ReadFull(cl.br, b[:]); err != nil {
+		// The stream is unrecoverable mid-frame: no later response can be
+		// matched to its request, so the connection is dead.
+		cl.abort(err)
 		return Response{}, false, err
 	}
 	cl.popPending()
 	r, err = DecodeResponse(b[:])
 	if err != nil {
+		cl.abort(err)
 		return r, false, err
 	}
 	if head.cb != nil {
@@ -489,8 +644,33 @@ func (cl *Client) Do(reqs []Request, resps []Response) error {
 	return nil
 }
 
-// do runs a one-request pipeline.
+// do runs a one-request pipeline. With a retry policy set and no other
+// requests in flight, retryable failures redial and reissue the request
+// within the policy budget — at-least-once semantics for writes whose ack
+// was lost.
 func (cl *Client) do(r Request) (Response, error) {
+	solo := cl.inflight == 0
+	resp, err := cl.do1(r)
+	if err == nil || cl.retry.Max == 0 || !solo {
+		return resp, err
+	}
+	pol := cl.retry.norm()
+	for attempt := 0; attempt < pol.Max && IsRetryable(err); attempt++ {
+		time.Sleep(pol.backoff(attempt, &cl.rng))
+		resp, err = cl.do1(r)
+		if err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+// do1 is one attempt of a one-request pipeline, redialing first if the
+// connection is broken.
+func (cl *Client) do1(r Request) (Response, error) {
+	if err := cl.ensureConn(); err != nil {
+		return Response{}, err
+	}
 	if err := cl.Send(r); err != nil {
 		return Response{}, err
 	}
@@ -566,8 +746,29 @@ func (cl *Client) Delete(key uint64) (prev uint64, ok bool, err error) {
 }
 
 // doKV runs a one-request KV pipeline, draining any async completions
-// queued ahead of it.
+// queued ahead of it. Retry semantics match do.
 func (cl *Client) doKV(r KVRequest) (KVResponse, error) {
+	solo := cl.inflight == 0
+	resp, err := cl.doKV1(r)
+	if err == nil || cl.retry.Max == 0 || !solo {
+		return resp, err
+	}
+	pol := cl.retry.norm()
+	for attempt := 0; attempt < pol.Max && IsRetryable(err); attempt++ {
+		time.Sleep(pol.backoff(attempt, &cl.rng))
+		resp, err = cl.doKV1(r)
+		if err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+// doKV1 is one attempt of a one-request KV pipeline.
+func (cl *Client) doKV1(r KVRequest) (KVResponse, error) {
+	if err := cl.ensureConn(); err != nil {
+		return KVResponse{}, err
+	}
 	var resp KVResponse
 	done := false
 	if err := cl.SendKV(r, func(kr KVResponse) { resp, done = kr, true }); err != nil {

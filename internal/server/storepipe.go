@@ -38,6 +38,14 @@ func (cl *Client) Pipe(opts core.PipeOpts) (core.Pipe, error) {
 // machinery. Completions are delivered in enqueue order — the wire
 // protocol's matching rule is the same order-preservation contract the
 // local pipeline engine provides.
+//
+// Failure contract: when the connection dies with requests in flight, the
+// transport error is delivered to EVERY pending completion (in enqueue
+// order, Err set, OK false) before the failing call returns — a
+// completion-counting caller can never hang on responses that will never
+// arrive. After a failure the pipe is immediately usable again if the
+// client can redial (ClientOpts.Retry); otherwise every subsequent
+// enqueue returns the sticky transport error.
 type clientPipe struct {
 	cl      *Client
 	w       int
@@ -46,22 +54,75 @@ type clientPipe struct {
 	out     int // enqueued but not yet completed
 	flushed int // requests known to be on the wire (absolute watermark)
 	closed  bool
+
+	// oq mirrors, for this pipe's own requests, the client's pending ring:
+	// kind+key in enqueue order. On a transport failure it is what lets
+	// the pipe synthesize an error completion for every in-flight request.
+	oq             []pipeOp
+	oqHead, oqTail int
+}
+
+// pipeOp is one in-flight pipelined request's identity.
+type pipeOp struct {
+	kind core.OpKind
+	key  uint64
+}
+
+// pushOp appends one in-flight op to the mirror ring.
+func (p *clientPipe) pushOp(kind core.OpKind, key uint64) {
+	if p.oq == nil {
+		p.oq = make([]pipeOp, 16)
+	}
+	if p.oqHead-p.oqTail == len(p.oq) {
+		next := make([]pipeOp, len(p.oq)*2)
+		for i := p.oqTail; i < p.oqHead; i++ {
+			next[i&(len(next)-1)] = p.oq[i&(len(p.oq)-1)]
+		}
+		p.oq = next
+	}
+	p.oq[p.oqHead&(len(p.oq)-1)] = pipeOp{kind, key}
+	p.oqHead++
+}
+
+// fail delivers err to every pending completion, in enqueue order, and
+// resets the pipe's in-flight accounting. The client's own pending slots
+// are dropped via abort first so no stale callback can ever fire.
+func (p *clientPipe) fail(err error) {
+	p.cl.abort(err)
+	for p.oqTail < p.oqHead {
+		op := p.oq[p.oqTail&(len(p.oq)-1)]
+		p.oq[p.oqTail&(len(p.oq)-1)] = pipeOp{}
+		p.oqTail++
+		if p.onc != nil {
+			p.onc(core.Completion{Kind: op.kind, Key: op.key, Err: err})
+		}
+	}
+	p.out = 0
+	p.flushed = p.enqd
 }
 
 func (p *clientPipe) enq(kind core.OpKind, r Request) error {
 	if p.closed {
 		return errors.New("server: Pipe used after Close")
 	}
+	if err := p.cl.ensureConn(); err != nil {
+		return err
+	}
 	key := r.Key
 	err := p.cl.SendAsync(r, func(resp Response) {
+		p.oqTail++ // this op's mirror entry is consumed by its response
 		p.out--
 		if p.onc != nil {
 			p.onc(completionOf(kind, key, resp))
 		}
 	})
 	if err != nil {
+		if p.cl.broken != nil {
+			p.fail(err)
+		}
 		return err
 	}
+	p.pushOp(kind, key)
 	p.enqd++
 	p.out++
 	if p.out > p.w {
@@ -71,13 +132,22 @@ func (p *clientPipe) enq(kind core.OpKind, r Request) error {
 		// flushes into one flush (and so one syscall) per window. bufio's
 		// own flush-on-full may put frames on the wire ahead of the
 		// watermark; that only makes the occasional Flush here a no-op.
+		//
+		// A transport failure here fails every in-flight request — the
+		// current one included, since its frame was already accepted — so
+		// the enqueue itself reports success: the op's outcome arrives
+		// through its (error) completion, exactly once, like every other.
 		if oldest := p.enqd - p.out; p.flushed <= oldest {
 			if err := p.cl.Flush(); err != nil {
-				return err
+				p.fail(err)
+				return nil
 			}
 			p.flushed = p.enqd
 		}
-		return p.cl.RecvOneAsync()
+		if err := p.cl.RecvOneAsync(); err != nil {
+			p.fail(err)
+			return nil
+		}
 	}
 	return nil
 }
@@ -96,9 +166,15 @@ func (p *clientPipe) Delete(key uint64) error {
 	return p.enq(core.OpDelete, Request{Op: OpDelete, Key: key})
 }
 
-// Flush completes every in-flight request, firing OnComplete for each.
+// Flush completes every in-flight request, firing OnComplete for each —
+// with the transport error as the completion error for all of them if the
+// connection dies mid-drain.
 func (p *clientPipe) Flush() error {
+	if p.out == 0 {
+		return nil
+	}
 	if err := p.cl.Drain(); err != nil {
+		p.fail(err)
 		return err
 	}
 	p.flushed = p.enqd

@@ -93,10 +93,41 @@ func WithClientOpts(o ClientOpts) Option {
 	return func(oc *openConfig) { oc.client = o }
 }
 
-// WithClusterOpts sets the sharding options for the cluster: backend
-// (table selector, virtual nodes, per-shard window, deadlines).
+// WithClusterOpts sets the sharding options for the cluster: backend:
+// table selector, virtual nodes, per-shard window, deadlines, and the
+// fault-tolerance knobs — Replicas/WriteQuorum, the per-connection
+// redial policy (Retry), and the failure detector (DownAfter,
+// ProbeInterval, Probe). WithReplicas and WithRetry are shorthands for
+// the common subset.
 func WithClusterOpts(o ClusterOpts) Option {
 	return func(oc *openConfig) { oc.cluster = o }
+}
+
+// WithReplicas makes the cluster: backend replicate each key to r shards
+// (the ring owner plus its r-1 clockwise successors), acking writes
+// after w replica acks; w = 0 means write-all. With w = r an acked write
+// survives any single-shard loss and reads never miss it after
+// failover; w < r keeps writes available through r-w shard failures at
+// the cost of replica divergence (there is no read repair). Shorthand
+// for the Replicas/WriteQuorum fields of WithClusterOpts.
+func WithReplicas(r, w int) Option {
+	return func(oc *openConfig) {
+		oc.cluster.Replicas = r
+		oc.cluster.WriteQuorum = w
+	}
+}
+
+// WithRetry sets the transparent redial-and-retry policy for the tcp://
+// backend's synchronous helpers and for every shard connection of the
+// cluster: backend (where the zero policy already means DefaultRetry;
+// pass Max < 0 to disable). Retried writes are at-least-once: a retried
+// Insert whose first attempt applied but whose ack was lost reports the
+// key as already present.
+func WithRetry(p RetryPolicy) Option {
+	return func(oc *openConfig) {
+		oc.client.Retry = p
+		oc.cluster.Retry = p
+	}
 }
 
 // WithWALOptions sets the durability tuning for the wal: backend.

@@ -2,6 +2,7 @@ package dlht_test
 
 import (
 	"errors"
+	"io"
 	"net"
 	"testing"
 
@@ -102,6 +103,43 @@ func TestOpenCluster(t *testing.T) {
 		if v, ok, err := s.Get(k); err != nil || !ok || v != k*10 {
 			t.Fatalf("Get %d = (%d,%v,%v)", k, v, ok, err)
 		}
+	}
+}
+
+// TestOpenClusterReplicated: WithReplicas/WithRetry through the spec
+// entry point — with R = W = 3 over three shards every write lands
+// everywhere, so reads survive any single backend vanishing.
+func TestOpenClusterReplicated(t *testing.T) {
+	a, b, c := serveTable(t), serveTable(t), serveTable(t)
+	s, err := dlht.Open("cluster:"+a+","+b+","+c,
+		dlht.WithReplicas(3, 3),
+		dlht.WithRetry(dlht.RetryPolicy{Max: 2}))
+	if err != nil {
+		t.Fatalf("Open replicated cluster: %v", err)
+	}
+	defer s.Close()
+	for k := uint64(1); k <= 64; k++ {
+		if _, inserted, err := s.Insert(k, k*10); err != nil || !inserted {
+			t.Fatalf("Insert %d: inserted=%v err=%v", k, inserted, err)
+		}
+	}
+	for k := uint64(1); k <= 64; k++ {
+		if v, ok, err := s.Get(k); err != nil || !ok || v != k*10 {
+			t.Fatalf("Get %d = (%d,%v,%v)", k, v, ok, err)
+		}
+	}
+	// The duplicate-Insert contract holds through replication: the
+	// existing value, inserted=false, nil error.
+	if v, inserted, err := s.Insert(1, 999); err != nil || inserted || v != 10 {
+		t.Fatalf("duplicate Insert = (%d,%v,%v), want (10,false,nil)", v, inserted, err)
+	}
+	// The facade's retry classification: table refusals are terminal,
+	// transport deaths are retryable.
+	if dlht.IsRetryable(dlht.ErrExists) {
+		t.Fatal("IsRetryable(ErrExists) = true, want false")
+	}
+	if !dlht.IsRetryable(io.EOF) {
+		t.Fatal("IsRetryable(io.EOF) = false, want true")
 	}
 }
 

@@ -15,6 +15,16 @@
 # the protocol v2 handshake, shard routing, and per-shard completion
 # ordering.
 #
+# It then runs the failover case: three WAL-backed shards, a replicated
+# (R=2, W=1) loadgen run, kill -9 of one shard mid-run, restart from the
+# same WAL directory — the loadgen must ride through the outage (error
+# rate under -max-error-rate, every loaded key readable afterwards, no
+# client restart) and a second JSON line records the availability:
+#
+#	{"commit":"...","date":"...","go":"...","failover_smoke":
+#	  {"shards":3,"replicas":2,"write_quorum":1,"availability_pct":99.98,
+#	   "retryable_errs":12,"mreqs":0.18}}
+#
 # Usage: scripts/cluster_smoke.sh [output-file]
 set -eu
 cd "$(dirname "$0")/.."
@@ -33,13 +43,14 @@ go build -o "$bindir/dlht-server" ./cmd/dlht-server
 go build -o "$bindir/dlht-loadgen" ./cmd/dlht-loadgen
 
 "$bindir/dlht-server" -addr 127.0.0.1:14141 -bins 262144 >"$bindir/s1.log" 2>&1 &
-P1=$!
+PIDS=$!
 "$bindir/dlht-server" -addr 127.0.0.1:14142 -bins 262144 >"$bindir/s2.log" 2>&1 &
-P2=$!
+PIDS="$PIDS $!"
 "$bindir/dlht-server" -addr 127.0.0.1:14143 -bins 262144 >"$bindir/s3.log" 2>&1 &
-P3=$!
+PIDS="$PIDS $!"
 cleanup() {
-	kill "$P1" "$P2" "$P3" 2>/dev/null || true
+	# shellcheck disable=SC2086 # PIDS is a space-separated pid list
+	kill -9 $PIDS 2>/dev/null || true
 	rm -rf "$bindir"
 }
 trap cleanup EXIT
@@ -90,3 +101,68 @@ async_m=$(awk '/^throughput:/ {print $2}' "$asynclog")
 printf '{"commit":"%s","date":"%s","go":"%s","cluster_smoke":{"shards":3,"sync_mreqs":%s,"sync64_mreqs":%s,"async_mreqs":%s}}\n' \
 	"$commit" "$stamp" "$gover" "$sync_m" "$sync64_m" "$async_m" >>"$out"
 echo "appended cluster smoke (sync=$sync_m M/s sync64=$sync64_m M/s async=$async_m M/s) to $out"
+
+# ---- failover case: kill -9 one replicated durable shard mid-run ----
+#
+# Three fresh WAL-backed shards; the replicated async loadgen (R=2 per
+# key, one ack to proceed) runs against them while the middle shard is
+# kill -9'd and then restarted from its WAL directory on the same port.
+# The loadgen must finish without a client restart: retryable errors are
+# tolerated up to -max-error-rate, -verify then reads back every loaded
+# key — an acked write surviving on the other replica (or on the
+# restarted shard after WAL replay) is the zero-lost-acked-writes gate.
+faillog="$bindir/failover.log"
+faddrs=127.0.0.1:14144,127.0.0.1:14145,127.0.0.1:14146
+
+"$bindir/dlht-server" -addr 127.0.0.1:14144 -bins 65536 -durable "$bindir/fwal1" >"$bindir/f1.log" 2>&1 &
+PIDS="$PIDS $!"
+"$bindir/dlht-server" -addr 127.0.0.1:14145 -bins 65536 -durable "$bindir/fwal2" >"$bindir/f2.log" 2>&1 &
+TARGET=$!
+PIDS="$PIDS $TARGET"
+"$bindir/dlht-server" -addr 127.0.0.1:14146 -bins 65536 -durable "$bindir/fwal3" >"$bindir/f3.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 1
+
+"$bindir/dlht-loadgen" -addrs "$faddrs" -conns 4 -pipeline 64 \
+	-ops 1500000 -keys 100000 -read-pct 50 -async \
+	-replicas 2 -write-quorum 1 -max-error-rate 10 -verify >"$faillog" 2>&1 &
+LG=$!
+
+# Kill the shard while the run is hot, restart it from the same WAL.
+sleep 2
+kill -0 "$LG" 2>/dev/null || {
+	cat "$faillog"
+	echo "loadgen finished before the shard kill — no failover exercised" >&2
+	exit 1
+}
+kill -9 "$TARGET"
+sleep 1
+"$bindir/dlht-server" -addr 127.0.0.1:14145 -bins 65536 -durable "$bindir/fwal2" >"$bindir/f2b.log" 2>&1 &
+PIDS="$PIDS $!"
+
+wait "$LG" || {
+	status=$?
+	cat "$faillog"
+	echo "failover run failed (exit $status); not appending to $out" >&2
+	exit "$status"
+}
+cat "$faillog"
+grep -q 'recovered' "$bindir/f2b.log" || {
+	cat "$bindir/f2b.log"
+	echo "restarted shard shows no WAL recovery" >&2
+	exit 1
+}
+
+# "availability: 99.9876% (...)" → 99.9876
+avail=$(awk '/^availability:/ {sub(/%/, "", $2); print $2}' "$faillog")
+# "errors: N (retryable R, terminal T, missing M)" → R
+retryable=$(awk '/^errors:/ {sub(/,/, "", $4); print $4}' "$faillog")
+fail_m=$(awk '/^throughput:/ {print $2}' "$faillog")
+[ -n "$avail" ] && [ -n "$retryable" ] && [ -n "$fail_m" ] || {
+	echo "could not parse failover metrics; not appending to $out" >&2
+	exit 1
+}
+
+printf '{"commit":"%s","date":"%s","go":"%s","failover_smoke":{"shards":3,"replicas":2,"write_quorum":1,"availability_pct":%s,"retryable_errs":%s,"mreqs":%s}}\n' \
+	"$commit" "$stamp" "$gover" "$avail" "$retryable" "$fail_m" >>"$out"
+echo "appended failover smoke (availability=$avail% retryable=$retryable mreqs=$fail_m) to $out"
