@@ -34,6 +34,11 @@
 // missing key — the zero-lost-acked-writes check the failover smoke
 // leans on.
 //
+// With -resp host:port the loadgen instead drives a dlht-server's RESP2
+// listener (see dlht-server -resp) through the internal RESP client:
+// pipelined SET then GET phases, redis-benchmark-shaped, reported as
+// stable `resp set:`/`resp get:` lines the smoke script parses.
+//
 // In single-server mode any transport error or unexpected response
 // status counts as an error; the process exits non-zero if any occurred.
 package main
@@ -60,6 +65,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "localhost:4040", "server address")
 		addrs    = flag.String("addrs", "", "comma-separated shard addresses; enables sharded-cluster mode (overrides -addr/-embedded)")
+		respAddr = flag.String("resp", "", "RESP2 mode: address of a dlht-server -resp listener; runs pipelined SET then GET phases through the internal RESP client (overrides other modes)")
 		conns    = flag.Int("conns", 8, "concurrent connections")
 		pipeline = flag.Int("pipeline", 16, "requests kept in flight per connection")
 		totalOps = flag.Uint64("ops", 1_000_000, "total measured operations across all connections")
@@ -86,6 +92,17 @@ func main() {
 		// Deeper pipelines can deadlock on kernel socket buffers: the
 		// server blocks writing responses nobody is reading yet.
 		log.Fatal("bad flags: pipeline must be <= 4096")
+	}
+
+	if *respAddr != "" {
+		runRESP(respConfig{
+			addr:     *respAddr,
+			conns:    *conns,
+			pipeline: *pipeline,
+			totalOps: *totalOps,
+			keys:     *keys,
+		})
+		return
 	}
 
 	if *addrs != "" {

@@ -63,6 +63,8 @@ func main() {
 		execName   = flag.String("exec", "shared", "execution model: shared (sharded executor), partitioned (executor with key-hash routing), conn (goroutine per connection)")
 		execShards = flag.Int("exec-shards", 0, "executor shards per table (0 = GOMAXPROCS; ignored with -exec=conn)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		respAddr   = flag.String("resp", "", "serve RESP2 (the Redis protocol) on this address (e.g. :6379); empty disables")
+		respTable  = flag.String("resp-table", "", "kv-mode table the RESP listener serves (default: a RAM kv table named \"resp\", created if absent)")
 	)
 	flag.Parse()
 	execMode, ok := server.ParseExecMode(*execName)
@@ -127,9 +129,14 @@ func main() {
 		}
 	}
 
+	respTableName := *respTable
+	if *respAddr != "" && respTableName == "" {
+		respTableName = "resp"
+	}
 	s := server.New(tbl, server.Options{
 		MaxBatch: *maxBatch, IdleTimeout: *idle,
 		Exec: execMode, ExecShards: *execShards,
+		RESPTable: respTableName,
 	})
 	if defaultDS != nil {
 		if err := s.AddDurable(server.DefaultTable, defaultDS); err != nil {
@@ -181,12 +188,43 @@ func main() {
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
+	if *respAddr != "" {
+		if s.Table(respTableName) == nil {
+			rcfg := cfg
+			rcfg.Mode = dlht.Allocator
+			rcfg.VariableKV = true
+			rcfg.Namespaces = true
+			rcfg.EpochGC = true
+			rt, err := dlht.New(rcfg)
+			if err != nil {
+				log.Fatalf("resp table %s: %v", respTableName, err)
+			}
+			if err := s.AddTable(respTableName, rt); err != nil {
+				log.Fatalf("resp table %s: %v", respTableName, err)
+			}
+			names = append(names, respTableName+":kv (resp)")
+		}
+		go func() {
+			if err := s.ListenAndServeRESP(*respAddr); err != nil && err != server.ErrServerClosed {
+				log.Printf("resp listener: %v", err)
+			}
+		}()
+		log.Printf("resp listening on %s (table=%s)", *respAddr, respTableName)
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the listeners,
+	// drains every connection (and the executors), then the main goroutine
+	// seals the durable stores. A second signal while that drain is stuck
+	// forces the process out.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("shutting down")
-		s.Close()
+		log.Printf("shutting down (signal again to force exit)")
+		go s.Close()
+		<-sig
+		log.Printf("second signal: forcing exit")
+		os.Exit(1)
 	}()
 
 	log.Printf("dlht-server listening on %s (bins=%d resizable=%v exec=%s max-batch=%d window=%d idle-timeout=%v tables=%s)",

@@ -1,0 +1,234 @@
+package expiry
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hashOf is a stand-in for Table.HashOfKV: any deterministic function of
+// (ns, key) works — the index only uses it to pick shards and stripes.
+func hashOf(ns uint16, key []byte) uint64 {
+	h := uint64(ns)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return h
+}
+
+func TestIndexBasics(t *testing.T) {
+	var now atomic.Int64
+	ix := New(now.Load)
+	key := []byte("k")
+	h := hashOf(3, key)
+
+	if at, ok := ix.Deadline(3, key, h); ok || at != 0 {
+		t.Fatalf("empty index Deadline = %d,%v", at, ok)
+	}
+	ix.ExpireAt(3, key, h, 100)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if at, ok := ix.Deadline(3, key, h); !ok || at != 100 {
+		t.Fatalf("Deadline = %d,%v; want 100,true", at, ok)
+	}
+	// Same key bytes in a different namespace is a different entry.
+	if _, ok := ix.Deadline(4, key, hashOf(4, key)); ok {
+		t.Fatal("namespace leak: deadline visible under wrong ns")
+	}
+	now.Store(99)
+	if ix.Expired(3, key, h) {
+		t.Fatal("expired before the deadline")
+	}
+	now.Store(100)
+	if !ix.Expired(3, key, h) {
+		t.Fatal("not expired at the deadline")
+	}
+	// Replacing a deadline doesn't double-count.
+	ix.ExpireAt(3, key, h, 500)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after replace = %d, want 1", ix.Len())
+	}
+	if !ix.Remove(3, key, h) {
+		t.Fatal("Remove missed a live entry")
+	}
+	if ix.Remove(3, key, h) {
+		t.Fatal("Remove reported a removed entry")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len after remove = %d, want 0", ix.Len())
+	}
+}
+
+// TestLazyVsSweepVsOracle drives a fake clock over a population of keys
+// with scattered deadlines and checks, at every step, that the three ways
+// of asking "is this key dead?" — the lazy Expired check, the sampling
+// sweeper, and a brute-force oracle map — agree: nothing expires early,
+// and after enough sweep rounds nothing expired is left behind.
+func TestLazyVsSweepVsOracle(t *testing.T) {
+	var now atomic.Int64
+	ix := New(now.Load)
+	rng := rand.New(rand.NewSource(1))
+
+	type ent struct {
+		ns   uint16
+		key  []byte
+		at   int64
+		hash uint64
+	}
+	oracle := make(map[string]*ent)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		e := &ent{
+			ns:  uint16(rng.Intn(4)),
+			key: []byte(fmt.Sprintf("key-%04d", i)),
+			at:  int64(1 + rng.Intn(1000)),
+		}
+		e.hash = hashOf(e.ns, e.key)
+		ix.ExpireAt(e.ns, e.key, e.hash, e.at)
+		oracle[fmt.Sprintf("%d/%s", e.ns, e.key)] = e
+	}
+
+	removed := make(map[string]bool)
+	onExpired := func(ns uint16, key []byte, at int64) {
+		k := fmt.Sprintf("%d/%s", ns, key)
+		e := oracle[k]
+		if e == nil {
+			t.Fatalf("sweeper reported unknown key %s", k)
+		}
+		if e.at > now.Load() {
+			t.Fatalf("sweeper expired %s early: deadline %d, now %d", k, e.at, now.Load())
+		}
+		ix.Remove(ns, key, e.hash)
+		removed[k] = true
+	}
+
+	for clock := int64(0); clock <= 1100; clock += 50 {
+		now.Store(clock)
+		// Lazy view must match the oracle for every not-yet-removed key.
+		for k, e := range oracle {
+			if removed[k] {
+				continue
+			}
+			want := e.at <= clock
+			if got := ix.Expired(e.ns, e.key, e.hash); got != want {
+				t.Fatalf("t=%d key %s: Expired=%v oracle=%v", clock, k, got, want)
+			}
+		}
+		// A few sweep rounds: only correct expirations, monotone progress.
+		for r := 0; r < 3; r++ {
+			ix.SweepOnce(20, onExpired)
+		}
+	}
+	// Past every deadline: sweep until dry; everything must be reported.
+	now.Store(2000)
+	for i := 0; i < 1000 && ix.Len() > 0; i++ {
+		ix.SweepOnce(20, onExpired)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("%d entries survived a full sweep past all deadlines", ix.Len())
+	}
+	if len(removed) != n {
+		t.Fatalf("sweeper reported %d/%d entries", len(removed), n)
+	}
+}
+
+// TestSweepOnceEmptyFastPath: a TTL-free index never reports anything.
+func TestSweepOnceEmptyFastPath(t *testing.T) {
+	ix := New(nil)
+	if got := ix.SweepOnce(20, func(uint16, []byte, int64) {
+		t.Fatal("callback on empty index")
+	}); got != 0 {
+		t.Fatalf("SweepOnce on empty index = %d", got)
+	}
+}
+
+// TestRangeReentrant: Range callbacks may mutate the index (the open-time
+// purge does exactly that).
+func TestRangeReentrant(t *testing.T) {
+	ix := New(func() int64 { return 0 })
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		ix.ExpireAt(0, key, hashOf(0, key), int64(i))
+	}
+	seen := 0
+	ix.Range(func(ns uint16, key []byte, at int64) bool {
+		seen++
+		ix.Remove(ns, key, hashOf(ns, key))
+		return true
+	})
+	if seen != 100 || ix.Len() != 0 {
+		t.Fatalf("Range saw %d, Len=%d; want 100, 0", seen, ix.Len())
+	}
+}
+
+// TestConcurrentHammer exercises every method from many goroutines under
+// the race detector, with a sweeper-shaped goroutine in the mix.
+func TestConcurrentHammer(t *testing.T) {
+	var now atomic.Int64
+	ix := New(now.Load)
+	stop := make(chan struct{})
+	var mut, bg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		mut.Add(1)
+		go func(seed int64) {
+			defer mut.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				ns := uint16(rng.Intn(3))
+				key := []byte(fmt.Sprintf("k%d", rng.Intn(256)))
+				h := hashOf(ns, key)
+				switch rng.Intn(4) {
+				case 0:
+					ix.ExpireAt(ns, key, h, now.Load()+int64(rng.Intn(50)))
+				case 1:
+					ix.Remove(ns, key, h)
+				case 2:
+					ix.Deadline(ns, key, h)
+				case 3:
+					ix.Expired(ns, key, h)
+				}
+				if i%1000 == 0 {
+					now.Add(10)
+				}
+			}
+		}(int64(g))
+	}
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ix.SweepOnce(20, func(ns uint16, key []byte, _ int64) {
+				h := hashOf(ns, key)
+				mu := ix.Lock(h)
+				mu.Lock()
+				if at, ok := ix.Deadline(ns, key, h); ok && at <= ix.Now() {
+					ix.Remove(ns, key, h)
+				}
+				mu.Unlock()
+			})
+		}
+	}()
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ix.Range(func(uint16, []byte, int64) bool { return true })
+		}
+	}()
+	mut.Wait()
+	close(stop)
+	bg.Wait()
+}

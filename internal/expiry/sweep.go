@@ -1,0 +1,117 @@
+package expiry
+
+import "time"
+
+// SweepOpts configures a background sweeper.
+type SweepOpts struct {
+	// Interval between sweep rounds (default 100ms).
+	Interval time.Duration
+	// Sample bounds how many entries one round examines per shard before
+	// moving on (default 20). Go's randomized map iteration order makes
+	// each round a fresh sample, Redis's activeExpireCycle in miniature.
+	Sample int
+	// OnExpired is called, outside all index locks, for each sampled
+	// entry whose deadline has passed. The owner re-checks the deadline
+	// under the key's stripe lock, deletes the pair from the table and
+	// Removes the entry — the callback finding the entry already gone
+	// (a racing SET or lazy expire won) is normal.
+	OnExpired func(ns uint16, key []byte, at int64)
+	// OnRound, if set, runs after each full sweep round — the owner's
+	// hook for periodic handle maintenance (epoch advance).
+	OnRound func()
+}
+
+// Sweeper is a running background sweep goroutine; Stop joins it.
+type Sweeper struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSweeper launches the sampling expiry sweep over ix. Like Redis's
+// active expiry: each round samples every shard, fires OnExpired for the
+// expired entries found, and re-samples a shard while more than a quarter
+// of its sample was expired (bounded, so one huge expired cohort cannot
+// monopolize the goroutine).
+func (ix *Index) StartSweeper(o SweepOpts) *Sweeper {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.Sample <= 0 {
+		o.Sample = 20
+	}
+	sw := &Sweeper{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(sw.done)
+		t := time.NewTicker(o.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-sw.stop:
+				return
+			case <-t.C:
+				ix.SweepOnce(o.Sample, o.OnExpired)
+				if o.OnRound != nil {
+					o.OnRound()
+				}
+			}
+		}
+	}()
+	return sw
+}
+
+// Stop halts the sweeper and waits for the in-flight round to finish.
+func (sw *Sweeper) Stop() {
+	close(sw.stop)
+	<-sw.done
+}
+
+// maxResample bounds how many times one round revisits a single shard.
+const maxResample = 4
+
+// SweepOnce runs one sweep round: sample up to n entries per shard, fire
+// onExpired for the expired ones, re-sample while over 25% of a shard's
+// sample was expired. Returns how many expired entries were reported.
+// Exported for deterministic tests; the background sweeper calls it on a
+// ticker.
+func (ix *Index) SweepOnce(n int, onExpired func(ns uint16, key []byte, at int64)) int {
+	if ix.count.Load() == 0 {
+		return 0
+	}
+	type ent struct {
+		mk string
+		at int64
+	}
+	now := ix.now()
+	total := 0
+	var hits []ent
+	for i := range ix.shards {
+		s := &ix.shards[i]
+		for round := 0; round < maxResample; round++ {
+			hits = hits[:0]
+			scanned := 0
+			s.mu.Lock()
+			for mk, at := range s.m {
+				if scanned >= n {
+					break
+				}
+				scanned++
+				if at <= now {
+					hits = append(hits, ent{mk, at})
+				}
+			}
+			s.mu.Unlock()
+			for _, e := range hits {
+				ns, key := splitKey(e.mk)
+				if onExpired != nil {
+					onExpired(ns, key, e.at)
+				}
+			}
+			total += len(hits)
+			// Keep digging only while the sample ran hot (>25% expired).
+			if scanned == 0 || len(hits)*4 <= scanned {
+				break
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,306 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strconv"
+	"time"
+
+	core "repro/internal/core"
+	"repro/internal/expiry"
+)
+
+// WAL is the group-commit surface a durable table's redo log exposes
+// (satisfied by *wal.Log; a local interface keeps this package free of a
+// wal dependency, like exec.WAL). Mutations append records and track the
+// highest sequence their buffered replies depend on; no reply byte
+// reaches the socket before SyncWait covers it.
+type WAL interface {
+	LogKVInsert(ns uint16, key, val []byte) (uint64, error)
+	LogKVDelete(ns uint16, key []byte) (uint64, error)
+	LogKVExpire(ns uint16, key []byte, at int64) (uint64, error)
+	SyncWait(seq uint64) error
+}
+
+// ServeOpts wires one RESP connection to its table.
+type ServeOpts struct {
+	// Table and Handle: the Allocator-mode table and this connection's
+	// own handle (the one-handle-per-goroutine contract; the caller
+	// acquires and releases it).
+	Table  *core.Table
+	Handle *core.Handle
+	// Expiry is the table's TTL sidecar, shared with the background
+	// sweeper (and, for durable tables, with snapshot/replay). Nil
+	// disables TTL commands.
+	Expiry *expiry.Index
+	// Log is the durable table's redo log; nil for RAM tables.
+	Log WAL
+	// ReadBuffer/WriteBuffer size the connection buffers (default 64 KiB).
+	ReadBuffer, WriteBuffer int
+	// IdleTimeout mirrors server.Options.IdleTimeout.
+	IdleTimeout time.Duration
+}
+
+// arenaRetain bounds the in-flight GET key arena a connection keeps
+// between bursts; kvEpochEvery is the epoch-refresh cadence (matches the
+// v2 serve loop).
+const (
+	arenaRetain  = 1 << 20
+	kvEpochEvery = 1 << 10
+)
+
+// conn is one RESP connection's state: the command reader, the reply
+// writer, and the streaming lookup pipeline whose completions write GET
+// replies in enqueue order.
+type conn struct {
+	c   net.Conn
+	o   ServeOpts
+	r   *Reader
+	bw  *bufio.Writer
+	pl  *core.KVPipeline
+	tbl *core.Table
+	h   *core.Handle
+	idx *expiry.Index
+	log WAL
+
+	ns      uint16 // SELECTed namespace
+	needSeq uint64 // highest log sequence buffered replies depend on
+	wErr    error
+	flushAt int
+	kvOps   int
+	arena   []byte // keys of in-flight GETs; reset when the pipeline drains
+	closed  bool   // QUIT
+}
+
+// Serve runs the RESP2 command loop on c until the peer disconnects, a
+// protocol error desyncs the stream, or QUIT. The handle stays owned by
+// the caller.
+func Serve(c net.Conn, o ServeOpts) {
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 64 << 10
+	}
+	if o.WriteBuffer <= 0 {
+		o.WriteBuffer = 64 << 10
+	}
+	cn := &conn{
+		c: c, o: o, tbl: o.Table, h: o.Handle, idx: o.Expiry, log: o.Log,
+		r:  NewReader(c, o.ReadBuffer),
+		bw: bufio.NewWriterSize(c, o.WriteBuffer),
+	}
+	cn.flushAt = o.WriteBuffer / 2
+	if cn.flushAt < 64 {
+		cn.flushAt = 64
+	}
+	if cn.idx == nil {
+		// TTL state must be shared by every connection serving the same
+		// table (the server passes one index per table); a private index
+		// is only for single-connection embedding and tests.
+		cn.idx = expiry.New(nil)
+	}
+	if cn.tbl.Mode() != core.Allocator {
+		cn.writeError("ERR table is not in kv (Allocator) mode; RESP requires a kv table")
+		cn.flush()
+		return
+	}
+	cn.pl = cn.h.KVPipeline(core.KVPipelineOpts{OnComplete: func(g *core.KVGet) {
+		if cn.wErr != nil {
+			return
+		}
+		if g.OK {
+			cn.writeBulk(g.Value)
+		} else {
+			cn.writeNull()
+		}
+	}})
+	defer cn.pl.Close()
+	// Drain-before-blocking: whenever the reader is about to wait on the
+	// peer, complete the in-flight lookups and push their replies (after
+	// the covering group commit) — the peer may be waiting for them.
+	cn.r.OnFill = func() {
+		cn.barrier()
+		cn.flush()
+	}
+
+	var cmd Command
+	for !cn.closed && cn.wErr == nil {
+		cn.armIdle()
+		if err := cn.r.ReadCommand(&cmd); err != nil {
+			if errors.Is(err, ErrProtocol) {
+				// Pending pipelined GET replies precede the error: the
+				// stream up to the bad byte was valid and was dispatched.
+				cn.barrier()
+				cn.writeError("ERR Protocol error: " + err.Error())
+			}
+			break
+		}
+		if len(cmd.Args) == 0 {
+			continue
+		}
+		cn.dispatch(&cmd)
+		// Epoch cadence: with no value views in flight, let blocks
+		// deleted by other connections (and the sweeper) reclaim.
+		if cn.kvOps++; cn.kvOps&(kvEpochEvery-1) == 0 && cn.pl.InFlight() == 0 {
+			cn.h.AdvanceEpoch()
+		}
+	}
+	cn.barrier()
+	cn.flush()
+}
+
+func (cn *conn) armIdle() {
+	if cn.o.IdleTimeout > 0 {
+		cn.c.SetReadDeadline(time.Now().Add(cn.o.IdleTimeout))
+	}
+}
+
+func (cn *conn) armWrite() {
+	if cn.o.IdleTimeout > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(cn.o.IdleTimeout))
+	}
+}
+
+// barrier completes every in-flight lookup (their replies are written by
+// OnComplete, preserving order) and recycles the key arena. Every command
+// that writes a reply inline — anything but GET/MGET enqueues — runs
+// behind it.
+func (cn *conn) barrier() {
+	if cn.pl.InFlight() > 0 {
+		cn.pl.Flush()
+	}
+	if len(cn.arena) > 0 && cn.pl.InFlight() == 0 {
+		if cap(cn.arena) > arenaRetain {
+			cn.arena = nil
+		} else {
+			cn.arena = cn.arena[:0]
+		}
+	}
+}
+
+// retain copies a key into the arena, giving it a lifetime past the
+// current command — in-flight pipelined GETs hold their keys until
+// completion, while Command.Raw is reused per command.
+func (cn *conn) retain(b []byte) []byte {
+	off := len(cn.arena)
+	cn.arena = append(cn.arena, b...)
+	return cn.arena[off : off+len(b) : off+len(b)]
+}
+
+// syncPending waits out the group commit covering every buffered reply
+// (no-op for RAM tables). Called before any byte may reach the socket.
+func (cn *conn) syncPending() {
+	if cn.log == nil || cn.needSeq == 0 || cn.wErr != nil {
+		return
+	}
+	if err := cn.log.SyncWait(cn.needSeq); err != nil {
+		cn.wErr = err
+		return
+	}
+	cn.needSeq = 0
+}
+
+// flush pushes buffered replies to the wire under the write deadline,
+// after their covering group commit.
+func (cn *conn) flush() {
+	cn.syncPending()
+	if cn.wErr != nil {
+		return
+	}
+	cn.armWrite()
+	cn.wErr = cn.bw.Flush()
+}
+
+// room syncs before a write of n bytes that would overflow the buffer's
+// free space: bufio pushes older (possibly unsynced) bytes to the socket
+// mid-Write, and no acknowledgement may leak ahead of its fsync.
+func (cn *conn) room(n int) {
+	if cn.log != nil && cn.needSeq > 0 && cn.bw.Available() < n {
+		cn.syncPending()
+	}
+}
+
+func (cn *conn) maybeFlush() {
+	if cn.wErr == nil && cn.bw.Buffered() >= cn.flushAt {
+		cn.flush()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reply writers
+// ---------------------------------------------------------------------------
+
+func (cn *conn) writeSimple(s string) {
+	if cn.wErr != nil {
+		return
+	}
+	cn.room(len(s) + 3)
+	cn.bw.WriteByte('+')
+	cn.bw.WriteString(s)
+	_, cn.wErr = cn.bw.WriteString("\r\n")
+	cn.maybeFlush()
+}
+
+func (cn *conn) writeError(msg string) {
+	if cn.wErr != nil {
+		return
+	}
+	cn.room(len(msg) + 3)
+	cn.bw.WriteByte('-')
+	cn.bw.WriteString(msg)
+	_, cn.wErr = cn.bw.WriteString("\r\n")
+	cn.maybeFlush()
+}
+
+func (cn *conn) writeInt(n int64) {
+	if cn.wErr != nil {
+		return
+	}
+	cn.room(32)
+	var a [24]byte
+	b := append(a[:0], ':')
+	b = strconv.AppendInt(b, n, 10)
+	b = append(b, '\r', '\n')
+	_, cn.wErr = cn.bw.Write(b)
+	cn.maybeFlush()
+}
+
+func (cn *conn) writeBulk(v []byte) {
+	if cn.wErr != nil {
+		return
+	}
+	cn.room(len(v) + 32)
+	var a [24]byte
+	b := append(a[:0], '$')
+	b = strconv.AppendInt(b, int64(len(v)), 10)
+	b = append(b, '\r', '\n')
+	if _, cn.wErr = cn.bw.Write(b); cn.wErr != nil {
+		return
+	}
+	if _, cn.wErr = cn.bw.Write(v); cn.wErr != nil {
+		return
+	}
+	_, cn.wErr = cn.bw.WriteString("\r\n")
+	cn.maybeFlush()
+}
+
+func (cn *conn) writeNull() {
+	if cn.wErr != nil {
+		return
+	}
+	cn.room(8)
+	_, cn.wErr = cn.bw.WriteString("$-1\r\n")
+	cn.maybeFlush()
+}
+
+func (cn *conn) writeArrayHeader(n int) {
+	if cn.wErr != nil {
+		return
+	}
+	cn.room(32)
+	var a [24]byte
+	b := append(a[:0], '*')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '\r', '\n')
+	_, cn.wErr = cn.bw.Write(b)
+	cn.maybeFlush()
+}

@@ -1,0 +1,131 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, input string) [][]string {
+	t.Helper()
+	r := NewReader(strings.NewReader(input), 0)
+	var out [][]string
+	var c Command
+	for {
+		err := r.ReadCommand(&c)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("ReadCommand: %v", err)
+		}
+		args := make([]string, len(c.Args))
+		for i, a := range c.Args {
+			args[i] = string(a)
+		}
+		out = append(out, args)
+	}
+}
+
+func TestReadCommandMultibulk(t *testing.T) {
+	cmds := readAll(t, "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n*1\r\n$4\r\nPING\r\n")
+	if len(cmds) != 2 {
+		t.Fatalf("got %d commands", len(cmds))
+	}
+	if got := strings.Join(cmds[0], " "); got != "SET k hello" {
+		t.Fatalf("cmd 0 = %q", got)
+	}
+	if got := strings.Join(cmds[1], " "); got != "PING" {
+		t.Fatalf("cmd 1 = %q", got)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	cmds := readAll(t, "PING\r\nSET  k   v\r\n\r\nGET k\n")
+	want := [][]string{{"PING"}, {"SET", "k", "v"}, nil, {"GET", "k"}}
+	if len(cmds) != len(want) {
+		t.Fatalf("got %d commands, want %d: %v", len(cmds), len(want), cmds)
+	}
+	for i := range want {
+		if strings.Join(cmds[i], " ") != strings.Join(want[i], " ") {
+			t.Fatalf("cmd %d = %v, want %v", i, cmds[i], want[i])
+		}
+	}
+}
+
+// TestReadCommandRawRealloc: args must survive Raw growing between bulks.
+func TestReadCommandRawRealloc(t *testing.T) {
+	big := strings.Repeat("x", 100_000)
+	in := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$" + "100000" + "\r\n" + big + "\r\n"
+	cmds := readAll(t, in)
+	if len(cmds) != 1 || cmds[0][0] != "SET" || cmds[0][1] != "k" || cmds[0][2] != big {
+		t.Fatal("bulk spanning reallocation corrupted earlier args")
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	for _, in := range []string{
+		"*abc\r\n",
+		"*-1\r\n",
+		"*2\r\n$3\r\nGET\r\n:5\r\n",
+		"*1\r\n$-2\r\n",
+		"*1\r\n$99999999999999999999\r\n",
+		"*1\r\n$3\r\nabcX\r\n", // bad bulk terminator
+		"*70000\r\n",           // over MaxArgs
+	} {
+		r := NewReader(strings.NewReader(in), 0)
+		var c Command
+		err := r.ReadCommand(&c)
+		for err == nil {
+			err = r.ReadCommand(&c)
+		}
+		if !errors.Is(err, ErrProtocol) && err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Fatalf("input %q: err = %v", in, err)
+		}
+		if errors.Is(err, io.EOF) && strings.HasPrefix(in, "*7") {
+			t.Fatalf("input %q should be a protocol error", in)
+		}
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		in string
+		n  int64
+		ok bool
+	}{
+		{"0", 0, true}, {"123", 123, true}, {"-9", -9, true},
+		{"+7", 7, true}, {"", 0, false}, {"-", 0, false},
+		{"12a", 0, false}, {"9223372036854775807", 1<<63 - 1, true},
+		{"9223372036854775808", 0, false}, {"99999999999999999999", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := parseInt([]byte(c.in))
+		if ok != c.ok || (ok && n != c.n) {
+			t.Fatalf("parseInt(%q) = %d,%v; want %d,%v", c.in, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+// FuzzRESPDecode: the command reader never panics on hostile bytes — it
+// either parses, reports ErrProtocol, or runs out of input.
+func FuzzRESPDecode(f *testing.F) {
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("PING\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$70000\r\n"))
+	f.Add([]byte("\r\n\n*0\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data), 512)
+		var c Command
+		for i := 0; i < 64; i++ {
+			if err := r.ReadCommand(&c); err != nil {
+				return
+			}
+		}
+	})
+}

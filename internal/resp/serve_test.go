@@ -1,0 +1,459 @@
+package resp_test
+
+import (
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	core "repro/internal/core"
+	"repro/internal/expiry"
+	"repro/internal/resp"
+	"repro/internal/wal"
+)
+
+func kvConfig() core.Config {
+	return core.Config{
+		Bins: 1 << 10, Resizable: true, Mode: core.Allocator,
+		VariableKV: true, Namespaces: true, EpochGC: true,
+		MaxThreads: 64,
+	}
+}
+
+// respServer runs a resp.Serve loop per accepted connection over a real
+// listener, the way the network server does: one handle per connection,
+// one shared expiry index.
+type respServer struct {
+	ln  net.Listener
+	tbl *core.Table
+	ix  *expiry.Index
+	log resp.WAL
+	wg  sync.WaitGroup
+}
+
+func startRESP(t *testing.T, tbl *core.Table, ix *expiry.Index, log resp.WAL) *respServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &respServer{ln: ln, tbl: tbl, ix: ix, log: log}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer c.Close()
+				h := tbl.MustHandle()
+				defer h.Close()
+				resp.Serve(c, resp.ServeOpts{Table: tbl, Handle: h, Expiry: ix, Log: log})
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *respServer) dial(t *testing.T) *resp.Client {
+	t.Helper()
+	cl, err := resp.Dial(s.ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func mustDo(t *testing.T, cl *resp.Client, args ...string) resp.Reply {
+	t.Helper()
+	r, err := cl.Do(args...)
+	if err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return r
+}
+
+func wantText(t *testing.T, cl *resp.Client, want string, args ...string) {
+	t.Helper()
+	r := mustDo(t, cl, args...)
+	if r.IsErr() {
+		t.Fatalf("%v: unexpected error %q", args, r.Str)
+	}
+	if got := r.Text(); got != want {
+		t.Fatalf("%v = %q, want %q", args, got, want)
+	}
+}
+
+func wantNull(t *testing.T, cl *resp.Client, args ...string) {
+	t.Helper()
+	r := mustDo(t, cl, args...)
+	if !r.Null {
+		t.Fatalf("%v = %+v, want null", args, r)
+	}
+}
+
+func wantErrContains(t *testing.T, cl *resp.Client, sub string, args ...string) {
+	t.Helper()
+	r := mustDo(t, cl, args...)
+	if !r.IsErr() || !strings.Contains(r.Str, sub) {
+		t.Fatalf("%v = %+v, want error containing %q", args, r, sub)
+	}
+}
+
+func TestCommandMatrix(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	s := startRESP(t, tbl, expiry.New(nil), nil)
+	cl := s.dial(t)
+
+	wantText(t, cl, "PONG", "PING")
+	wantText(t, cl, "hey", "PING", "hey")
+	wantText(t, cl, "echoed", "ECHO", "echoed")
+
+	// SET/GET basics, case-insensitive commands.
+	wantText(t, cl, "OK", "set", "k1", "v1")
+	wantText(t, cl, "v1", "GET", "k1")
+	wantNull(t, cl, "GET", "missing")
+	wantText(t, cl, "OK", "SET", "k1", "v2")
+	wantText(t, cl, "v2", "GET", "k1")
+
+	// NX/XX.
+	wantNull(t, cl, "SET", "k1", "v3", "NX")
+	wantText(t, cl, "v2", "GET", "k1")
+	wantText(t, cl, "OK", "SET", "k1", "v3", "XX")
+	wantNull(t, cl, "SET", "nope", "v", "XX")
+	wantText(t, cl, "1", "SETNX", "fresh", "x")
+	wantText(t, cl, "0", "SETNX", "fresh", "y")
+	wantText(t, cl, "x", "GET", "fresh")
+
+	// DEL / EXISTS.
+	wantText(t, cl, "1", "EXISTS", "k1")
+	wantText(t, cl, "2", "EXISTS", "k1", "missing", "fresh")
+	wantText(t, cl, "2", "DEL", "k1", "fresh", "missing")
+	wantText(t, cl, "0", "EXISTS", "k1")
+
+	// MSET / MGET.
+	wantText(t, cl, "OK", "MSET", "a", "1", "b", "2", "c", "3")
+	r := mustDo(t, cl, "MGET", "a", "missing", "c")
+	if len(r.Array) != 3 {
+		t.Fatalf("MGET array len %d", len(r.Array))
+	}
+	if r.Array[0].Text() != "1" || !r.Array[1].Null || r.Array[2].Text() != "3" {
+		t.Fatalf("MGET = %+v", r.Array)
+	}
+
+	// INCR family.
+	wantText(t, cl, "1", "INCR", "ctr")
+	wantText(t, cl, "11", "INCRBY", "ctr", "10")
+	wantText(t, cl, "10", "DECR", "ctr")
+	wantText(t, cl, "7", "DECRBY", "ctr", "3")
+	wantText(t, cl, "7", "GET", "ctr")
+	wantText(t, cl, "OK", "SET", "notnum", "abc")
+	wantErrContains(t, cl, "not an integer", "INCR", "notnum")
+	wantErrContains(t, cl, "not an integer", "INCRBY", "ctr", "abc")
+	wantText(t, cl, "OK", "SET", "big", strconv.FormatInt(1<<63-1, 10))
+	wantErrContains(t, cl, "overflow", "INCR", "big")
+
+	// TTL bookkeeping without expiry.
+	wantText(t, cl, "-1", "TTL", "ctr")
+	wantText(t, cl, "-2", "TTL", "missing")
+	wantText(t, cl, "0", "EXPIRE", "missing", "10")
+	wantText(t, cl, "1", "EXPIRE", "ctr", "100")
+	rr := mustDo(t, cl, "TTL", "ctr")
+	if rr.Int <= 0 || rr.Int > 100 {
+		t.Fatalf("TTL = %d, want (0,100]", rr.Int)
+	}
+	rr = mustDo(t, cl, "PTTL", "ctr")
+	if rr.Int <= 0 || rr.Int > 100_000 {
+		t.Fatalf("PTTL = %d", rr.Int)
+	}
+	wantText(t, cl, "1", "PERSIST", "ctr")
+	wantText(t, cl, "0", "PERSIST", "ctr")
+	wantText(t, cl, "-1", "TTL", "ctr")
+
+	// EXPIRE in the past deletes.
+	wantText(t, cl, "1", "EXPIRE", "ctr", "-1")
+	wantNull(t, cl, "GET", "ctr")
+	wantText(t, cl, "-2", "TTL", "ctr")
+
+	// A plain SET clears the TTL.
+	wantText(t, cl, "OK", "SET", "t1", "v", "EX", "100")
+	wantText(t, cl, "OK", "SET", "t1", "v2")
+	wantText(t, cl, "-1", "TTL", "t1")
+	// KEEPTTL preserves it.
+	wantText(t, cl, "OK", "SET", "t2", "v", "EX", "100")
+	wantText(t, cl, "OK", "SET", "t2", "v2", "KEEPTTL")
+	if rr := mustDo(t, cl, "TTL", "t2"); rr.Int <= 0 {
+		t.Fatalf("KEEPTTL lost the deadline: TTL=%d", rr.Int)
+	}
+
+	// SELECT maps onto namespaces.
+	wantText(t, cl, "OK", "SET", "nskey", "zero")
+	wantText(t, cl, "OK", "SELECT", "1")
+	wantNull(t, cl, "GET", "nskey")
+	wantText(t, cl, "OK", "SET", "nskey", "one")
+	wantText(t, cl, "one", "GET", "nskey")
+	wantText(t, cl, "OK", "SELECT", "0")
+	wantText(t, cl, "zero", "GET", "nskey")
+	wantErrContains(t, cl, "out of range", "SELECT", "4096")
+	wantErrContains(t, cl, "out of range", "SELECT", "-1")
+
+	// Stubs.
+	if r := mustDo(t, cl, "COMMAND", "DOCS"); len(r.Array) != 0 {
+		t.Fatalf("COMMAND = %+v", r)
+	}
+	if r := mustDo(t, cl, "CONFIG", "GET", "save"); len(r.Array) != 0 {
+		t.Fatalf("CONFIG GET = %+v", r)
+	}
+	wantText(t, cl, "OK", "CONFIG", "SET", "appendonly", "no")
+	if r := mustDo(t, cl, "INFO"); !strings.Contains(string(r.Bulk), "redis_version") {
+		t.Fatalf("INFO = %q", r.Bulk)
+	}
+	if r := mustDo(t, cl, "DBSIZE"); r.Int <= 0 {
+		t.Fatalf("DBSIZE = %d", r.Int)
+	}
+
+	// Errors.
+	wantErrContains(t, cl, "unknown command", "NOSUCH")
+	wantErrContains(t, cl, "wrong number of arguments", "GET")
+	wantErrContains(t, cl, "wrong number of arguments", "SET", "k")
+	wantErrContains(t, cl, "syntax error", "SET", "k", "v", "BOGUS")
+	wantErrContains(t, cl, "syntax error", "SET", "k", "v", "NX", "XX")
+}
+
+// TestTTLExpiresLive: a key SET with PX reads as a miss after its
+// deadline — lazily on the read path, no sweeper involved.
+func TestTTLExpiresLive(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	s := startRESP(t, tbl, expiry.New(nil), nil)
+	cl := s.dial(t)
+
+	wantText(t, cl, "OK", "SET", "k", "v", "PX", "40")
+	wantText(t, cl, "v", "GET", "k")
+	wantText(t, cl, "1", "EXISTS", "k")
+	time.Sleep(80 * time.Millisecond)
+	wantNull(t, cl, "GET", "k")
+	wantText(t, cl, "-2", "TTL", "k")
+	wantText(t, cl, "0", "EXISTS", "k")
+	// And the slot is genuinely free again.
+	wantText(t, cl, "OK", "SET", "k", "v2")
+	wantText(t, cl, "v2", "GET", "k")
+	wantText(t, cl, "-1", "TTL", "k")
+}
+
+// TestSweeperReclaims: with a running sweeper, expired keys disappear
+// from the table without any client touching them.
+func TestSweeperReclaims(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	ix := expiry.New(nil)
+	h := tbl.MustHandle()
+	sw := ix.StartSweeper(expiry.SweepOpts{
+		Interval: 10 * time.Millisecond,
+		OnExpired: func(ns uint16, key []byte, _ int64) {
+			hash := tbl.HashOfKV(ns, key)
+			mu := ix.Lock(hash)
+			mu.Lock()
+			if d, ok := ix.Deadline(ns, key, hash); ok && d <= ix.Now() {
+				h.DeleteKVHashed(ns, key, hash)
+				ix.Remove(ns, key, hash)
+			}
+			mu.Unlock()
+		},
+		OnRound: func() { h.AdvanceEpoch() },
+	})
+	defer func() {
+		sw.Stop()
+		h.Close()
+	}()
+	s := startRESP(t, tbl, ix, nil)
+	cl := s.dial(t)
+	for i := 0; i < 50; i++ {
+		wantText(t, cl, "OK", "SET", "sweep-"+strconv.Itoa(i), "v", "PX", "30")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ix.Len() == 0 {
+			// Swept from the index; confirm the table slots went too.
+			mh := tbl.MustHandle()
+			n := mh.Len()
+			mh.Close()
+			if n == 0 {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("sweeper left %d TTL entries behind", ix.Len())
+}
+
+// TestPipelinedBurst: many commands written before any reply is read come
+// back in order, the GET replies streamed through the pipeline.
+func TestPipelinedBurst(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	s := startRESP(t, tbl, expiry.New(nil), nil)
+	cl := s.dial(t)
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := cl.SendStr("SET", "key-"+strconv.Itoa(i), "val-"+strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := cl.SendStr("GET", "key-"+strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r, err := cl.Recv()
+		if err != nil || r.Kind != '+' {
+			t.Fatalf("SET %d: %+v %v", i, r, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, err := cl.Recv()
+		if err != nil {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+		if want := "val-" + strconv.Itoa(i); string(r.Bulk) != want {
+			t.Fatalf("GET %d = %q, want %q", i, r.Bulk, want)
+		}
+	}
+}
+
+// TestLargeValue: a bulk bigger than the write-buffer flush threshold
+// round-trips, and one over the allocator's block bound is refused with
+// a clean error instead of a dropped connection.
+func TestLargeValue(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	s := startRESP(t, tbl, expiry.New(nil), nil)
+	cl := s.dial(t)
+	big := strings.Repeat("z", 60_000)
+	wantText(t, cl, "OK", "SET", "big", big)
+	r := mustDo(t, cl, "GET", "big")
+	if string(r.Bulk) != big {
+		t.Fatalf("large value corrupted: got %d bytes", len(r.Bulk))
+	}
+	// Over the default arena's 64 KiB block bound: an error, then the
+	// connection keeps working.
+	huge := strings.Repeat("z", 80_000)
+	if rr := mustDo(t, cl, "SET", "toobig", huge); !rr.IsErr() {
+		t.Fatalf("oversized SET = %+v, want error", rr)
+	}
+	wantText(t, cl, "PONG", "PING")
+}
+
+// TestInlineAndProtocolError: inline commands work; garbage closes the
+// connection after one -ERR line.
+func TestInlineAndProtocolError(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	s := startRESP(t, tbl, expiry.New(nil), nil)
+
+	c, err := net.Dial("tcp", s.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("PING\r\nSET ik iv\r\nGET ik\r\n*zz\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	var got []byte
+	for {
+		n, err := c.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	s1 := string(got)
+	for _, want := range []string{"+PONG\r\n", "+OK\r\n", "$2\r\niv\r\n", "-ERR Protocol error"} {
+		if !strings.Contains(s1, want) {
+			t.Fatalf("response %q missing %q", s1, want)
+		}
+	}
+}
+
+// TestQuit: QUIT answers +OK and the server closes the connection.
+func TestQuit(t *testing.T) {
+	tbl := core.MustNew(kvConfig())
+	s := startRESP(t, tbl, expiry.New(nil), nil)
+	cl := s.dial(t)
+	wantText(t, cl, "OK", "QUIT")
+	if _, err := cl.Do("PING"); err == nil {
+		t.Fatal("connection survived QUIT")
+	}
+}
+
+// TestDurableTTLAcrossRestart is the drop-in acceptance path: SETs with
+// TTLs against a WAL-backed table survive (or die) correctly across a
+// restart — an expired key stays dead after replay, an unexpired one
+// keeps its deadline, and INCR preserves a TTL through the log.
+func TestDurableTTLAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := kvConfig()
+	ds, err := wal.Open(dir, cfg, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startRESP(t, ds.Table(), ds.Expiry(), ds.Log())
+	cl := s.dial(t)
+
+	wantText(t, cl, "OK", "SET", "dies", "v", "PX", "50")
+	wantText(t, cl, "OK", "SET", "lives", "v", "EX", "100")
+	wantText(t, cl, "OK", "SET", "plain", "v")
+	wantText(t, cl, "1", "INCR", "ttlctr")
+	wantText(t, cl, "1", "EXPIRE", "ttlctr", "100")
+	wantText(t, cl, "2", "INCR", "ttlctr") // must re-log the deadline
+	wantText(t, cl, "OK", "SET", "cleared", "v", "EX", "100")
+	wantText(t, cl, "OK", "SET", "cleared", "v2") // plain SET clears TTL
+	cl.Close()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(80 * time.Millisecond) // let "dies" pass its deadline
+
+	r, err := wal.Open(dir, cfg, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.GetKV(0, []byte("dies")); ok {
+		t.Fatal("expired key came back from the WAL")
+	}
+	if v, ok := r.GetKV(0, []byte("lives")); !ok || string(v) != "v" {
+		t.Fatalf("lives = %q,%v", v, ok)
+	}
+	if ttl, has, exists := r.TTL(0, []byte("lives")); !exists || !has || ttl <= 0 {
+		t.Fatalf("lives lost its TTL: %v %v %v", ttl, has, exists)
+	}
+	if v, ok := r.GetKV(0, []byte("ttlctr")); !ok || string(v) != "2" {
+		t.Fatalf("ttlctr = %q,%v; want 2", v, ok)
+	}
+	if _, has, exists := r.TTL(0, []byte("ttlctr")); !exists || !has {
+		t.Fatal("INCR dropped the TTL across replay")
+	}
+	if v, ok := r.GetKV(0, []byte("plain")); !ok || string(v) != "v" {
+		t.Fatalf("plain = %q,%v", v, ok)
+	}
+	if ttl, has, exists := r.TTL(0, []byte("cleared")); !exists || has {
+		t.Fatalf("cleared kept a TTL across replay: %v %v %v", ttl, has, exists)
+	}
+	if v, _ := r.GetKV(0, []byte("cleared")); string(v) != "v2" {
+		t.Fatalf("cleared = %q, want v2 (upsert replay)", v)
+	}
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"net"
+
+	core "repro/internal/core"
+	"repro/internal/expiry"
+	"repro/internal/resp"
+)
+
+// RESP front-end: a second listener speaking RESP2 (the Redis protocol)
+// beside the v1/v2 binary listener, serving one Allocator-mode table so
+// redis-cli, redis-benchmark and Redis client libraries work unmodified.
+//
+// RESP connections always run connection-owned — each holds its own table
+// handle and a streaming KVPipeline for pipelined GETs — regardless of
+// Options.Exec, and coexist with binary connections in every exec mode:
+// both paths mutate the same table, and on durable tables both append to
+// the same redo log with the same no-ack-before-fsync discipline.
+//
+// TTL state lives in one expiry.Index per table, shared by every RESP
+// connection, the background sweeper, and (for durable tables) snapshot
+// and replay. Durable tables bring their own index (wal.Store owns it);
+// for RAM tables the server creates one lazily, along with a sweeper
+// running on a dedicated handle.
+
+// ServeRESP accepts RESP2 connections on ln until Close. Like Serve it
+// always returns a non-nil error; after Close the error is
+// ErrServerClosed. The served table is Options.RESPTable.
+func (s *Server) ServeRESP(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.respLns = append(s.respLns, ln)
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveRESPConn(c)
+	}
+}
+
+// ListenAndServeRESP listens on addr and calls ServeRESP.
+func (s *Server) ListenAndServeRESP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeRESP(ln)
+}
+
+func (s *Server) serveRESPConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.removeConn(c)
+	defer c.Close()
+
+	tbl := s.Table(s.opts.RESPTable)
+	if tbl == nil {
+		respRefuse(c, "ERR no table registered under the RESP table name")
+		return
+	}
+	if tbl.Mode() != core.Allocator {
+		respRefuse(c, "ERR RESP table is not in kv (Allocator) mode")
+		return
+	}
+	ix, err := s.expiryFor(tbl)
+	if err != nil {
+		respRefuse(c, "ERR busy: "+err.Error())
+		return
+	}
+	h, err := s.acquireHandle(tbl)
+	if err != nil {
+		respRefuse(c, "ERR busy: too many connections")
+		return
+	}
+	defer s.releaseHandle(h)
+
+	var w resp.WAL
+	if l := s.walFor(tbl); l != nil {
+		w = l // assign only when non-nil: a typed-nil WAL would pass != nil checks
+	}
+	resp.Serve(c, resp.ServeOpts{
+		Table:       tbl,
+		Handle:      h,
+		Expiry:      ix,
+		Log:         w,
+		ReadBuffer:  s.opts.ReadBuffer,
+		WriteBuffer: s.opts.WriteBuffer,
+		IdleTimeout: s.opts.IdleTimeout,
+	})
+}
+
+// respRefuse answers a connection the server cannot serve with one RESP
+// error line and gives up on it.
+func respRefuse(c net.Conn, msg string) {
+	c.Write(append(append([]byte("-"), msg...), '\r', '\n'))
+}
+
+// expiryFor returns tbl's shared TTL index, creating it (with a sweeper
+// on a dedicated handle) on first use for RAM tables. Durable tables
+// register their store-owned index in AddDurable — that one is also
+// wired into WAL replay and snapshots.
+func (s *Server) expiryFor(tbl *core.Table) (*expiry.Index, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServerClosed
+	}
+	if ix := s.expiries[tbl]; ix != nil {
+		return ix, nil
+	}
+	ix := expiry.New(nil)
+	h, err := tbl.Handle()
+	if err != nil {
+		return nil, err
+	}
+	sw := ix.StartSweeper(expiry.SweepOpts{
+		OnExpired: func(ns uint16, key []byte, _ int64) {
+			hash := tbl.HashOfKV(ns, key)
+			mu := ix.Lock(hash)
+			mu.Lock()
+			// Re-check under the stripe lock: a racing SET may have
+			// revived the key since the sample.
+			if d, ok := ix.Deadline(ns, key, hash); ok && d <= ix.Now() {
+				h.DeleteKVHashed(ns, key, hash)
+				ix.Remove(ns, key, hash)
+			}
+			mu.Unlock()
+		},
+		OnRound: func() { h.AdvanceEpoch() },
+	})
+	s.expiries[tbl] = ix
+	s.sweepers = append(s.sweepers, respSweeper{sw: sw, h: h})
+	return ix, nil
+}

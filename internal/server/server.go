@@ -12,6 +12,7 @@ import (
 
 	core "repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/expiry"
 	"repro/internal/wal"
 )
 
@@ -101,6 +102,10 @@ type Options struct {
 	// ExecShards is the number of executor shards per served table in the
 	// executor modes (0 = GOMAXPROCS).
 	ExecShards int
+	// RESPTable names the table the RESP2 listener serves (see ServeRESP);
+	// the default is DefaultTable. The table must be in Allocator (kv)
+	// mode.
+	RESPTable string
 }
 
 func (o *Options) setDefaults() {
@@ -150,7 +155,22 @@ type Server struct {
 	// by Close after the connection goroutines exit. Guarded by mu.
 	execs map[*core.Table]*exec.Executor
 
+	// RESP front-end state (resp.go): extra listeners, the per-table TTL
+	// indexes shared by RESP connections, and the sweepers the server owns
+	// for RAM tables (durable tables' sweepers belong to their wal.Store).
+	// Guarded by mu.
+	respLns  []net.Listener
+	expiries map[*core.Table]*expiry.Index
+	sweepers []respSweeper
+
 	wg sync.WaitGroup
+}
+
+// respSweeper pairs a server-owned TTL sweeper with the dedicated table
+// handle it deletes through, so Close can stop one and release the other.
+type respSweeper struct {
+	sw *expiry.Sweeper
+	h  *core.Handle
 }
 
 // New creates a Server serving tbl as its default table. Register further
@@ -164,6 +184,7 @@ func New(tbl *core.Table, opts Options) *Server {
 		conns:      make(map[net.Conn]struct{}),
 		handleFree: make(chan struct{}),
 		execs:      make(map[*core.Table]*exec.Executor),
+		expiries:   make(map[*core.Table]*expiry.Index),
 	}
 }
 
@@ -192,6 +213,12 @@ func (s *Server) AddDurable(name string, ds *wal.Store) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.walLogs[ds.Table()] = ds.Log()
+	if ix := ds.Expiry(); ix != nil {
+		// The store-owned TTL index is the one wired into WAL replay and
+		// snapshots; RESP connections must share it, not a server-created
+		// sibling.
+		s.expiries[ds.Table()] = ix
+	}
 	return nil
 }
 
@@ -278,6 +305,8 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	respLns := s.respLns
+	s.respLns = nil
 	for c := range s.conns {
 		c.Close()
 	}
@@ -286,13 +315,24 @@ func (s *Server) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
+	for _, rl := range respLns {
+		rl.Close()
+	}
 	s.wg.Wait()
 	s.mu.Lock()
 	execs := s.execs
 	s.execs = nil
+	sweepers := s.sweepers
+	s.sweepers = nil
 	s.mu.Unlock()
 	for _, ex := range execs {
 		ex.Close()
+	}
+	// Stop server-owned TTL sweepers after every connection is gone, then
+	// release their dedicated handles.
+	for _, rs := range sweepers {
+		rs.sw.Stop()
+		rs.h.Close()
 	}
 	return err
 }

@@ -45,7 +45,8 @@ const (
 	recCommitShadow = 5 // key, commit flag
 	recInsertKV     = 6 // ns, klen, key bytes, value bytes
 	recDeleteKV     = 7 // ns, key bytes
-	recKindEnd      = 8
+	recExpireKV     = 8 // ns, deadline (unix ms; <=0 clears), key bytes
+	recKindEnd      = 9
 )
 
 // Frame layout: crc32(4, IEEE over the payload) | len(4) | payload.
@@ -76,6 +77,9 @@ type Record struct {
 	Commit bool
 	NS     uint16
 	K, V   []byte
+	// At is an expireKV record's absolute deadline in Unix milliseconds;
+	// zero or negative means the record clears the key's TTL (PERSIST).
+	At int64
 }
 
 // appendFrame frames payload into dst: CRC, length, payload.
@@ -149,6 +153,23 @@ func appendDeleteKV(dst []byte, ns uint16, key []byte) []byte {
 	return append(dst, key...)
 }
 
+// appendExpireKV encodes a TTL payload: ns, deadline, key. A deadline at
+// or below zero clears the key's TTL on replay.
+func appendExpireKV(dst []byte, ns uint16, key []byte, at int64) []byte {
+	var h [11]byte
+	h[0] = recExpireKV
+	binary.LittleEndian.PutUint16(h[1:], ns)
+	binary.LittleEndian.PutUint64(h[3:], uint64(at))
+	var hdr [frameHdrSize]byte
+	crc := crc32.ChecksumIEEE(h[:])
+	crc = crc32.Update(crc, crc32.IEEETable, key)
+	binary.LittleEndian.PutUint32(hdr[0:], crc)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(h)+len(key)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, h[:]...)
+	return append(dst, key...)
+}
+
 // DecodeRecord decodes the first frame of b, returning the record and the
 // bytes consumed. It never panics on arbitrary input: a buffer ending
 // mid-frame is ErrShortRecord, anything unparseable is ErrCorrupt.
@@ -203,6 +224,13 @@ func DecodeRecord(b []byte) (Record, int, error) {
 		}
 		r.NS = binary.LittleEndian.Uint16(payload[1:])
 		r.K = payload[3:]
+	case recExpireKV:
+		if n < 12 { // header plus a non-empty key
+			return Record{}, 0, ErrCorrupt
+		}
+		r.NS = binary.LittleEndian.Uint16(payload[1:])
+		r.At = int64(binary.LittleEndian.Uint64(payload[3:]))
+		r.K = payload[11:]
 	default:
 		return Record{}, 0, ErrCorrupt
 	}

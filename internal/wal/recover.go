@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	core "repro/internal/core"
+	"repro/internal/expiry"
 )
 
 // RecoverStats reports what startup recovery found and did.
@@ -69,7 +70,7 @@ func scanDir(dir string) (dirState, error) {
 // tail in the last segment, and return the number the next segment should
 // take. h is the replay handle (single-goroutine; the Store is not serving
 // yet).
-func recoverDir(dir string, h *core.Handle, cfg *core.Config, st dirState) (nextSeg uint64, stats RecoverStats, err error) {
+func recoverDir(dir string, h *core.Handle, cfg *core.Config, idx *expiry.Index, st dirState) (nextSeg uint64, stats RecoverStats, err error) {
 	// Replay starts at the snapshot boundary. A snapshot is usable only if
 	// the segments at or after its boundary are present without gaps —
 	// compaction deletes covered segments, so after the newest snapshot
@@ -81,7 +82,7 @@ func recoverDir(dir string, h *core.Handle, cfg *core.Config, st dirState) (next
 		if !segsCoverFrom(st.segs, b) {
 			return 0, stats, fmt.Errorf("wal: snapshot %s needs segments the directory no longer holds", snapName(b))
 		}
-		n, lerr := loadSnapshot(filepath.Join(dir, snapName(b)), h, cfg)
+		n, lerr := loadSnapshot(filepath.Join(dir, snapName(b)), h, cfg, idx)
 		if lerr != nil {
 			// A snapshot is written to a temp file, fsynced and renamed,
 			// so a corrupt one means disk damage, not a crash artifact.
@@ -103,7 +104,7 @@ func recoverDir(dir string, h *core.Handle, cfg *core.Config, st dirState) (next
 	}
 	for i, seg := range replay {
 		last := i == len(replay)-1
-		n, torn, rerr := replaySegment(filepath.Join(dir, segName(seg)), h, cfg, last)
+		n, torn, rerr := replaySegment(filepath.Join(dir, segName(seg)), h, cfg, idx, last)
 		if rerr != nil {
 			return 0, stats, fmt.Errorf("wal: replay %s: %w", segName(seg), rerr)
 		}
@@ -152,7 +153,7 @@ func segsCoverFrom(segs []uint64, b uint64) bool {
 // segment a short or corrupt tail is a torn write: the file is truncated
 // back to the end of the last complete record. Anywhere else it is
 // corruption and recovery fails.
-func replaySegment(path string, h *core.Handle, cfg *core.Config, last bool) (records int, torn int64, err error) {
+func replaySegment(path string, h *core.Handle, cfg *core.Config, idx *expiry.Index, last bool) (records int, torn int64, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
@@ -170,7 +171,7 @@ func replaySegment(path string, h *core.Handle, cfg *core.Config, last bool) (re
 			}
 			return records, torn, nil
 		}
-		if aerr := applyRecord(h, cfg, &r); aerr != nil {
+		if aerr := applyRecord(h, cfg, idx, &r); aerr != nil {
 			return records, 0, aerr
 		}
 		off += n
@@ -182,7 +183,7 @@ func replaySegment(path string, h *core.Handle, cfg *core.Config, last bool) (re
 // loadSnapshot validates and applies a snapshot file. The whole file is
 // decoded before anything is applied, so a corrupt snapshot leaves the
 // table untouched and the caller can fall back to an older one.
-func loadSnapshot(path string, h *core.Handle, cfg *core.Config) (int, error) {
+func loadSnapshot(path string, h *core.Handle, cfg *core.Config, idx *expiry.Index) (int, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
@@ -197,7 +198,7 @@ func loadSnapshot(path string, h *core.Handle, cfg *core.Config) (int, error) {
 		off += n
 	}
 	for i := range recs {
-		if err := applyRecord(h, cfg, &recs[i]); err != nil {
+		if err := applyRecord(h, cfg, idx, &recs[i]); err != nil {
 			return 0, err
 		}
 	}
@@ -209,10 +210,17 @@ func loadSnapshot(path string, h *core.Handle, cfg *core.Config) (int, error) {
 // the snapshot scan is weakly consistent and may include effects whose
 // records live in replayed segments — so benign conflicts (duplicate
 // insert, missing delete target) are tolerated; the final state of a key
-// is always its last logged state. Mode mismatches mean the directory was
-// written under a different Config and fail recovery.
-func applyRecord(h *core.Handle, cfg *core.Config, r *Record) error {
-	kvKind := r.Kind == recInsertKV || r.Kind == recDeleteKV
+// is always its last logged state. For KV inserts that means upsert: an
+// insert record landing on an existing pair replaces it, so upsert-style
+// writers (the RESP SET path) log one insert record instead of a
+// delete/insert pair. Insert and delete records clear the key's TTL
+// entry — a plain SET clears the TTL, Redis semantics — and expire
+// records re-assert or clear it; writers that preserve a TTL across an
+// overwrite (INCR) log an expire record after the insert. Mode mismatches
+// mean the directory was written under a different Config and fail
+// recovery.
+func applyRecord(h *core.Handle, cfg *core.Config, idx *expiry.Index, r *Record) error {
+	kvKind := r.Kind == recInsertKV || r.Kind == recDeleteKV || r.Kind == recExpireKV
 	if kvKind != (cfg.Mode == core.Allocator) {
 		return fmt.Errorf("%w: record kind %d does not match table mode", ErrCorrupt, r.Kind)
 	}
@@ -243,14 +251,39 @@ func applyRecord(h *core.Handle, cfg *core.Config, r *Record) error {
 		if err := h.Table().CheckKV(r.NS, r.K, r.V, true); err != nil {
 			return err
 		}
-		if err := h.InsertKV(r.NS, r.K, r.V); err != nil && !errors.Is(err, core.ErrExists) {
-			return err
+		for {
+			err := h.InsertKV(r.NS, r.K, r.V)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, core.ErrExists) {
+				return err
+			}
+			h.DeleteKV(r.NS, r.K)
+		}
+		if idx != nil {
+			idx.Remove(r.NS, r.K, h.Table().HashOfKV(r.NS, r.K))
 		}
 	case recDeleteKV:
 		if err := h.Table().CheckKV(r.NS, r.K, nil, false); err != nil {
 			return err
 		}
 		h.DeleteKV(r.NS, r.K)
+		if idx != nil {
+			idx.Remove(r.NS, r.K, h.Table().HashOfKV(r.NS, r.K))
+		}
+	case recExpireKV:
+		if err := h.Table().CheckKV(r.NS, r.K, nil, false); err != nil {
+			return err
+		}
+		if idx != nil {
+			hash := h.Table().HashOfKV(r.NS, r.K)
+			if r.At > 0 {
+				idx.ExpireAt(r.NS, r.K, hash, r.At)
+			} else {
+				idx.Remove(r.NS, r.K, hash)
+			}
+		}
 	default:
 		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, r.Kind)
 	}

@@ -45,6 +45,15 @@ func (s *Store) Snapshot() error {
 		})
 		// Let blocks retired to this handle's epoch reclaim between scans.
 		s.snapH.AdvanceEpoch()
+		// TTL entries follow the pairs: a snapshot-loading replay applies
+		// the inserts (each clearing its key's TTL) before re-asserting
+		// the deadlines, mirroring segment order for SET-with-EX.
+		if err == nil && s.exp != nil {
+			s.exp.Range(func(ns uint16, key []byte, at int64) bool {
+				return write(func(dst []byte) []byte { return appendExpireKV(dst, ns, key, at) })
+			})
+			err = werr
+		}
 	} else {
 		s.snapH.Range(func(k, v uint64) bool {
 			return write(func(dst []byte) []byte { return appendFixed(dst, recInsert, k, v) })

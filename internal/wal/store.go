@@ -7,6 +7,7 @@ import (
 	"time"
 
 	core "repro/internal/core"
+	"repro/internal/expiry"
 )
 
 // Options tunes a durable Store. The zero value is usable.
@@ -17,6 +18,15 @@ type Options struct {
 	// snapshot + compaction (default 256 MiB; negative disables the
 	// background snapshotter — Snapshot can still be called manually).
 	SnapshotBytes int64
+	// SweepInterval is the background expiry sweep cadence for
+	// Allocator-mode tables (default 100ms; negative disables the sweeper
+	// — expired keys are then reclaimed only by lazy reads and restarts).
+	SweepInterval time.Duration
+	// SweepSample bounds how many TTL entries one sweep round examines
+	// per expiry shard (default 20).
+	SweepSample int
+	// nowMs overrides the expiry clock (Unix milliseconds). Test hook.
+	nowMs func() int64
 }
 
 // defaultSnapshotBytes is the automatic snapshot threshold when
@@ -44,6 +54,13 @@ type Store struct {
 	snapH *core.Handle // snapshotter's handle
 	stats RecoverStats
 
+	// Allocator-mode TTL sidecar: the expiry index recovered alongside the
+	// table, its background sweeper, and the sweeper's own handle. Nil/zero
+	// outside Allocator mode.
+	exp     *expiry.Index
+	sweepH  *core.Handle
+	sweeper *expiry.Sweeper
+
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	snapMu   sync.Mutex // serializes Snapshot (loop + manual)
@@ -63,13 +80,17 @@ func Open(dir string, cfg core.Config, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	// The store's own two handles (foreground + snapshotter) ride on top of
-	// the caller's handle budget, so cfg.MaxThreads keeps meaning "handles
-	// for the caller" exactly as it does for core.New.
+	// The store's own handles (foreground + snapshotter, plus the expiry
+	// sweeper's in Allocator mode) ride on top of the caller's handle
+	// budget, so cfg.MaxThreads keeps meaning "handles for the caller"
+	// exactly as it does for core.New.
 	if cfg.MaxThreads <= 0 {
 		cfg.MaxThreads = 2 * runtime.GOMAXPROCS(0)
 	}
 	cfg.MaxThreads += 2
+	if cfg.Mode == core.Allocator {
+		cfg.MaxThreads++
+	}
 	tbl, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -78,13 +99,25 @@ func Open(dir string, cfg core.Config, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var exp *expiry.Index
+	if cfg.Mode == core.Allocator {
+		exp = expiry.New(opts.nowMs)
+	}
 	st, err := scanDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	nextSeg, stats, err := recoverDir(dir, h, &cfg, st)
+	nextSeg, stats, err := recoverDir(dir, h, &cfg, exp, st)
 	if err != nil {
 		return nil, err
+	}
+	// Keys whose replayed deadline already passed are dead on arrival:
+	// purge them before serving so they cannot answer a read. The
+	// deletions are not logged — the records that re-create them replay
+	// again on the next open and purge again, until a snapshot captures
+	// the post-purge state.
+	if exp != nil {
+		purgeExpired(h, exp)
 	}
 	// Views materialized during replay are done with; let replay-retired
 	// blocks reclaim.
@@ -100,19 +133,74 @@ func Open(dir string, cfg core.Config, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		dir: dir, cfg: cfg, opts: opts, tbl: tbl, log: log,
-		h: h, snapH: snapH, stats: stats, stop: make(chan struct{}),
+		h: h, snapH: snapH, exp: exp, stats: stats, stop: make(chan struct{}),
 	}
 	if opts.SnapshotBytes >= 0 {
 		s.wg.Add(1)
 		go s.snapshotLoop()
 	}
+	if exp != nil && opts.SweepInterval >= 0 {
+		sweepH, err := tbl.Handle()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.sweepH = sweepH
+		s.sweeper = exp.StartSweeper(expiry.SweepOpts{
+			Interval: opts.SweepInterval,
+			Sample:   opts.SweepSample,
+			OnExpired: func(ns uint16, key []byte, at int64) {
+				hash := tbl.HashOfKV(ns, key)
+				mu := exp.Lock(hash)
+				mu.Lock()
+				// Re-check under the stripe lock: a SET or PERSIST may have
+				// replaced the deadline since the sweep sampled it.
+				if d, ok := exp.Deadline(ns, key, hash); ok && d <= exp.Now() {
+					sweepH.DeleteKVHashed(ns, key, hash)
+					exp.Remove(ns, key, hash)
+				}
+				mu.Unlock()
+			},
+			// Advance the sweeper handle's epoch each round so blocks
+			// deleted by other handles can reclaim past it.
+			OnRound: func() { sweepH.AdvanceEpoch() },
+		})
+	}
 	return s, nil
+}
+
+// purgeExpired deletes every key whose recovered deadline has passed.
+// Runs before the store serves, single-goroutine.
+func purgeExpired(h *core.Handle, exp *expiry.Index) {
+	type dead struct {
+		ns  uint16
+		key []byte
+	}
+	now := exp.Now()
+	var victims []dead
+	exp.Range(func(ns uint16, key []byte, at int64) bool {
+		if at <= now {
+			victims = append(victims, dead{ns, key})
+		}
+		return true
+	})
+	for _, v := range victims {
+		hash := h.Table().HashOfKV(v.ns, v.key)
+		h.DeleteKVHashed(v.ns, v.key, hash)
+		exp.Remove(v.ns, v.key, hash)
+	}
 }
 
 // Table returns the in-memory table behind the store, for callers that
 // serve it through their own handles (the network server). Mutations
 // applied through foreign handles are NOT logged; pair them with Log.
 func (s *Store) Table() *core.Table { return s.tbl }
+
+// Expiry returns the store's TTL sidecar index (nil outside Allocator
+// mode). The store owns its background sweeper; callers serving the table
+// through their own handles (the RESP front-end) share this index so
+// lazy expiry, the sweeper, snapshots and replay all agree on deadlines.
+func (s *Store) Expiry() *expiry.Index { return s.exp }
 
 // Log returns the store's redo log, for callers gating their own
 // completion paths on group commits (the network server's durable
@@ -159,9 +247,15 @@ func (s *Store) Close() error {
 	s.closed = true
 	close(s.stop)
 	s.wg.Wait()
+	if s.sweeper != nil {
+		s.sweeper.Stop()
+	}
 	err := s.log.Close()
 	s.h.Close()
 	s.snapH.Close()
+	if s.sweepH != nil {
+		s.sweepH.Close()
+	}
 	return err
 }
 
@@ -177,6 +271,9 @@ func (s *Store) crash() {
 	s.closed = true
 	close(s.stop)
 	s.wg.Wait()
+	if s.sweeper != nil {
+		s.sweeper.Stop()
+	}
 	s.log.crash()
 }
 
