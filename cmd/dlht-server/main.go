@@ -35,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -205,7 +206,7 @@ func main() {
 			names = append(names, respTableName+":kv (resp)")
 		}
 		go func() {
-			if err := s.ListenAndServeRESP(*respAddr); err != nil && err != server.ErrServerClosed {
+			if err := s.ListenAndServeRESP(*respAddr); err != nil && !errors.Is(err, server.ErrServerClosed) {
 				log.Printf("resp listener: %v", err)
 			}
 		}()
@@ -229,7 +230,7 @@ func main() {
 
 	log.Printf("dlht-server listening on %s (bins=%d resizable=%v exec=%s max-batch=%d window=%d idle-timeout=%v tables=%s)",
 		*addr, *bins, *resizable, execMode, *maxBatch, *window, *idle, strings.Join(names, ","))
-	if err := s.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
+	if err := s.ListenAndServe(*addr); err != nil && !errors.Is(err, server.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// Server.Close has drained every connection; now seal the logs so the

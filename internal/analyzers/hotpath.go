@@ -1,0 +1,82 @@
+package analyzers
+
+// hotpath: files carrying a standalone //dlht:hotpath directive hold
+// the per-op serving code — the core pipeline engines, the exec shard
+// loop, the RESP reader. Three allocation/syscall habits are banned
+// there outright:
+//
+//   - time.Now: a vDSO call per op; hot code takes timestamps from a
+//     coarse clock its caller samples (expiry.Index.Now).
+//   - fmt.*: every fmt call allocates (interface boxing + reflection);
+//     hot errors are prebuilt sentinels or hand-formatted.
+//   - interface conversions of concrete non-pointer values: T(x) or
+//     implicit boxing via conversion syntax escapes x to the heap.
+//
+// The third check flags explicit conversions whose target type is an
+// interface and whose operand is a concrete non-pointer value — the
+// form that always allocates. (Implicit boxing at call sites is the
+// fmt rule's territory; banning fmt removes the dominant source.)
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const hotMarker = "dlht:hotpath"
+
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//dlht:hotpath files may not call time.Now or fmt.*, or box values into interfaces",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Files {
+		if !fileHasMarker(f, hotMarker) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+				checkHotConversion(p, call, tv.Type)
+				return true
+			}
+			switch pkg := calleePkgPath(p.Info, call); pkg {
+			case "fmt":
+				p.Reportf(call.Pos(), "fmt.%s in a //dlht:hotpath file allocates; use sentinels or hand formatting", calleeName(call))
+			case "time":
+				// Since and Until are time.Now in disguise.
+				if n := calleeName(call); n == "Now" || n == "Since" || n == "Until" {
+					p.Reportf(call.Pos(), "time.%s in a //dlht:hotpath file; sample a coarse clock outside the hot loop", n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkHotConversion flags T(x) where T is an interface and x is a
+// concrete non-pointer value — a conversion that heap-allocates.
+func checkHotConversion(p *Pass, call *ast.CallExpr, target types.Type) {
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	at := p.Info.TypeOf(call.Args[0])
+	if at == nil {
+		return
+	}
+	if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.IsNil() {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		return
+	}
+	p.Reportf(call.Pos(), "interface conversion of a %s value in a //dlht:hotpath file allocates", at.String())
+}

@@ -1,0 +1,134 @@
+package analyzers
+
+// pipebarrier: a streaming KVPipeline completes lookups out of band;
+// any direct KV operation on the handle (a synchronous read, an
+// upsert, a delete) that runs while lookups are still in flight can
+// observe or produce state the pending completions then contradict —
+// replies reorder across the mutation. The contract on the resp and
+// exec serving paths: methods of a struct that owns a *core.KVPipeline
+// must drain it (barrier / Flush / drainTo) before touching the table
+// directly.
+//
+// The pass finds struct types with a KVPipeline-typed field, then
+// checks each of their methods: a direct KV call (GetKV, GetKVCopy,
+// InsertKV*, UpdateKV, DeleteKV*) not on the pipeline itself must be
+// positionally preceded by a drain call. *Locked helpers are exempt
+// (their callers hold the barrier).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var PipeBarrier = &Analyzer{
+	Name: "pipebarrier",
+	Doc:  "KVPipeline owners must drain the pipeline before direct KV table operations",
+	Run:  runPipeBarrier,
+}
+
+var pipeDrains = map[string]bool{
+	"barrier": true, "Flush": true, "drainTo": true,
+}
+
+var directKVOps = map[string]bool{
+	"GetKV": true, "GetKVCopy": true, "UpdateKV": true,
+	"InsertKV": true, "InsertKVHashed": true,
+	"DeleteKV": true, "DeleteKVHashed": true,
+}
+
+func runPipeBarrier(p *Pass) {
+	owners := pipelineOwners(p)
+	if len(owners) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			recv := fd.Recv.List[0].Type
+			rt := p.Info.TypeOf(recv)
+			n := namedOf(rt)
+			if n == nil || !owners[n.Obj().Name()] {
+				continue
+			}
+			checkPipeBarrier(p, fd)
+		}
+	}
+}
+
+// pipelineOwners returns the names of struct types in this package
+// with a field whose type is (a pointer to) a type named KVPipeline.
+func pipelineOwners(p *Pass) map[string]bool {
+	owners := make(map[string]bool)
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fn := namedOf(st.Field(i).Type()); fn != nil && fn.Obj().Name() == "KVPipeline" {
+				owners[name] = true
+				break
+			}
+		}
+	}
+	return owners
+}
+
+func checkPipeBarrier(p *Pass, fd *ast.FuncDecl) {
+	var drains []token.Pos
+	var direct []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if pipeDrains[name] {
+			drains = append(drains, call.Pos())
+			return true
+		}
+		if directKVOps[name] && !onPipeline(p, call) {
+			direct = append(direct, call)
+		}
+		return true
+	})
+	for _, c := range direct {
+		drained := false
+		for _, d := range drains {
+			if d < c.Pos() {
+				drained = true
+				break
+			}
+		}
+		if !drained {
+			p.Reportf(c.Pos(),
+				"%s: direct KV op %s on a KVPipeline-owning type with no barrier/Flush before it; in-flight completions may reorder across it",
+				fd.Name.Name, calleeName(c))
+		}
+	}
+}
+
+// onPipeline reports whether the call's receiver is itself the
+// pipeline (pipeline-surface enqueues are the streaming path, not a
+// bypass).
+func onPipeline(p *Pass, call *ast.CallExpr) bool {
+	rt := recvType(p.Info, call)
+	if rt == nil {
+		return false
+	}
+	n := namedOf(rt)
+	return n != nil && n.Obj().Name() == "KVPipeline"
+}

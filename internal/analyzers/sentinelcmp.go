@@ -1,0 +1,77 @@
+package analyzers
+
+// sentinelcmp: sentinel errors cross wrap boundaries in this codebase
+// constantly — the wire protocol decodes remote failures into
+// StatusErr-backed sentinels, the WAL wraps core errors with context,
+// the cluster layer wraps both for retry classification. An == or !=
+// against an error (or a switch on an error value) silently stops
+// matching the moment anyone adds a wrapping layer; PR 7's typed-nil
+// Store/WAL wiring bug was exactly this shape. Compare with
+// errors.Is (or errors.As for types) instead.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var SentinelCmp = &Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "error values must be compared with errors.Is, never ==/!= or switch",
+	Run:  runSentinelCmp,
+}
+
+func runSentinelCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if (isErrorExpr(p, e.X) || isErrorExpr(p, e.Y)) &&
+					!isNilExpr(p, e.X) && !isNilExpr(p, e.Y) {
+					p.Reportf(e.OpPos,
+						"error compared with %s; use errors.Is so wrapped sentinels still match", e.Op)
+				}
+			case *ast.SwitchStmt:
+				if e.Tag == nil || !isErrorExpr(p, e.Tag) {
+					return true
+				}
+				// One diagnostic per switch, at the tag, so a single
+				// dlht:ok suppression can cover a deliberate choice.
+				for _, cc := range e.Body.List {
+					clause, ok := cc.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					nonNil := false
+					for _, v := range clause.List {
+						if !isNilExpr(p, v) {
+							nonNil = true
+						}
+					}
+					if nonNil {
+						p.Reportf(e.Switch,
+							"switch on an error value compares with ==; use errors.Is so wrapped sentinels still match")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// isErrorExpr reports whether e's static type is the error interface.
+func isErrorExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	return t != nil && types.Identical(t, errType)
+}
+
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}

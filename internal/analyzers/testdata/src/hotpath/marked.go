@@ -1,0 +1,44 @@
+// Fixture for the hotpath pass: files carrying //dlht:hotpath may not
+// call time.Now (or Since/Until), any fmt function, or box concrete
+// values into interfaces.
+package hotpath
+
+//dlht:hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type iface interface{ m() }
+
+type impl struct{ x int }
+
+func (impl) m() {}
+
+func now() int64 {
+	return time.Now().UnixNano() // want `time.Now in a //dlht:hotpath file`
+}
+
+func since(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since in a //dlht:hotpath file`
+}
+
+func errf(n int) error {
+	return fmt.Errorf("bad %d", n) // want `fmt.Errorf in a //dlht:hotpath file`
+}
+
+func box(v impl) iface {
+	return iface(v) // want `interface conversion of a .*impl value`
+}
+
+// boxPtr: pointers already live in one word; no copy, no allocation
+// beyond what escape analysis decides for the pointee.
+func boxPtr(v *impl) iface {
+	return iface(v)
+}
+
+// parse: non-Now time functions that don't read the clock are fine.
+func parse() (time.Time, error) {
+	return time.Parse(time.RFC3339, "2024-01-01T00:00:00Z")
+}

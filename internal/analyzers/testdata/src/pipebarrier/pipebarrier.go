@@ -1,0 +1,54 @@
+// Fixture for the pipebarrier pass: methods on a KVPipeline-owning
+// type must drain the pipeline before direct KV table operations, or
+// in-flight completions reorder across them.
+package pipebarrier
+
+type KVPipeline struct{}
+
+func (pl *KVPipeline) GetHashed(key []byte, hash uint64) {}
+func (pl *KVPipeline) Flush()                            {}
+func (pl *KVPipeline) InFlight() int                     { return 0 }
+
+type handle struct{}
+
+func (h *handle) GetKV(key []byte) ([]byte, bool)             { return nil, false }
+func (h *handle) DeleteKVHashed(key []byte, hash uint64) bool { return true }
+
+type conn struct {
+	pl *KVPipeline
+	h  *handle
+}
+
+func (cn *conn) barrier() { cn.pl.Flush() }
+
+// cmdGood drains in-flight lookups before the direct read.
+func (cn *conn) cmdGood(key []byte) {
+	cn.barrier()
+	cn.h.GetKV(key)
+}
+
+// enqueueGood: calls on the pipeline itself are the streaming path.
+func (cn *conn) enqueueGood(key []byte, hash uint64) {
+	cn.pl.GetHashed(key, hash)
+}
+
+// cmdBad reads the table while lookups may still be in flight.
+func (cn *conn) cmdBad(key []byte) {
+	cn.h.GetKV(key) // want `no barrier/Flush before it`
+	cn.barrier()
+}
+
+// deleteBad mutates behind in-flight lookups.
+func (cn *conn) deleteBad(key []byte, hash uint64) {
+	cn.h.DeleteKVHashed(key, hash) // want `no barrier/Flush before it`
+}
+
+// setLocked: *Locked helpers run behind the caller's barrier.
+func (cn *conn) setLocked(key []byte) {
+	cn.h.GetKV(key)
+}
+
+// free functions without the owning receiver are out of scope.
+func free(h *handle, key []byte) {
+	h.GetKV(key)
+}

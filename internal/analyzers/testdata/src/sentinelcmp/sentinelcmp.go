@@ -1,0 +1,61 @@
+// Fixture for the sentinelcmp pass: error sentinels cross wrap
+// boundaries; == / != / switch silently stop matching when a layer
+// wraps — compare with errors.Is.
+package sentinelcmp
+
+import "errors"
+
+var errExists = errors.New("exists")
+var errFull = errors.New("full")
+
+func insert() error { return errExists }
+
+// goodIs uses errors.Is.
+func goodIs() bool {
+	err := insert()
+	return errors.Is(err, errExists)
+}
+
+// goodNil: nil checks are the normal control flow, not sentinel
+// comparison.
+func goodNil() bool {
+	return insert() == nil || insert() != nil
+}
+
+func badEq() bool {
+	err := insert()
+	return err == errExists // want `error compared with ==`
+}
+
+func badNeq() bool {
+	err := insert()
+	return err != errFull // want `error compared with !=`
+}
+
+func badSwitch() int {
+	switch insert() { // want `switch on an error value`
+	case nil:
+		return 0
+	case errExists:
+		return 1
+	}
+	return 2
+}
+
+// nilOnlySwitch never compares sentinels.
+func nilOnlySwitch() int {
+	switch insert() {
+	case nil:
+		return 0
+	}
+	return 1
+}
+
+func suppressedSwitch() int {
+	// dlht:ok:sentinelcmp — fixture: justified hot-path switch
+	switch insert() {
+	case errFull:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+//go:build !dlhtdebug
+
+package core
+
+// Release builds: debugAsserts is a false constant, so every
+// `if debugAsserts { ... }` call site is dead-code-eliminated along
+// with these empty bodies. See debugassert_on.go.
+const debugAsserts = false
+
+func (h *Handle) assertViewPinned() {}
+
+func (t *Table) assertBinChain(ix *index, b uint64) {}

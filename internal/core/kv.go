@@ -226,6 +226,9 @@ func (h *Handle) GetKV(ns uint16, key []byte) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	if debugAsserts {
+		h.assertViewPinned()
+	}
 	return t.valueView(vw), true
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"unsafe"
 
 	"repro/internal/cpuops"
 )
 
+//dlht:hotpath
 // Allocator-mode pipelining: the two-level prefetch engine behind
 // GetKVBatch and the streaming KVPipeline. "Unlike MICA, our pointer-based
 // API also allows us to prefetch the externally stored values in Allocator
@@ -120,6 +122,9 @@ func (h *Handle) kvStep(p *kvPipe) *KVGet {
 	p.tail++
 	e.req.OK = e.ok
 	if e.ok {
+		if debugAsserts {
+			h.assertViewPinned()
+		}
 		e.req.Value = t.valueView(e.vw)
 	} else {
 		e.req.Value = nil
@@ -319,7 +324,7 @@ func (pl *KVPipeline) PutHashed(ns uint16, key, val []byte, hash uint64) error {
 	h := pl.h
 	for {
 		err := h.InsertKVHashed(ns, key, val, hash)
-		if err == nil || err != ErrExists {
+		if err == nil || !errors.Is(err, ErrExists) {
 			return err
 		}
 		h.DeleteKVHashed(ns, key, hash)

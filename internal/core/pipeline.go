@@ -4,6 +4,7 @@ import (
 	"repro/internal/cpuops"
 )
 
+//dlht:hotpath
 // Completion-driven pipelining: the streaming generalization of the §3.3
 // batch API. Where Exec takes a fully materialized []Op, a Pipeline accepts
 // requests one at a time: each enqueue issues the request's bin prefetch

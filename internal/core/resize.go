@@ -145,6 +145,9 @@ func (t *Table) transferBin(h *Handle, ix, nx *index, b uint64) {
 	if moved != 0 {
 		t.keysMoved.Add(moved)
 	}
+	if debugAsserts {
+		t.assertBinChain(ix, b)
+	}
 }
 
 // insertMigrated re-inserts a migrated slot (raw key and value words, with
@@ -210,6 +213,9 @@ indexLoop:
 					continue indexLoop
 				}
 				if atomic.CompareAndSwapUint64(hdrAddr, hdr2, bumpVersion(withSlotState(hdr2, i, state))) {
+					if debugAsserts {
+						t.assertBinChain(ix, b)
+					}
 					return
 				}
 			}

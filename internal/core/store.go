@@ -1,5 +1,7 @@
 package core
 
+import "errors"
+
 // Store is the backend-independent DLHT surface: the synchronous op set
 // plus the completion-driven pipelined surface (Pipe). It is implemented by
 //
@@ -135,7 +137,7 @@ func (s *localStore) Put(key, val uint64) (uint64, bool, error) {
 
 func (s *localStore) Insert(key, val uint64) (uint64, bool, error) {
 	existing, err := s.h.Insert(key, val)
-	if err == ErrExists {
+	if errors.Is(err, ErrExists) {
 		return existing, false, nil
 	}
 	if err != nil {

@@ -213,7 +213,9 @@ type Table struct {
 
 type announceSlot struct {
 	ptr atomic.Pointer[index]
-	_   [56]byte // keep each handle's slot on its own cache line
+	// dlht:ok:fieldalignment — deliberate padding: each handle's announce
+	// slot gets its own cache line so epoch announcements don't bounce.
+	_ [56]byte
 }
 
 // New creates a Table from cfg.

@@ -24,7 +24,9 @@ type record struct {
 	// region.
 	epoch  atomic.Uint64
 	active atomic.Uint32
-	_      [44]byte // pad to a cache line together with the two words above
+	// dlht:ok:fieldalignment — deliberate padding: epoch+active share one
+	// participant-private cache line, away from the retired lists below.
+	_ [44]byte
 
 	// retired items per epoch bucket (index = epoch % 3). Only the owning
 	// thread touches its buckets, except during Drain.

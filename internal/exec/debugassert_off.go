@@ -1,0 +1,12 @@
+//go:build !dlhtdebug
+
+package exec
+
+// Release builds: debugAsserts is a false constant, so every
+// `if debugAsserts { ... }` call site is dead-code-eliminated along
+// with these empty bodies. See debugassert_on.go.
+const debugAsserts = false
+
+func (s *Session) assertSeqWindow(seq uint64, filled bool) {}
+
+func (r *tagRing) assertTagAvailable() {}

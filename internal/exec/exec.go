@@ -56,6 +56,8 @@ import (
 )
 
 // Mode selects how requests are routed to executor shards.
+//
+//dlht:hotpath
 type Mode uint8
 
 const (
@@ -346,7 +348,10 @@ type shard struct {
 	kvTags  tagRing     // KV read pipeline completion tags, FIFO
 	pending []doneEntry // completions staged between deliveries
 	kvOps   int         // KV ops since the last epoch advance
-	dirty   bool        // executed something since the last idle flush
+	// dlht:ok:fieldalignment — dirty could pack beside closed (saving a
+	// word) but closed is producer-side state and dirty is written by the
+	// shard goroutine every loop; sharing their word invites false sharing.
+	dirty bool // executed something since the last idle flush
 }
 
 // doneEntry is one staged completion awaiting delivery to its session.
@@ -693,6 +698,9 @@ func (r *tagRing) push(t tag) {
 }
 
 func (r *tagRing) pop() tag {
+	if debugAsserts {
+		r.assertTagAvailable()
+	}
 	t := r.buf[r.tail&r.mask]
 	r.buf[r.tail&r.mask] = tag{}
 	r.tail++

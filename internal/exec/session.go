@@ -286,6 +286,9 @@ func (s *Session) complete(seq uint64, op core.Op, kv *KVOp) {
 		s.kvBytes += len(kv.Out)
 	}
 	slot := &s.ring[seq&uint64(len(s.ring)-1)]
+	if debugAsserts {
+		s.assertSeqWindow(seq, slot.filled)
+	}
 	slot.d = Done{Op: op, KV: kv}
 	slot.filled = true
 	if seq == s.next {
@@ -306,6 +309,9 @@ func (s *Session) completeRun(es []doneEntry) {
 			s.kvBytes += len(kv.Out)
 		}
 		slot := &s.ring[es[i].seq&mask]
+		if debugAsserts {
+			s.assertSeqWindow(es[i].seq, slot.filled)
+		}
 		slot.d = Done{Op: es[i].op, KV: es[i].kv, WALSeq: es[i].walSeq}
 		slot.filled = true
 	}

@@ -1,0 +1,12 @@
+package expiry
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package when goroutines outlive the tests —
+// every sweeper, sync goroutine, prober and connection writer must be
+// joined by its owner's Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

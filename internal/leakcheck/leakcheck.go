@@ -1,0 +1,109 @@
+// Package leakcheck fails a package's tests when goroutines outlive
+// m.Run — the goleak pattern, implemented on runtime.Stack alone (the
+// build image has no module cache or network, so the real
+// go.uber.org/goleak is unavailable). Sweepers, group-commit sync
+// goroutines, failure-detector probers and connection writers must all
+// be joined by their owners' Close; one that lingers fails the package
+// instead of silently leaking into production.
+//
+// Usage, in a package's TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retryFor bounds how long Main waits for goroutines that are shutting
+// down asynchronously (deferred Closes racing m.Run's return, netpoll
+// wakeups) before declaring them leaked.
+const retryFor = 5 * time.Second
+
+// Main runs the package's tests, then fails the run if goroutines
+// beyond the runtime's own are still alive once shutdown settles.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := wait(); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) outlived the tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// wait polls the goroutine set with backoff until it is clean or the
+// retry budget runs out, returning the surviving stacks.
+func wait() []string {
+	deadline := time.Now().Add(retryFor)
+	pause := time.Millisecond
+	for {
+		leaked := snapshot()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(pause)
+		if pause < 100*time.Millisecond {
+			pause *= 2
+		}
+	}
+}
+
+// snapshot returns the stacks of goroutines that are neither the
+// current one nor recognizable runtime/testing machinery.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || benign(g) || isCurrent(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// isCurrent: runtime.Stack(all) lists the calling goroutine first with
+// "goroutine N [running]:" and this function on its stack.
+func isCurrent(g string) bool {
+	return strings.Contains(g, "repro/internal/leakcheck.snapshot")
+}
+
+// benign reports goroutines owned by the runtime or the testing
+// harness — identified by the function at the top of their stack, the
+// way goleak's IgnoreCurrent defaults do.
+func benign(g string) bool {
+	lines := strings.Split(g, "\n")
+	if len(lines) < 2 {
+		return true
+	}
+	top := strings.TrimSpace(lines[1])
+	for _, prefix := range []string{
+		"runtime.",       // gc, bgsweep, scavenger, finalizer, ...
+		"os/signal.",     // signal_recv
+		"testing.",       // the testing.Main goroutine waiting in m.Run
+		"runtime/pprof.", // profile writers during -cpuprofile runs
+		"runtime/trace.", // trace reader
+	} {
+		if strings.HasPrefix(top, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotSeesLeak proves the detector: a parked goroutine shows
+// up in snapshot, and disappears (within the retry budget) once
+// released.
+func TestSnapshotSeesLeak(t *testing.T) {
+	release := make(chan struct{})
+	go func() { // looks exactly like a forgotten sweeper
+		<-release
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	leaked := snapshot()
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "leakcheck.TestSnapshotSeesLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missed the parked goroutine; got %d stacks:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+
+	close(release)
+	if leaked := wait(); len(leaked) != 0 {
+		t.Fatalf("wait() still reports %d stacks after release:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestBenignFilters pins the allowlist shape: runtime-owned stacks are
+// ignored, package-owned ones are not.
+func TestBenignFilters(t *testing.T) {
+	cases := []struct {
+		top  string
+		want bool
+	}{
+		{"runtime.gopark(...)", true},
+		{"os/signal.signal_recv()", true},
+		{"testing.(*M).Run(...)", true},
+		{"repro/internal/wal.(*Log).syncLoop(...)", false},
+		{"repro/internal/expiry.(*Sweeper).run(...)", false},
+	}
+	for _, c := range cases {
+		g := "goroutine 99 [chan receive]:\n" + c.top + "\n\tsomewhere.go:1"
+		if got := benign(g); got != c.want {
+			t.Errorf("benign(top=%q) = %v, want %v", c.top, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package resp
 
 import (
+	"errors"
 	"strconv"
 
 	core "repro/internal/core"
@@ -227,7 +228,7 @@ func (cn *conn) upsertLocked(ns uint16, key, val []byte, hash uint64) error {
 		if err == nil {
 			return nil
 		}
-		if err != core.ErrExists {
+		if !errors.Is(err, core.ErrExists) {
 			return err
 		}
 		cn.h.DeleteKVHashed(ns, key, hash)

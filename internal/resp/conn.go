@@ -65,12 +65,12 @@ type conn struct {
 	log WAL
 
 	ns      uint16 // SELECTed namespace
+	closed  bool   // QUIT; packed beside ns, the struct's only sub-word fields
 	needSeq uint64 // highest log sequence buffered replies depend on
 	wErr    error
 	flushAt int
 	kvOps   int
 	arena   []byte // keys of in-flight GETs; reset when the pipeline drains
-	closed  bool   // QUIT
 }
 
 // Serve runs the RESP2 command loop on c until the peer disconnects, a
@@ -201,6 +201,8 @@ func (cn *conn) syncPending() {
 
 // flush pushes buffered replies to the wire under the write deadline,
 // after their covering group commit.
+//
+//dlht:ackgated
 func (cn *conn) flush() {
 	cn.syncPending()
 	if cn.wErr != nil {
@@ -229,6 +231,7 @@ func (cn *conn) maybeFlush() {
 // Reply writers
 // ---------------------------------------------------------------------------
 
+//dlht:ackgated
 func (cn *conn) writeSimple(s string) {
 	if cn.wErr != nil {
 		return
@@ -240,6 +243,7 @@ func (cn *conn) writeSimple(s string) {
 	cn.maybeFlush()
 }
 
+//dlht:ackgated
 func (cn *conn) writeError(msg string) {
 	if cn.wErr != nil {
 		return
@@ -251,6 +255,7 @@ func (cn *conn) writeError(msg string) {
 	cn.maybeFlush()
 }
 
+//dlht:ackgated
 func (cn *conn) writeInt(n int64) {
 	if cn.wErr != nil {
 		return
@@ -264,6 +269,7 @@ func (cn *conn) writeInt(n int64) {
 	cn.maybeFlush()
 }
 
+//dlht:ackgated
 func (cn *conn) writeBulk(v []byte) {
 	if cn.wErr != nil {
 		return
@@ -283,6 +289,7 @@ func (cn *conn) writeBulk(v []byte) {
 	cn.maybeFlush()
 }
 
+//dlht:ackgated
 func (cn *conn) writeNull() {
 	if cn.wErr != nil {
 		return
@@ -292,6 +299,7 @@ func (cn *conn) writeNull() {
 	cn.maybeFlush()
 }
 
+//dlht:ackgated
 func (cn *conn) writeArrayHeader(n int) {
 	if cn.wErr != nil {
 		return

@@ -14,9 +14,11 @@ package resp
 
 import (
 	"errors"
-	"fmt"
 	"io"
+	"strconv"
 )
+
+//dlht:hotpath
 
 // Protocol bounds. MaxBulk matches the v2 protocol's 16 MiB value cap;
 // MaxKeyLen the v2 key cap; MaxArgs bounds one command's argument count
@@ -32,6 +34,17 @@ const (
 // is answered with an -ERR and closed: byte alignment is no longer
 // trusted, exactly like Redis.
 var ErrProtocol = errors.New("resp: protocol error")
+
+// protoError wraps ErrProtocol with detail without fmt (these are error
+// paths of a hot file; fmt would pull boxing and reflection into it).
+// errors.Is(err, ErrProtocol) matches, like the fmt.Errorf("%w") it
+// replaces.
+type protoError struct{ detail string }
+
+func (e *protoError) Error() string { return ErrProtocol.Error() + ": " + e.detail }
+func (e *protoError) Unwrap() error { return ErrProtocol }
+
+func protoErrorf(detail string) error { return &protoError{detail: detail} }
 
 // Reader decodes RESP2 commands from a stream through its own buffer, so
 // it controls exactly when a read may block: OnFill, if set, runs before
@@ -65,7 +78,7 @@ func (r *Reader) fill() error {
 	if r.w == len(r.buf) {
 		// A line longer than the whole buffer (huge inline command or
 		// absurd length digits) can never parse.
-		return fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, len(r.buf))
+		return protoErrorf("line exceeds " + strconv.Itoa(len(r.buf)) + " bytes")
 	}
 	if r.OnFill != nil {
 		r.OnFill()
@@ -94,13 +107,13 @@ func (r *Reader) readLine(max int) ([]byte, error) {
 					line = line[:n-1]
 				}
 				if len(line) > max {
-					return nil, fmt.Errorf("%w: line of %d bytes exceeds %d", ErrProtocol, len(line), max)
+					return nil, protoErrorf("line of " + strconv.Itoa(len(line)) + " bytes exceeds " + strconv.Itoa(max))
 				}
 				return line, nil
 			}
 		}
 		if r.w-r.r > max {
-			return nil, fmt.Errorf("%w: unterminated line exceeds %d bytes", ErrProtocol, max)
+			return nil, protoErrorf("unterminated line exceeds " + strconv.Itoa(max) + " bytes")
 		}
 		if err := r.fill(); err != nil {
 			return nil, err
@@ -132,7 +145,7 @@ func (r *Reader) readFull(dst []byte) error {
 		}
 	}
 	if b != '\n' {
-		return fmt.Errorf("%w: bulk string not CRLF-terminated", ErrProtocol)
+		return protoErrorf("bulk string not CRLF-terminated")
 	}
 	return nil
 }
@@ -226,7 +239,7 @@ func (r *Reader) ReadCommand(c *Command) error {
 	}
 	n, ok := parseInt(line[1:])
 	if !ok || n < 0 || n > MaxArgs {
-		return fmt.Errorf("%w: invalid multibulk length", ErrProtocol)
+		return protoErrorf("invalid multibulk length")
 	}
 	offs := make([]int, 0, 8)
 	for i := int64(0); i < n; i++ {
@@ -235,11 +248,11 @@ func (r *Reader) ReadCommand(c *Command) error {
 			return err
 		}
 		if len(hdr) == 0 || hdr[0] != '$' {
-			return fmt.Errorf("%w: expected bulk string", ErrProtocol)
+			return protoErrorf("expected bulk string")
 		}
 		blen, ok := parseInt(hdr[1:])
 		if !ok || blen < 0 || blen > MaxBulk {
-			return fmt.Errorf("%w: invalid bulk length", ErrProtocol)
+			return protoErrorf("invalid bulk length")
 		}
 		off := len(c.Raw)
 		c.Raw = append(c.Raw, make([]byte, blen)...)

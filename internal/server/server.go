@@ -607,6 +607,8 @@ func (cs *connState) syncPending() {
 
 // flush pushes buffered responses to the wire under the write deadline,
 // after their covering group commit.
+//
+//dlht:ackgated
 func (cs *connState) flush() {
 	cs.syncPending()
 	if cs.wErr != nil {
@@ -704,6 +706,8 @@ func (s *Server) serveV1(c net.Conn, br *bufio.Reader, h *core.Handle, wlog *wal
 // first flush the pipeline — responses must stay in request order, and KV
 // requests execute synchronously — then execute against the handle's KV
 // surface and append their variable-length response.
+//
+//dlht:ackgated
 func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.Handle, features uint16, wlog *wal.Log) {
 	cs := s.newConnState(c, h, wlog)
 	defer cs.p.Close()
@@ -760,7 +764,7 @@ func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.
 				}
 			}
 			ns, klen, vlen, err := readKVHeader(br)
-			if err == errMalformedKVHeader {
+			if errors.Is(err, errMalformedKVHeader) {
 				cs.badRequest()
 				return
 			}
@@ -959,6 +963,8 @@ func (s *Server) serveExec(c net.Conn, br *bufio.Reader, tbl *core.Table, v2 boo
 // sequence its record got from the executor shard; the writer tracks the
 // highest buffered one and waits out the covering group commit before any
 // flush, so acknowledgements never reach the socket ahead of their fsync.
+//
+//dlht:ackgated
 func (s *Server) connWriter(c net.Conn, sess *exec.Session, wlog *wal.Log) {
 	bw := bufio.NewWriterSize(c, s.opts.WriteBuffer)
 	flushAt := s.opts.WriteBuffer / 2
@@ -1122,7 +1128,7 @@ func (s *Server) execReadV2(c net.Conn, br *bufio.Reader, sess *exec.Session, fe
 			br.Discard(consumed)
 		case isKVOp(op) && features&FeatureKV != 0:
 			ns, klen, vlen, err := readKVHeader(br)
-			if err == errMalformedKVHeader {
+			if errors.Is(err, errMalformedKVHeader) {
 				sess.Fail(ErrBadRequest)
 				return
 			}
@@ -1213,6 +1219,8 @@ func opToResp(op *core.Op) Response {
 	if op.OK {
 		return Response{Status: StatusOK, Result: op.Result}
 	}
+	// dlht:ok:sentinelcmp — op.Err holds unwrapped core sentinels by
+	// contract (the table never wraps); see the function comment.
 	switch op.Err {
 	case nil:
 		// Get/Put/Delete miss.

@@ -259,6 +259,7 @@ func applyRecord(h *core.Handle, cfg *core.Config, idx *expiry.Index, r *Record)
 			if !errors.Is(err, core.ErrExists) {
 				return err
 			}
+			// dlht:ok:stripelock — replay is single-goroutine, pre-serving.
 			h.DeleteKV(r.NS, r.K)
 		}
 		if idx != nil {
@@ -268,7 +269,7 @@ func applyRecord(h *core.Handle, cfg *core.Config, idx *expiry.Index, r *Record)
 		if err := h.Table().CheckKV(r.NS, r.K, nil, false); err != nil {
 			return err
 		}
-		h.DeleteKV(r.NS, r.K)
+		h.DeleteKV(r.NS, r.K) // dlht:ok:stripelock — single-goroutine replay
 		if idx != nil {
 			idx.Remove(r.NS, r.K, h.Table().HashOfKV(r.NS, r.K))
 		}

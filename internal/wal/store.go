@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"runtime"
 	"sync"
@@ -186,6 +187,7 @@ func purgeExpired(h *core.Handle, exp *expiry.Index) {
 	})
 	for _, v := range victims {
 		hash := h.Table().HashOfKV(v.ns, v.key)
+		// dlht:ok:stripelock — open-time purge, single-goroutine, pre-serving.
 		h.DeleteKVHashed(v.ns, v.key, hash)
 		exp.Remove(v.ns, v.key, hash)
 	}
@@ -305,7 +307,7 @@ func (s *Store) Put(key, val uint64) (uint64, bool, error) {
 // existing value with inserted=false and no log record.
 func (s *Store) Insert(key, val uint64) (uint64, bool, error) {
 	existing, err := s.h.Insert(key, val)
-	if err == core.ErrExists {
+	if errors.Is(err, core.ErrExists) {
 		return existing, false, nil
 	}
 	if err != nil {

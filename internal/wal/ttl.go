@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"time"
 
 	core "repro/internal/core"
@@ -58,7 +59,7 @@ func (s *Store) putKV(ns uint16, key, val []byte, at int64) error {
 		if err == nil {
 			break
 		}
-		if err != core.ErrExists {
+		if !errors.Is(err, core.ErrExists) {
 			mu.Unlock()
 			return err
 		}
