@@ -34,6 +34,11 @@
 // missing key — the zero-lost-acked-writes check the failover smoke
 // leans on.
 //
+// -churn N performs N online membership changes during the measured run,
+// alternating AddShard/RemoveShard of the -spares addresses on a shared
+// topology every worker observes live: the availability and -verify
+// gates then hold the cluster to its zero-downtime-resharding claim.
+//
 // With -resp host:port the loadgen instead drives a dlht-server's RESP2
 // listener (see dlht-server -resp) through the internal RESP client:
 // pipelined SET then GET phases, redis-benchmark-shaped, reported as
@@ -83,6 +88,8 @@ func main() {
 		writeQuorum = flag.Int("write-quorum", 0, "cluster mode: acks required per write (0 = replicas)")
 		maxErrRate  = flag.Float64("max-error-rate", 0, "cluster mode: tolerated error percentage before exiting non-zero (0 = strict)")
 		verify      = flag.Bool("verify", false, "cluster mode: after the run, read back every loaded key and fail on any missing")
+		churn       = flag.Int("churn", 0, "cluster mode: online membership changes during the measured run, alternating AddShard/RemoveShard of the -spares addresses (workers observe every ring flip live)")
+		spares      = flag.String("spares", "", "cluster mode: comma-separated spare shard addresses -churn cycles in and out of the ring")
 	)
 	flag.Parse()
 	if *conns < 1 || *pipeline < 1 || *readPct < 0 || *readPct > 100 {
@@ -120,6 +127,8 @@ func main() {
 			writeQuorum: *writeQuorum,
 			maxErrRate:  *maxErrRate,
 			verify:      *verify,
+			churn:       *churn,
+			spares:      splitNonEmpty(*spares),
 		})
 		return
 	}
@@ -378,6 +387,16 @@ type clusterConfig struct {
 	replicas, writeQuorum int
 	maxErrRate            float64
 	verify                bool
+	churn                 int
+	spares                []string
+}
+
+// splitNonEmpty is strings.Split that maps "" to nil.
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }
 
 func (cfg clusterConfig) clusterOpts() dlht.ClusterOpts {
@@ -424,6 +443,21 @@ func (e *errCounts) total() uint64 {
 // non-zero only when the error rate exceeds -max-error-rate (or, with
 // -verify, when a loaded key went missing).
 func runCluster(cfg clusterConfig) {
+	// With -churn the workers must share one membership view — ring flips
+	// published by the churn goroutine reach every worker's next op — so
+	// the run uses a shared Topology with one lazy instance per worker.
+	var topo *dlht.Topology
+	if cfg.churn > 0 {
+		if len(cfg.spares) == 0 {
+			log.Fatal("-churn needs -spares addresses to cycle in and out")
+		}
+		var err error
+		topo, err = dlht.DialTopology(cfg.shards, cfg.clusterOpts())
+		if err != nil {
+			log.Fatalf("dial topology: %v", err)
+		}
+		defer topo.Close()
+	}
 	if !cfg.skipLoad {
 		m, errs := clusterLoad(cfg)
 		if n := errs.total(); n > 0 {
@@ -444,7 +478,7 @@ func runCluster(cfg clusterConfig) {
 	}
 	fmt.Printf("run: %d ops over %d conns × %d shards (%d%% GET / %d%% PUT, %s keys, %s API, window %d%s)\n",
 		cfg.totalOps, cfg.conns, len(cfg.shards), cfg.readPct, 100-cfg.readPct, cfg.dist, api, cfg.pipeline, rep)
-	m, lat, errs := clusterRun(cfg)
+	m, lat, errs, churnErr := clusterRun(cfg, topo)
 	fmt.Printf("throughput: %.2f M reqs/s (%d ops in %v)\n",
 		m.MReqs(), m.Ops, m.Elapsed.Round(time.Millisecond))
 	fmt.Println(lat)
@@ -458,8 +492,15 @@ func runCluster(cfg clusterConfig) {
 	fmt.Printf("availability: %.4f%% (%d/%d ops acked)\n", 100-rate, cfg.totalOps-nerr, cfg.totalOps)
 
 	failed := rate > cfg.maxErrRate || (nerr > 0 && cfg.maxErrRate == 0)
+	if topo != nil {
+		fmt.Printf("reshard: moved %d keys (epoch %d)\n", topo.MovedKeys(), topo.Epoch())
+		if churnErr != nil {
+			fmt.Printf("reshard: FAILED: %v\n", churnErr)
+			failed = true
+		}
+	}
 	if cfg.verify {
-		missing := clusterVerify(cfg)
+		missing := clusterVerify(cfg, topo)
 		fmt.Printf("verify: %d/%d loaded keys present, %d missing\n", cfg.keys-missing, cfg.keys, missing)
 		if missing > 0 {
 			failed = true
@@ -472,9 +513,16 @@ func runCluster(cfg clusterConfig) {
 
 // clusterVerify reads back every loaded key through one (replicated,
 // retrying) cluster connection and returns how many are missing — acked
-// inserts that survived neither any replica nor its WAL.
-func clusterVerify(cfg clusterConfig) uint64 {
-	clu, err := dlht.DialCluster(cfg.shards, cfg.clusterOpts())
+// inserts that survived neither any replica nor its WAL. Under churn the
+// check rides the shared topology: the final ring may include spares.
+func clusterVerify(cfg clusterConfig, topo *dlht.Topology) uint64 {
+	var clu *dlht.Cluster
+	var err error
+	if topo != nil {
+		clu, err = topo.NewClient()
+	} else {
+		clu, err = dlht.DialCluster(cfg.shards, cfg.clusterOpts())
+	}
 	if err != nil {
 		log.Fatalf("verify: dial: %v", err)
 	}
@@ -486,6 +534,42 @@ func clusterVerify(cfg clusterConfig) uint64 {
 		}
 	}
 	return missing
+}
+
+// churnLoop performs up to n membership changes, cycling each spare into
+// and back out of the ring, until the run finishes. Returns how many
+// changes completed and the first failure (a failed change also aborts
+// the loop — later changes would compound whatever broke).
+func churnLoop(topo *dlht.Topology, spares []string, n int, done <-chan struct{}) (int, error) {
+	in := false
+	si := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+			return i, nil
+		default:
+		}
+		sp := spares[si%len(spares)]
+		var err error
+		if in {
+			err = topo.RemoveShard(sp)
+			si++
+		} else {
+			err = topo.AddShard(sp)
+		}
+		if err != nil {
+			return i, err
+		}
+		in = !in
+	}
+	// Leave the ring as found: a trailing AddShard is cycled back out so
+	// post-run tooling sees the original membership.
+	if in {
+		if err := topo.RemoveShard(spares[si%len(spares)]); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
 // clusterLoad prepopulates [0, keys) through per-worker cluster pipes,
@@ -545,7 +629,13 @@ func clusterLoad(cfg clusterConfig) (bench.Measurement, *errCounts) {
 // replicated or not). Errors never abort a worker: each op counts once,
 // classified, so a mid-run shard kill shows up as an availability dip
 // (and failover latency in the tail percentiles) instead of a dead run.
-func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *errCounts) {
+//
+// With a shared topo (the -churn path) every worker is an instance of the
+// same Topology, a churn goroutine reshapes the ring mid-run, and async
+// latency tracking switches to per-KEY timestamp FIFOs: per-shard rings
+// assume a fixed key→shard mapping, per-key program order is the
+// invariant that survives a ring flip.
+func clusterRun(cfg clusterConfig, topo *dlht.Topology) (bench.Measurement, bench.LatencySummary, *errCounts, error) {
 	var total atomic.Uint64
 	errs := &errCounts{}
 	agg := bench.NewSampler(1 << 20)
@@ -554,6 +644,20 @@ func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *er
 	conns := cfg.conns
 	per := cfg.totalOps / uint64(conns)
 	begin := time.Now()
+
+	var churnErr error
+	churnN := 0
+	churnDone := make(chan struct{})
+	runDone := make(chan struct{})
+	if topo != nil && cfg.churn > 0 {
+		go func() {
+			defer close(churnDone)
+			churnN, churnErr = churnLoop(topo, cfg.spares, cfg.churn, runDone)
+		}()
+	} else {
+		close(churnDone)
+	}
+
 	for c := 0; c < conns; c++ {
 		quota := per
 		if c == 0 {
@@ -562,7 +666,13 @@ func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *er
 		wg.Add(1)
 		go func(c int, quota uint64) {
 			defer wg.Done()
-			clu, err := dlht.DialCluster(cfg.shards, cfg.clusterOpts())
+			var clu *dlht.Cluster
+			var err error
+			if topo != nil {
+				clu, err = topo.NewClient()
+			} else {
+				clu, err = dlht.DialCluster(cfg.shards, cfg.clusterOpts())
+			}
 			if err != nil {
 				for i := uint64(0); i < quota; i++ {
 					errs.note(err, false)
@@ -597,21 +707,54 @@ func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *er
 				return
 			}
 
-			// Async: per-shard FIFO rings of send timestamps. The client
-			// pipe holds at most window+1 requests in flight per shard.
-			nsh := clu.NumShards()
-			ring := make([][]time.Time, nsh)
-			head := make([]int, nsh)
-			tail := make([]int, nsh)
-			cap := cfg.pipeline + 2
-			for i := range ring {
-				ring[i] = make([]time.Time, cap)
+			// Async: FIFO queues of send timestamps, matched to completions
+			// by FIFO order. With a fixed ring the queue is per shard (the
+			// pipe holds at most window+1 requests in flight per shard, so a
+			// small ring suffices); under churn the key→shard mapping moves
+			// mid-run, so the queue is per KEY — per-key completion order is
+			// the guarantee that survives a ring flip.
+			var stamp func(k uint64) // record send time for k
+			var unstamp func(k uint64)
+			var took func(k uint64) time.Time
+			if topo != nil {
+				perKey := make(map[uint64][]time.Time)
+				stamp = func(k uint64) { perKey[k] = append(perKey[k], time.Now()) }
+				unstamp = func(k uint64) { perKey[k] = perKey[k][:len(perKey[k])-1] }
+				took = func(k uint64) time.Time {
+					q := perKey[k]
+					t0 := q[0]
+					if len(q) == 1 {
+						delete(perKey, k)
+					} else {
+						perKey[k] = q[1:]
+					}
+					return t0
+				}
+			} else {
+				nsh := clu.NumShards()
+				ring := make([][]time.Time, nsh)
+				head := make([]int, nsh)
+				tail := make([]int, nsh)
+				cap := cfg.pipeline + 2
+				for i := range ring {
+					ring[i] = make([]time.Time, cap)
+				}
+				stamp = func(k uint64) {
+					sh := clu.ShardFor(k)
+					ring[sh][tail[sh]%cap] = time.Now()
+					tail[sh]++
+				}
+				unstamp = func(k uint64) { tail[clu.ShardFor(k)]-- }
+				took = func(k uint64) time.Time {
+					sh := clu.ShardFor(k)
+					t0 := ring[sh][head[sh]%cap]
+					head[sh]++
+					return t0
+				}
 			}
 			var recvd uint64
 			p, err := clu.Pipe(dlht.PipeOpts{Window: cfg.pipeline, OnComplete: func(cp dlht.Completion) {
-				sh := clu.ShardFor(cp.Key)
-				sampler.Add(time.Since(ring[sh][head[sh]%cap]).Nanoseconds())
-				head[sh]++
+				sampler.Add(time.Since(took(cp.Key)).Nanoseconds())
 				errs.note(cp.Err, cp.OK)
 				recvd++
 			}})
@@ -623,9 +766,7 @@ func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *er
 			}
 			for sent := uint64(0); sent < quota; sent++ {
 				k := stream.Key()
-				sh := clu.ShardFor(k)
-				ring[sh][tail[sh]%cap] = time.Now()
-				tail[sh]++
+				stamp(k)
 				if int(rng.Uint64n(100)) >= cfg.readPct {
 					err = p.Put(k, rng.Next())
 				} else {
@@ -635,7 +776,7 @@ func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *er
 					// The frame was never accepted: no completion will
 					// come. Count the op once and keep going — the pipe
 					// heals on redial.
-					tail[sh]--
+					unstamp(k)
 					errs.note(err, false)
 				}
 			}
@@ -649,6 +790,11 @@ func clusterRun(cfg clusterConfig) (bench.Measurement, bench.LatencySummary, *er
 		}(c, quota)
 	}
 	wg.Wait()
+	close(runDone)
+	<-churnDone
+	if churnN > 0 {
+		fmt.Printf("churn: %d membership changes completed during run\n", churnN)
+	}
 	m := bench.Measurement{Ops: total.Load(), Elapsed: time.Since(begin)}
-	return m, agg.Summary(), errs
+	return m, agg.Summary(), errs, churnErr
 }

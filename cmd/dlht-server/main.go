@@ -61,6 +61,7 @@ func main() {
 		tables     = flag.String("tables", "", "extra named tables, comma-separated name[:mode][:durable=dir] entries with mode inlined (default) or kv (Allocator, variable KV, namespaces); durable=dir backs the table with a group-commit WAL in dir")
 		durableDir = flag.String("durable", "", "back the default table with a group-commit WAL in this directory (empty = RAM only)")
 		idle       = flag.Duration("idle-timeout", 0, "close connections idle (unreadable or unwritable) for this long; 0 disables")
+		trackVers  = flag.Bool("track-versions", false, "maintain a per-key write-version index (serves OpGetVer; cluster resharding and anti-entropy use it for exact last-write-wins ordering)")
 		execName   = flag.String("exec", "shared", "execution model: shared (sharded executor), partitioned (executor with key-hash routing), conn (goroutine per connection)")
 		execShards = flag.Int("exec-shards", 0, "executor shards per table (0 = GOMAXPROCS; ignored with -exec=conn)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
@@ -87,7 +88,7 @@ func main() {
 		}()
 	}
 
-	cfg := dlht.Config{Bins: *bins, Resizable: *resizable, MaxThreads: *maxThreads, PrefetchWindow: *window}
+	cfg := dlht.Config{Bins: *bins, Resizable: *resizable, MaxThreads: *maxThreads, PrefetchWindow: *window, TrackVersions: *trackVers}
 	switch *hashName {
 	case "modulo":
 		cfg.Hash = dlht.HashModulo

@@ -189,6 +189,15 @@ type (
 	Cluster = cluster.Cluster
 	// ClusterOpts configures NewCluster/DialCluster.
 	ClusterOpts = cluster.Opts
+	// Topology is a cluster's shared membership state: online membership
+	// changes (AddShard/RemoveShard/ReplaceShard), consistent Members
+	// snapshots, and the anti-entropy scrubber. Every Cluster exposes its
+	// own via Cluster.Topology(); DialTopology builds one shared by many
+	// per-goroutine instances.
+	Topology = cluster.Topology
+	// ScrubOpts tunes Topology.StartScrub, the background anti-entropy
+	// pass that converges diverged replicas without client reads.
+	ScrubOpts = cluster.ScrubOpts
 	// Client is the pipelined network client returned by Dial; beyond the
 	// Store surface it exposes the raw protocol (Send/Flush/Recv), async
 	// callbacks, futures, and the KV surface for Allocator-mode tables.
@@ -322,4 +331,13 @@ func NewCluster(names []string, stores []Store, opts ClusterOpts) (*Cluster, err
 // concrete-typed form of Open("cluster:a,b,c", WithClusterOpts(opts)).
 func DialCluster(addrs []string, opts ClusterOpts) (*Cluster, error) {
 	return cluster.Dial(addrs, opts)
+}
+
+// DialTopology builds a shared cluster membership over addrs without
+// opening data connections: each worker goroutine takes its own Store
+// instance with Topology.NewClient, and membership changes published on
+// the Topology (AddShard, ...) are observed by every instance with zero
+// downtime.
+func DialTopology(addrs []string, opts ClusterOpts) (*Topology, error) {
+	return cluster.DialTopology(addrs, opts)
 }

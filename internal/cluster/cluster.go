@@ -5,11 +5,17 @@
 // clusters compose the same way, since routing only needs the Store
 // surface.
 //
-// Routing is a fixed-point consistent-hash ring built from the shard
-// *names* (not connection state), so a key's shard is stable across
-// reconnects and process restarts as long as the shard set is unchanged,
-// and adding or removing a shard remaps only the ring arcs adjacent to its
-// virtual nodes.
+// Routing is a consistent-hash ring built from the shard *names* (not
+// connection state), so a key's shard is stable across reconnects and
+// process restarts as long as the shard set is unchanged, and adding or
+// removing a shard remaps only the ring arcs adjacent to its virtual
+// nodes. The ring is epoch-numbered and published through an atomic
+// pointer: membership can change online (AddShard/RemoveShard/
+// ReplaceShard on the Topology) with no downtime — writes to moving
+// ranges double-write and journal during the handoff window, the journal
+// is copied authoritatively under a brief per-range seal, and the ring
+// flips atomically. See reshard.go for the coordinator and scrub.go for
+// the anti-entropy that keeps replicas convergent.
 //
 // The pipelined surface fans each enqueue out to its shard's Pipe and
 // merges completions back in per-shard enqueue order. Because a key always
@@ -22,10 +28,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/hashfn"
 	"repro/internal/server"
 
 	core "repro/internal/core"
@@ -49,15 +54,15 @@ type Opts struct {
 
 	// Replicas is the number of copies of each key: the key's arc owner
 	// plus the next Replicas-1 distinct shards clockwise on the ring.
-	// 0 or 1 means no replication (the pre-replication behavior, byte for
-	// byte). Must not exceed the shard count.
+	// 0 or 1 means no replication. Must not exceed the shard count.
 	Replicas int
 	// WriteQuorum is how many replica acks a write needs before it
 	// completes (0 = Replicas, i.e. write-all). With W = Replicas an
 	// acked write survives any single-shard loss and reads never observe
 	// a lost update after failover; with W < Replicas writes stay
 	// available through Replicas-W shard failures at the cost of replica
-	// divergence until the laggards catch up (there is no read repair).
+	// divergence until read repair or the background scrubber (see
+	// Topology.StartScrub) converges the laggards.
 	WriteQuorum int
 	// DownAfter is the failure detector's threshold: a shard is marked
 	// down after this many consecutive retryable failures (default 3).
@@ -78,6 +83,19 @@ type Opts struct {
 	// replication is pointless over connections that stay broken after a
 	// blip — set Max < 0 to disable retries entirely.
 	Retry server.RetryPolicy
+
+	// OpenShard opens a Store for a shard name, enabling online
+	// membership changes on New-mode clusters (Dial clusters dial
+	// addresses and don't need it). The returned Store should implement
+	// core.Scanner and core.VersionReader — the in-process
+	// (*Table).Store does — or migration falls back to plain reads.
+	// Without it, a New cluster's membership is frozen at construction.
+	OpenShard func(name string) (core.Store, error)
+	// QuiesceTimeout bounds how long a membership change waits for every
+	// client instance to observe a published ring generation before the
+	// reshard aborts (default 30s). Instances holding unflushed
+	// pipelined ops are the usual reason to hit it.
+	QuiesceTimeout time.Duration
 }
 
 const (
@@ -86,22 +104,31 @@ const (
 	defaultProbeInterval = 250 * time.Millisecond
 )
 
-// Cluster consistent-hashes keys across its member Stores and implements
-// Store itself. Like every Store, a Cluster is a per-goroutine object.
+// Cluster consistent-hashes keys across the topology's member Stores and
+// implements Store itself. Like every Store, a Cluster is a per-goroutine
+// object; many Clusters can share one Topology (DialTopology +
+// NewClient), and membership changes published there are picked up by
+// every instance on its next operation.
 type Cluster struct {
-	names    []string
-	stores   []core.Store
-	ring     []ringPoint
-	keyh     hashfn.Func64
-	window   int
-	replicas int
-	wq       int
-	det      *detector
+	topo   *Topology
+	owned  bool         // Close tears down the Topology too (New/Dial)
+	stores []core.Store // slot-indexed; nil entries open lazily
+	window int
+
+	// inflight/seenGen implement the reshard quiesce fence (see
+	// Topology.quiesce): inflight counts operations admitted but not yet
+	// completed (sync ops for their duration; pipelined ops from enqueue
+	// to delivery), seenGen is the latest ring generation this instance
+	// has fully adopted.
+	inflight atomic.Int64
+	seenGen  atomic.Uint64
+
 	scratch  []int // replica-set buffer for the sync ops
+	scratch2 []int // target-ring replica-set buffer (handoff window)
 }
 
 // ringPoint is one virtual node: a position on the 64-bit hash circle
-// owned by a shard.
+// owned by a shard slot.
 type ringPoint struct {
 	h     uint64
 	shard int
@@ -112,76 +139,37 @@ var _ core.Store = (*Cluster)(nil)
 // New builds a Cluster over pre-opened stores. names give the shards their
 // ring identities — routing depends only on them, so reconnecting a shard
 // (or pointing the same name at a replacement store) preserves every
-// key→shard assignment. Close closes the member stores.
+// key→shard assignment. Close closes the member stores. With
+// Opts.OpenShard set, membership can change online (see Topology).
 func New(names []string, stores []core.Store, opts Opts) (*Cluster, error) {
-	if len(stores) == 0 {
-		return nil, errors.New("cluster: no shards")
-	}
 	if len(names) != len(stores) {
 		return nil, fmt.Errorf("cluster: %d names for %d stores", len(names), len(stores))
 	}
-	seen := make(map[string]struct{}, len(names))
-	for _, n := range names {
-		if _, dup := seen[n]; dup {
-			return nil, fmt.Errorf("cluster: duplicate shard name %q", n)
-		}
-		seen[n] = struct{}{}
+	t, err := newTopology(names, opts)
+	if err != nil {
+		return nil, err
 	}
-	vnodes := opts.VNodes
-	if vnodes <= 0 {
-		vnodes = defaultVNodes
-	}
-	replicas := opts.Replicas
-	if replicas <= 0 {
-		replicas = 1
-	}
-	if replicas > len(stores) {
-		return nil, fmt.Errorf("cluster: Replicas %d > %d shards", replicas, len(stores))
-	}
-	wq := opts.WriteQuorum
-	if wq <= 0 {
-		wq = replicas
-	}
-	if wq > replicas {
-		return nil, fmt.Errorf("cluster: WriteQuorum %d > Replicas %d", wq, replicas)
+	if opts.OpenShard != nil {
+		t.openShard = opts.OpenShard
+		t.openAdmin = opts.OpenShard
 	}
 	c := &Cluster{
-		names:    append([]string(nil), names...),
-		stores:   append([]core.Store(nil), stores...),
-		ring:     make([]ringPoint, 0, len(names)*vnodes),
-		keyh:     hashfn.For64(hashfn.WyHash),
-		window:   opts.Window,
-		replicas: replicas,
-		wq:       wq,
+		topo:   t,
+		owned:  true,
+		stores: append([]core.Store(nil), stores...),
+		window: opts.Window,
 	}
-	var probe func(i int) error
-	if opts.Probe != nil {
-		byName := opts.Probe
-		probe = func(i int) error { return byName(c.names[i]) }
-	}
-	c.det = newDetector(len(stores), opts.DownAfter, opts.ProbeInterval, probe)
-	hb := hashfn.ForBytes(hashfn.WyHash)
-	for i, name := range names {
-		for v := 0; v < vnodes; v++ {
-			c.ring = append(c.ring, ringPoint{h: hb(fmt.Appendf(nil, "%s#%d", name, v)), shard: i})
-		}
-	}
-	sort.Slice(c.ring, func(a, b int) bool { return c.ring[a].h < c.ring[b].h })
+	t.register(c)
 	return c, nil
 }
 
-// Dial opens one pipelined protocol-v2 connection per address and builds a
-// Cluster with the addresses as shard names. Connections carry a retry
-// policy (default server.DefaultRetry; Opts.Retry overrides, Max < 0
-// disables): a shard that dies and comes back — same address, state
-// recovered from its WAL — is transparently redialed, so no client
-// restart is needed for a shard restart.
-func Dial(addrs []string, opts Opts) (*Cluster, error) {
-	retry := opts.Retry
-	if retry.Max == 0 {
-		retry = server.DefaultRetry
-	} else if retry.Max < 0 {
-		retry = server.RetryPolicy{}
+// withDialDefaults resolves the Dial-mode option defaults shared by Dial
+// and DialTopology.
+func withDialDefaults(opts Opts) Opts {
+	if opts.Retry.Max == 0 {
+		opts.Retry = server.DefaultRetry
+	} else if opts.Retry.Max < 0 {
+		opts.Retry = server.RetryPolicy{}
 	}
 	if opts.Probe == nil {
 		// Default probe: the shard is back when its listener accepts.
@@ -195,238 +183,365 @@ func Dial(addrs []string, opts Opts) (*Cluster, error) {
 			return conn.Close()
 		}
 	}
-	stores := make([]core.Store, 0, len(addrs))
-	for _, addr := range addrs {
-		cl, err := server.DialV2(addr, server.ClientOpts{
+	return opts
+}
+
+// wireDial installs the Dial-mode open callbacks: ordinary data
+// connections for instances, reshard-featured connections (OpGetVer/
+// OpScan granted) for the coordinator and scrubber.
+func (t *Topology) wireDial(opts Opts) {
+	t.openShard = func(addr string) (core.Store, error) {
+		return server.DialV2(addr, server.ClientOpts{
 			Table:        opts.Table,
 			ReadTimeout:  opts.ReadTimeout,
 			WriteTimeout: opts.WriteTimeout,
-			Retry:        retry,
+			Retry:        opts.Retry,
 		})
-		if err != nil {
-			for _, s := range stores {
-				s.Close()
-			}
-			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
-		}
-		stores = append(stores, cl)
 	}
-	c, err := New(addrs, stores, opts)
+	t.openAdmin = func(addr string) (core.Store, error) {
+		return server.DialV2(addr, server.ClientOpts{
+			Table:        opts.Table,
+			Features:     server.FeatureKV | server.FeatureReshard,
+			ReadTimeout:  opts.ReadTimeout,
+			WriteTimeout: opts.WriteTimeout,
+			Retry:        opts.Retry,
+		})
+	}
+}
+
+// Dial opens one pipelined protocol-v2 connection per address and builds a
+// Cluster with the addresses as shard names. Connections carry a retry
+// policy (default server.DefaultRetry; Opts.Retry overrides, Max < 0
+// disables): a shard that dies and comes back — same address, state
+// recovered from its WAL — is transparently redialed, so no client
+// restart is needed for a shard restart.
+func Dial(addrs []string, opts Opts) (*Cluster, error) {
+	opts = withDialDefaults(opts)
+	t, err := newTopology(addrs, opts)
 	if err != nil {
-		for _, s := range stores {
-			s.Close()
-		}
 		return nil, err
 	}
+	t.wireDial(opts)
+	c := &Cluster{topo: t, owned: true, window: opts.Window}
+	// Open every member eagerly so a bad address fails at Dial, like it
+	// always has (later instances and later shards open lazily).
+	for slot := range addrs {
+		if _, err := c.store(slot); err != nil {
+			c.closeStores()
+			t.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addrs[slot], err)
+		}
+	}
+	t.register(c)
 	return c, nil
 }
 
-// NumShards returns the number of member stores.
-func (c *Cluster) NumShards() int { return len(c.stores) }
+// Topology returns the cluster's shared membership state: membership
+// changes (AddShard/RemoveShard/ReplaceShard), Members snapshots, and the
+// anti-entropy scrubber live there.
+func (c *Cluster) Topology() *Topology { return c.topo }
 
-// Names returns the shard names in member order.
-func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+// AddShard adds a named shard online; see Topology.AddShard.
+func (c *Cluster) AddShard(name string) error { return c.topo.AddShard(name) }
 
-// ringSearch returns the index of the first ring point at or clockwise
-// of h, wrapping to ring[0].
-func (c *Cluster) ringSearch(h uint64) int {
-	lo, hi := 0, len(c.ring)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.ring[mid].h < h {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == len(c.ring) {
-		lo = 0
-	}
-	return lo
+// RemoveShard removes a named shard online; see Topology.RemoveShard.
+func (c *Cluster) RemoveShard(name string) error { return c.topo.RemoveShard(name) }
+
+// ReplaceShard atomically substitutes one shard for another; see
+// Topology.ReplaceShard.
+func (c *Cluster) ReplaceShard(oldName, newName string) error {
+	return c.topo.ReplaceShard(oldName, newName)
 }
 
-// ShardFor returns the index of the shard owning key: the owner of the
-// first ring point at or clockwise of the key's hash. With replication
-// this is the key's primary — the first element of its replica set.
+// store returns the instance's connection for slot, opening it lazily.
+func (c *Cluster) store(slot int) (core.Store, error) {
+	for len(c.stores) <= slot {
+		c.stores = append(c.stores, nil)
+	}
+	if s := c.stores[slot]; s != nil {
+		return s, nil
+	}
+	if c.topo.openShard == nil {
+		return nil, errors.New("cluster: no store for shard (membership frozen; set Opts.OpenShard)")
+	}
+	s, err := c.topo.openShard(c.topo.tab.Load().names[slot])
+	if err != nil {
+		return nil, err
+	}
+	c.stores[slot] = s
+	return s, nil
+}
+
+// NumShards returns the number of live member shards.
+func (c *Cluster) NumShards() int {
+	tab := c.topo.tab.Load()
+	n := 0
+	for _, d := range tab.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Names returns the live shard names from one consistent membership
+// snapshot. Use Topology.Members for the (names, epoch) pair.
+func (c *Cluster) Names() []string {
+	names, _ := c.topo.Members()
+	return names
+}
+
+// ShardFor returns the slot of the shard owning key on the current
+// serving ring: the key's primary under replication.
 func (c *Cluster) ShardFor(key uint64) int {
-	return c.ring[c.ringSearch(c.keyh(key))].shard
+	tab := c.topo.tab.Load()
+	return tab.ring[ringSearch(tab.ring, c.topo.keyh(key))].shard
 }
 
-// replicasFor appends key's replica set to buf[:0] and returns it: the
-// first Replicas DISTINCT shards found walking the ring clockwise from
-// the key's hash point. Rank 0 is the primary (== ShardFor). The set
-// depends only on shard names and the ring geometry — never on liveness —
-// so every client, across reconnects and shard restarts, agrees on where
-// a key's copies live.
+// replicasFor appends key's replica set on the current serving ring to
+// buf[:0]; see replicasOn.
 func (c *Cluster) replicasFor(key uint64, buf []int) []int {
-	buf = buf[:0]
-	start := c.ringSearch(c.keyh(key))
-	for i := 0; i < len(c.ring) && len(buf) < c.replicas; i++ {
-		s := c.ring[(start+i)%len(c.ring)].shard
-		dup := false
-		for _, b := range buf {
-			if b == s {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			buf = append(buf, s)
-		}
-	}
-	return buf
+	tab := c.topo.tab.Load()
+	return replicasOn(tab.ring, c.topo.keyh(key), c.topo.replicas, buf)
 }
 
-// Shard returns the member store at index i (as returned by ShardFor).
-func (c *Cluster) Shard(i int) core.Store { return c.stores[i] }
+// Shard returns this instance's store for slot i (as returned by
+// ShardFor), opening it lazily; nil if the slot cannot be opened.
+func (c *Cluster) Shard(i int) core.Store {
+	s, err := c.store(i)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// opEnter admits one operation under the quiesce fence: inflight is
+// raised BEFORE the tab load (the ordering quiesce relies on), and the
+// loaded generation becomes this instance's seenGen — correct for sync
+// ops because a Cluster is single-goroutine, so every earlier op has
+// fully completed.
+func (c *Cluster) opEnter() *ringTab {
+	c.inflight.Add(1)
+	tab := c.topo.tab.Load()
+	c.seenGen.Store(tab.gen)
+	return tab
+}
+
+func (c *Cluster) opExit() { c.inflight.Add(-1) }
 
 func (c *Cluster) Get(key uint64) (uint64, bool, error) {
-	if c.replicas == 1 {
-		return c.stores[c.ShardFor(key)].Get(key)
-	}
-	return c.read(key)
+	tab := c.opEnter()
+	defer c.opExit()
+	return c.read(tab, key)
 }
 
 func (c *Cluster) Put(key, val uint64) (uint64, bool, error) {
-	if c.replicas == 1 {
-		return c.stores[c.ShardFor(key)].Put(key, val)
-	}
-	return c.write(key, func(s core.Store) (uint64, bool, error) { return s.Put(key, val) })
+	tab := c.opEnter()
+	defer c.opExit()
+	return c.write(tab, core.OpPut, key, val)
 }
 
 func (c *Cluster) Insert(key, val uint64) (uint64, bool, error) {
-	if c.replicas == 1 {
-		return c.stores[c.ShardFor(key)].Insert(key, val)
-	}
-	return c.write(key, func(s core.Store) (uint64, bool, error) { return s.Insert(key, val) })
+	tab := c.opEnter()
+	defer c.opExit()
+	return c.write(tab, core.OpInsert, key, val)
 }
 
 func (c *Cluster) Delete(key uint64) (uint64, bool, error) {
-	if c.replicas == 1 {
-		return c.stores[c.ShardFor(key)].Delete(key)
+	tab := c.opEnter()
+	defer c.opExit()
+	return c.write(tab, core.OpDelete, key, 0)
+}
+
+// apply runs one sync op against a slot's store, treating an unopenable
+// store as a retryable shard failure.
+func (c *Cluster) apply(slot int, kind core.OpKind, key, val uint64) (uint64, bool, error) {
+	s, err := c.store(slot)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: %w", server.ErrRetryable, err)
 	}
-	return c.write(key, func(s core.Store) (uint64, bool, error) { return s.Delete(key) })
+	switch kind {
+	case core.OpGet:
+		return s.Get(key)
+	case core.OpPut:
+		return s.Put(key, val)
+	case core.OpInsert:
+		return s.Insert(key, val)
+	default:
+		return s.Delete(key)
+	}
 }
 
 // read tries the key's replicas in rank order — primary first — failing
 // over to the next on retryable errors. A terminal (table-level) answer
 // from any replica returns immediately: it IS the answer. Down shards
 // are deferred to a last-resort second pass in case the detector is
-// stale.
-func (c *Cluster) read(key uint64) (uint64, bool, error) {
-	cands := c.replicasFor(key, c.scratch)
+// stale. A read served by a non-primary replica may be stale under
+// W < R, so it nudges the scrubber to repair the key in the background.
+func (c *Cluster) read(tab *ringTab, key uint64) (uint64, bool, error) {
+	cands := replicasOn(tab.ring, c.topo.keyh(key), c.topo.replicas, c.scratch)
 	c.scratch = cands
 	var lastErr error
 	var tried uint64
 	for pass := 0; pass < 2; pass++ {
 		for ci, s := range cands {
-			if pass == 0 && c.det.isDown(s) {
+			if pass == 0 && c.topo.det.isDown(s) {
 				continue
 			}
 			if tried&(1<<ci) != 0 {
 				continue
 			}
 			tried |= 1 << ci
-			v, ok, err := c.stores[s].Get(key)
+			v, ok, err := c.apply(s, core.OpGet, key, 0)
 			if err == nil {
-				c.det.ok(s)
+				c.topo.det.ok(s)
+				if ci > 0 {
+					// Served by a lower-rank replica: the copies may have
+					// diverged. Read repair runs out of band.
+					c.topo.noteDivergence(key)
+				}
 				return v, ok, nil
 			}
 			if !server.IsRetryable(err) {
 				return v, ok, err
 			}
-			c.det.fail(s)
+			c.topo.det.fail(s)
 			lastErr = err
 		}
 	}
 	return 0, false, fmt.Errorf("cluster: all %d replicas of key failed: %w", len(cands), lastErr)
 }
 
-// write fans op out to every replica of key, in rank order, and succeeds
-// once WriteQuorum replicas have acked. The result reported is the
-// primary-most ack (rank order is attempt order). A terminal refusal
+// waitMovable holds a write to a key in a sealed moving range until the
+// ring flips (or the reshard aborts): the sealed window is what makes the
+// final journal copy authoritative. seenGen advances with each reload so
+// the coordinator's quiesce never waits on a spinning writer.
+func (c *Cluster) waitMovable(tab *ringTab, key uint64) *ringTab {
+	for tab.phase == phaseSealed && c.topo.keyMoving(tab, key) {
+		time.Sleep(200 * time.Microsecond)
+		tab = c.topo.tab.Load()
+		c.seenGen.Store(tab.gen)
+	}
+	return tab
+}
+
+// write fans kind out to every replica of key, in rank order, and
+// succeeds once WriteQuorum replicas have acked. The result reported is
+// the primary-most ack (rank order is attempt order). A terminal refusal
 // from any replica returns immediately. Down shards are skipped unless
 // the up ones cannot reach quorum, in which case they get a second
 // chance.
-func (c *Cluster) write(key uint64, op func(core.Store) (uint64, bool, error)) (uint64, bool, error) {
-	cands := c.replicasFor(key, c.scratch)
+//
+// During a handoff window the write additionally journals its key (if
+// its range is moving) and double-writes, best-effort, to the incoming
+// owners — the warm-up that keeps the sealed-phase journal copy small.
+func (c *Cluster) write(tab *ringTab, kind core.OpKind, key, val uint64) (uint64, bool, error) {
+	tab = c.waitMovable(tab, key)
+	h := c.topo.keyh(key)
+	cands := replicasOn(tab.ring, h, c.topo.replicas, c.scratch)
 	c.scratch = cands
+	var extras []int
+	if tab.phase == phaseHandoff {
+		newSet := replicasOn(tab.next, h, c.topo.replicas, c.scratch2)
+		c.scratch2 = newSet
+		extras = newSet[:0] // filter in place: members of newSet not in cands
+		for _, s := range newSet {
+			in := false
+			for _, o := range cands {
+				if o == s {
+					in = true
+					break
+				}
+			}
+			if !in {
+				extras = append(extras, s)
+			}
+		}
+		if len(extras) > 0 {
+			// Journal BEFORE issuing anything: once this write is acked,
+			// the sealed-phase copy re-reads the key authoritatively.
+			c.topo.journalAdd(key)
+		}
+	}
 	acks := 0
-	var val uint64
+	var rval uint64
 	var okv, haveRes bool
 	var lastErr error
 	var tried uint64
 	for pass := 0; pass < 2; pass++ {
-		if pass == 1 && acks >= c.wq {
+		if pass == 1 && acks >= c.topo.wq {
 			break // quorum reached; don't resurrect down shards needlessly
 		}
 		for ci, s := range cands {
-			if pass == 0 && c.det.isDown(s) {
+			if pass == 0 && c.topo.det.isDown(s) {
 				continue
 			}
 			if tried&(1<<ci) != 0 {
 				continue
 			}
 			tried |= 1 << ci
-			v, o, err := op(c.stores[s])
+			v, o, err := c.apply(s, kind, key, val)
 			if err == nil {
-				c.det.ok(s)
+				c.topo.det.ok(s)
 				acks++
 				if !haveRes {
-					val, okv, haveRes = v, o, true
+					rval, okv, haveRes = v, o, true
 				}
 			} else if !server.IsRetryable(err) {
 				return v, o, err
 			} else {
-				c.det.fail(s)
+				c.topo.det.fail(s)
 				lastErr = err
 			}
 		}
 	}
-	if acks >= c.wq {
-		return val, okv, nil
+	// Double-write warm-up to incoming owners: best-effort, not counted
+	// toward quorum (the journal is the correctness mechanism).
+	for _, s := range extras {
+		if c.topo.det.isDown(s) {
+			continue
+		}
+		if _, _, err := c.apply(s, kind, key, val); err != nil {
+			if server.IsRetryable(err) {
+				c.topo.det.fail(s)
+			}
+		} else {
+			c.topo.det.ok(s)
+		}
+	}
+	if acks >= c.topo.wq {
+		return rval, okv, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("replicas unreachable")
 	}
-	return 0, false, fmt.Errorf("cluster: write quorum %d/%d: %w", acks, c.wq, lastErr)
+	return 0, false, fmt.Errorf("cluster: write quorum %d/%d: %w", acks, c.topo.wq, lastErr)
 }
 
-// Pipe opens one pipe per shard and routes each enqueue to its key's
-// shard. opts.OnComplete receives every shard's completions through one
-// callback, merged in per-primary enqueue order (per-key program order);
-// completions for keys with different primaries may interleave in any
-// order. With Replicas > 1 each write is fanned to the key's replica set
-// and completes once WriteQuorum replicas ack; reads fail over replica
-// to replica on retryable errors. Enqueues into the returned pipe must
-// not be made from inside OnComplete.
+// Pipe opens the replicated pipelined surface: each enqueue routes to its
+// key's replica set on the current ring. opts.OnComplete receives every
+// shard's completions through one callback, merged in per-primary enqueue
+// order (per-key program order); completions for keys with different
+// primaries may interleave in any order. Each write fans to the key's
+// replica set and completes once WriteQuorum replicas ack; reads fail
+// over replica to replica on retryable errors. The pipe adopts ring
+// changes at enqueue boundaries — flushing in-flight ops first — so
+// per-key order survives a mid-stream reshard flip. Enqueues into the
+// returned pipe must not be made from inside OnComplete.
 func (c *Cluster) Pipe(opts core.PipeOpts) (core.Pipe, error) {
 	w := opts.Window
 	if w == 0 {
 		w = c.window
 	}
-	if c.replicas > 1 {
-		return c.newRepPipe(w, opts.OnComplete)
-	}
-	pipes := make([]core.Pipe, len(c.stores))
-	for i, s := range c.stores {
-		p, err := s.Pipe(core.PipeOpts{Window: w, OnComplete: opts.OnComplete})
-		if err != nil {
-			for _, q := range pipes[:i] {
-				q.Close()
-			}
-			return nil, fmt.Errorf("cluster: shard %s: %w", c.names[i], err)
-		}
-		pipes[i] = p
-	}
-	return &clusterPipe{c: c, pipes: pipes}, nil
+	return c.newRepPipe(w, opts.OnComplete)
 }
 
-// Close closes every member store, returning the first error.
-func (c *Cluster) Close() error {
-	c.det.close()
+func (c *Cluster) closeStores() error {
 	var first error
 	for _, s := range c.stores {
+		if s == nil {
+			continue
+		}
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -434,45 +549,14 @@ func (c *Cluster) Close() error {
 	return first
 }
 
-// clusterPipe fans enqueues out to the per-shard pipes.
-type clusterPipe struct {
-	c     *Cluster
-	pipes []core.Pipe
-}
-
-func (p *clusterPipe) Get(key uint64) error {
-	return p.pipes[p.c.ShardFor(key)].Get(key)
-}
-
-func (p *clusterPipe) Put(key, val uint64) error {
-	return p.pipes[p.c.ShardFor(key)].Put(key, val)
-}
-
-func (p *clusterPipe) Insert(key, val uint64) error {
-	return p.pipes[p.c.ShardFor(key)].Insert(key, val)
-}
-
-func (p *clusterPipe) Delete(key uint64) error {
-	return p.pipes[p.c.ShardFor(key)].Delete(key)
-}
-
-// Flush completes every shard's in-flight tail, returning the first error
-// (all shards are still flushed).
-func (p *clusterPipe) Flush() error {
-	var first error
-	for _, q := range p.pipes {
-		if err := q.Flush(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
-
-// Close flushes and closes every shard pipe. The Cluster remains usable.
-func (p *clusterPipe) Close() error {
-	var first error
-	for _, q := range p.pipes {
-		if err := q.Close(); err != nil && first == nil {
+// Close closes this instance's shard connections; for a Cluster built by
+// New or Dial it also tears down the owned Topology (detector, scrubber,
+// coordinator connections).
+func (c *Cluster) Close() error {
+	c.topo.unregister(c)
+	first := c.closeStores()
+	if c.owned {
+		if err := c.topo.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -28,6 +28,11 @@ type detector struct {
 	proberUp bool
 	stop     chan struct{}
 	closed   bool
+
+	// onUp, if set, fires (outside the lock) whenever a shard transitions
+	// down→up — the hook the anti-entropy scrubber uses to converge a
+	// re-admitted replica without waiting for its next full pass.
+	onUp func(i int)
 }
 
 // newDetector builds a detector over n shards. probe may be nil: then a
@@ -54,8 +59,25 @@ func newDetector(n, k int, interval time.Duration, probe func(i int) error) *det
 // failure streak and reviving it if it was down.
 func (d *detector) ok(i int) {
 	d.mu.Lock()
+	revived := d.down[i]
 	d.fails[i] = 0
 	d.down[i] = false
+	hook := d.onUp
+	d.mu.Unlock()
+	if revived && hook != nil {
+		hook(i)
+	}
+}
+
+// grow extends the detector to cover n shards (new ones start up).
+// Callers publish the new membership only after growing, so no operation
+// references a slot the detector hasn't seen.
+func (d *detector) grow(n int) {
+	d.mu.Lock()
+	for len(d.fails) < n {
+		d.fails = append(d.fails, 0)
+		d.down = append(d.down, false)
+	}
 	d.mu.Unlock()
 }
 

@@ -27,7 +27,7 @@ type durableShard struct {
 
 func startDurableShard(t *testing.T, addr, dir string) *durableShard {
 	t.Helper()
-	ds, err := wal.Open(dir, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 64}, wal.Options{})
+	ds, err := wal.Open(dir, core.Config{Bins: 1 << 10, Resizable: true, MaxThreads: 64, TrackVersions: true}, wal.Options{})
 	if err != nil {
 		t.Fatalf("wal.Open(%s): %v", dir, err)
 	}
@@ -231,7 +231,7 @@ func TestFailoverNoLostAckedWrites(t *testing.T) {
 				nreads += st.reads
 			}
 			t.Fatalf("cluster did not heal within 10s of the shard restarting (pending %d, reads %d, down %v/%v/%v)",
-				npend, nreads, clu.det.isDown(0), clu.det.isDown(1), clu.det.isDown(2))
+				npend, nreads, clu.topo.det.isDown(0), clu.topo.det.isDown(1), clu.topo.det.isDown(2))
 		}
 		for i := 0; i < 200; i++ {
 			step()
@@ -247,7 +247,7 @@ func TestFailoverNoLostAckedWrites(t *testing.T) {
 				healed = false
 			}
 		}
-		if healed && clu.det.anyDown() {
+		if healed && clu.topo.det.anyDown() {
 			healed = false
 			time.Sleep(10 * time.Millisecond)
 		}

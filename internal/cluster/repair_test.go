@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestScrubberConvergesStaleReplica: with R=2 W=1, a replica that was
+// down through a write window comes back holding stale data — updates it
+// missed, deletes it missed. The background scrubber alone (no client
+// reads touch the stale keys) must converge it: every key on the revived
+// shard, read DIRECTLY, ends up at the latest cluster value, and deleted
+// keys stay deleted (version-ordered, so the tombstone wins over the
+// revived copy).
+func TestScrubberConvergesStaleReplica(t *testing.T) {
+	shards := make([]*durableShard, 2)
+	addrs := make([]string, 2)
+	for i := range shards {
+		shards[i] = startDurableShard(t, "", t.TempDir())
+		addrs[i] = shards[i].addr
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.stop()
+		}
+	}()
+
+	clu, err := Dial(addrs, Opts{
+		Replicas:      2,
+		WriteQuorum:   1, // writes survive a down replica — and diverge
+		Retry:         server.RetryPolicy{Max: 2, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 5},
+		DownAfter:     1,
+		ProbeInterval: 10 * time.Millisecond,
+		ReadTimeout:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+
+	const nkeys = 64
+	want := make(map[uint64]uint64) // oracle: key -> value; absent = deleted
+	for k := uint64(0); k < nkeys; k++ {
+		if _, ins, err := clu.Insert(k, k+100); err != nil || !ins {
+			t.Fatalf("Insert(%d): (%v,%v)", k, ins, err)
+		}
+		want[k] = k + 100
+	}
+
+	// Take replica B down and write past it: W=1 keeps accepting.
+	shards[1].stop()
+	for k := uint64(0); k < nkeys; k++ {
+		switch k % 3 {
+		case 0: // updated behind B's back
+			if _, _, err := clu.Put(k, k+1000); err != nil {
+				t.Fatalf("Put(%d) with one replica down: %v", k, err)
+			}
+			want[k] = k + 1000
+		case 1: // deleted behind B's back
+			if _, _, err := clu.Delete(k); err != nil {
+				t.Fatalf("Delete(%d) with one replica down: %v", k, err)
+			}
+			delete(want, k)
+		default: // untouched
+		}
+	}
+
+	// B restarts from its WAL, stale. Start the scrubber; issue NO cluster
+	// reads from here on — convergence must come from anti-entropy alone.
+	shards[1] = startDurableShard(t, addrs[1], shards[1].dir)
+	if err := clu.topo.StartScrub(ScrubOpts{Interval: 20 * time.Millisecond, Pace: 100 * time.Microsecond}); err != nil {
+		t.Fatalf("StartScrub: %v", err)
+	}
+
+	direct, err := server.DialV2(addrs[1], server.ClientOpts{
+		Retry: server.RetryPolicy{Max: 3, BaseDelay: time.Millisecond, Seed: 9},
+	})
+	if err != nil {
+		t.Fatalf("direct dial: %v", err)
+	}
+	defer direct.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		stale := 0
+		for k := uint64(0); k < nkeys; k++ {
+			v, ok, err := direct.Get(k)
+			if err != nil {
+				t.Fatalf("direct Get(%d): %v", k, err)
+			}
+			exp, live := want[k]
+			if ok != live || (live && v != exp) {
+				stale++
+			}
+		}
+		if stale == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica still has %d stale keys after 15s of scrubbing", stale)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReadmissionTargetedRepair: the failure detector's down→up
+// transition kicks a targeted anti-entropy pass, so a revived primary
+// converges without waiting for the periodic interval (set to an hour
+// here — the kick is the only full-pass trigger). The read issued while
+// the primary is down also exercises the read-repair nudge: served by the
+// secondary, it flags the key as divergent.
+func TestReadmissionTargetedRepair(t *testing.T) {
+	shards := make([]*durableShard, 2)
+	addrs := make([]string, 2)
+	for i := range shards {
+		shards[i] = startDurableShard(t, "", t.TempDir())
+		addrs[i] = shards[i].addr
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.stop()
+		}
+	}()
+
+	clu, err := Dial(addrs, Opts{
+		Replicas:      2,
+		WriteQuorum:   1,
+		Retry:         server.RetryPolicy{Max: 2, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 13},
+		DownAfter:     1,
+		ProbeInterval: 10 * time.Millisecond,
+		ReadTimeout:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	// A long scrub interval: if the key converges quickly, it was the
+	// read-repair nudge, not the periodic pass.
+	if err := clu.topo.StartScrub(ScrubOpts{Interval: time.Hour}); err != nil {
+		t.Fatalf("StartScrub: %v", err)
+	}
+
+	// Find a key whose PRIMARY is shard 0; write it at W=1 with shard 0
+	// down so only shard 1 has the update.
+	var key uint64
+	for k := uint64(0); ; k++ {
+		if clu.ShardFor(k) == 0 {
+			key = k
+			break
+		}
+	}
+	if _, ins, err := clu.Insert(key, 1); err != nil || !ins {
+		t.Fatalf("Insert: (%v,%v)", ins, err)
+	}
+	shards[0].stop()
+	if _, _, err := clu.Put(key, 2); err != nil {
+		t.Fatalf("Put with primary down: %v", err)
+	}
+
+	// Read while the primary is down: served by the secondary → correct
+	// value, plus a divergence note to the scrubber.
+	if v, ok, err := clu.Get(key); err != nil || !ok || v != 2 {
+		t.Fatalf("Get = (%d,%v,%v), want 2", v, ok, err)
+	}
+
+	// Revive the primary: the prober re-admits it, and the down→up kick
+	// must converge its ranges — no client reads from here on.
+	shards[0] = startDurableShard(t, addrs[0], shards[0].dir)
+
+	direct, err := server.DialV2(addrs[0], server.ClientOpts{
+		Retry: server.RetryPolicy{Max: 3, BaseDelay: time.Millisecond, Seed: 17},
+	})
+	if err != nil {
+		t.Fatalf("direct dial: %v", err)
+	}
+	defer direct.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok, err := direct.Get(key); err == nil && ok && v == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			v, ok, err := direct.Get(key)
+			t.Fatalf("primary never repaired: direct Get = (%d,%v,%v), want 2", v, ok, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -169,7 +169,7 @@ func TestSyncWriteFansToAllReplicas(t *testing.T) {
 			}
 		}
 		fl[kill].failSync = false
-		c.det.ok(kill) // manual re-admit; prober timing is not this test's subject
+		c.topo.det.ok(kill) // manual re-admit; prober timing is not this test's subject
 	}
 }
 
@@ -210,12 +210,12 @@ func TestDetectorMarksAndRevives(t *testing.T) {
 			t.Fatalf("failover Get %d: (%v,%v)", i, ok, err)
 		}
 	}
-	if !c.det.isDown(0) {
+	if !c.topo.det.isDown(0) {
 		t.Fatal("shard 0 not marked down after 3 consecutive failures")
 	}
 	fl[0].failSync = false
-	c.det.ok(0)
-	if c.det.isDown(0) {
+	c.topo.det.ok(0)
+	if c.topo.det.isDown(0) {
 		t.Fatal("shard 0 still down after success")
 	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/server"
 
@@ -26,18 +27,29 @@ import (
 // the standard at-most-once-ack, at-least-zero-apply shape of a
 // distributed write.
 //
+// The pipe routes on an adopted ring snapshot (tab) and re-checks the
+// published ring at every enqueue: on a generation change it flushes all
+// in-flight ops under the old view, then adopts the new one. Per-key
+// order therefore survives a reshard flip — ops under the old ring are
+// fully delivered before any op routes under the new one. During a
+// handoff window writes additionally journal moving keys and double-write
+// to the incoming owners (best-effort, outside the quorum).
+//
 // Like every Pipe, repPipe is single-goroutine; the only concurrency is
 // the detector's prober, which is internally locked.
 type repPipe struct {
-	c     *Cluster
-	pipes []core.Pipe
-	onc   func(core.Completion)
+	c      *Cluster
+	tab    *ringTab // adopted ring view; refreshed at enqueue boundaries
+	window int
+	pipes  []core.Pipe // slot-indexed; nil entries open lazily
+	onc    func(core.Completion)
 
 	dq []opQueue // per PRIMARY shard: user ops in enqueue (delivery) order
 	aq []opQueue // per shard: ops with a completion outstanding THERE, in arrival order
 
 	inflight int // user ops enqueued, not yet delivered
 	free     *repOp
+	scratch  []int // target-ring replica-set buffer (handoff window)
 	closed   bool
 }
 
@@ -61,6 +73,7 @@ type repOp struct {
 	delivered bool
 	retired   bool
 	fanning   bool // write fan-out in progress: failure settlement deferred
+	extraRem  int  // handoff double-write completions outstanding (outside quorum)
 
 	next *repOp // freelist link
 }
@@ -106,29 +119,61 @@ func (q *opQueue) removeLast(op *repOp) {
 }
 
 func (c *Cluster) newRepPipe(w int, onc func(core.Completion)) (core.Pipe, error) {
+	tab := c.topo.tab.Load()
+	n := len(tab.names)
 	p := &repPipe{
-		c:     c,
-		pipes: make([]core.Pipe, len(c.stores)),
-		onc:   onc,
-		dq:    make([]opQueue, len(c.stores)),
-		aq:    make([]opQueue, len(c.stores)),
+		c:      c,
+		tab:    tab,
+		window: w,
+		pipes:  make([]core.Pipe, n),
+		onc:    onc,
+		dq:     make([]opQueue, n),
+		aq:     make([]opQueue, n),
 	}
-	for i, s := range c.stores {
-		i := i
-		sp, err := s.Pipe(core.PipeOpts{Window: w, OnComplete: func(sc core.Completion) {
-			p.onShard(i, sc)
-		}})
-		if err != nil {
-			for _, q := range p.pipes[:i] {
-				if q != nil {
-					q.Close()
-				}
-			}
-			return nil, fmt.Errorf("cluster: shard %s: %w", c.names[i], err)
-		}
-		p.pipes[i] = sp
-	}
+	c.seenGen.Store(tab.gen)
 	return p, nil
+}
+
+// pipe returns the per-shard pipe for slot s, opening the store and its
+// pipe lazily. Opening cannot fire completions, so callers may take the
+// pipe before touching the arrival queues.
+func (p *repPipe) pipe(s int) (core.Pipe, error) {
+	for len(p.pipes) <= s {
+		p.pipes = append(p.pipes, nil)
+	}
+	if sp := p.pipes[s]; sp != nil {
+		return sp, nil
+	}
+	st, err := p.c.store(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", server.ErrRetryable, err)
+	}
+	sp, err := st.Pipe(core.PipeOpts{Window: p.window, OnComplete: func(sc core.Completion) {
+		p.onShard(s, sc)
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard pipe: %w", server.ErrRetryable, err)
+	}
+	p.pipes[s] = sp
+	return sp, nil
+}
+
+// adopt switches the pipe to a newer published ring view. All in-flight
+// ops were routed under the old view, so they are flushed to completion
+// first; only then does seenGen advance — after this point no undelivered
+// op of an older generation exists in this pipe, which is exactly what
+// the coordinator's quiesce needs to be true.
+func (p *repPipe) adopt(tab *ringTab) {
+	p.Flush() // errors surface through the ops' own completions
+	n := len(tab.names)
+	for len(p.dq) < n {
+		p.dq = append(p.dq, opQueue{})
+	}
+	for len(p.aq) < n {
+		p.aq = append(p.aq, opQueue{})
+	}
+	p.tab = tab
+	p.c.seenGen.Store(tab.gen)
 }
 
 func (p *repPipe) getOp() *repOp {
@@ -147,7 +192,7 @@ func (p *repPipe) getOp() *repOp {
 // The retired guard makes it idempotent: nested inline completion chains
 // can reach a drained op through more than one stack frame.
 func (p *repPipe) maybeRetire(op *repOp) {
-	if !op.retired && op.delivered && op.remaining == 0 {
+	if !op.retired && op.delivered && op.remaining == 0 && op.extraRem == 0 {
 		op.retired = true
 		op.next = p.free
 		p.free = op
@@ -165,10 +210,54 @@ func (p *repPipe) enq(kind core.OpKind, key, val uint64) error {
 	if p.closed {
 		return errors.New("cluster: Pipe used after Close")
 	}
+	// Raise the instance's inflight BEFORE the tab load (quiesce fence);
+	// deliver() lowers it once this op's user completion fires.
+	p.c.inflight.Add(1)
+	if tab := p.c.topo.tab.Load(); tab.gen != p.tab.gen {
+		p.adopt(tab)
+	}
+	tab := p.tab
+	if kind != core.OpGet {
+		// A write to a sealed moving range must wait for the flip: the
+		// pipe is already flushed (adopt), so spinning here is safe.
+		for tab.phase == phaseSealed && p.c.topo.keyMoving(tab, key) {
+			time.Sleep(200 * time.Microsecond)
+			if nt := p.c.topo.tab.Load(); nt.gen != tab.gen {
+				p.adopt(nt)
+				tab = p.tab
+			}
+		}
+	}
+	h := p.c.topo.keyh(key)
 	op := p.getOp()
 	op.kind, op.key, op.val = kind, key, val
-	op.cands = p.c.replicasFor(key, op.cands)
+	op.cands = replicasOn(tab.ring, h, p.c.topo.replicas, op.cands)
 	op.primary = op.cands[0]
+
+	var extras []int
+	if kind != core.OpGet && tab.phase == phaseHandoff {
+		newSet := replicasOn(tab.next, h, p.c.topo.replicas, p.scratch)
+		p.scratch = newSet
+		extras = newSet[:0] // filter in place: incoming owners not already replicas
+		for _, s := range newSet {
+			in := false
+			for _, o := range op.cands {
+				if o == s {
+					in = true
+					break
+				}
+			}
+			if !in {
+				extras = append(extras, s)
+			}
+		}
+		if len(extras) > 0 {
+			// Journal BEFORE any shard enqueue: the sealed-phase copy
+			// re-reads journaled keys authoritatively.
+			p.c.topo.journalAdd(key)
+		}
+	}
+
 	p.inflight++
 	// Queue for delivery BEFORE any shard enqueue: an inline completion
 	// burst during the fan-out must find this op at the queue tail.
@@ -178,7 +267,7 @@ func (p *repPipe) enq(kind core.OpKind, key, val uint64) error {
 		op.need = 1
 		p.tryNextReplica(op)
 	} else {
-		op.need = p.c.wq
+		op.need = p.c.topo.wq
 		op.nextCand = len(op.cands)
 		// An inline error completion mid-fan-out would see a transiently
 		// empty in-flight set and mis-settle the op as quorum-impossible;
@@ -186,7 +275,7 @@ func (p *repPipe) enq(kind core.OpKind, key, val uint64) error {
 		op.fanning = true
 		var attempted uint64
 		for r, s := range op.cands {
-			if p.c.det.isDown(s) {
+			if p.c.topo.det.isDown(s) {
 				continue
 			}
 			attempted |= 1 << r
@@ -201,6 +290,13 @@ func (p *repPipe) enq(kind core.OpKind, key, val uint64) error {
 				}
 			}
 		}
+		// Handoff double-write warm-up: outside the quorum, failures only
+		// feed the detector (the journal is the correctness mechanism).
+		for _, s := range extras {
+			if !p.c.topo.det.isDown(s) {
+				p.enqExtra(s, op)
+			}
+		}
 		op.fanning = false
 	}
 	p.settle(op)
@@ -213,6 +309,13 @@ func (p *repPipe) enq(kind core.OpKind, key, val uint64) error {
 // completion in s's arrival queue. Reports whether a completion is now
 // owed (the pipe accepted the frame — or already completed it inline).
 func (p *repPipe) enqShard(s int, op *repOp) bool {
+	sp, perr := p.pipe(s)
+	if perr != nil {
+		// Unopenable shard: same shape as an outright frame rejection.
+		op.errc = perr
+		p.c.topo.det.fail(s)
+		return false
+	}
 	// Push BEFORE the pipe call: a transport failure inside it delivers
 	// error completions inline for everything outstanding on that pipe —
 	// including, per the clientPipe contract, this very op when its frame
@@ -222,13 +325,13 @@ func (p *repPipe) enqShard(s int, op *repOp) bool {
 	var err error
 	switch op.kind {
 	case core.OpGet:
-		err = p.pipes[s].Get(op.key)
+		err = sp.Get(op.key)
 	case core.OpPut:
-		err = p.pipes[s].Put(op.key, op.val)
+		err = sp.Put(op.key, op.val)
 	case core.OpInsert:
-		err = p.pipes[s].Insert(op.key, op.val)
+		err = sp.Insert(op.key, op.val)
 	case core.OpDelete:
-		err = p.pipes[s].Delete(op.key)
+		err = sp.Delete(op.key)
 	}
 	if err != nil {
 		// Frame never sent; no completion will come. Undo the push (by
@@ -236,10 +339,37 @@ func (p *repPipe) enqShard(s int, op *repOp) bool {
 		p.aq[s].removeLast(op)
 		op.remaining--
 		op.errc = err
-		p.c.det.fail(s)
+		p.c.topo.det.fail(s)
 		return false
 	}
 	return true
+}
+
+// enqExtra enqueues op's handoff double-write on incoming owner s. The
+// attempt is tracked in extraRem, not remaining: it can neither ack a
+// quorum nor fail one.
+func (p *repPipe) enqExtra(s int, op *repOp) {
+	sp, perr := p.pipe(s)
+	if perr != nil {
+		p.c.topo.det.fail(s)
+		return
+	}
+	p.aq[s].push(op)
+	op.extraRem++
+	var err error
+	switch op.kind {
+	case core.OpPut:
+		err = sp.Put(op.key, op.val)
+	case core.OpInsert:
+		err = sp.Insert(op.key, op.val)
+	case core.OpDelete:
+		err = sp.Delete(op.key)
+	}
+	if err != nil {
+		p.aq[s].removeLast(op)
+		op.extraRem--
+		p.c.topo.det.fail(s)
+	}
 }
 
 // tryNextReplica enqueues a read on its next untried replica, preferring
@@ -249,7 +379,7 @@ func (p *repPipe) tryNextReplica(op *repOp) bool {
 	for {
 		r := -1
 		for i := op.nextCand; i < len(op.cands); i++ {
-			if !p.c.det.isDown(op.cands[i]) {
+			if !p.c.topo.det.isDown(op.cands[i]) {
 				r = i
 				break
 			}
@@ -273,9 +403,30 @@ func (p *repPipe) tryNextReplica(op *repOp) bool {
 // and delivers whatever the op's primary queue now has ready.
 func (p *repPipe) onShard(s int, sc core.Completion) {
 	op := p.aq[s].pop()
+	extra := true
+	for _, o := range op.cands {
+		if o == s {
+			extra = false
+			break
+		}
+	}
+	if extra {
+		// Handoff double-write completion: detector feedback only — it is
+		// outside the quorum and cannot change the op's outcome.
+		op.extraRem--
+		if sc.Err != nil {
+			if server.IsRetryable(sc.Err) {
+				p.c.topo.det.fail(s)
+			}
+		} else {
+			p.c.topo.det.ok(s)
+		}
+		p.maybeRetire(op)
+		return
+	}
 	op.remaining--
 	if sc.Err != nil && server.IsRetryable(sc.Err) {
-		p.c.det.fail(s)
+		p.c.topo.det.fail(s)
 		op.errc = sc.Err
 		if op.kind == core.OpGet && !op.resolved && p.tryNextReplica(op) {
 			return // failover attempt in flight; not settled yet
@@ -285,7 +436,7 @@ func (p *repPipe) onShard(s int, sc core.Completion) {
 		// either way, which counts toward the quorum. Prefer the first
 		// non-error result; a terminal refusal stands only if no replica
 		// plainly succeeded.
-		p.c.det.ok(s)
+		p.c.topo.det.ok(s)
 		op.acks++
 		// A resolved op's outcome is frozen: once settle declared quorum
 		// failure, a straggler ack (reachable-but-late replica) must not
@@ -335,6 +486,7 @@ func (p *repPipe) deliver(primary int) {
 		op := q.pop()
 		op.delivered = true
 		p.inflight--
+		p.c.inflight.Add(-1)
 		if p.onc != nil {
 			p.onc(op.res)
 		}
@@ -349,8 +501,11 @@ func (p *repPipe) deliver(primary int) {
 // transport error.
 func (p *repPipe) Flush() error {
 	var first error
-	for pass := 0; p.inflight > 0 && pass <= p.c.replicas+2; pass++ {
+	for pass := 0; p.inflight > 0 && pass <= p.c.topo.replicas+2; pass++ {
 		for _, q := range p.pipes {
+			if q == nil {
+				continue
+			}
 			if err := q.Flush(); err != nil && first == nil {
 				first = err
 			}
@@ -384,6 +539,9 @@ func (p *repPipe) Close() error {
 	}
 	first := p.Flush()
 	for _, q := range p.pipes {
+		if q == nil {
+			continue
+		}
 		if err := q.Close(); err != nil && first == nil {
 			first = err
 		}

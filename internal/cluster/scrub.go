@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	core "repro/internal/core"
+)
+
+// This file is the anti-entropy layer. Under W < R a write can complete
+// without reaching every replica, and a shard that was down misses whole
+// write windows; redial-and-retry brings the shard back but nothing in
+// the data path rewrites what it missed. Two mechanisms converge it:
+//
+// Read repair: a read served by a lower-rank replica (the primary was
+// down or failed over) may have raced a divergent write, so the data path
+// nudges the scrubber (Topology.noteDivergence) and the key is re-read
+// from every replica and repaired out of band — reads never block on
+// repair.
+//
+// Scrubbing: a low-rate background pass walks each shard's table,
+// comparing every owned key across its replica set and rewriting stale
+// copies, so a re-admitted replica converges even if no client ever reads
+// the keys it missed. The failure detector's down→up transition kicks a
+// targeted pass (only ranges the revived shard replicates) immediately.
+//
+// Conflict resolution is last-write-wins by per-key write version when
+// the shards track one (core.Config.TrackVersions, served over OpGetVer);
+// version-less stores fall back to presence-first, primary-most — a
+// deliberate bias against deleting data it cannot order.
+
+// ScrubOpts tunes the background scrubber.
+type ScrubOpts struct {
+	// Interval between full anti-entropy passes (default 5s).
+	Interval time.Duration
+	// Batch is the number of entries scanned per step (default 512).
+	Batch int
+	// Pace is the sleep between scan steps, bounding scrub pressure on
+	// the data path (default 1ms).
+	Pace time.Duration
+}
+
+func (o ScrubOpts) norm() ScrubOpts {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.Batch <= 0 {
+		o.Batch = 512
+	}
+	if o.Pace <= 0 {
+		o.Pace = time.Millisecond
+	}
+	return o
+}
+
+// scrubber is the background anti-entropy worker. It owns its shard
+// connections (independent of the coordinator's, which live under the
+// membership lock) and is the sole receiver of divergence notes and
+// detector up-kicks.
+type scrubber struct {
+	t       *Topology
+	opts    ScrubOpts
+	stores  map[int]core.Store
+	repairs chan uint64
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// StartScrub launches the background scrubber (idempotent). It requires
+// shard connections of its own, so the Topology must be able to open
+// stores (Dial-mode, or New with Opts.OpenShard).
+func (t *Topology) StartScrub(opts ScrubOpts) error {
+	if t.openAdmin == nil {
+		return errors.New("cluster: scrubber needs openable shards (Dial, or Opts.OpenShard)")
+	}
+	t.scrubMu.Lock()
+	defer t.scrubMu.Unlock()
+	if t.scrub != nil {
+		return nil
+	}
+	sb := &scrubber{
+		t:       t,
+		opts:    opts.norm(),
+		stores:  make(map[int]core.Store),
+		repairs: make(chan uint64, 256),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	t.scrub = sb
+	go sb.run()
+	return nil
+}
+
+// stopScrub halts and discards the scrubber, if one is running.
+func (t *Topology) stopScrub() {
+	t.scrubMu.Lock()
+	sb := t.scrub
+	t.scrub = nil
+	t.scrubMu.Unlock()
+	if sb == nil {
+		return
+	}
+	close(sb.stop)
+	<-sb.done
+	for _, s := range sb.stores {
+		s.Close()
+	}
+}
+
+// noteDivergence hands a possibly-divergent key to the scrubber for
+// background read repair. Non-blocking and lossy: with no scrubber
+// running, or a full queue, the note is dropped — the periodic pass is
+// the backstop.
+func (t *Topology) noteDivergence(key uint64) {
+	t.scrubMu.Lock()
+	sb := t.scrub
+	t.scrubMu.Unlock()
+	if sb == nil {
+		return
+	}
+	select {
+	case sb.repairs <- key:
+	default:
+	}
+}
+
+func (sb *scrubber) run() {
+	defer close(sb.done)
+	tick := time.NewTicker(sb.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sb.stop:
+			return
+		case key := <-sb.repairs:
+			sb.repairKey(key)
+		case slot := <-sb.t.upCh:
+			// A replica came back: converge just the ranges it carries,
+			// now, instead of waiting out the ticker.
+			sb.pass(slot)
+		case <-tick.C:
+			sb.pass(-1)
+		}
+	}
+}
+
+// store returns the scrubber's own connection for slot, opening lazily.
+func (sb *scrubber) store(slot int) (core.Store, error) {
+	if s := sb.stores[slot]; s != nil {
+		return s, nil
+	}
+	s, err := sb.t.openAdmin(sb.t.tab.Load().names[slot])
+	if err != nil {
+		return nil, err
+	}
+	sb.stores[slot] = s
+	return s, nil
+}
+
+// drop closes and forgets slot's connection after a failure.
+func (sb *scrubber) drop(slot int) {
+	if s := sb.stores[slot]; s != nil {
+		s.Close()
+		delete(sb.stores, slot)
+	}
+}
+
+// pass walks every live shard's table and repairs each owned key across
+// its replica set. target >= 0 restricts the pass to keys replicated on
+// that slot (the detector's re-admission kick). The pass yields between
+// scan steps, drains queued read-repair notes, and aborts on a ring
+// change — a reshard makes its view stale.
+func (sb *scrubber) pass(target int) {
+	tab := sb.t.tab.Load()
+	if tab.phase != phaseNormal {
+		return // resharding owns data movement until the flip
+	}
+	var buf [maxReplicaStack]int
+	for slot := range tab.names {
+		select {
+		case <-sb.stop:
+			return
+		default:
+		}
+		if tab.dead[slot] {
+			continue
+		}
+		s, err := sb.store(slot)
+		if err != nil {
+			continue // down shard: its ranges are covered from the other owners
+		}
+		sc, ok := s.(core.Scanner)
+		if !ok {
+			continue
+		}
+		var origBins, cur uint64
+		for {
+			ents, ob, next, done, err := sc.ScanStep(origBins, cur, sb.opts.Batch)
+			if err != nil {
+				sb.drop(slot)
+				break
+			}
+			origBins, cur = ob, next
+			for _, e := range ents {
+				owners := replicasOn(tab.ring, sb.t.keyh(e.Key), sb.t.replicas, buf[:0])
+				mine, wanted := false, target < 0
+				for _, o := range owners {
+					if o == slot {
+						mine = true
+					}
+					if o == target {
+						wanted = true
+					}
+				}
+				// Repair only keys this shard owns: leftovers from before
+				// a reshard flip are unowned stale copies, not canon.
+				// Replicated keys are checked once per owner — redundant
+				// but idempotent, and dedup isn't worth the memory.
+				if mine && wanted {
+					sb.repairKey(e.Key)
+				}
+			}
+			if done {
+				break
+			}
+			// Pace the pass: sleep, serve queued read-repair notes, and
+			// bail out if the ring moved underneath us.
+			timer := time.NewTimer(sb.opts.Pace)
+			for draining := true; draining; {
+				select {
+				case <-sb.stop:
+					timer.Stop()
+					return
+				case key := <-sb.repairs:
+					sb.repairKey(key)
+				case <-timer.C:
+					draining = false
+				}
+			}
+			if sb.t.tab.Load().gen != tab.gen {
+				return
+			}
+		}
+	}
+}
+
+// repairKey re-reads key from every reachable owner and rewrites the
+// stale copies with the winning version. No-op unless the ring is in its
+// normal phase (reshard owns movement otherwise) and the copies actually
+// differ.
+func (sb *scrubber) repairKey(key uint64) {
+	tab := sb.t.tab.Load()
+	if tab.phase != phaseNormal {
+		return
+	}
+	var buf [maxReplicaStack]int
+	owners := replicasOn(tab.ring, sb.t.keyh(key), sb.t.replicas, buf[:0])
+
+	type copyState struct {
+		slot int
+		val  uint64
+		has  bool
+		ver  uint64
+	}
+	var copies [maxReplicaStack]copyState
+	n := 0
+	for _, o := range owners {
+		s, err := sb.store(o)
+		if err != nil {
+			continue
+		}
+		var val, ver uint64
+		var has bool
+		if vr, ok := s.(core.VersionReader); ok {
+			val, has, ver, err = vr.GetVer(key)
+		} else {
+			val, has, err = s.Get(key)
+		}
+		if err != nil {
+			sb.drop(o)
+			continue
+		}
+		copies[n] = copyState{slot: o, val: val, has: has, ver: ver}
+		n++
+	}
+	if n < 2 {
+		return // nothing to compare against
+	}
+	converged := true
+	for i := 1; i < n; i++ {
+		if copies[i].has != copies[0].has || (copies[i].has && copies[i].val != copies[0].val) {
+			converged = false
+			break
+		}
+	}
+	if converged {
+		return
+	}
+	// Winner: highest write version, ties to the primary-most replica.
+	// With no version info at all, prefer a copy that HAS the key —
+	// without ordering, resurrecting a delete is recoverable (delete
+	// again), deleting a live key is not.
+	best := -1
+	for i := 0; i < n; i++ {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b, c := &copies[best], &copies[i]
+		if c.ver > b.ver || (c.ver == b.ver && b.ver == 0 && c.has && !b.has) {
+			best = i
+		}
+	}
+	w := &copies[best]
+	for i := 0; i < n; i++ {
+		c := &copies[i]
+		if i == best || (c.has == w.has && (!w.has || c.val == w.val)) {
+			continue
+		}
+		s, err := sb.store(c.slot)
+		if err != nil {
+			continue
+		}
+		if w.has {
+			if err := upsert(s, key, w.val); err != nil {
+				sb.drop(c.slot)
+			}
+		} else {
+			if _, _, err := s.Delete(key); err != nil {
+				sb.drop(c.slot)
+			}
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hashfn"
+
+	core "repro/internal/core"
+)
+
+// Topology is the cluster's shared membership state: the epoch-numbered
+// consistent-hash ring, the failure detector, the reshard journal, and —
+// while a membership change or scrub pass is running — the coordinator
+// machinery. Every Cluster instance (one per goroutine, like any Store)
+// routes through one Topology, so a membership change published here is
+// observed by all of them; the ring itself is immutable and swapped
+// through an atomic pointer, never edited in place.
+//
+// A Cluster built by New or Dial owns a private Topology; DialTopology
+// builds a shared one so many worker goroutines (each with its own
+// NewClient instance) ride the same membership view, detector, and
+// reshard coordinator.
+type Topology struct {
+	keyh   hashfn.Func64
+	hb     func([]byte) uint64
+	vnodes int
+	window int
+
+	replicas int
+	wq       int
+
+	quiesceTimeout time.Duration
+
+	// openShard opens an ordinary per-instance Store for a shard name;
+	// openAdmin opens a coordinator/scrubber connection (reshard-featured
+	// on the wire). Nil in New-mode clusters without Opts.OpenShard, in
+	// which case membership is frozen at construction, as before.
+	openShard func(name string) (core.Store, error)
+	openAdmin func(name string) (core.Store, error)
+
+	det *detector
+	tab atomic.Pointer[ringTab]
+
+	// mu serializes membership changes; it also guards admin, the
+	// coordinator's lazily-opened per-slot stores.
+	mu    sync.Mutex
+	admin map[int]core.Store
+
+	// regMu guards the set of live Cluster instances, walked by quiesce.
+	regMu   sync.Mutex
+	clients map[*Cluster]struct{}
+
+	// jmu guards journal, the set of keys written into a moving range
+	// during the handoff window. Non-nil only while a reshard is running;
+	// the final sealed-phase copy of these keys is what makes the flip
+	// lose nothing, double-writing is merely the warm-up.
+	jmu     sync.Mutex
+	journal map[uint64]struct{}
+
+	moved atomic.Uint64 // keys copied by resharding, cumulative
+
+	// upCh carries detector down→up transitions to the scrubber, which
+	// answers with a targeted anti-entropy pass. Buffered, lossy: a
+	// dropped kick is recovered by the next periodic pass.
+	upCh chan int
+
+	scrubMu sync.Mutex
+	scrub   *scrubber
+}
+
+// Ring phases. Normal is the steady state; Handoff double-writes moving
+// ranges and journals them; Sealed briefly blocks writes to moving ranges
+// while the journal is copied authoritatively, just before the flip.
+const (
+	phaseNormal = iota
+	phaseHandoff
+	phaseSealed
+)
+
+// ringTab is one immutable published membership view. Slots (indexes into
+// names) are grow-only and never reused, so a slot number identifies the
+// same shard in every generation; dead slots simply stop appearing on the
+// ring.
+type ringTab struct {
+	gen   uint64 // bumped on every publish; the quiesce fence counts these
+	epoch uint64 // bumped only by a completed flip; the user-visible ring version
+	phase int
+
+	names []string // slot-indexed, grow-only
+	dead  []bool   // slot no longer a member (removed by a reshard)
+
+	ring []ringPoint // the serving ring (the OLD ring during handoff/sealed)
+	next []ringPoint // the target ring during handoff/sealed; nil in normal phase
+}
+
+// live returns the slot numbers of current members, ascending.
+func (rt *ringTab) live() []int {
+	out := make([]int, 0, len(rt.names))
+	for s := range rt.names {
+		if !rt.dead[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ringSearch returns the index of the first ring point at or clockwise of
+// h, wrapping to ring[0].
+func ringSearch(ring []ringPoint, h uint64) int {
+	lo, hi := 0, len(ring)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ring[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ring) {
+		lo = 0
+	}
+	return lo
+}
+
+// replicasOn appends the replica set of key hash h on ring to buf[:0]:
+// the first replicas DISTINCT slots walking clockwise. Rank 0 is the
+// primary. Depends only on the ring geometry, never on liveness, so every
+// client agrees on where a key's copies live.
+func replicasOn(ring []ringPoint, h uint64, replicas int, buf []int) []int {
+	buf = buf[:0]
+	start := ringSearch(ring, h)
+	for i := 0; i < len(ring) && len(buf) < replicas; i++ {
+		s := ring[(start+i)%len(ring)].shard
+		dup := false
+		for _, b := range buf {
+			if b == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, s)
+		}
+	}
+	return buf
+}
+
+// buildRing hashes vnodes ring points for every live slot.
+func buildRing(hb func([]byte) uint64, vnodes int, names []string, dead []bool) []ringPoint {
+	ring := make([]ringPoint, 0, len(names)*vnodes)
+	for slot, name := range names {
+		if dead[slot] {
+			continue
+		}
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringPoint{h: hb(fmt.Appendf(nil, "%s#%d", name, v)), shard: slot})
+		}
+	}
+	sort.Slice(ring, func(a, b int) bool { return ring[a].h < ring[b].h })
+	return ring
+}
+
+const defaultQuiesceTimeout = 30 * time.Second
+
+// newTopology validates opts and builds the initial normal-phase tab over
+// names. The open callbacks are wired by the caller (New vs Dial).
+func newTopology(names []string, opts Opts) (*Topology, error) {
+	if len(names) == 0 {
+		return nil, errors.New("cluster: no shards")
+	}
+	seen := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		if _, dup := seen[n]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", n)
+		}
+		seen[n] = struct{}{}
+	}
+	vnodes := opts.VNodes
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicas > len(names) {
+		return nil, fmt.Errorf("cluster: Replicas %d > %d shards", replicas, len(names))
+	}
+	wq := opts.WriteQuorum
+	if wq <= 0 {
+		wq = replicas
+	}
+	if wq > replicas {
+		return nil, fmt.Errorf("cluster: WriteQuorum %d > Replicas %d", wq, replicas)
+	}
+	qt := opts.QuiesceTimeout
+	if qt <= 0 {
+		qt = defaultQuiesceTimeout
+	}
+	t := &Topology{
+		keyh:           hashfn.For64(hashfn.WyHash),
+		hb:             hashfn.ForBytes(hashfn.WyHash),
+		vnodes:         vnodes,
+		window:         opts.Window,
+		replicas:       replicas,
+		wq:             wq,
+		quiesceTimeout: qt,
+		admin:          make(map[int]core.Store),
+		clients:        make(map[*Cluster]struct{}),
+		upCh:           make(chan int, 16),
+	}
+	tnames := append([]string(nil), names...)
+	dead := make([]bool, len(tnames))
+	tab := &ringTab{
+		gen:   1,
+		epoch: 1,
+		phase: phaseNormal,
+		names: tnames,
+		dead:  dead,
+		ring:  buildRing(t.hb, vnodes, tnames, dead),
+	}
+	t.tab.Store(tab)
+	var probe func(i int) error
+	if opts.Probe != nil {
+		byName := opts.Probe
+		probe = func(i int) error { return byName(t.tab.Load().names[i]) }
+	}
+	t.det = newDetector(len(tnames), opts.DownAfter, opts.ProbeInterval, probe)
+	t.det.onUp = func(i int) {
+		select {
+		case t.upCh <- i:
+		default: // lossy by design; the periodic pass covers it
+		}
+	}
+	return t, nil
+}
+
+// DialTopology builds a shared Topology over addrs without opening any
+// data connections: call NewClient per worker goroutine for Store
+// instances, and Close when done. Membership changes (AddShard, ...) and
+// the scrubber operate on the shared view, observed by every instance.
+func DialTopology(addrs []string, opts Opts) (*Topology, error) {
+	opts = withDialDefaults(opts)
+	t, err := newTopology(addrs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.wireDial(opts)
+	return t, nil
+}
+
+// NewClient registers a new per-goroutine Cluster instance over this
+// Topology. Shard connections open lazily on first use.
+func (t *Topology) NewClient() (*Cluster, error) {
+	c := &Cluster{topo: t, window: t.window}
+	t.register(c)
+	return c, nil
+}
+
+// Members returns a consistent (names, epoch) view of the current
+// membership: both come from one atomic snapshot, so tooling inspecting
+// the cluster mid-reshard can never see a torn ring. The epoch bumps
+// exactly once per completed membership change.
+func (t *Topology) Members() ([]string, uint64) {
+	tab := t.tab.Load()
+	names := make([]string, 0, len(tab.names))
+	for s, n := range tab.names {
+		if !tab.dead[s] {
+			names = append(names, n)
+		}
+	}
+	return names, tab.epoch
+}
+
+// Epoch returns the current ring epoch.
+func (t *Topology) Epoch() uint64 { return t.tab.Load().epoch }
+
+// MovedKeys returns the cumulative number of keys copied by membership
+// changes on this Topology.
+func (t *Topology) MovedKeys() uint64 { return t.moved.Load() }
+
+// Close stops the scrubber, prober and coordinator resources. Cluster
+// instances opened over this Topology close their own connections.
+func (t *Topology) Close() error {
+	t.stopScrub()
+	t.det.close()
+	t.mu.Lock()
+	var first error
+	for _, s := range t.admin {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.admin = make(map[int]core.Store)
+	t.mu.Unlock()
+	return first
+}
+
+func (t *Topology) register(c *Cluster) {
+	t.regMu.Lock()
+	t.clients[c] = struct{}{}
+	t.regMu.Unlock()
+}
+
+func (t *Topology) unregister(c *Cluster) {
+	t.regMu.Lock()
+	delete(t.clients, c)
+	t.regMu.Unlock()
+}
+
+// quiesce blocks until every registered instance has observed generation
+// gen or has nothing in flight — the fence ensuring no operation is still
+// routing on an older view. Instances advance seenGen only at points with
+// no undelivered older-generation work (Cluster is single-goroutine, and
+// pipes flush before adopting a new tab), so seenGen >= gen really means
+// "all my pre-gen operations completed".
+//
+// The ordering argument: an op increments its instance's inflight (a
+// sequentially consistent RMW) BEFORE loading the tab; quiesce runs after
+// the tab store. If quiesce reads inflight == 0, any op that slipped past
+// did its increment after quiesce's read, hence loads the tab after the
+// publish and sees the new generation.
+func (t *Topology) quiesce(gen uint64) error {
+	deadline := time.Now().Add(t.quiesceTimeout)
+	for {
+		all := true
+		t.regMu.Lock()
+		for c := range t.clients {
+			if c.seenGen.Load() < gen && c.inflight.Load() != 0 {
+				all = false
+				break
+			}
+		}
+		t.regMu.Unlock()
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: quiesce of generation %d timed out after %v (an instance is holding unflushed pipelined ops?)", gen, t.quiesceTimeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// keyMoving reports whether key's replica set differs between the serving
+// and target rings of a handoff/sealed tab.
+func (t *Topology) keyMoving(tab *ringTab, key uint64) bool {
+	if tab.next == nil {
+		return false
+	}
+	h := t.keyh(key)
+	var oldBuf, newBuf [maxReplicaStack]int
+	oldSet := replicasOn(tab.ring, h, t.replicas, oldBuf[:0])
+	newSet := replicasOn(tab.next, h, t.replicas, newBuf[:0])
+	if len(oldSet) != len(newSet) {
+		return true
+	}
+	for i := range oldSet {
+		if oldSet[i] != newSet[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// maxReplicaStack bounds stack-allocated replica-set buffers; replica
+// counts beyond it spill to the heap in the few places that need one.
+const maxReplicaStack = 8
+
+// journalAdd records a handoff-window write to a moving key. Must happen
+// BEFORE the write is issued to any shard: then every write that could
+// have landed after the bulk copy's read is re-copied by the sealed-phase
+// journal pass.
+func (t *Topology) journalAdd(key uint64) {
+	t.jmu.Lock()
+	if t.journal != nil {
+		t.journal[key] = struct{}{}
+	}
+	t.jmu.Unlock()
+}
+
+// journaled reports whether key is in the open journal.
+func (t *Topology) journaled(key uint64) bool {
+	t.jmu.Lock()
+	_, ok := t.journal[key]
+	t.jmu.Unlock()
+	return ok
+}
+
+// swapJournal replaces the journal with next and returns the previous
+// set.
+func (t *Topology) swapJournal(next map[uint64]struct{}) map[uint64]struct{} {
+	t.jmu.Lock()
+	prev := t.journal
+	t.journal = next
+	t.jmu.Unlock()
+	return prev
+}
+
+// adminStore returns the coordinator's cached admin connection for slot,
+// opening it on first use. Caller holds t.mu.
+func (t *Topology) adminStore(slot int) (core.Store, error) {
+	if s := t.admin[slot]; s != nil {
+		return s, nil
+	}
+	if t.openAdmin == nil {
+		return nil, errors.New("cluster: membership is frozen (no OpenShard configured)")
+	}
+	s, err := t.openAdmin(t.tab.Load().names[slot])
+	if err != nil {
+		return nil, err
+	}
+	t.admin[slot] = s
+	return s, nil
+}
+
+// dropAdmin closes and forgets slot's cached admin connection (after a
+// transport failure; the next use redials). Caller holds t.mu.
+func (t *Topology) dropAdmin(slot int) {
+	if s := t.admin[slot]; s != nil {
+		s.Close()
+		delete(t.admin, slot)
+	}
+}
+
+// upsert writes (key, val) unconditionally: DLHT's Put is update-only and
+// Insert is the only create, so an upsert is a bounded Put/Insert race.
+func upsert(s core.Store, key, val uint64) error {
+	var lastErr error
+	for i := 0; i < 4; i++ {
+		_, ok, err := s.Put(key, val)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		_, inserted, err := s.Insert(key, val)
+		if err != nil {
+			lastErr = err
+			return err
+		}
+		if inserted {
+			return nil
+		}
+		// Lost the create race to a concurrent insert; Put again.
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: upsert did not converge")
+	}
+	return lastErr
+}

@@ -223,6 +223,9 @@ func (h *Handle) commitShadowInAt(ix *index, key uint64, commit bool, b uint64) 
 			target = slotInvalid
 		}
 		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, target))) {
+			if commit {
+				t.bumpVer(key)
+			}
 			return true
 		}
 	}

@@ -207,6 +207,54 @@ func (t *Table) collectBinKV(ix *index, b uint64, out []KVEntry, depth int) []KV
 	}
 }
 
+// ScanStep is the resumable cursor under the cluster migration stream: it
+// collects the live entries of old-geometry bins [startBin, …) and reports
+// where to resume. The cursor is expressed in the geometry of the first
+// call — origBins==0 means "adopt the current root index size" and the
+// adopted size is returned for the caller to thread through subsequent
+// calls. Because resize growth is multiplicative, origBins always divides
+// the current index size, so old bin b maps exactly onto current bins
+// {b + j·origBins}: the traversal never misses a key across an arbitrary
+// number of concurrent resizes, and collectBin's recursion covers resizes
+// that land mid-step. Weakly consistent like Range — concurrent mutations
+// may or may not be observed — which is exactly what the migration
+// pipeline wants (racing foreground writes are journaled and re-copied by
+// the coordinator). At least one old bin is consumed per call even when it
+// overflows maxEnts, so progress is guaranteed; done reports cursor
+// exhaustion. Allocator-mode tables are not scannable this way (their
+// value words are block refs); use RangeKV.
+func (h *Handle) ScanStep(origBins, startBin uint64, maxEnts int) (ents []Entry, newOrigBins, nextBin uint64, done bool) {
+	ix := h.enter()
+	defer h.leave()
+	if origBins == 0 {
+		origBins = ix.numBins
+	}
+	factor := ix.numBins / origBins
+	for factor == 0 {
+		// The cursor's geometry is newer than this handle's view of the
+		// root. With origBins taken from a prior ScanStep this cannot
+		// happen (the root only grows); tolerate a fabricated cursor by
+		// walking forward while a successor exists.
+		nx := ix.next.Load()
+		if nx == nil {
+			return nil, origBins, origBins, true
+		}
+		ix = nx
+		factor = ix.numBins / origBins
+	}
+	b := startBin
+	for ; b < origBins; b++ {
+		for j := uint64(0); j < factor; j++ {
+			ents = h.t.collectBin(ix, b+j*origBins, ents, 0)
+		}
+		if len(ents) >= maxEnts {
+			b++
+			break
+		}
+	}
+	return ents, origBins, b, b >= origBins
+}
+
 // Snapshot returns a strongly consistent copy of all entries. It requires
 // Config.StrongSnapshots and blocks all mutating operations (but not Gets)
 // while it runs, matching the paper's "temporarily stalls updates"

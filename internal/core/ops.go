@@ -297,6 +297,10 @@ func (t *Table) finalizeInsert(ix *index, b uint64, i int, key uint64, finalStat
 			return v, ErrExists, true
 		}
 		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, i, finalState))) {
+			if finalState == slotValid {
+				// Shadow inserts bump at commit, not at staging.
+				t.bumpVer(key)
+			}
 			return 0, nil, true
 		}
 	}
@@ -394,6 +398,7 @@ func (t *Table) deleteInAt(h *Handle, ix *index, key uint64, b uint64) (uint64, 
 		// change to the bin (including the slot being deleted and
 		// reused) bumps the version and fails this CAS.
 		if atomic.CompareAndSwapUint64(hdrAddr, hdr, bumpVersion(withSlotState(hdr, slot, slotInvalid))) {
+			t.bumpVer(key)
 			t.afterDelete(h, v)
 			return v, true
 		}
@@ -467,6 +472,7 @@ func (t *Table) putInAt(ix *index, key, val uint64, b uint64) (uint64, bool) {
 		meta := atomic.LoadUint64(ix.linkMetaAddr(b))
 		kw := ix.slotKeyWord(b, meta, slot)
 		if dwcas(kw, key, v, key, val) {
+			t.bumpVer(key)
 			return v, true
 		}
 	}

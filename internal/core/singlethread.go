@@ -101,6 +101,9 @@ func (h *Handle) stInsertAt(ix *index, key, val uint64, finalState uint64, b uin
 		p[0], p[1] = key, val
 		// Both CASes of the concurrent Insert collapse into one store.
 		*ix.headerAddr(b) = bumpVersion(withSlotState(hdr, i, finalState))
+		if finalState == slotValid {
+			t.bumpVer(key)
+		}
 		return 0, nil
 	}
 }
@@ -152,6 +155,7 @@ func (h *Handle) stDeleteAt(ix *index, key uint64, b uint64) (uint64, bool) {
 			p := slotPair(kw)
 			if p[0] == key {
 				*hdrAddr = bumpVersion(withSlotState(hdr, i, slotInvalid))
+				t.bumpVer(key)
 				t.afterDelete(h, p[1])
 				return p[1], true
 			}
@@ -185,6 +189,7 @@ func (h *Handle) stPutAt(ix *index, key, val uint64, b uint64) (uint64, bool) {
 			if p[0] == key {
 				old := p[1]
 				p[1] = val // the dw-CAS collapses into a plain store
+				t.bumpVer(key)
 				return old, true
 			}
 		}
@@ -221,6 +226,9 @@ func (h *Handle) stCommitShadowAt(ix *index, key uint64, commit bool, b uint64) 
 					target = slotInvalid
 				}
 				*hdrAddr = bumpVersion(withSlotState(hdr, i, target))
+				if commit {
+					t.bumpVer(key)
+				}
 				return true
 			}
 		}

@@ -93,6 +93,25 @@ type Pipe interface {
 	Close() error
 }
 
+// VersionReader is the optional Store extension behind cluster
+// anti-entropy: a versioned read, pairing a key's value with its
+// applied-mutation count (Handle.VersionOf). Backends whose table was
+// built without Config.TrackVersions report ver==0 for every key.
+// Implementations return a consistent (val, ok, ver) triple — the value
+// observed is the one the version counts — up to the bounded-retry
+// precision documented on verIndex.
+type VersionReader interface {
+	GetVer(key uint64) (val uint64, ok bool, ver uint64, err error)
+}
+
+// Scanner is the optional Store extension behind cluster resharding: the
+// resumable weak-snapshot cursor of Handle.ScanStep. origBins==0 starts a
+// cursor (the adopted geometry comes back in newOrigBins); subsequent
+// calls thread newOrigBins/nextBin through. done reports exhaustion.
+type Scanner interface {
+	ScanStep(origBins, startBin uint64, maxEnts int) (ents []Entry, newOrigBins, nextBin uint64, done bool, err error)
+}
+
 // ---------------------------------------------------------------------------
 // Local (in-process) Store
 // ---------------------------------------------------------------------------
@@ -149,6 +168,36 @@ func (s *localStore) Insert(key, val uint64) (uint64, bool, error) {
 func (s *localStore) Delete(key uint64) (uint64, bool, error) {
 	prev, ok := s.h.Delete(key)
 	return prev, ok, nil
+}
+
+// GetVer implements VersionReader. The Get is bracketed by two VersionOf
+// reads; equal brackets mean no mutation committed between them, so the
+// pair is consistent. A handful of retries rides out a write burst; the
+// final attempt is returned unbracketed (anti-entropy tolerates a stale
+// pair — the racing write re-journals or a later scrub pass converges it).
+func (s *localStore) GetVer(key uint64) (uint64, bool, uint64, error) {
+	var v uint64
+	var ok bool
+	ver := s.h.VersionOf(key)
+	for i := 0; i < 4; i++ {
+		v, ok = s.h.Get(key)
+		after := s.h.VersionOf(key)
+		if after == ver {
+			break
+		}
+		ver = after
+	}
+	return v, ok, ver, nil
+}
+
+// ScanStep implements Scanner. Allocator-mode tables refuse: their value
+// words are block refs that are meaningless outside the owning process.
+func (s *localStore) ScanStep(origBins, startBin uint64, maxEnts int) ([]Entry, uint64, uint64, bool, error) {
+	if s.h.t.cfg.Mode == Allocator {
+		return nil, 0, 0, false, ErrWrongMode
+	}
+	ents, newOrig, next, done := s.h.ScanStep(origBins, startBin, maxEnts)
+	return ents, newOrig, next, done, nil
 }
 
 func (s *localStore) Pipe(opts PipeOpts) (Pipe, error) {

@@ -132,6 +132,11 @@ type Config struct {
 	// StrongSnapshots enables the blocking strongly-consistent snapshot
 	// (§3.4.4); costs one counter update per mutating request.
 	StrongSnapshots bool
+	// TrackVersions maintains a per-key applied-mutation counter
+	// (Handle.VersionOf), the last-write-wins arbiter the cluster layer
+	// uses for online resharding and anti-entropy repair. Costs one
+	// striped-lock map update per mutation; off by default.
+	TrackVersions bool
 }
 
 func (c *Config) setDefaults() {
@@ -191,6 +196,10 @@ type Table struct {
 
 	gc *epoch.Collector
 
+	// vers counts applied mutations per key when Config.TrackVersions is
+	// set; nil otherwise (the hot paths pay one nil check).
+	vers *verIndex
+
 	// freeIDs recycles handle ids returned through Handle.Close, so
 	// long-lived processes with connection-scoped handles (the network
 	// server) never exhaust MaxThreads.
@@ -238,6 +247,9 @@ func New(cfg Config) (*Table, error) {
 	}
 	if cfg.Mode == Allocator && cfg.EpochGC {
 		t.gc = epoch.NewCollector(cfg.MaxThreads)
+	}
+	if cfg.TrackVersions {
+		t.vers = newVerIndex()
 	}
 	t.current.Store(newIndex(cfg.Bins, cfg.LinkRatio, cfg.ChunkBins))
 	return t, nil

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	core "repro/internal/core"
 )
 
 // Client is a pipelined protocol client. It is not safe for concurrent use;
@@ -83,9 +85,12 @@ type ClientOpts struct {
 	// Table selects the named server table this connection operates on
 	// ("" = the default table).
 	Table string
-	// Features is the requested feature set; 0 requests everything this
-	// client build supports (currently FeatureKV). The granted set is
-	// available via Features().
+	// Features is the requested feature set; 0 requests the ordinary
+	// client set (currently FeatureKV). FeatureReshard is deliberately
+	// NOT in the default — granting it pins the connection to the
+	// server's conn-owned loop, opting out of executor-mode serving, so
+	// only the cluster coordinator and scrubber request it. The granted
+	// set is available via Features().
 	Features uint16
 	// ReadTimeout/WriteTimeout bound blocking reads and flushes. 0
 	// disables the respective deadline.
@@ -181,11 +186,15 @@ func NewClientV2(c net.Conn, opts ClientOpts) (*Client, error) {
 	return cl, nil
 }
 
+// clientDefaultFeatures is what a ClientOpts.Features of 0 requests: the
+// ordinary client surface, without FeatureReshard (see ClientOpts).
+const clientDefaultFeatures = FeatureKV
+
 // handshake runs the v2 hello exchange on the current connection.
 func (cl *Client) handshake(opts ClientOpts) error {
 	features := opts.Features
 	if features == 0 {
-		features = supportedFeatures
+		features = clientDefaultFeatures
 	}
 	hello, err := AppendHello(nil, Hello{Version: ProtocolV2, Features: features, Table: opts.Table})
 	if err != nil {
@@ -816,6 +825,141 @@ func (cl *Client) InsertKV(ns uint16, key, val []byte) error {
 		return nil
 	}
 	return r.Status.Err()
+}
+
+// GetVer reads key together with its applied-mutation version (the
+// core.VersionReader surface) over an OpGetVer frame. Requires a v2
+// connection granted FeatureReshard and no other requests in flight —
+// the reshard frames are solo synchronous exchanges, not pipelined.
+// Retryable failures redial and reissue within the retry policy, like the
+// other sync helpers (the read is idempotent).
+func (cl *Client) GetVer(key uint64) (val uint64, ok bool, ver uint64, err error) {
+	if cl.inflight != 0 {
+		return 0, false, 0, errors.New("server: GetVer: requests in flight")
+	}
+	val, ok, ver, err = cl.getVer1(key)
+	if err == nil || cl.retry.Max == 0 {
+		return val, ok, ver, err
+	}
+	pol := cl.retry.norm()
+	for attempt := 0; attempt < pol.Max && IsRetryable(err); attempt++ {
+		time.Sleep(pol.backoff(attempt, &cl.rng))
+		val, ok, ver, err = cl.getVer1(key)
+		if err == nil {
+			return val, ok, ver, nil
+		}
+	}
+	return val, ok, ver, err
+}
+
+// getVer1 is one solo OpGetVer exchange.
+func (cl *Client) getVer1(key uint64) (uint64, bool, uint64, error) {
+	if err := cl.ensureConn(); err != nil {
+		return 0, false, 0, err
+	}
+	if !cl.v2 || cl.features&FeatureReshard == 0 {
+		return 0, false, 0, fmt.Errorf("%w: reshard frames (request FeatureReshard)", ErrFeature)
+	}
+	var req [GetVerReqSize]byte
+	req[0] = byte(OpGetVer)
+	binary.LittleEndian.PutUint64(req[1:9], key)
+	if _, err := cl.bw.Write(req[:]); err != nil {
+		cl.abort(err)
+		return 0, false, 0, err
+	}
+	cl.armWrite()
+	if err := cl.bw.Flush(); err != nil {
+		cl.abort(err)
+		return 0, false, 0, err
+	}
+	var resp [GetVerRespSize]byte
+	cl.armRead()
+	if _, err := io.ReadFull(cl.br, resp[:]); err != nil {
+		cl.abort(err)
+		return 0, false, 0, err
+	}
+	v := binary.LittleEndian.Uint64(resp[1:9])
+	ver := binary.LittleEndian.Uint64(resp[9:17])
+	switch Status(resp[0]) {
+	case StatusOK:
+		return v, true, ver, nil
+	case StatusNotFound:
+		// The version is meaningful on a miss too: a tombstone has one.
+		return 0, false, ver, nil
+	}
+	return 0, false, 0, Status(resp[0]).Err()
+}
+
+// maxScanRespEnts bounds the entry count a scan reply may announce before
+// the client rejects the frame as garbage. Generous: a legitimate reply
+// overshoots MaxScanBatch only by the final bin group.
+const maxScanRespEnts = 1 << 22
+
+// ScanStep advances the server-side migration cursor one batch (the
+// core.Scanner surface) over an OpScan frame. Same connection
+// requirements as GetVer. Not retried: the cursor's consumer (the reshard
+// coordinator) handles failover by restarting the pass, so a transport
+// error surfaces immediately.
+func (cl *Client) ScanStep(origBins, startBin uint64, maxEnts int) ([]core.Entry, uint64, uint64, bool, error) {
+	if cl.inflight != 0 {
+		return nil, 0, 0, false, errors.New("server: ScanStep: requests in flight")
+	}
+	if err := cl.ensureConn(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	if !cl.v2 || cl.features&FeatureReshard == 0 {
+		return nil, 0, 0, false, fmt.Errorf("%w: reshard frames (request FeatureReshard)", ErrFeature)
+	}
+	if maxEnts <= 0 || maxEnts > MaxScanBatch {
+		maxEnts = MaxScanBatch
+	}
+	var req [ScanReqSize]byte
+	req[0] = byte(OpScan)
+	binary.LittleEndian.PutUint64(req[1:9], origBins)
+	binary.LittleEndian.PutUint64(req[9:17], startBin)
+	binary.LittleEndian.PutUint32(req[17:21], uint32(maxEnts))
+	if _, err := cl.bw.Write(req[:]); err != nil {
+		cl.abort(err)
+		return nil, 0, 0, false, err
+	}
+	cl.armWrite()
+	if err := cl.bw.Flush(); err != nil {
+		cl.abort(err)
+		return nil, 0, 0, false, err
+	}
+	var hdr [ScanRespHdrSize]byte
+	cl.armRead()
+	if _, err := io.ReadFull(cl.br, hdr[:]); err != nil {
+		cl.abort(err)
+		return nil, 0, 0, false, err
+	}
+	if st := Status(hdr[0]); st != StatusOK {
+		return nil, 0, 0, false, st.Err()
+	}
+	newOrig := binary.LittleEndian.Uint64(hdr[1:9])
+	next := binary.LittleEndian.Uint64(hdr[9:17])
+	done := hdr[17] != 0
+	count := int(binary.LittleEndian.Uint32(hdr[18:22]))
+	if count > maxScanRespEnts {
+		err := fmt.Errorf("%w: scan reply announces %d entries", ErrBadFrame, count)
+		cl.abort(err)
+		return nil, 0, 0, false, err
+	}
+	var ents []core.Entry
+	if count > 0 {
+		ents = make([]core.Entry, count)
+		buf := make([]byte, count*16)
+		cl.armRead()
+		if _, err := io.ReadFull(cl.br, buf); err != nil {
+			cl.abort(err)
+			return nil, 0, 0, false, err
+		}
+		for i := range ents {
+			ents[i].Key = binary.LittleEndian.Uint64(buf[i*16:])
+			ents[i].Value = binary.LittleEndian.Uint64(buf[i*16+8:])
+		}
+	}
+	return ents, newOrig, next, done, nil
 }
 
 // DeleteKV removes the byte key under namespace ns; ok reports whether it

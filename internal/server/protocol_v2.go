@@ -30,8 +30,16 @@ const (
 	// OpInsertKV, OpDeleteKV) on the connection.
 	FeatureKV uint16 = 1 << 0
 
+	// FeatureReshard enables the resharding/anti-entropy frames (OpGetVer,
+	// OpScan) on the connection. Granting it pins the connection to the
+	// conn-owned serving loop — executor sessions cannot hold a scan
+	// cursor — so ordinary clients should not request it (see
+	// clientDefaultFeatures); the cluster coordinator and scrubber open
+	// dedicated connections that do.
+	FeatureReshard uint16 = 1 << 1
+
 	// supportedFeatures is what this server build grants.
-	supportedFeatures = FeatureKV
+	supportedFeatures = FeatureKV | FeatureReshard
 )
 
 // Handshake frame sizes.
@@ -168,6 +176,66 @@ const (
 
 // isKVOp reports whether op is a v2 KV opcode.
 func isKVOp(op OpCode) bool { return op >= OpGetKV && op < kvOpCodeEnd }
+
+// ---------------------------------------------------------------------------
+// Reshard frames
+// ---------------------------------------------------------------------------
+
+// Reshard opcodes, valid on v2 connections with FeatureReshard granted.
+// Values are wire format — do not reorder.
+const (
+	// OpGetVer reads a key together with its applied-mutation version
+	// (core.VersionReader); tables without Config.TrackVersions answer
+	// version 0.
+	OpGetVer OpCode = kvOpCodeEnd + iota
+	// OpScan advances the resumable migration cursor (core.Scanner) and
+	// streams back one batch of entries.
+	OpScan
+	reshardOpCodeEnd // first invalid reshard opcode
+)
+
+// Reshard frame geometry. Everything little-endian, like the rest of the
+// protocol.
+const (
+	// GetVerReqSize is a versioned read request.
+	//
+	//	offset 0   1 byte   OpGetVer
+	//	offset 1   8 bytes  key
+	GetVerReqSize = 9
+	// GetVerRespSize is the reply.
+	//
+	//	offset 0   1 byte   status (StatusOK / StatusNotFound; the version
+	//	                    is meaningful either way — a tombstone has one)
+	//	offset 1   8 bytes  value (0 on miss)
+	//	offset 9   8 bytes  version
+	GetVerRespSize = 17
+	// ScanReqSize is a cursor step request (core.Scanner semantics:
+	// origBins 0 starts the cursor; thread the returned origBins/nextBin
+	// through subsequent steps).
+	//
+	//	offset 0   1 byte   OpScan
+	//	offset 1   8 bytes  origBins
+	//	offset 9   8 bytes  startBin
+	//	offset 17  4 bytes  maxEnts
+	ScanReqSize = 21
+	// ScanRespHdrSize is the fixed prefix of a cursor step reply;
+	// count × 16 bytes of (key, value) pairs follow.
+	//
+	//	offset 0   1 byte   status
+	//	offset 1   8 bytes  origBins (cursor geometry, echo into next step)
+	//	offset 9   8 bytes  nextBin
+	//	offset 17  1 byte   done (1 = cursor exhausted)
+	//	offset 18  4 bytes  count
+	ScanRespHdrSize = 22
+	// MaxScanBatch caps the maxEnts a client may request in one OpScan;
+	// the server clamps larger requests. A reply can overshoot it by the
+	// final bin group (the cursor consumes whole old bins), so clients
+	// bound the announced count with slack rather than exactly.
+	MaxScanBatch = 4096
+)
+
+// isReshardOp reports whether op is a v2 reshard opcode.
+func isReshardOp(op OpCode) bool { return op >= OpGetVer && op < reshardOpCodeEnd }
 
 // KVRequest is one decoded variable-length request frame. Key and Value
 // alias the decode input.

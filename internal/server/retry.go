@@ -32,7 +32,7 @@ func IsRetryable(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, ErrBusy) {
+	if errors.Is(err, ErrBusy) || errors.Is(err, ErrRetryable) {
 		return true
 	}
 	// Terminal sentinels first: a wrapped table-level refusal stays
@@ -68,6 +68,12 @@ func IsRetryable(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne)
 }
+
+// ErrRetryable marks an error as transient for IsRetryable regardless of
+// its underlying shape: wrap with fmt.Errorf("%w: ...", ErrRetryable)
+// when a failure is known-transient but carries no transport type in its
+// chain (a user OpenShard callback failing, say).
+var ErrRetryable = errors.New("retryable")
 
 // RetryPolicy bounds the client's transparent redial-and-retry loop:
 // capped exponential backoff with deterministic-seedable jitter. The zero

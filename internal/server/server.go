@@ -483,7 +483,10 @@ func (s *Server) serveConn(c net.Conn) {
 		features = resp.Features
 	}
 
-	if s.opts.Exec != ExecConn {
+	// Reshard-feature connections always get the conn-owned loop: a scan
+	// cursor and the versioned reads around it are connection state an
+	// executor session has nowhere to keep.
+	if s.opts.Exec != ExecConn && features&FeatureReshard == 0 {
 		s.serveExec(c, br, tbl, v2, features)
 		return
 	}
@@ -838,6 +841,17 @@ func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.
 			if kvOps++; kvOps&(kvEpochEvery-1) == 0 {
 				h.AdvanceEpoch()
 			}
+		case isReshardOp(op) && features&FeatureReshard != 0:
+			// Same order barrier as the KV path: pipelined fixed-frame
+			// responses precede this reply, and nothing finished waits
+			// behind the blocking reads below.
+			cs.p.Flush()
+			if cs.wErr == nil {
+				s.execReshard(cs, br, tbl, h, op)
+			}
+			if cs.wErr != nil {
+				return
+			}
 		default:
 			cs.badRequest()
 			return
@@ -846,6 +860,113 @@ func (s *Server) serveV2(c net.Conn, br *bufio.Reader, tbl *core.Table, h *core.
 		if cs.wErr != nil {
 			return
 		}
+	}
+}
+
+// execReshard reads, executes and answers one reshard frame (OpGetVer or
+// OpScan). Both are read-only — nothing is logged — but older pipelined
+// mutations may still sit unsynced in the write buffer, so the covering
+// group commit is awaited before any byte of this reply can push them to
+// the socket.
+//
+//dlht:ackgated
+func (s *Server) execReshard(cs *connState, br *bufio.Reader, tbl *core.Table, h *core.Handle, op OpCode) {
+	need := GetVerReqSize
+	if op == OpScan {
+		need = ScanReqSize
+	}
+	if br.Buffered() < need {
+		cs.flush()
+		if cs.wErr != nil {
+			return
+		}
+	}
+	var hdr [ScanReqSize]byte
+	if _, err := io.ReadFull(br, hdr[:need]); err != nil {
+		cs.wErr = err
+		return
+	}
+	switch op {
+	case OpGetVer:
+		key := binary.LittleEndian.Uint64(hdr[1:9])
+		// Version-bracketed read (the localStore.GetVer contract): equal
+		// brackets mean the value is the one the version counts.
+		ver := h.VersionOf(key)
+		var v uint64
+		var ok bool
+		for i := 0; i < 4; i++ {
+			v, ok = h.Get(key)
+			after := h.VersionOf(key)
+			if after == ver {
+				break
+			}
+			ver = after
+		}
+		st := StatusOK
+		if !ok {
+			st, v = StatusNotFound, 0
+		}
+		var buf [GetVerRespSize]byte
+		buf[0] = byte(st)
+		binary.LittleEndian.PutUint64(buf[1:9], v)
+		binary.LittleEndian.PutUint64(buf[9:17], ver)
+		cs.syncPending()
+		if cs.wErr != nil {
+			return
+		}
+		if _, err := cs.bw.Write(buf[:]); err != nil {
+			cs.wErr = err
+			return
+		}
+	case OpScan:
+		origBins := binary.LittleEndian.Uint64(hdr[1:9])
+		startBin := binary.LittleEndian.Uint64(hdr[9:17])
+		maxEnts := int(binary.LittleEndian.Uint32(hdr[17:21]))
+		if maxEnts <= 0 || maxEnts > MaxScanBatch {
+			maxEnts = MaxScanBatch
+		}
+		if tbl.Mode() == core.Allocator {
+			// Value words are block refs; not scannable over this frame.
+			var buf [ScanRespHdrSize]byte
+			buf[0] = byte(StatusWrongMode)
+			cs.syncPending()
+			if cs.wErr != nil {
+				return
+			}
+			if _, err := cs.bw.Write(buf[:]); err != nil {
+				cs.wErr = err
+			}
+			break
+		}
+		// The cap clamps the request; the reply may overshoot it by the
+		// last bin group (ScanStep consumes whole old bins — truncating
+		// here would lose the overflow, the cursor is already past it).
+		ents, newOrig, next, done := h.ScanStep(origBins, startBin, maxEnts)
+		out := cs.bw.AvailableBuffer()
+		out = append(out, byte(StatusOK))
+		out = binary.LittleEndian.AppendUint64(out, newOrig)
+		out = binary.LittleEndian.AppendUint64(out, next)
+		d := byte(0)
+		if done {
+			d = 1
+		}
+		out = append(out, d)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(ents)))
+		for _, e := range ents {
+			out = binary.LittleEndian.AppendUint64(out, e.Key)
+			out = binary.LittleEndian.AppendUint64(out, e.Value)
+		}
+		cs.syncPending()
+		if cs.wErr != nil {
+			return
+		}
+		if _, err := cs.bw.Write(out); err != nil {
+			cs.wErr = err
+			return
+		}
+	}
+	if cs.bw.Buffered() >= cs.flushAt {
+		cs.flush()
 	}
 }
 
